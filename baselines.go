@@ -1,0 +1,105 @@
+package fabp
+
+import (
+	"fmt"
+
+	"fabp/internal/bio"
+	"fabp/internal/swalign"
+	"fabp/internal/tblastn"
+)
+
+// TBLASTNOptions tunes the heuristic baseline search.
+type TBLASTNOptions struct {
+	// Threads is the worker count (default 1).
+	Threads int
+	// ForwardOnly restricts the search to the three forward frames,
+	// matching FabP's single-strand scan; default searches all six.
+	ForwardOnly bool
+	// MinScore is the raw BLOSUM62 HSP cutoff (default 35).
+	MinScore int
+	// TwoHit enables BLAST's two-hit seeding (default one-hit).
+	TwoHit bool
+}
+
+// HSP is a high-scoring segment pair from the TBLASTN baseline.
+type HSP struct {
+	// Frame renders BLAST-style: "+1".."+3", "-1".."-3".
+	Frame string
+	// QStart/QEnd delimit the query residues (half-open).
+	QStart, QEnd int
+	// NucPos is the forward-strand nucleotide offset of the subject
+	// segment.
+	NucPos int
+	// Score is the raw BLOSUM62 segment score.
+	Score int
+}
+
+// SearchTBLASTN runs the TBLASTN-style baseline: 6-frame translation,
+// BLOSUM62 neighborhood seeding and X-drop extension. HSPs come back
+// best-first.
+func SearchTBLASTN(query *Query, ref *Reference, opts TBLASTNOptions) ([]HSP, error) {
+	o := tblastn.Options{
+		Threads:  opts.Threads,
+		MinScore: opts.MinScore,
+		TwoHit:   opts.TwoHit,
+	}
+	if opts.ForwardOnly {
+		o.Frames = 3
+	}
+	hsps, _, err := tblastn.Search(query.protein, ref.seq, o)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HSP, len(hsps))
+	for i, h := range hsps {
+		out[i] = HSP{
+			Frame:  h.Frame.String(),
+			QStart: h.QStart, QEnd: h.QEnd,
+			NucPos: h.NucPos,
+			Score:  h.Score,
+		}
+	}
+	return out, nil
+}
+
+// SWResult is a Smith-Waterman local alignment.
+type SWResult struct {
+	// Score is the optimal local alignment score (BLOSUM62, affine gaps).
+	Score int
+	// AStart/AEnd and BStart/BEnd delimit the aligned regions (half-open).
+	AStart, AEnd, BStart, BEnd int
+	// CIGAR is the run-length operation string ("12M1D4M").
+	CIGAR string
+	// Identity is the fraction of identical columns.
+	Identity float64
+	// Gaps counts gapped columns.
+	Gaps int
+	// Pretty is the BLAST-style rendered alignment (query/midline/subject
+	// blocks).
+	Pretty string
+}
+
+// SmithWaterman computes the optimal gapped local alignment of two protein
+// sequences (one-letter codes) — the DP gold standard FabP approximates
+// with substitution-only scoring.
+func SmithWaterman(a, b string) (*SWResult, error) {
+	pa, err := bio.ParseProtSeq(a)
+	if err != nil {
+		return nil, fmt.Errorf("fabp: sequence a: %w", err)
+	}
+	pb, err := bio.ParseProtSeq(b)
+	if err != nil {
+		return nil, fmt.Errorf("fabp: sequence b: %w", err)
+	}
+	s := swalign.DefaultScoring()
+	r := swalign.Align(pa, pb, s)
+	return &SWResult{
+		Score:  r.Score,
+		AStart: r.AStart, AEnd: r.AEnd,
+		BStart: r.BStart, BEnd: r.BEnd,
+		CIGAR:    r.CIGAR(),
+		Identity: r.Identity(pa, pb),
+		Gaps:     r.Gaps(),
+		Pretty:   swalign.FormatAlignment(pa, pb, r, s, 60),
+	}, nil
+}

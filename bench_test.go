@@ -1,0 +1,252 @@
+package fabp
+
+// One benchmark per paper table/figure (regenerating the artifact), plus
+// micro-benchmarks of the load-bearing kernels. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benchmarks print their table once (first iteration)
+// so `go test -bench` output doubles as the reproduction log.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/core"
+	"fabp/internal/experiments"
+	"fabp/internal/isa"
+	"fabp/internal/swalign"
+	"fabp/internal/tblastn"
+)
+
+var printOnce sync.Map
+
+// benchExperiment runs one registered experiment per iteration and prints
+// its table a single time.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(name, true); !done {
+			b.Logf("\n%s", t.Render())
+		}
+	}
+}
+
+// BenchmarkFig6aSpeedup regenerates Fig. 6(a): normalized speedups of
+// CPU-12 / GPU / FabP per query length.
+func BenchmarkFig6aSpeedup(b *testing.B) { benchExperiment(b, "fig6a") }
+
+// BenchmarkFig6bEnergy regenerates Fig. 6(b): normalized energy efficiency.
+func BenchmarkFig6bEnergy(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// BenchmarkTable1Resources regenerates Table I: FabP-50/FabP-250 resource
+// utilization and achieved bandwidth.
+func BenchmarkTable1Resources(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkCrossover regenerates the §IV-B bandwidth/resource crossover
+// sweep.
+func BenchmarkCrossover(b *testing.B) { benchExperiment(b, "crossover") }
+
+// BenchmarkPopcountAblation regenerates the §III-D pop-counter area
+// comparison.
+func BenchmarkPopcountAblation(b *testing.B) { benchExperiment(b, "popcount") }
+
+// BenchmarkChannelScaling regenerates the §III-C multi-channel projection.
+func BenchmarkChannelScaling(b *testing.B) { benchExperiment(b, "channels") }
+
+// BenchmarkSerineAblation regenerates the serine-encoding ablation.
+func BenchmarkSerineAblation(b *testing.B) { benchExperiment(b, "serine") }
+
+// BenchmarkAccuracyIndels regenerates a compact §IV-A accuracy study per
+// iteration (scaled to stay benchmark-friendly).
+func BenchmarkAccuracyIndels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAccuracy(experiments.AccuracyConfig{
+			RefLen: 40_000, Genes: 6, GeneLen: 80, Queries: 30, QueryLen: 50,
+		})
+		if r.FabPRecallSub < 0.9 {
+			b.Fatalf("accuracy regression: %+v", r)
+		}
+		if _, done := printOnce.LoadOrStore("accuracy-mini", true); !done {
+			b.Logf("indels %.1f%% | FabP recall %.1f%% | TBLASTN recall %.1f%%",
+				100*r.IndelFraction, 100*r.FabPRecall, 100*r.TBLASTNRecall)
+		}
+	}
+}
+
+// --- kernel micro-benchmarks ---
+
+// BenchmarkEngineAlign measures the software FabP engine's scan throughput
+// (the per-iteration workload is 1 Mnt; metric reported as ns/op plus
+// nt/s).
+func BenchmarkEngineAlign(b *testing.B) {
+	for _, residues := range []int{50, 250} {
+		b.Run(fmt.Sprintf("q%d", residues), func(b *testing.B) {
+			ref, genes := SyntheticReference(1, 1_000_000, 4, residues)
+			q, err := NewQuery(genes[0].Protein)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := NewAligner(q, WithThresholdFraction(0.9))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if hits := a.Align(ref); len(hits) == 0 {
+					b.Fatal("planted gene lost")
+				}
+			}
+			b.SetBytes(int64(ref.Len()) / 4) // 2 bits per nucleotide
+		})
+	}
+}
+
+// BenchmarkTBLASTNSearch measures the heuristic baseline on the same
+// workload shape (1 Mnt reference).
+func BenchmarkTBLASTNSearch(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("threads%d", threads), func(b *testing.B) {
+			ref, genes := SyntheticReference(2, 1_000_000, 4, 50)
+			q, err := bio.ParseProtSeq(genes[0].Protein)
+			if err != nil {
+				b.Fatal(err)
+			}
+			refSeq, err := bio.ParseNucSeq(ref.String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			idx, err := tblastn.BuildIndex(q, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tblastn.SearchWithIndex(idx, refSeq, tblastn.Options{Threads: threads}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(refSeq)) / 4)
+		})
+	}
+}
+
+// BenchmarkSmithWaterman measures the DP gold standard (300x300 residues).
+func BenchmarkSmithWaterman(b *testing.B) {
+	pa, _ := RandomProtein(3, 300)
+	pb, _ := RandomProtein(4, 300)
+	a, _ := bio.ParseProtSeq(pa)
+	bb, _ := bio.ParseProtSeq(pb)
+	s := swalign.DefaultScoring()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swalign.Score(a, bb, s)
+	}
+}
+
+// BenchmarkEncodeQuery measures back-translation + instruction encoding.
+func BenchmarkEncodeQuery(b *testing.B) {
+	p, _ := RandomProtein(5, 250)
+	seq, _ := bio.ParseProtSeq(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isa.EncodeProtein(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitParallelKernel measures the SIMD-within-register kernel (the
+// GPU algorithm) on the same workload shape as BenchmarkEngineAlign.
+func BenchmarkBitParallelKernel(b *testing.B) {
+	ref, genes := SyntheticReference(7, 1_000_000, 4, 50)
+	q, err := NewQuery(genes[0].Protein)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := NewAligner(q, WithThresholdFraction(0.9), WithKernel("bitparallel"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := a.Align(ref); len(hits) == 0 {
+			b.Fatal("planted gene lost")
+		}
+	}
+	b.SetBytes(int64(ref.Len()) / 4)
+}
+
+// BenchmarkBatchAlign measures the shared-context multi-query scan (eight
+// 50-residue queries over 1 Mnt).
+func BenchmarkBatchAlign(b *testing.B) {
+	ref, genes := SyntheticReference(8, 1_000_000, 8, 50)
+	var queries []*Query
+	for _, g := range genes {
+		q, err := NewQuery(g.Protein)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	refSeq := ref
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AlignBatch(queries, refSeq, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlignStreamReader measures the bounded-memory chunked scan.
+func BenchmarkAlignStreamReader(b *testing.B) {
+	ref, genes := SyntheticReference(9, 2_000_000, 2, 50)
+	q, _ := NewQuery(genes[0].Protein)
+	a, _ := NewAligner(q, WithThresholdFraction(0.9))
+	stream := ref.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := a.AlignStream(strings.NewReader(stream), func(Hit) error { n++; return nil })
+		if err != nil || n == 0 {
+			b.Fatalf("stream scan failed: %v (%d hits)", err, n)
+		}
+	}
+	b.SetBytes(int64(len(stream)) / 4)
+}
+
+// BenchmarkNetlistCycle measures the cycle-accurate RTL simulator on a
+// small generated accelerator (beats per second of gate-level simulation).
+func BenchmarkNetlistCycle(b *testing.B) {
+	prog := isa.MustEncodeProtein(bio.ProtSeq{bio.Met, bio.Lys, bio.Trp})
+	cfg := core.NetlistConfig{QueryElems: len(prog), Beat: 8, Threshold: 7}
+	runner, err := core.NewNetlistRunner(cfg, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := make(bio.NucSeq, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Align(ref)
+	}
+}
+
+// BenchmarkVerilogEmission measures netlist generation + Verilog emission
+// for a mid-size build.
+func BenchmarkVerilogEmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GenerateVerilog(io.Discard, VerilogConfig{
+			QueryResidues: 4, BeatElements: 16, Threshold: 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

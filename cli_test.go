@@ -1,0 +1,142 @@
+package fabp_test
+
+// Smoke tests for the command-line tools: build each binary once and drive
+// its primary flows end-to-end through real files.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLIs compiles every cmd/ binary into a shared temp dir once per
+// test binary invocation.
+var cliDir string
+
+func buildCLI(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short")
+	}
+	if cliDir == "" {
+		cliDir = t.TempDir()
+	}
+	bin := filepath.Join(cliDir, name)
+	if _, err := os.Stat(bin); err == nil {
+		return bin
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLITranslate(t *testing.T) {
+	bin := buildCLI(t, "fabp-translate")
+	out := run(t, bin, "MFSR*")
+	for _, want := range []string{"AUG-UU(U/C)-UCD", "Type III", "15 x 6-bit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	table := run(t, bin, "-table")
+	if !strings.Contains(table, "Leu (L)") {
+		t.Error("table output wrong")
+	}
+}
+
+func TestCLIDBRoundTrip(t *testing.T) {
+	bin := buildCLI(t, "fabp-db")
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "demo.fabp")
+
+	out := run(t, bin, "demo", "-out", dbPath)
+	if !strings.Contains(out, "-query ") {
+		t.Fatalf("demo output: %s", out)
+	}
+	query := strings.TrimSpace(strings.Split(strings.Split(out, "-query ")[1], "\n")[0])
+
+	info := run(t, bin, "info", "-db", dbPath)
+	if !strings.Contains(info, "100000 nt") {
+		t.Errorf("info output: %s", info)
+	}
+	search := run(t, bin, "search", "-db", dbPath, "-query", query)
+	if !strings.Contains(search, "score") {
+		t.Errorf("search output: %s", search)
+	}
+
+	// build from FASTA.
+	fasta := filepath.Join(dir, "ref.fasta")
+	if err := os.WriteFile(fasta, []byte(">r1\nACGTACGTACGTACGT\n>r2\nGGGGCCCC\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	built := filepath.Join(dir, "built.fabp")
+	out = run(t, bin, "build", "-in", fasta, "-out", built)
+	if !strings.Contains(out, "2 records") {
+		t.Errorf("build output: %s", out)
+	}
+}
+
+func TestCLIRTL(t *testing.T) {
+	bin := buildCLI(t, "fabp-rtl")
+	dir := t.TempDir()
+	mod := filepath.Join(dir, "m.v")
+	tb := filepath.Join(dir, "tb.v")
+	prim := filepath.Join(dir, "prim.v")
+	dot := filepath.Join(dir, "g.dot")
+	run(t, bin, "-residues", "2", "-beat", "4",
+		"-o", mod, "-tb", tb, "-primlib", prim, "-dot", dot)
+	for path, want := range map[string]string{
+		mod:  "module fabp_q6_b4",
+		tb:   "TESTBENCH PASS",
+		prim: "module LUT6",
+		dot:  "digraph",
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !strings.Contains(string(data), want) {
+			t.Errorf("%s missing %q", path, want)
+		}
+	}
+	report := run(t, bin, "-residues", "50", "-report-only")
+	if !strings.Contains(report, "bandwidth-bound") || !strings.Contains(report, "Fmax") {
+		t.Errorf("report: %s", report)
+	}
+}
+
+func TestCLIAlignDemo(t *testing.T) {
+	bin := buildCLI(t, "fabp-align")
+	out := run(t, bin, "-demo", "-auto-threshold", "-top", "2")
+	for _, want := range []string{"planted gene 0", "E=", "hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in demo output", want)
+		}
+	}
+}
+
+func TestCLIBench(t *testing.T) {
+	bin := buildCLI(t, "fabp-bench")
+	list := run(t, bin, "-list")
+	if !strings.Contains(list, "table1") || !strings.Contains(list, "fig6a") {
+		t.Errorf("list: %s", list)
+	}
+	out := run(t, bin, "-exp", "encoding", "-format", "csv")
+	if !strings.Contains(out, "amino acid,codons") {
+		t.Errorf("csv experiment output: %s", out)
+	}
+}

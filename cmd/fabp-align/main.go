@@ -1,0 +1,176 @@
+// Command fabp-align aligns protein queries against a nucleotide database
+// with the FabP substitution-only engine, optionally comparing against the
+// TBLASTN baseline.
+//
+// Usage:
+//
+//	fabp-align -query query.fasta -ref db.fasta [-threshold-frac 0.8] [-tblastn] [-top 5]
+//	fabp-align -demo            # synthetic demo workload, no files needed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"fabp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fabp-align: ")
+
+	queryPath := flag.String("query", "", "FASTA file with protein queries")
+	refPath := flag.String("ref", "", "FASTA file with the nucleotide database")
+	thresholdFrac := flag.Float64("threshold-frac", 0.8, "hit threshold as a fraction of the maximum score")
+	autoThreshold := flag.Bool("auto-threshold", false, "derive the threshold from the null score distribution")
+	maxFP := flag.Float64("fp", 0.1, "expected chance hits per scan when -auto-threshold is set")
+	runTBLASTN := flag.Bool("tblastn", false, "also run the TBLASTN baseline for comparison")
+	top := flag.Int("top", 5, "hits to print per query")
+	demo := flag.Bool("demo", false, "run on a built-in synthetic workload")
+	flag.Parse()
+
+	opts := alignOpts{frac: *thresholdFrac, auto: *autoThreshold, maxFP: *maxFP,
+		tblastn: *runTBLASTN, top: *top}
+	if *demo {
+		runDemo(opts)
+		return
+	}
+	if *queryPath == "" || *refPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	refFile, err := os.Open(*refPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer refFile.Close()
+	ref, _, err := fabp.ReadReferenceFasta(refFile)
+	if err != nil {
+		log.Fatalf("reading reference: %v", err)
+	}
+	fmt.Printf("reference: %d nt\n", ref.Len())
+
+	queries, err := readProteinFasta(*queryPath)
+	if err != nil {
+		log.Fatalf("reading queries: %v", err)
+	}
+
+	for _, qr := range queries {
+		alignOne(qr.id, qr.prot, ref, opts)
+	}
+}
+
+type alignOpts struct {
+	frac    float64
+	auto    bool
+	maxFP   float64
+	tblastn bool
+	top     int
+}
+
+type protRecord struct {
+	id   string
+	prot string
+}
+
+func readProteinFasta(path string) ([]protRecord, error) {
+	var out []protRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var id string
+	var body strings.Builder
+	flush := func() {
+		if id != "" {
+			out = append(out, protRecord{id: id, prot: body.String()})
+		}
+		body.Reset()
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, ">") {
+			flush()
+			id = strings.Fields(line[1:])[0]
+			continue
+		}
+		body.WriteString(line)
+	}
+	flush()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no FASTA records")
+	}
+	return out, nil
+}
+
+func alignOne(id, prot string, ref *fabp.Reference, opts alignOpts) {
+	q, err := fabp.NewQuery(prot)
+	if err != nil {
+		log.Printf("query %s: %v", id, err)
+		return
+	}
+	var aOpt fabp.AlignerOption
+	if opts.auto {
+		thr, err := q.SuggestThreshold(ref.Len(), opts.maxFP)
+		if err != nil {
+			log.Printf("query %s: %v", id, err)
+			return
+		}
+		aOpt = fabp.WithThreshold(thr)
+	} else {
+		aOpt = fabp.WithThresholdFraction(opts.frac)
+	}
+	a, err := fabp.NewAligner(q, aOpt)
+	if err != nil {
+		log.Printf("query %s: %v", id, err)
+		return
+	}
+	hits := a.Align(ref)
+	fmt.Printf("\nquery %s (%d aa, %d elements, threshold %d/%d): %d hits\n",
+		id, q.Residues(), q.Elements(), a.Threshold(), q.MaxScore(), len(hits))
+	shown := 0
+	for _, h := range hits {
+		if shown >= opts.top {
+			fmt.Printf("  ... %d more\n", len(hits)-shown)
+			break
+		}
+		fmt.Printf("  pos %-10d score %d/%d  E=%.2g\n", h.Pos, h.Score, q.MaxScore(),
+			a.EValueOf(h.Score, ref.Len()))
+		shown++
+	}
+	if len(hits) == 0 {
+		if best, ok := a.Best(ref); ok {
+			fmt.Printf("  best sub-threshold position: pos %d score %d/%d\n", best.Pos, best.Score, q.MaxScore())
+		}
+	}
+	if opts.tblastn {
+		hsps, err := fabp.SearchTBLASTN(q, ref, fabp.TBLASTNOptions{Threads: 4})
+		if err != nil {
+			log.Printf("tblastn %s: %v", id, err)
+			return
+		}
+		fmt.Printf("  tblastn: %d HSPs", len(hsps))
+		if len(hsps) > 0 {
+			fmt.Printf("; top: frame %s nuc %d score %d", hsps[0].Frame, hsps[0].NucPos, hsps[0].Score)
+		}
+		fmt.Println()
+	}
+}
+
+func runDemo(opts alignOpts) {
+	fmt.Println("demo: 200 kb synthetic reference with 8 planted genes")
+	ref, genes := fabp.SyntheticReference(2021, 200_000, 8, 80)
+	for i, g := range genes[:3] {
+		// Diverge the query like a real homology search.
+		mut, hadIndel, err := fabp.MutateProtein(int64(i)+1, g.Protein, 0.05, 0.09)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== planted gene %d at nucleotide %d (indel during divergence: %v)\n", i, g.Pos, hadIndel)
+		alignOne(fmt.Sprintf("demo-%d", i), mut, ref, opts)
+	}
+}

@@ -1,0 +1,126 @@
+// Command fabp-rtl generates the FabP accelerator datapath as structural
+// Verilog (Xilinx LUT6/FDRE primitives) and prints a resource report plus
+// the device projection for the paper's Kintex-7.
+//
+// Usage:
+//
+//	fabp-rtl -residues 4 -beat 8 -threshold 10 -o fabp.v
+//	fabp-rtl -residues 50 -report-only   # Table I style projection only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fabp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fabp-rtl: ")
+
+	residues := flag.Int("residues", 4, "supported query length in amino acids")
+	beat := flag.Int("beat", 8, "reference elements per AXI beat (paper: 256)")
+	threshold := flag.Int("threshold", 0, "hit threshold (default: 80% of max score)")
+	iterations := flag.Int("iterations", 1, "query segmentation factor (>1 emits the long-query datapath)")
+	tree := flag.Bool("tree-popcount", false, "use the naive tree-adder pop-counter")
+	out := flag.String("o", "", "output Verilog file (default: stdout)")
+	tbOut := flag.String("tb", "", "also emit a self-checking testbench to this file")
+	primOut := flag.String("primlib", "", "also emit behavioral LUT6/FDRE models to this file")
+	dotOut := flag.String("dot", "", "also emit a Graphviz structural view to this file")
+	reportOnly := flag.Bool("report-only", false, "skip Verilog generation, print the device projection")
+	device := flag.String("device", "kintex7", "device for the projection: kintex7, virtexus, artix7")
+	flag.Parse()
+
+	rep, err := fabp.SizeOnDevice(fabp.DeviceName(*device), *residues, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, rep)
+
+	if *reportOnly {
+		// Timing analysis of a small-beat build (the full 256-beat netlist
+		// is large; the comparator/pop-counter depth is beat-independent).
+		stats, err := fabp.AnalyzeNetlist(fabp.VerilogConfig{
+			QueryResidues: *residues, BeatElements: minInt(*beat, 8),
+			Threshold: 3 * *residues * 8 / 10, Iterations: *iterations,
+			TreeAdderPopcount: *tree,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "timing: %d LUT levels, estimated Fmax %.0f MHz (unpipelined cone)\n",
+			stats.Depth, stats.FMaxHz/1e6)
+		return
+	}
+
+	thr := *threshold
+	if thr == 0 {
+		thr = 3 * *residues * 8 / 10
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	vcfg := fabp.VerilogConfig{
+		QueryResidues:     *residues,
+		BeatElements:      *beat,
+		Threshold:         thr,
+		Iterations:        *iterations,
+		TreeAdderPopcount: *tree,
+	}
+	if *primOut != "" {
+		pf, err := os.Create(*primOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fabp.GeneratePrimitiveLibrary(pf); err != nil {
+			log.Fatal(err)
+		}
+		pf.Close()
+		fmt.Fprintf(os.Stderr, "emitted primitive library %s\n", *primOut)
+	}
+	if *dotOut != "" {
+		df, err := os.Create(*dotOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fabp.GenerateDOT(df, vcfg); err != nil {
+			log.Fatal(err)
+		}
+		df.Close()
+		fmt.Fprintf(os.Stderr, "emitted structural graph %s\n", *dotOut)
+	}
+	if *tbOut != "" {
+		tf, err := os.Create(*tbOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		if err := fabp.GenerateTestbench(w, tf, vcfg, 0, 1); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "emitted module + self-checking testbench %s\n", *tbOut)
+		return
+	}
+	luts, ffs, err := fabp.GenerateVerilog(w, vcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated netlist: %d LUT6, %d FDRE (beat=%d, threshold=%d)\n",
+		luts, ffs, *beat, thr)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,43 @@
+// Command fabp-translate inspects the FabP back-translation and encoding of
+// a protein sequence: the degenerate template notation, IUPAC rendering and
+// the 6-bit instruction listing.
+//
+// Usage:
+//
+//	fabp-translate MFSR*
+//	fabp-translate -table        # the full amino-acid encoding table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fabp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fabp-translate: ")
+
+	table := flag.Bool("table", false, "print the full degenerate-template table")
+	flag.Parse()
+
+	if *table {
+		fmt.Print(fabp.BackTranslationTable())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fabp-translate [-table] <protein one-letter codes>")
+		os.Exit(2)
+	}
+	q, err := fabp.NewQuery(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protein     : %s (%d aa)\n", q.Protein(), q.Residues())
+	fmt.Printf("degenerate  : %s\n", q.Degenerate())
+	fmt.Printf("instructions: %d x 6-bit\n\n", q.Elements())
+	fmt.Print(q.Disassemble())
+}

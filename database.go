@@ -1,0 +1,244 @@
+package fabp
+
+import (
+	"fmt"
+	"io"
+
+	"fabp/internal/bio"
+	"fabp/internal/bitpar"
+	"fabp/internal/core"
+	"fabp/internal/db"
+	"fabp/internal/experiments"
+	"fabp/internal/host"
+	"fabp/internal/isa"
+)
+
+// Database is an indexed, 2-bit packed reference database — the DRAM image
+// the accelerator scans, with a record index so hits map back to sequences.
+type Database struct {
+	d *db.Database
+}
+
+// BuildDatabase packs a nucleotide FASTA stream into a database.
+func BuildDatabase(r io.Reader) (*Database, error) {
+	recs, err := bio.NewFastaReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	d, err := db.Build(recs)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{d: d}, nil
+}
+
+// DatabaseFromReference wraps a single reference sequence as a one-record
+// database.
+func DatabaseFromReference(id string, ref *Reference) (*Database, error) {
+	d, err := db.FromSeq(id, ref.seq)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{d: d}, nil
+}
+
+// SaveDatabase serializes the database to its binary file format.
+func (d *Database) SaveDatabase(w io.Writer) error {
+	_, err := d.d.WriteTo(w)
+	return err
+}
+
+// LoadDatabase reads a database saved with SaveDatabase.
+func LoadDatabase(r io.Reader) (*Database, error) {
+	inner, err := db.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{d: inner}, nil
+}
+
+// Len returns the total nucleotide count.
+func (d *Database) Len() int { return d.d.Len() }
+
+// NumRecords returns the sequence count.
+func (d *Database) NumRecords() int { return d.d.NumRecords() }
+
+// RecordInfo describes one database sequence.
+type RecordInfo struct {
+	ID          string
+	Description string
+	Length      int
+}
+
+// Record returns the i-th sequence's metadata.
+func (d *Database) Record(i int) RecordInfo {
+	r := d.d.Record(i)
+	return RecordInfo{ID: r.ID, Description: r.Description, Length: r.Length}
+}
+
+// RecordHit is an alignment hit attributed to a database record.
+type RecordHit struct {
+	// RecordID and RecordIndex identify the sequence.
+	RecordID    string
+	RecordIndex int
+	// Offset is the window start within that sequence.
+	Offset int
+	// Score is the alignment score.
+	Score int
+}
+
+// AlignDatabase scans the whole database and attributes hits to records,
+// dropping windows that span record boundaries (concatenation artifacts).
+func (a *Aligner) AlignDatabase(d *Database) []RecordHit {
+	raw := a.alignSeq(d.d.Seq())
+	attributed := d.d.Attribute(raw, a.query.Elements())
+	out := make([]RecordHit, len(attributed))
+	for i, h := range attributed {
+		out[i] = RecordHit{
+			RecordID:    h.RecordID,
+			RecordIndex: h.RecordIndex,
+			Offset:      h.Offset,
+			Score:       h.Score,
+		}
+	}
+	return out
+}
+
+// Session models the full deployment: an FPGA card holding the database
+// resident in its DRAM, with queries streamed against it. Results are real
+// (bit-exact engine); the timing decomposition follows the paper's
+// end-to-end measurement protocol.
+type Session struct {
+	s *host.Session
+	d *Database
+}
+
+// NewSession creates a session on the paper's default platform (Kintex-7
+// card, PCIe Gen3 x8, 8 GB card DRAM) with the database loaded.
+func NewSession(d *Database) (*Session, error) {
+	s := host.NewSession(host.DefaultPlatform())
+	if _, err := s.LoadDatabase(d.d.Seq()); err != nil {
+		return nil, err
+	}
+	return &Session{s: s, d: d}, nil
+}
+
+// QueryTiming decomposes one query's projected end-to-end time in seconds.
+type QueryTiming struct {
+	Encode, QueryTransfer, Kernel, Readback, Total float64
+}
+
+// Run executes one query end-to-end and returns attributed hits plus the
+// timing decomposition.
+func (s *Session) Run(q *Query, thresholdFrac float64) ([]RecordHit, QueryTiming, error) {
+	if thresholdFrac <= 0 || thresholdFrac > 1 {
+		return nil, QueryTiming{}, fmt.Errorf("fabp: threshold fraction must be in (0,1]")
+	}
+	threshold := int(thresholdFrac * float64(q.MaxScore()))
+	res, err := s.s.RunQuery(isaProgram(q), threshold)
+	if err != nil {
+		return nil, QueryTiming{}, err
+	}
+	attributed := s.d.d.Attribute(res.Hits, q.Elements())
+	out := make([]RecordHit, len(attributed))
+	for i, h := range attributed {
+		out[i] = RecordHit{RecordID: h.RecordID, RecordIndex: h.RecordIndex, Offset: h.Offset, Score: h.Score}
+	}
+	t := res.Timing
+	return out, QueryTiming{
+		Encode: t.EncodeSec, QueryTransfer: t.QueryTransferSec,
+		Kernel: t.KernelSec, Readback: t.ReadbackSec, Total: t.TotalSec,
+	}, nil
+}
+
+// RunBatch executes many queries against the resident database in one
+// pass, returning per-query attributed hits and the projected end-to-end
+// batch seconds.
+func (s *Session) RunBatch(queries []*Query, thresholdFrac float64) ([][]RecordHit, float64, error) {
+	progs := make([]isa.Program, len(queries))
+	elems := make([]int, len(queries))
+	for i, q := range queries {
+		progs[i] = isaProgram(q)
+		elems[i] = q.Elements()
+	}
+	res, err := s.s.RunBatch(progs, thresholdFrac)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([][]RecordHit, len(queries))
+	for i, hits := range res.PerQuery {
+		attributed := s.d.d.Attribute(hits, elems[i])
+		out[i] = make([]RecordHit, len(attributed))
+		for j, h := range attributed {
+			out[i][j] = RecordHit{RecordID: h.RecordID, RecordIndex: h.RecordIndex, Offset: h.Offset, Score: h.Score}
+		}
+	}
+	return out, res.TotalSec, nil
+}
+
+func isaProgram(q *Query) isa.Program { return q.program }
+
+// AlignBatch scans one reference with many queries in a single pass,
+// returning per-query hit lists. Thresholds are the given fraction of each
+// query's own maximum score. Large references pack into bit-planes once
+// and run the bit-parallel kernel per query; small ones share the scalar
+// engine's context array — both are bit-exact.
+func AlignBatch(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hit, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("fabp: empty batch")
+	}
+	if ref.Len() >= bitParThresholdLen {
+		return alignBatchBitpar(queries, ref, thresholdFrac)
+	}
+	progs := make([]isa.Program, len(queries))
+	for i, q := range queries {
+		progs[i] = q.program
+	}
+	batch, err := core.NewBatchUniform(progs, thresholdFrac)
+	if err != nil {
+		return nil, err
+	}
+	raw := batch.Align(ref.seq)
+	out := make([][]Hit, len(raw))
+	for i, hits := range raw {
+		out[i] = make([]Hit, len(hits))
+		for j, h := range hits {
+			out[i][j] = Hit{Pos: h.Pos, Score: h.Score}
+		}
+	}
+	return out, nil
+}
+
+// alignBatchBitpar is the large-reference batch path: pack once, scan with
+// every query's compiled kernel.
+func alignBatchBitpar(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hit, error) {
+	planes := bitpar.PackReference(ref.seq)
+	out := make([][]Hit, len(queries))
+	for i, q := range queries {
+		threshold := int(thresholdFrac * float64(q.MaxScore()))
+		k, err := bitpar.NewKernel(q.program, threshold)
+		if err != nil {
+			return nil, fmt.Errorf("fabp: batch query %d: %w", i, err)
+		}
+		raw := k.AlignPlanes(planes)
+		out[i] = make([]Hit, len(raw))
+		for j, h := range raw {
+			out[i][j] = Hit{Pos: h.Pos, Score: h.Score}
+		}
+	}
+	return out, nil
+}
+
+// RunExperimentAs renders an experiment in the requested format: "text",
+// "markdown" or "csv".
+func RunExperimentAs(name, format string) (string, error) {
+	f, err := experiments.ParseFormat(format)
+	if err != nil {
+		return "", err
+	}
+	t, err := experiments.Run(name)
+	if err != nil {
+		return "", err
+	}
+	return t.RenderAs(f)
+}

@@ -1,0 +1,49 @@
+// Accuracy: reproduces the paper's §IV-A argument that dropping indel
+// support costs almost nothing, and our serine-encoding ablation.
+//
+// It prints the indel-incidence/accuracy table (how often the
+// substitution-only engine still finds the true locus, versus TBLASTN) and
+// the cost of the paper's UCD serine template.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fabp"
+)
+
+func main() {
+	fmt.Println("Reproducing §IV-A (indel incidence and accuracy)...")
+	out, err := fabp.RunExperiment("accuracy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	fmt.Println("Serine-encoding ablation (the paper's UCD template drops AGU/AGC)...")
+	out, err = fabp.RunExperiment("serine")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	// A concrete, inspectable case: one query with a forced indel.
+	orig, err := fabp.RandomProtein(5, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withIndel, hadIndel, err := fabp.MutateProtein(12345, orig, 0.0, 50 /* force indels */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worked example — indel applied: %v\n", hadIndel)
+	sw, err := fabp.SmithWaterman(orig, withIndel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Smith-Waterman vs original: score %d, CIGAR %s, %d gap columns\n",
+		sw.Score, sw.CIGAR, sw.Gaps)
+	fmt.Println("FabP scores such a query lower at the true locus (the frame shifts after")
+	fmt.Println("the indel), which is exactly the rare failure mode the paper accepts.")
+}

@@ -1,0 +1,59 @@
+// Designspace: explores the accelerator design space the paper discusses in
+// §IV-B — where the bandwidth-bound / resource-bound crossover falls, how
+// bigger FPGAs move it, and what extra memory channels buy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fabp"
+)
+
+func main() {
+	fmt.Println("Query-length sweep on the paper's Kintex-7:")
+	fmt.Printf("%10s  %5s  %6s  %18s  %10s  %8s\n",
+		"residues", "iter", "LUT", "bottleneck", "time (ms)", "GB/s")
+	for _, res := range []int{25, 50, 75, 100, 150, 200, 250} {
+		rep, err := fabp.SizeOnDevice(fabp.DeviceKintex7, res, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Fits {
+			fmt.Printf("%10d  does not fit\n", res)
+			continue
+		}
+		fmt.Printf("%10d  %5d  %5.0f%%  %18s  %10.1f  %8.1f\n",
+			res, rep.Iterations, 100*rep.LUTFrac, rep.Bottleneck,
+			1000*rep.Seconds, rep.AchievedBandwidth/1e9)
+	}
+
+	fmt.Println("\nSame sweep on a Virtex UltraScale+ (more LUTs → later crossover,")
+	fmt.Println("as §IV-B predicts: 'an FPGA with more LUTs can outperform the GPU'):")
+	for _, res := range []int{50, 150, 250} {
+		k, err := fabp.SizeOnDevice(fabp.DeviceKintex7, res, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := fabp.SizeOnDevice(fabp.DeviceVirtexUS, res, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  FabP-%-3d  Kintex-7: %d iter, %6.1f ms   VU9P: %d iter, %6.1f ms\n",
+			res, k.Iterations, 1000*k.Seconds, v.Iterations, 1000*v.Seconds)
+	}
+
+	fmt.Println("\nMemory-channel scaling (bandwidth-bound builds):")
+	out, err := fabp.RunExperiment("channels")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	fmt.Println("Crossover sweep detail:")
+	out, err = fabp.RunExperiment("crossover")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

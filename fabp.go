@@ -1,0 +1,358 @@
+// Package fabp is a Go reproduction of "FPGA Acceleration of Protein
+// Back-Translation and Alignment" (Salamat et al., DATE 2021).
+//
+// FabP aligns a protein query against a nucleotide database by
+// back-translating the query into a degenerate RNA representation (every
+// codon that could have produced each amino acid), encoding each element as
+// a 6-bit instruction, and scoring every reference position with a
+// substitution-only sliding comparison — the computation the paper's FPGA
+// accelerator performs with two LUTs per element and a hand-crafted
+// pop-counter per alignment instance.
+//
+// The package offers four layers:
+//
+//   - Query/Reference/Aligner: a fast, bit-exact software implementation of
+//     the accelerator for real alignments (NewQuery, NewAligner, Align).
+//   - Hardware generation: GenerateVerilog emits the accelerator datapath
+//     as structural Verilog (LUT6/FDRE primitives), and SizeOnDevice
+//     projects resource utilization, timing and energy for the modeled
+//     FPGAs (the paper's Kintex-7 and larger parts).
+//   - Baselines: TBLASTN-style heuristic search and Smith-Waterman local
+//     alignment, the comparison points of the paper's evaluation.
+//   - Experiments: RunExperiment regenerates every table and figure of the
+//     paper (see ExperimentNames).
+//
+// See the examples directory for end-to-end usage.
+package fabp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fabp/internal/backtrans"
+	"fabp/internal/bio"
+	"fabp/internal/bitpar"
+	"fabp/internal/core"
+	"fabp/internal/experiments"
+	"fabp/internal/isa"
+)
+
+// Hit is one alignment position whose score reached the threshold.
+type Hit struct {
+	// Pos is the nucleotide offset in the reference where the query
+	// window starts.
+	Pos int
+	// Score is the number of matching back-translated elements; the
+	// maximum is 3 × the query's residue count.
+	Score int
+}
+
+// Query is a protein query prepared for alignment: back-translated into
+// degenerate elements and encoded into the 6-bit FabP instruction set.
+type Query struct {
+	protein bio.ProtSeq
+	program isa.Program
+}
+
+// NewQuery parses a one-letter-code protein string (e.g. "MKWVTF"; '*'
+// allowed for stop) and prepares it for alignment.
+func NewQuery(protein string) (*Query, error) {
+	p, err := bio.ParseProtSeq(protein)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("fabp: empty query")
+	}
+	prog, err := isa.EncodeProtein(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{protein: p, program: prog}, nil
+}
+
+// Residues returns the query length in amino acids.
+func (q *Query) Residues() int { return len(q.protein) }
+
+// Elements returns the encoded length in back-translated elements (3 ×
+// Residues).
+func (q *Query) Elements() int { return len(q.program) }
+
+// MaxScore returns the highest achievable alignment score.
+func (q *Query) MaxScore() int { return len(q.program) }
+
+// Protein returns the query in one-letter codes.
+func (q *Query) Protein() string { return q.protein.String() }
+
+// Degenerate renders the back-translated query in the paper's notation,
+// e.g. "AUG-UU(U/C)-UCD".
+func (q *Query) Degenerate() string {
+	return backtrans.Render(backtrans.BackTranslate(q.protein))
+}
+
+// Disassemble lists the encoded 6-bit instructions with their semantics.
+func (q *Query) Disassemble() string { return q.program.Disassemble() }
+
+// Instructions returns the encoded program as raw 6-bit values (one per
+// byte), the host-to-FPGA transfer format.
+func (q *Query) Instructions() []byte { return q.program.Pack() }
+
+// SuggestThreshold computes the smallest hit threshold whose expected
+// chance-hit count over a refLen-nucleotide scan stays at or below
+// maxExpectedFP, from the exact null score distribution. It fills the gap
+// the paper leaves at its "user-defined threshold".
+func (q *Query) SuggestThreshold(refLen int, maxExpectedFP float64) (int, error) {
+	probe, err := core.NewEngine(q.program, 0)
+	if err != nil {
+		return 0, err
+	}
+	return probe.SuggestThreshold(refLen, maxExpectedFP)
+}
+
+// NullMeanScore returns the expected score of a random window — the
+// background level thresholds must clear.
+func (q *Query) NullMeanScore() float64 {
+	probe, err := core.NewEngine(q.program, 0)
+	if err != nil {
+		return 0
+	}
+	return probe.MeanScore()
+}
+
+// Reference is a nucleotide database sequence (DNA or RNA; T and U are
+// equivalent).
+type Reference struct {
+	seq bio.NucSeq
+}
+
+// NewReference parses a nucleotide string.
+func NewReference(seq string) (*Reference, error) {
+	s, err := bio.ParseNucSeq(seq)
+	if err != nil {
+		return nil, err
+	}
+	return &Reference{seq: s}, nil
+}
+
+// NewReferenceIUPAC parses a nucleotide string that may contain IUPAC
+// ambiguity codes (N, R, Y, ...), as downloaded NCBI data does. Ambiguous
+// positions resolve deterministically to a member of their set; the count
+// of resolved positions is returned so callers can reject low-quality
+// input.
+func NewReferenceIUPAC(seq string) (*Reference, int, error) {
+	s, ambiguous, err := bio.ParseNucSeqIUPAC(seq)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Reference{seq: s}, ambiguous, nil
+}
+
+// ReadReferenceFasta concatenates every record of a FASTA stream into one
+// reference and returns it along with the per-record offsets (record i
+// starts at offsets[i]).
+func ReadReferenceFasta(r io.Reader) (*Reference, []int, error) {
+	fr := bio.NewFastaReader(r)
+	recs, err := fr.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil, fmt.Errorf("fabp: FASTA stream holds no records")
+	}
+	var seq bio.NucSeq
+	offsets := make([]int, len(recs))
+	for i, rec := range recs {
+		offsets[i] = len(seq)
+		s, err := rec.Nuc()
+		if err != nil {
+			return nil, nil, fmt.Errorf("fabp: record %s: %w", rec.ID, err)
+		}
+		seq = append(seq, s...)
+	}
+	return &Reference{seq: seq}, offsets, nil
+}
+
+// Len returns the reference length in nucleotides.
+func (r *Reference) Len() int { return len(r.seq) }
+
+// String renders the reference as RNA letters (use with care on large
+// references).
+func (r *Reference) String() string { return r.seq.String() }
+
+// Aligner runs the FabP alignment on a prepared query. It is the bit-exact
+// software model of the accelerator (proven equivalent to the generated
+// netlist in the test suite) and safe for concurrent use once built.
+type Aligner struct {
+	query  *Query
+	engine *core.Engine
+	kernel *bitpar.Kernel
+	mode   string // "auto", "scalar", "bitparallel"
+}
+
+// AlignerOption customizes NewAligner.
+type AlignerOption func(*alignerConfig)
+
+type alignerConfig struct {
+	threshold   int
+	thresholdOK bool
+	fraction    float64
+	parallelism int
+	kernel      string
+}
+
+// WithThreshold sets the absolute hit threshold (0..MaxScore).
+func WithThreshold(t int) AlignerOption {
+	return func(c *alignerConfig) { c.threshold = t; c.thresholdOK = true }
+}
+
+// WithThresholdFraction sets the threshold as a fraction of MaxScore;
+// the paper's experiments use 0.8-0.9.
+func WithThresholdFraction(f float64) AlignerOption {
+	return func(c *alignerConfig) { c.thresholdOK = false; c.fraction = f }
+}
+
+// WithParallelism bounds the worker goroutines (default: GOMAXPROCS).
+func WithParallelism(p int) AlignerOption {
+	return func(c *alignerConfig) { c.parallelism = p }
+}
+
+// WithKernel selects the alignment implementation: "auto" (default — the
+// bit-parallel kernel for references above ~64 knt, the scalar engine
+// below), "scalar", or "bitparallel" (the SIMD-within-register algorithm
+// of the paper's GPU implementation). All kernels are bit-exact.
+func WithKernel(kernel string) AlignerOption {
+	return func(c *alignerConfig) { c.kernel = kernel }
+}
+
+// NewAligner builds an aligner for the query. Without options the
+// threshold defaults to 80 % of the maximum score.
+func NewAligner(q *Query, opts ...AlignerOption) (*Aligner, error) {
+	cfg := alignerConfig{fraction: 0.8, kernel: "auto"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	switch cfg.kernel {
+	case "auto", "scalar", "bitparallel":
+	default:
+		return nil, fmt.Errorf("fabp: unknown kernel %q (auto, scalar, bitparallel)", cfg.kernel)
+	}
+	threshold := cfg.threshold
+	if !cfg.thresholdOK {
+		threshold = int(cfg.fraction * float64(q.MaxScore()))
+	}
+	engine, err := core.NewEngine(q.program, threshold)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.parallelism > 0 {
+		engine.SetParallelism(cfg.parallelism)
+	}
+	kernel, err := bitpar.NewKernel(q.program, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{query: q, engine: engine, kernel: kernel, mode: cfg.kernel}, nil
+}
+
+// bitParThresholdLen is the reference size above which "auto" switches to
+// the bit-parallel kernel.
+const bitParThresholdLen = 64 << 10
+
+// useBitpar decides the implementation for a reference length.
+func (a *Aligner) useBitpar(refLen int) bool {
+	switch a.mode {
+	case "bitparallel":
+		return true
+	case "scalar":
+		return false
+	}
+	return refLen >= bitParThresholdLen
+}
+
+// Threshold returns the configured hit threshold.
+func (a *Aligner) Threshold() int { return a.engine.Threshold() }
+
+// alignSeq dispatches to the selected kernel and normalizes the hit type.
+func (a *Aligner) alignSeq(seq bio.NucSeq) []core.Hit {
+	if a.useBitpar(len(seq)) {
+		raw := a.kernel.Align(seq)
+		hits := make([]core.Hit, len(raw))
+		for i, h := range raw {
+			hits[i] = core.Hit{Pos: h.Pos, Score: h.Score}
+		}
+		return hits
+	}
+	return a.engine.Align(seq)
+}
+
+// Align scans the reference and returns every hit in position order.
+func (a *Aligner) Align(ref *Reference) []Hit {
+	raw := a.alignSeq(ref.seq)
+	hits := make([]Hit, len(raw))
+	for i, h := range raw {
+		hits[i] = Hit{Pos: h.Pos, Score: h.Score}
+	}
+	return hits
+}
+
+// AlignStream scans a nucleotide stream of arbitrary size (raw letters,
+// whitespace tolerated) in bounded memory, carrying windows across chunk
+// boundaries, and delivers hits to emit in position order. Return an error
+// from emit to stop early.
+func (a *Aligner) AlignStream(r io.Reader, emit func(Hit) error) error {
+	return a.engine.AlignReader(r, func(h core.Hit) error {
+		return emit(Hit{Pos: h.Pos, Score: h.Score})
+	})
+}
+
+// EValueOf returns the expected number of random windows reaching score in
+// a refLen-nucleotide scan, from the exact null score distribution — the
+// significance annotation for a reported hit.
+func (a *Aligner) EValueOf(score, refLen int) float64 {
+	return a.engine.EValue(score, refLen)
+}
+
+// Best returns the single highest-scoring position regardless of the
+// threshold (ok=false when the reference is shorter than the query).
+func (a *Aligner) Best(ref *Reference) (Hit, bool) {
+	h, ok := a.engine.BestHit(ref.seq)
+	return Hit{Pos: h.Pos, Score: h.Score}, ok
+}
+
+// ScoreAt returns the alignment score at one reference position.
+func (a *Aligner) ScoreAt(ref *Reference, pos int) (int, error) {
+	if pos < 0 || pos+a.query.Elements() > ref.Len() {
+		return 0, fmt.Errorf("fabp: position %d out of range for window of %d elements", pos, a.query.Elements())
+	}
+	return a.engine.Score(ref.seq, pos), nil
+}
+
+// ExperimentNames lists the reproducible tables/figures for RunExperiment.
+func ExperimentNames() []string { return experiments.Names() }
+
+// RunExperiment regenerates one of the paper's tables or figures (see
+// ExperimentNames: "fig6a", "fig6b", "table1", "accuracy", ...) and
+// returns it rendered as text.
+func RunExperiment(name string) (string, error) {
+	t, err := experiments.Run(name)
+	if err != nil {
+		return "", err
+	}
+	return t.Render(), nil
+}
+
+// RunAllExperiments renders every registered experiment, separated by
+// blank lines, in name order.
+func RunAllExperiments() (string, error) {
+	var b strings.Builder
+	for _, name := range ExperimentNames() {
+		t, err := experiments.Run(name)
+		if err != nil {
+			return "", fmt.Errorf("fabp: experiment %s: %w", name, err)
+		}
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,3 @@
+module fabp
+
+go 1.22

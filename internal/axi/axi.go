@@ -1,0 +1,193 @@
+// Package axi models the FPGA's DRAM-facing AXI read stream (§III-C of the
+// paper): a 512-bit port delivering one beat per clock when DRAM has data,
+// with stall cycles when it does not, and optional multi-channel operation.
+// The model is beat-level and deterministic, so experiments can attribute
+// cycle counts exactly.
+package axi
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Port describes one AXI memory channel.
+type Port struct {
+	// WidthBits is the data width of the AXI interface (the paper: 512).
+	WidthBits int
+	// FreqHz is the kernel clock frequency.
+	FreqHz float64
+}
+
+// DefaultPort is the paper's configuration: a 512-bit interface at 200 MHz,
+// giving the 12.8 GB/s nominal bandwidth of Table I.
+func DefaultPort() Port { return Port{WidthBits: 512, FreqHz: 200e6} }
+
+// BytesPerBeat returns the bytes transferred per valid cycle.
+func (p Port) BytesPerBeat() int { return p.WidthBits / 8 }
+
+// ElementsPerBeat returns the 2-bit reference elements per beat (256 for
+// the default port).
+func (p Port) ElementsPerBeat() int { return p.WidthBits / 2 }
+
+// NominalBandwidth returns bytes/second at one beat per cycle.
+func (p Port) NominalBandwidth() float64 {
+	return float64(p.BytesPerBeat()) * p.FreqHz
+}
+
+// Validate checks the port parameters.
+func (p Port) Validate() error {
+	if p.WidthBits <= 0 || p.WidthBits%8 != 0 {
+		return fmt.Errorf("axi: width %d must be a positive multiple of 8", p.WidthBits)
+	}
+	if p.FreqHz <= 0 {
+		return fmt.Errorf("axi: frequency must be positive")
+	}
+	return nil
+}
+
+// StallModel produces the number of idle cycles the channel inserts before
+// each beat (cycles in which "the AXI port does not have valid data").
+type StallModel interface {
+	// StallsBefore returns idle cycles preceding beat b.
+	StallsBefore(b int) int
+}
+
+// NoStall is the ideal DRAM that always has data ready.
+type NoStall struct{}
+
+// StallsBefore implements StallModel.
+func (NoStall) StallsBefore(int) int { return 0 }
+
+// RandomStall inserts a geometric number of idle cycles with the given
+// per-beat probability, deterministic in the seed. It approximates DRAM
+// refresh/bank-conflict noise on an otherwise sequential stream.
+type RandomStall struct {
+	// Prob is the probability a beat is preceded by at least one stall.
+	Prob float64
+	// Mean is the mean stall length when one occurs (>= 1).
+	Mean float64
+	// Seed makes the pattern reproducible.
+	Seed int64
+
+	rng *rand.Rand
+}
+
+// NewRandomStall constructs a RandomStall model.
+func NewRandomStall(prob, mean float64, seed int64) *RandomStall {
+	return &RandomStall{Prob: prob, Mean: mean, Seed: seed,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// StallsBefore implements StallModel.
+func (r *RandomStall) StallsBefore(int) int {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed))
+	}
+	if r.rng.Float64() >= r.Prob {
+		return 0
+	}
+	// Geometric with the requested mean.
+	n := 1
+	for r.Mean > 1 && r.rng.Float64() < 1-1/r.Mean {
+		n++
+	}
+	return n
+}
+
+// PeriodicStall inserts Len idle cycles every Period beats — a refresh-like
+// pattern.
+type PeriodicStall struct {
+	Period int
+	Len    int
+}
+
+// StallsBefore implements StallModel.
+func (p PeriodicStall) StallsBefore(b int) int {
+	if p.Period <= 0 || b == 0 {
+		return 0
+	}
+	if b%p.Period == 0 {
+		return p.Len
+	}
+	return 0
+}
+
+// StreamStats reports the outcome of streaming beats through a channel into
+// a consumer.
+type StreamStats struct {
+	// Beats is the number of data beats transferred.
+	Beats int
+	// TotalCycles spans first request to last beat consumed.
+	TotalCycles int
+	// StallCycles is the subset of cycles the consumer waited on DRAM.
+	StallCycles int
+	// ComputeBoundCycles is the subset where DRAM waited on the consumer
+	// (iterations > 1).
+	ComputeBoundCycles int
+}
+
+// AchievedBandwidth returns the realized bytes/second for the port.
+func (s StreamStats) AchievedBandwidth(p Port) float64 {
+	if s.TotalCycles == 0 {
+		return 0
+	}
+	return float64(s.Beats*p.BytesPerBeat()) * p.FreqHz / float64(s.TotalCycles)
+}
+
+// Utilization returns the fraction of cycles a beat was transferred.
+func (s StreamStats) Utilization() float64 {
+	if s.TotalCycles == 0 {
+		return 0
+	}
+	return float64(s.Beats) / float64(s.TotalCycles)
+}
+
+// SimulateStream models a consumer that needs consumerCyclesPerBeat cycles
+// of processing per beat (FabP's iteration count for segmented long
+// queries) fed by a channel under the given stall model. The recurrence is
+// exact: beat b is consumed at
+//
+//	c[b] = max(c[b-1] + 1 + stalls(b), c[b-1] + I)
+//
+// since the channel can deliver at most one beat per cycle and the
+// pipeline accepts a new beat every I cycles.
+func SimulateStream(beats int, stall StallModel, consumerCyclesPerBeat int) StreamStats {
+	if consumerCyclesPerBeat < 1 {
+		consumerCyclesPerBeat = 1
+	}
+	if stall == nil {
+		stall = NoStall{}
+	}
+	stats := StreamStats{Beats: beats}
+	c := 0
+	for b := 0; b < beats; b++ {
+		arrival := 1 + stall.StallsBefore(b)
+		step := arrival
+		if consumerCyclesPerBeat > step {
+			step = consumerCyclesPerBeat
+			stats.ComputeBoundCycles += step - arrival
+		} else {
+			stats.StallCycles += arrival - consumerCyclesPerBeat
+		}
+		c += step
+	}
+	stats.TotalCycles = c
+	return stats
+}
+
+// MultiChannel aggregates several identical ports; FabP stripes the
+// reference across channels when resources allow (§III-C).
+type MultiChannel struct {
+	Port     Port
+	Channels int
+}
+
+// NominalBandwidth is the aggregate bytes/second.
+func (m MultiChannel) NominalBandwidth() float64 {
+	return m.Port.NominalBandwidth() * float64(m.Channels)
+}
+
+// ElementsPerCycle is the aggregate reference elements per clock.
+func (m MultiChannel) ElementsPerCycle() int {
+	return m.Port.ElementsPerBeat() * m.Channels
+}

@@ -1,0 +1,144 @@
+package axi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultPort(t *testing.T) {
+	p := DefaultPort()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BytesPerBeat() != 64 || p.ElementsPerBeat() != 256 {
+		t.Errorf("beat geometry wrong: %d bytes, %d elements", p.BytesPerBeat(), p.ElementsPerBeat())
+	}
+	if bw := p.NominalBandwidth(); math.Abs(bw-12.8e9) > 1 {
+		t.Errorf("nominal bandwidth %.3e", bw)
+	}
+}
+
+func TestPortValidate(t *testing.T) {
+	bad := []Port{
+		{WidthBits: 0, FreqHz: 1e8},
+		{WidthBits: 100, FreqHz: 1e8},
+		{WidthBits: 512, FreqHz: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+}
+
+func TestNoStallStream(t *testing.T) {
+	s := SimulateStream(1000, NoStall{}, 1)
+	if s.TotalCycles != 1000 || s.StallCycles != 0 || s.ComputeBoundCycles != 0 {
+		t.Errorf("ideal stream stats: %+v", s)
+	}
+	if u := s.Utilization(); u != 1 {
+		t.Errorf("utilization %f", u)
+	}
+}
+
+func TestComputeBoundStream(t *testing.T) {
+	s := SimulateStream(100, NoStall{}, 4)
+	if s.TotalCycles != 400 {
+		t.Errorf("cycles %d, want 400", s.TotalCycles)
+	}
+	if s.ComputeBoundCycles != 300 {
+		t.Errorf("compute-bound cycles %d", s.ComputeBoundCycles)
+	}
+	if u := s.Utilization(); math.Abs(u-0.25) > 1e-9 {
+		t.Errorf("utilization %f", u)
+	}
+}
+
+func TestRandomStallStream(t *testing.T) {
+	stall := NewRandomStall(0.05, 1, 42)
+	s := SimulateStream(100000, stall, 1)
+	util := s.Utilization()
+	// Expected utilization ≈ 1/(1+0.05).
+	if util < 0.93 || util > 0.97 {
+		t.Errorf("utilization %.3f, expected ≈0.952", util)
+	}
+	if s.StallCycles != s.TotalCycles-s.Beats {
+		t.Errorf("stall accounting inconsistent: %+v", s)
+	}
+}
+
+func TestRandomStallDeterminism(t *testing.T) {
+	a := SimulateStream(5000, NewRandomStall(0.2, 2, 7), 1)
+	b := SimulateStream(5000, NewRandomStall(0.2, 2, 7), 1)
+	if a != b {
+		t.Error("same seed must give same schedule")
+	}
+	c := SimulateStream(5000, NewRandomStall(0.2, 2, 8), 1)
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomStallLazyInit(t *testing.T) {
+	// A zero-value-style literal (no constructor) must still work.
+	m := &RandomStall{Prob: 1, Mean: 1, Seed: 3}
+	if m.StallsBefore(0) < 1 {
+		t.Error("prob=1 must always stall")
+	}
+}
+
+func TestStallsAbsorbedByComputeBound(t *testing.T) {
+	// With 4 compute cycles per beat, occasional 1-cycle stalls are hidden.
+	ideal := SimulateStream(10000, NoStall{}, 4)
+	noisy := SimulateStream(10000, NewRandomStall(0.3, 1, 1), 4)
+	slowdown := float64(noisy.TotalCycles) / float64(ideal.TotalCycles)
+	if slowdown > 1.02 {
+		t.Errorf("stalls should hide under compute: slowdown %.3f", slowdown)
+	}
+}
+
+func TestPeriodicStall(t *testing.T) {
+	m := PeriodicStall{Period: 10, Len: 3}
+	if m.StallsBefore(0) != 0 || m.StallsBefore(5) != 0 {
+		t.Error("no stall off-period")
+	}
+	if m.StallsBefore(10) != 3 || m.StallsBefore(20) != 3 {
+		t.Error("stall on period")
+	}
+	s := SimulateStream(100, m, 1)
+	if s.TotalCycles != 100+9*3 {
+		t.Errorf("cycles %d", s.TotalCycles)
+	}
+	if (PeriodicStall{}).StallsBefore(5) != 0 {
+		t.Error("zero-period must never stall")
+	}
+}
+
+func TestAchievedBandwidth(t *testing.T) {
+	p := DefaultPort()
+	s := SimulateStream(1000, NoStall{}, 1)
+	if bw := s.AchievedBandwidth(p); math.Abs(bw-p.NominalBandwidth()) > 1 {
+		t.Errorf("ideal achieved %.3e", bw)
+	}
+	var empty StreamStats
+	if empty.AchievedBandwidth(p) != 0 || empty.Utilization() != 0 {
+		t.Error("empty stats must be zero")
+	}
+}
+
+func TestSimulateStreamDefaults(t *testing.T) {
+	s := SimulateStream(10, nil, 0)
+	if s.TotalCycles != 10 {
+		t.Errorf("defaults: %+v", s)
+	}
+}
+
+func TestMultiChannel(t *testing.T) {
+	m := MultiChannel{Port: DefaultPort(), Channels: 4}
+	if math.Abs(m.NominalBandwidth()-4*12.8e9) > 1 {
+		t.Error("aggregate bandwidth wrong")
+	}
+	if m.ElementsPerCycle() != 1024 {
+		t.Error("aggregate elements wrong")
+	}
+}

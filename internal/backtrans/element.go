@@ -1,0 +1,317 @@
+// Package backtrans implements FabP's degenerate protein back-translation:
+// each amino acid expands to a 3-element codon template whose elements are
+// classified by how they must be compared against a reference nucleotide
+// (§III-A of the paper):
+//
+//   - Type I   — exact match against one nucleotide,
+//   - Type II  — match against a context-free set (U/C, A/G, not-G, A/C),
+//   - Type III — the matching set depends on an earlier reference nucleotide
+//     of the same codon (functions Stop, Leu, Arg) or is the
+//     unconditional any-match D.
+//
+// The element semantics here are the *hardware* semantics: a Type III
+// element inspects only the single reference bit its configuration selects,
+// exactly as the FPGA comparator mux does, so a software score computed from
+// these elements is bit-identical to the accelerator's.
+package backtrans
+
+import (
+	"fmt"
+
+	"fabp/internal/bio"
+)
+
+// ElementType classifies a back-translated element (paper §III-A).
+type ElementType uint8
+
+const (
+	// TypeI elements are uniquely back-translated and need an exact match.
+	TypeI ElementType = iota
+	// TypeII elements match a fixed set of nucleotides, independent of
+	// context.
+	TypeII
+	// TypeIII elements match a set selected by an earlier reference
+	// nucleotide of the same codon (or match anything, for D).
+	TypeIII
+)
+
+// String names the element type as in the paper.
+func (t ElementType) String() string {
+	switch t {
+	case TypeI:
+		return "Type I"
+	case TypeII:
+		return "Type II"
+	case TypeIII:
+		return "Type III"
+	}
+	return "Type ?"
+}
+
+// Condition is a Type II matching condition. The numeric values are the
+// 2-bit matching-condition field of the FabP instruction (Fig. 5(b) legend:
+// U/C=00, A/G=01, Ḡ=10, A/C=11).
+type Condition uint8
+
+const (
+	// CondUC matches U or C (pyrimidines).
+	CondUC Condition = 0
+	// CondAG matches A or G (purines).
+	CondAG Condition = 1
+	// CondNotG matches anything except G (paper notation Ḡ; IUPAC H).
+	CondNotG Condition = 2
+	// CondAC matches A or C.
+	CondAC Condition = 3
+)
+
+// Matches reports whether the condition accepts reference nucleotide n.
+func (c Condition) Matches(n bio.Nucleotide) bool {
+	switch c {
+	case CondUC:
+		return n == bio.U || n == bio.C
+	case CondAG:
+		return n == bio.A || n == bio.G
+	case CondNotG:
+		return n != bio.G
+	case CondAC:
+		return n == bio.A || n == bio.C
+	}
+	return false
+}
+
+// String renders the condition in the paper's notation.
+func (c Condition) String() string {
+	switch c {
+	case CondUC:
+		return "U/C"
+	case CondAG:
+		return "A/G"
+	case CondNotG:
+		return "Ḡ"
+	case CondAC:
+		return "A/C"
+	}
+	return "?"
+}
+
+// IUPAC returns the IUPAC degenerate-base letter for the condition.
+func (c Condition) IUPAC() byte {
+	switch c {
+	case CondUC:
+		return 'Y'
+	case CondAG:
+		return 'R'
+	case CondNotG:
+		return 'H'
+	case CondAC:
+		return 'M'
+	}
+	return '?'
+}
+
+// Function is a Type III dependent-comparison function. The numeric values
+// are the 2-bit function field of the instruction (F:00 Stop, F:01 Leu,
+// F:10 Arg, F:11 D).
+type Function uint8
+
+const (
+	// FuncStop handles the third element of the Stop templates
+	// (UAA/UAG/UGA): if the previous reference nucleotide's high bit is 0
+	// (A) the element matches A or G, otherwise (G) only A.
+	FuncStop Function = 0
+	// FuncLeu handles the third element of Leu (CUN/UUR): if the
+	// first-position reference nucleotide's high bit is 0 (C) anything
+	// matches, otherwise (U) only A or G.
+	FuncLeu Function = 1
+	// FuncArg handles the third element of Arg (CGN/AGR): if the
+	// first-position reference nucleotide's low bit is 1 (C) anything
+	// matches, otherwise (A) only A or G.
+	FuncArg Function = 2
+	// FuncD matches any nucleotide (the paper folds the context-free D set
+	// into the Type III opcode to save instruction bits).
+	FuncD Function = 3
+)
+
+// String renders the function in the paper's notation.
+func (f Function) String() string {
+	switch f {
+	case FuncStop:
+		return "F:00"
+	case FuncLeu:
+		return "F:01"
+	case FuncArg:
+		return "F:10"
+	case FuncD:
+		return "D"
+	}
+	return "F:??"
+}
+
+// DepSource identifies which earlier reference bit a Type III element feeds
+// into its comparison — the signal the instruction's configuration bits
+// select through the comparator's multiplexer LUT (Fig. 5(a)).
+type DepSource uint8
+
+const (
+	// DepNone selects the constant Q[3]=0 instruction bit (used by D).
+	DepNone DepSource = 0
+	// DepPrev1Hi selects bit 1 of the reference nucleotide one position
+	// back (codon position 2; distinguishes A from G). Used by FuncStop.
+	DepPrev1Hi DepSource = 1
+	// DepPrev2Hi selects bit 1 of the reference nucleotide two positions
+	// back (codon position 1; distinguishes C from U). Used by FuncLeu.
+	DepPrev2Hi DepSource = 2
+	// DepPrev2Lo selects bit 0 of the reference nucleotide two positions
+	// back (codon position 1; distinguishes A from C). Used by FuncArg.
+	DepPrev2Lo DepSource = 3
+)
+
+// Dependency returns the reference bit the function inspects.
+func (f Function) Dependency() DepSource {
+	switch f {
+	case FuncStop:
+		return DepPrev1Hi
+	case FuncLeu:
+		return DepPrev2Hi
+	case FuncArg:
+		return DepPrev2Lo
+	}
+	return DepNone
+}
+
+// SelectBit extracts the dependent bit S from the two preceding reference
+// nucleotides, mirroring the hardware multiplexer.
+func (d DepSource) SelectBit(prev1, prev2 bio.Nucleotide) uint8 {
+	switch d {
+	case DepPrev1Hi:
+		return prev1.Bit(1)
+	case DepPrev2Hi:
+		return prev2.Bit(1)
+	case DepPrev2Lo:
+		return prev2.Bit(0)
+	}
+	return 0
+}
+
+// matchesWithS evaluates a Type III function given the selected bit S and
+// the current reference nucleotide — the comparator LUT's dependent columns
+// in Fig. 5(b).
+func (f Function) matchesWithS(s uint8, n bio.Nucleotide) bool {
+	switch f {
+	case FuncStop:
+		if s == 0 { // previous was A (or C; pos-2 comparator rejects those)
+			return n == bio.A || n == bio.G
+		}
+		return n == bio.A // previous was G (or U)
+	case FuncLeu:
+		if s == 0 { // first position C → CUN, any third base
+			return true
+		}
+		return n == bio.A || n == bio.G // first position U → UUR
+	case FuncArg:
+		if s == 0 { // first position A → AGR
+			return n == bio.A || n == bio.G
+		}
+		return true // first position C → CGN
+	case FuncD:
+		return true
+	}
+	return false
+}
+
+// Element is one back-translated query element: a degenerate nucleotide
+// position with the comparison semantics FabP implements in two LUTs.
+type Element struct {
+	// Type selects which of the following fields is meaningful.
+	Type ElementType
+	// Nuc is the exact-match nucleotide (Type I only).
+	Nuc bio.Nucleotide
+	// Cond is the context-free matching condition (Type II only).
+	Cond Condition
+	// Func is the dependent-comparison function (Type III only).
+	Func Function
+}
+
+// Exact builds a Type I element.
+func Exact(n bio.Nucleotide) Element { return Element{Type: TypeI, Nuc: n} }
+
+// Conditional builds a Type II element.
+func Conditional(c Condition) Element { return Element{Type: TypeII, Cond: c} }
+
+// Dependent builds a Type III element.
+func Dependent(f Function) Element { return Element{Type: TypeIII, Func: f} }
+
+// AnyElement is the unconditional-match element D.
+var AnyElement = Dependent(FuncD)
+
+// Matches evaluates the element against reference nucleotide ref with the
+// two preceding reference nucleotides prev1 (one back) and prev2 (two back).
+// This is the software golden model of the comparator cell: for Type III it
+// inspects only the single selected bit, exactly like the hardware.
+func (e Element) Matches(ref, prev1, prev2 bio.Nucleotide) bool {
+	switch e.Type {
+	case TypeI:
+		return ref == e.Nuc
+	case TypeII:
+		return e.Cond.Matches(ref)
+	case TypeIII:
+		s := e.Func.Dependency().SelectBit(prev1, prev2)
+		return e.Func.matchesWithS(s, ref)
+	}
+	return false
+}
+
+// String renders the element in the paper's notation (a bare letter for
+// Type I, the condition for Type II, the function tag for Type III).
+func (e Element) String() string {
+	switch e.Type {
+	case TypeI:
+		return e.Nuc.String()
+	case TypeII:
+		return "(" + e.Cond.String() + ")"
+	case TypeIII:
+		if e.Func == FuncD {
+			return "D"
+		}
+		return "(" + e.Func.String() + ")"
+	}
+	return "?"
+}
+
+// IUPAC returns the IUPAC degenerate-base letter that over-approximates the
+// element's matching set (for Type III the union over both contexts).
+func (e Element) IUPAC() byte {
+	switch e.Type {
+	case TypeI:
+		return e.Nuc.Letter()
+	case TypeII:
+		return e.Cond.IUPAC()
+	case TypeIII:
+		if e.Func == FuncStop {
+			return 'R' // {A,G} ∪ {A}
+		}
+		return 'N' // Leu/Arg/D unions cover all four bases
+	}
+	return '?'
+}
+
+// Validate reports an error if the element's fields are inconsistent.
+func (e Element) Validate() error {
+	switch e.Type {
+	case TypeI:
+		if e.Nuc > bio.U {
+			return fmt.Errorf("backtrans: Type I element with invalid nucleotide %d", e.Nuc)
+		}
+	case TypeII:
+		if e.Cond > CondAC {
+			return fmt.Errorf("backtrans: Type II element with invalid condition %d", e.Cond)
+		}
+	case TypeIII:
+		if e.Func > FuncD {
+			return fmt.Errorf("backtrans: Type III element with invalid function %d", e.Func)
+		}
+	default:
+		return fmt.Errorf("backtrans: invalid element type %d", e.Type)
+	}
+	return nil
+}

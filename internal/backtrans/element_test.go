@@ -1,0 +1,200 @@
+package backtrans
+
+import (
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+func TestConditionMatches(t *testing.T) {
+	cases := []struct {
+		c    Condition
+		want map[bio.Nucleotide]bool
+	}{
+		{CondUC, map[bio.Nucleotide]bool{bio.A: false, bio.C: true, bio.G: false, bio.U: true}},
+		{CondAG, map[bio.Nucleotide]bool{bio.A: true, bio.C: false, bio.G: true, bio.U: false}},
+		{CondNotG, map[bio.Nucleotide]bool{bio.A: true, bio.C: true, bio.G: false, bio.U: true}},
+		{CondAC, map[bio.Nucleotide]bool{bio.A: true, bio.C: true, bio.G: false, bio.U: false}},
+	}
+	for _, tc := range cases {
+		for n, want := range tc.want {
+			if got := tc.c.Matches(n); got != want {
+				t.Errorf("%v.Matches(%v) = %v, want %v", tc.c, n, got, want)
+			}
+		}
+	}
+	if Condition(9).Matches(bio.A) {
+		t.Error("invalid condition must not match")
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	if CondUC.String() != "U/C" || CondNotG.String() != "Ḡ" {
+		t.Errorf("condition strings wrong: %q %q", CondUC, CondNotG)
+	}
+	iupac := map[Condition]byte{CondUC: 'Y', CondAG: 'R', CondNotG: 'H', CondAC: 'M'}
+	for c, want := range iupac {
+		if c.IUPAC() != want {
+			t.Errorf("%v.IUPAC() = %c, want %c", c, c.IUPAC(), want)
+		}
+	}
+	if Condition(9).String() != "?" || Condition(9).IUPAC() != '?' {
+		t.Error("invalid condition rendering")
+	}
+}
+
+func TestFunctionDependencies(t *testing.T) {
+	deps := map[Function]DepSource{
+		FuncStop: DepPrev1Hi,
+		FuncLeu:  DepPrev2Hi,
+		FuncArg:  DepPrev2Lo,
+		FuncD:    DepNone,
+	}
+	for f, want := range deps {
+		if got := f.Dependency(); got != want {
+			t.Errorf("%v.Dependency() = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestDepSourceSelectBit(t *testing.T) {
+	// prev1=G (bits 10), prev2=C (bits 01).
+	prev1, prev2 := bio.G, bio.C
+	if DepPrev1Hi.SelectBit(prev1, prev2) != 1 {
+		t.Error("DepPrev1Hi should read prev1 bit1 = 1 for G")
+	}
+	if DepPrev2Hi.SelectBit(prev1, prev2) != 0 {
+		t.Error("DepPrev2Hi should read prev2 bit1 = 0 for C")
+	}
+	if DepPrev2Lo.SelectBit(prev1, prev2) != 1 {
+		t.Error("DepPrev2Lo should read prev2 bit0 = 1 for C")
+	}
+	if DepNone.SelectBit(prev1, prev2) != 0 {
+		t.Error("DepNone must select constant 0")
+	}
+}
+
+// TestStopFunctionSemantics checks the Fig. 5(b) "Stop" column:
+// S=0 → {A,G}, S=1 → {A}.
+func TestStopFunctionSemantics(t *testing.T) {
+	e := Dependent(FuncStop)
+	// prev1 = A (S=0): third base of UAA/UAG.
+	for n, want := range map[bio.Nucleotide]bool{bio.A: true, bio.G: true, bio.C: false, bio.U: false} {
+		if got := e.Matches(n, bio.A, bio.U); got != want {
+			t.Errorf("Stop with prev1=A, ref=%v: got %v want %v", n, got, want)
+		}
+	}
+	// prev1 = G (S=1): third base of UGA only.
+	for n, want := range map[bio.Nucleotide]bool{bio.A: true, bio.G: false, bio.C: false, bio.U: false} {
+		if got := e.Matches(n, bio.G, bio.U); got != want {
+			t.Errorf("Stop with prev1=G, ref=%v: got %v want %v", n, got, want)
+		}
+	}
+}
+
+// TestLeuFunctionSemantics checks Fig. 5(b) "Leu": first base C → any,
+// first base U → {A,G}.
+func TestLeuFunctionSemantics(t *testing.T) {
+	e := Dependent(FuncLeu)
+	for n := bio.Nucleotide(0); n < 4; n++ {
+		if !e.Matches(n, bio.U, bio.C) {
+			t.Errorf("Leu with prev2=C must match %v", n)
+		}
+	}
+	for n, want := range map[bio.Nucleotide]bool{bio.A: true, bio.G: true, bio.C: false, bio.U: false} {
+		if got := e.Matches(n, bio.U, bio.U); got != want {
+			t.Errorf("Leu with prev2=U, ref=%v: got %v want %v", n, got, want)
+		}
+	}
+}
+
+// TestArgFunctionSemantics checks Fig. 5(b) "Arg": first base C → any,
+// first base A → {A,G}.
+func TestArgFunctionSemantics(t *testing.T) {
+	e := Dependent(FuncArg)
+	for n := bio.Nucleotide(0); n < 4; n++ {
+		if !e.Matches(n, bio.G, bio.C) {
+			t.Errorf("Arg with prev2=C must match %v", n)
+		}
+	}
+	for n, want := range map[bio.Nucleotide]bool{bio.A: true, bio.G: true, bio.C: false, bio.U: false} {
+		if got := e.Matches(n, bio.G, bio.A); got != want {
+			t.Errorf("Arg with prev2=A, ref=%v: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestDMatchesEverything(t *testing.T) {
+	for ref := bio.Nucleotide(0); ref < 4; ref++ {
+		for p1 := bio.Nucleotide(0); p1 < 4; p1++ {
+			for p2 := bio.Nucleotide(0); p2 < 4; p2++ {
+				if !AnyElement.Matches(ref, p1, p2) {
+					t.Fatalf("D must match ref=%v p1=%v p2=%v", ref, p1, p2)
+				}
+			}
+		}
+	}
+}
+
+func TestTypeIMatches(t *testing.T) {
+	e := Exact(bio.G)
+	for n := bio.Nucleotide(0); n < 4; n++ {
+		if got := e.Matches(n, bio.A, bio.A); got != (n == bio.G) {
+			t.Errorf("Exact(G).Matches(%v) = %v", n, got)
+		}
+	}
+}
+
+func TestElementStrings(t *testing.T) {
+	if Exact(bio.A).String() != "A" {
+		t.Error("Type I string")
+	}
+	if Conditional(CondUC).String() != "(U/C)" {
+		t.Error("Type II string")
+	}
+	if Dependent(FuncStop).String() != "(F:00)" {
+		t.Error("Type III string")
+	}
+	if AnyElement.String() != "D" {
+		t.Error("D string")
+	}
+	if got := Dependent(FuncStop).IUPAC(); got != 'R' {
+		t.Errorf("Stop IUPAC = %c", got)
+	}
+	if got := Dependent(FuncLeu).IUPAC(); got != 'N' {
+		t.Errorf("Leu IUPAC = %c", got)
+	}
+	if got := Exact(bio.C).IUPAC(); got != 'C' {
+		t.Errorf("Type I IUPAC = %c", got)
+	}
+	if got := Conditional(CondAG).IUPAC(); got != 'R' {
+		t.Errorf("Type II IUPAC = %c", got)
+	}
+}
+
+func TestElementTypeString(t *testing.T) {
+	if TypeI.String() != "Type I" || TypeII.String() != "Type II" ||
+		TypeIII.String() != "Type III" || ElementType(9).String() != "Type ?" {
+		t.Error("ElementType strings wrong")
+	}
+}
+
+func TestElementValidate(t *testing.T) {
+	good := []Element{Exact(bio.U), Conditional(CondAC), Dependent(FuncArg), AnyElement}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", e, err)
+		}
+	}
+	bad := []Element{
+		{Type: TypeI, Nuc: 7},
+		{Type: TypeII, Cond: 9},
+		{Type: TypeIII, Func: 9},
+		{Type: ElementType(9)},
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", e)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package backtrans
+
+import (
+	"strings"
+
+	"fabp/internal/bio"
+)
+
+// Template is the 3-element degenerate codon representation of one amino
+// acid — the unit the paper calls "the back-translated codon".
+type Template [3]Element
+
+// String renders the template in the paper's notation, e.g. "UU(U/C)".
+func (t Template) String() string {
+	var b strings.Builder
+	for _, e := range t {
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// IUPAC renders the template as three IUPAC degenerate-base letters.
+func (t Template) IUPAC() string {
+	return string([]byte{t[0].IUPAC(), t[1].IUPAC(), t[2].IUPAC()})
+}
+
+// MatchesCodon reports whether the template accepts codon c, evaluating each
+// element with the hardware comparison semantics. Positions 0 and 1 have no
+// in-codon predecessors that matter (no template puts Type III there), so
+// the codon's own earlier bases serve as context for position 2.
+func (t Template) MatchesCodon(c bio.Codon) bool {
+	return t.MatchCount(c) == 3
+}
+
+// MatchCount returns how many of the three elements match codon c — the
+// contribution such a codon window adds to a FabP alignment score.
+func (t Template) MatchCount(c bio.Codon) int {
+	n := 0
+	// Element i sees prev1 = c[i-1] and prev2 = c[i-2]; out-of-codon context
+	// defaults to A (irrelevant: templates only use Type III at position 2).
+	var prev1, prev2 bio.Nucleotide
+	for i := 0; i < 3; i++ {
+		prev2 = bio.A
+		prev1 = bio.A
+		if i >= 1 {
+			prev1 = c[i-1]
+		}
+		if i >= 2 {
+			prev2 = c[i-2]
+		}
+		if t[i].Matches(c[i], prev1, prev2) {
+			n++
+		}
+	}
+	return n
+}
+
+// templates maps each amino acid (and Stop) to its degenerate codon template
+// exactly as derived in the paper (§III-A/B):
+//
+//	Met AUG | Trp UGG                              — fully Type I
+//	Phe UU(U/C), Tyr UA(U/C), His CA(U/C), ...     — third element Type II
+//	Ile AU(Ḡ)                                      — not-G condition
+//	Ala GCD, Gly GGD, Pro CCD, Thr ACD, Val GUD    — four-fold degenerate
+//	Ser UCD                                        — paper drops AGU/AGC
+//	Leu (U/C)U(F:01), Arg (A/C)G(F:10)             — six-fold, dependent
+//	Stop U(A/G)(F:00)                              — three codons, dependent
+var templates = [bio.NumResidues]Template{
+	bio.Ala:  {Exact(bio.G), Exact(bio.C), AnyElement},
+	bio.Cys:  {Exact(bio.U), Exact(bio.G), Conditional(CondUC)},
+	bio.Asp:  {Exact(bio.G), Exact(bio.A), Conditional(CondUC)},
+	bio.Glu:  {Exact(bio.G), Exact(bio.A), Conditional(CondAG)},
+	bio.Phe:  {Exact(bio.U), Exact(bio.U), Conditional(CondUC)},
+	bio.Gly:  {Exact(bio.G), Exact(bio.G), AnyElement},
+	bio.His:  {Exact(bio.C), Exact(bio.A), Conditional(CondUC)},
+	bio.Ile:  {Exact(bio.A), Exact(bio.U), Conditional(CondNotG)},
+	bio.Lys:  {Exact(bio.A), Exact(bio.A), Conditional(CondAG)},
+	bio.Leu:  {Conditional(CondUC), Exact(bio.U), Dependent(FuncLeu)},
+	bio.Met:  {Exact(bio.A), Exact(bio.U), Exact(bio.G)},
+	bio.Asn:  {Exact(bio.A), Exact(bio.A), Conditional(CondUC)},
+	bio.Pro:  {Exact(bio.C), Exact(bio.C), AnyElement},
+	bio.Gln:  {Exact(bio.C), Exact(bio.A), Conditional(CondAG)},
+	bio.Arg:  {Conditional(CondAC), Exact(bio.G), Dependent(FuncArg)},
+	bio.Ser:  {Exact(bio.U), Exact(bio.C), AnyElement},
+	bio.Thr:  {Exact(bio.A), Exact(bio.C), AnyElement},
+	bio.Val:  {Exact(bio.G), Exact(bio.U), AnyElement},
+	bio.Trp:  {Exact(bio.U), Exact(bio.G), Exact(bio.G)},
+	bio.Tyr:  {Exact(bio.U), Exact(bio.A), Conditional(CondUC)},
+	bio.Stop: {Exact(bio.U), Conditional(CondAG), Dependent(FuncStop)},
+}
+
+// TemplateOf returns the degenerate codon template for amino acid a.
+func TemplateOf(a bio.AminoAcid) Template {
+	if a >= bio.NumResidues {
+		return Template{}
+	}
+	return templates[a]
+}
+
+// serineDropped lists the serine codons the paper's UCD template cannot
+// represent. Experiments use this to quantify the sensitivity cost.
+var serineDropped = []bio.Codon{
+	{bio.A, bio.G, bio.U}, // AGU
+	{bio.A, bio.G, bio.C}, // AGC
+}
+
+// SerineDroppedCodons returns the AGU/AGC serine codons the paper-faithful
+// template misses. The returned slice is a copy.
+func SerineDroppedCodons() []bio.Codon {
+	out := make([]bio.Codon, len(serineDropped))
+	copy(out, serineDropped)
+	return out
+}
+
+// BackTranslate expands protein p into its degenerate element sequence,
+// three elements per residue — the query representation FabP encodes and
+// loads into the FPGA.
+func BackTranslate(p bio.ProtSeq) []Element {
+	out := make([]Element, 0, 3*len(p))
+	for _, a := range p {
+		t := TemplateOf(a)
+		out = append(out, t[0], t[1], t[2])
+	}
+	return out
+}
+
+// Render formats a back-translated element sequence codon-by-codon in the
+// paper's notation, e.g. "AUG-UU(U/C)-UCD".
+func Render(elems []Element) string {
+	var b strings.Builder
+	for i, e := range elems {
+		if i > 0 && i%3 == 0 {
+			b.WriteByte('-')
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// CodonAcceptance describes how a template relates to the actual genetic
+// code: which codons it accepts and whether each truly encodes the amino
+// acid. Sound templates never accept a wrong codon; complete ones accept
+// every right codon.
+type CodonAcceptance struct {
+	Accepted      []bio.Codon // codons the template matches
+	Missed        []bio.Codon // codons of the amino acid the template rejects
+	FalseAccepted []bio.Codon // accepted codons that encode something else
+}
+
+// Acceptance enumerates all 64 codons against the template of a.
+func Acceptance(a bio.AminoAcid) CodonAcceptance {
+	t := TemplateOf(a)
+	var acc CodonAcceptance
+	for i := 0; i < bio.NumCodons; i++ {
+		c := bio.CodonFromIndex(i)
+		matches := t.MatchesCodon(c)
+		encodes := c.Translate() == a
+		switch {
+		case matches && encodes:
+			acc.Accepted = append(acc.Accepted, c)
+		case matches && !encodes:
+			acc.Accepted = append(acc.Accepted, c)
+			acc.FalseAccepted = append(acc.FalseAccepted, c)
+		case !matches && encodes:
+			acc.Missed = append(acc.Missed, c)
+		}
+	}
+	return acc
+}

@@ -1,0 +1,201 @@
+package backtrans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fabp/internal/bio"
+)
+
+// TestTemplateCompleteness: every codon of amino acid a must be accepted by
+// a's template — except the two serine codons the paper's encoding drops.
+func TestTemplateCompleteness(t *testing.T) {
+	dropped := map[int]bool{}
+	for _, c := range SerineDroppedCodons() {
+		dropped[c.Index()] = true
+	}
+	for a := bio.AminoAcid(0); a < bio.NumResidues; a++ {
+		tpl := TemplateOf(a)
+		for _, c := range a.Codons() {
+			if dropped[c.Index()] {
+				if tpl.MatchesCodon(c) {
+					t.Errorf("paper template for Ser unexpectedly accepts %v", c)
+				}
+				continue
+			}
+			if !tpl.MatchesCodon(c) {
+				t.Errorf("template %v for %v rejects its own codon %v", tpl, a, c)
+			}
+		}
+	}
+}
+
+// TestTemplateSoundness: a template must never accept a codon that encodes a
+// different amino acid — the degenerate representation is exact, not lossy.
+func TestTemplateSoundness(t *testing.T) {
+	for a := bio.AminoAcid(0); a < bio.NumResidues; a++ {
+		acc := Acceptance(a)
+		if len(acc.FalseAccepted) != 0 {
+			t.Errorf("template for %v falsely accepts %v", a, acc.FalseAccepted)
+		}
+	}
+}
+
+// TestAcceptanceCounts: the only incompleteness in the entire code is Ser.
+func TestAcceptanceCounts(t *testing.T) {
+	for a := bio.AminoAcid(0); a < bio.NumResidues; a++ {
+		acc := Acceptance(a)
+		wantMissed := 0
+		if a == bio.Ser {
+			wantMissed = 2
+		}
+		if len(acc.Missed) != wantMissed {
+			t.Errorf("%v: missed %v, want %d codons missed", a, acc.Missed, wantMissed)
+		}
+		if len(acc.Accepted) != a.Degeneracy()-wantMissed {
+			t.Errorf("%v: accepted %d codons, want %d", a, len(acc.Accepted), a.Degeneracy()-wantMissed)
+		}
+	}
+}
+
+func TestSerineDroppedCodonsAreSerine(t *testing.T) {
+	cs := SerineDroppedCodons()
+	if len(cs) != 2 {
+		t.Fatalf("expected 2 dropped codons, got %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.Translate() != bio.Ser {
+			t.Errorf("%v is not a serine codon", c)
+		}
+	}
+	// Mutating the returned slice must not affect the package copy.
+	cs[0] = bio.StartCodon
+	if SerineDroppedCodons()[0] == bio.StartCodon {
+		t.Error("SerineDroppedCodons returns shared storage")
+	}
+}
+
+// TestPaperWorkedExample reproduces the §III-B example:
+// Met-Phe-Ser-Arg-Stop → AUG-UU(U/C)-UCD-(A/C)G(F:10)-U(A/G)(F:00)
+// (the paper prints "UUD" for Ser, an evident typo for UCD).
+func TestPaperWorkedExample(t *testing.T) {
+	p, err := bio.ParseProtSeq("MFSR*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Render(BackTranslate(p))
+	want := "AUG-UU(U/C)-UCD-(A/C)G(F:10)-U(A/G)(F:00)"
+	if got != want {
+		t.Errorf("worked example:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestTemplateNotation(t *testing.T) {
+	cases := map[bio.AminoAcid]string{
+		bio.Met:  "AUG",
+		bio.Trp:  "UGG",
+		bio.Phe:  "UU(U/C)",
+		bio.Ile:  "AU(Ḡ)",
+		bio.Ser:  "UCD",
+		bio.Leu:  "(U/C)U(F:01)",
+		bio.Arg:  "(A/C)G(F:10)",
+		bio.Stop: "U(A/G)(F:00)",
+		bio.Val:  "GUD",
+	}
+	for a, want := range cases {
+		if got := TemplateOf(a).String(); got != want {
+			t.Errorf("TemplateOf(%v) = %s, want %s", a, got, want)
+		}
+	}
+}
+
+func TestTemplateIUPAC(t *testing.T) {
+	cases := map[bio.AminoAcid]string{
+		bio.Met:  "AUG",
+		bio.Phe:  "UUY",
+		bio.Ile:  "AUH",
+		bio.Ser:  "UCN",
+		bio.Leu:  "YUN",
+		bio.Arg:  "MGN",
+		bio.Stop: "URR",
+	}
+	for a, want := range cases {
+		if got := TemplateOf(a).IUPAC(); got != want {
+			t.Errorf("IUPAC(%v) = %s, want %s", a, got, want)
+		}
+	}
+}
+
+func TestTemplateOfOutOfRange(t *testing.T) {
+	if TemplateOf(bio.AminoAcid(99)) != (Template{}) {
+		t.Error("out-of-range template must be zero")
+	}
+}
+
+func TestBackTranslateLength(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := bio.RandomProtSeq(rng, int(n%100))
+		return len(BackTranslate(p)) == 3*len(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBackTranslateAcceptsOwnGene: a gene encoded with any synonymous codon
+// choice must be fully matched by its protein's back-translation (modulo the
+// dropped Ser codons), element-by-element.
+func TestBackTranslateAcceptsOwnGene(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := bio.RandomProtSeq(rng, 30)
+		gene := bio.EncodeGene(rng, p)
+		elems := BackTranslate(p)
+		mismatches := 0
+		for i, e := range elems {
+			var p1, p2 bio.Nucleotide
+			if i >= 1 {
+				p1 = gene[i-1]
+			}
+			if i >= 2 {
+				p2 = gene[i-2]
+			}
+			if !e.Matches(gene[i], p1, p2) {
+				mismatches++
+			}
+		}
+		// Only dropped Ser codons may mismatch, and they differ from UCD in
+		// positions 1 and 2 (AGU vs UCU): at most 2 mismatching elements per
+		// serine.
+		maxAllowed := 0
+		for ci, c := range gene.Codons() {
+			if p[ci] == bio.Ser && (c[0] == bio.A) {
+				maxAllowed += 2
+			}
+		}
+		if mismatches > maxAllowed {
+			t.Fatalf("trial %d: %d mismatches, allowed %d (protein %s)",
+				trial, mismatches, maxAllowed, p)
+		}
+	}
+}
+
+func TestMatchCountRange(t *testing.T) {
+	f := func(aa, codon uint8) bool {
+		a := bio.AminoAcid(aa % bio.NumResidues)
+		c := bio.CodonFromIndex(int(codon) % bio.NumCodons)
+		n := TemplateOf(a).MatchCount(c)
+		return n >= 0 && n <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if Render(nil) != "" {
+		t.Error("empty render must be empty string")
+	}
+}

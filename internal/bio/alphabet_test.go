@@ -1,0 +1,135 @@
+package bio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNucleotideLetters(t *testing.T) {
+	cases := []struct {
+		n   Nucleotide
+		rna byte
+		dna byte
+	}{
+		{A, 'A', 'A'},
+		{C, 'C', 'C'},
+		{G, 'G', 'G'},
+		{U, 'U', 'T'},
+	}
+	for _, tc := range cases {
+		if got := tc.n.Letter(); got != tc.rna {
+			t.Errorf("Letter(%d) = %c, want %c", tc.n, got, tc.rna)
+		}
+		if got := tc.n.DNALetter(); got != tc.dna {
+			t.Errorf("DNALetter(%d) = %c, want %c", tc.n, got, tc.dna)
+		}
+	}
+}
+
+func TestParseNucleotide(t *testing.T) {
+	for _, tc := range []struct {
+		in   byte
+		want Nucleotide
+	}{
+		{'A', A}, {'a', A}, {'C', C}, {'c', C},
+		{'G', G}, {'g', G}, {'U', U}, {'u', U}, {'T', U}, {'t', U},
+	} {
+		got, err := ParseNucleotide(tc.in)
+		if err != nil {
+			t.Fatalf("ParseNucleotide(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseNucleotide(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []byte{'N', 'X', ' ', '-', 0} {
+		if _, err := ParseNucleotide(bad); err == nil {
+			t.Errorf("ParseNucleotide(%q) should fail", bad)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[Nucleotide]Nucleotide{A: U, U: A, C: G, G: C}
+	for n, want := range pairs {
+		if got := n.Complement(); got != want {
+			t.Errorf("Complement(%v) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	f := func(b uint8) bool {
+		n := Nucleotide(b % 4)
+		return n.Complement().Complement() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNucleotideBits(t *testing.T) {
+	// The comparator hardware depends on exactly this bit mapping.
+	for _, tc := range []struct {
+		n      Nucleotide
+		b0, b1 uint8
+	}{
+		{A, 0, 0}, {C, 1, 0}, {G, 0, 1}, {U, 1, 1},
+	} {
+		if tc.n.Bit(0) != tc.b0 || tc.n.Bit(1) != tc.b1 {
+			t.Errorf("%v bits = (%d,%d), want (%d,%d)",
+				tc.n, tc.n.Bit(0), tc.n.Bit(1), tc.b0, tc.b1)
+		}
+	}
+}
+
+func TestAminoAcidLetters(t *testing.T) {
+	seen := map[byte]bool{}
+	for a := AminoAcid(0); a < NumResidues; a++ {
+		l := a.Letter()
+		if seen[l] {
+			t.Errorf("duplicate one-letter code %c", l)
+		}
+		seen[l] = true
+		parsed, err := ParseAminoAcid(l)
+		if err != nil {
+			t.Fatalf("ParseAminoAcid(%c): %v", l, err)
+		}
+		if parsed != a {
+			t.Errorf("round-trip %c: got %v want %v", l, parsed, a)
+		}
+	}
+	if !seen['*'] {
+		t.Error("Stop must be encoded as '*'")
+	}
+}
+
+func TestParseAminoAcidCaseInsensitive(t *testing.T) {
+	for a := AminoAcid(0); a < NumAminoAcids; a++ {
+		lower := a.Letter() + 'a' - 'A'
+		got, err := ParseAminoAcid(lower)
+		if err != nil || got != a {
+			t.Errorf("ParseAminoAcid(%c) = %v, %v; want %v", lower, got, err, a)
+		}
+	}
+}
+
+func TestParseAminoAcidRejectsInvalid(t *testing.T) {
+	for _, bad := range []byte{'B', 'J', 'O', 'U', 'X', 'Z', '1', ' '} {
+		if _, err := ParseAminoAcid(bad); err == nil {
+			t.Errorf("ParseAminoAcid(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAminoAcidMetadata(t *testing.T) {
+	if Met.ThreeLetter() != "Met" || Met.Name() != "methionine" {
+		t.Errorf("Met metadata wrong: %q %q", Met.ThreeLetter(), Met.Name())
+	}
+	if !Stop.IsStop() || Met.IsStop() {
+		t.Error("IsStop misclassifies")
+	}
+	if AminoAcid(99).String() != "?" || Nucleotide(7).String() != "?" {
+		t.Error("out-of-range String should be ?")
+	}
+}

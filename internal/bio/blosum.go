@@ -1,0 +1,62 @@
+package bio
+
+// blosum62Raw is the standard BLOSUM62 substitution matrix in the canonical
+// NCBI row/column order A R N D C Q E G H I L K M F P S T W Y V.
+var blosum62Raw = [20][20]int8{
+	{4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+	{-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+	{-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+	{-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+	{0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+	{-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+	{-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+	{0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+	{-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+	{-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+	{-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+	{-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+	{-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+	{-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+	{-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+	{1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+	{0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+	{-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+	{-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -2},
+	{0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -2, 4},
+}
+
+// ncbiOrder lists the amino acids in BLOSUM row order.
+var ncbiOrder = [20]AminoAcid{
+	Ala, Arg, Asn, Asp, Cys, Gln, Glu, Gly, His, Ile,
+	Leu, Lys, Met, Phe, Pro, Ser, Thr, Trp, Tyr, Val,
+}
+
+// blosum62 is the matrix re-indexed by our dense AminoAcid values, including
+// Stop rows/columns (BLAST convention: any pairing with Stop scores -4,
+// Stop:Stop scores +1).
+var blosum62 [NumResidues][NumResidues]int8
+
+func init() {
+	for i := range blosum62 {
+		for j := range blosum62[i] {
+			blosum62[i][j] = -4
+		}
+	}
+	blosum62[Stop][Stop] = 1
+	for i, ai := range ncbiOrder {
+		for j, aj := range ncbiOrder {
+			blosum62[ai][aj] = blosum62Raw[i][j]
+		}
+	}
+}
+
+// Blosum62 returns the BLOSUM62 substitution score for residues a and b.
+func Blosum62(a, b AminoAcid) int {
+	return int(blosum62[a][b])
+}
+
+// Blosum62Row returns the full substitution row for residue a, indexed by
+// AminoAcid. The returned array is a copy.
+func Blosum62Row(a AminoAcid) [NumResidues]int8 {
+	return blosum62[a]
+}

@@ -1,0 +1,55 @@
+package bio
+
+import "testing"
+
+func TestBlosum62Symmetric(t *testing.T) {
+	for a := AminoAcid(0); a < NumResidues; a++ {
+		for b := AminoAcid(0); b < NumResidues; b++ {
+			if Blosum62(a, b) != Blosum62(b, a) {
+				t.Errorf("asymmetric at %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestBlosum62SpotValues(t *testing.T) {
+	cases := []struct {
+		a, b AminoAcid
+		want int
+	}{
+		{Ala, Ala, 4}, {Trp, Trp, 11}, {Cys, Cys, 9},
+		{Leu, Ile, 2}, {Lys, Arg, 2}, {Phe, Tyr, 3},
+		{Trp, Gly, -2}, {Pro, Trp, -4}, {Asp, Glu, 2},
+		{Met, Leu, 2}, {His, Tyr, 2}, {Gly, Gly, 6},
+		{Stop, Ala, -4}, {Stop, Stop, 1},
+	}
+	for _, tc := range cases {
+		if got := Blosum62(tc.a, tc.b); got != tc.want {
+			t.Errorf("Blosum62(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestBlosum62DiagonalDominance(t *testing.T) {
+	// Self-score must be the row maximum for every coding residue.
+	for a := AminoAcid(0); a < NumAminoAcids; a++ {
+		self := Blosum62(a, a)
+		for b := AminoAcid(0); b < NumAminoAcids; b++ {
+			if b != a && Blosum62(a, b) > self {
+				t.Errorf("Blosum62(%v,%v)=%d exceeds self %d", a, b, Blosum62(a, b), self)
+			}
+		}
+	}
+}
+
+func TestBlosum62Row(t *testing.T) {
+	row := Blosum62Row(Ala)
+	if int(row[Ala]) != 4 || int(row[Trp]) != -3 {
+		t.Errorf("row = %v", row)
+	}
+	// Mutating the copy must not affect the matrix.
+	row[Ala] = 99
+	if Blosum62(Ala, Ala) != 4 {
+		t.Error("Blosum62Row returned shared storage")
+	}
+}

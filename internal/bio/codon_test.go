@@ -1,0 +1,107 @@
+package bio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCodonIndexRoundTrip(t *testing.T) {
+	for i := 0; i < NumCodons; i++ {
+		if got := CodonFromIndex(i).Index(); got != i {
+			t.Errorf("CodonFromIndex(%d).Index() = %d", i, got)
+		}
+	}
+}
+
+func TestGeneticCodeSpotChecks(t *testing.T) {
+	cases := map[string]AminoAcid{
+		"AUG": Met, "UGG": Trp, "UUU": Phe, "UUC": Phe,
+		"UUA": Leu, "UUG": Leu, "CUU": Leu, "CUC": Leu, "CUA": Leu, "CUG": Leu,
+		"UAA": Stop, "UAG": Stop, "UGA": Stop,
+		"GGG": Gly, "AAA": Lys, "CAU": His, "AGU": Ser, "UCA": Ser,
+		"CGA": Arg, "AGA": Arg, "AUA": Ile, "GUG": Val, "GCC": Ala,
+		"GAU": Asp, "GAA": Glu, "AAU": Asn, "CAA": Gln, "UGU": Cys,
+		"UAU": Tyr, "CCC": Pro, "ACU": Thr,
+	}
+	for s, want := range cases {
+		c, err := ParseCodon(s)
+		if err != nil {
+			t.Fatalf("ParseCodon(%s): %v", s, err)
+		}
+		if got := c.Translate(); got != want {
+			t.Errorf("Translate(%s) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestDegeneracyCounts(t *testing.T) {
+	counts := map[AminoAcid]int{
+		Ala: 4, Cys: 2, Asp: 2, Glu: 2, Phe: 2, Gly: 4, His: 2, Ile: 3,
+		Lys: 2, Leu: 6, Met: 1, Asn: 2, Pro: 4, Gln: 2, Arg: 6, Ser: 6,
+		Thr: 4, Val: 4, Trp: 1, Tyr: 2, Stop: 3,
+	}
+	total := 0
+	for a, n := range counts {
+		if got := a.Degeneracy(); got != n {
+			t.Errorf("Degeneracy(%v) = %d, want %d", a, got, n)
+		}
+		total += n
+	}
+	if total != NumCodons {
+		t.Errorf("degeneracies sum to %d, want 64", total)
+	}
+}
+
+func TestCodonsTranslateBack(t *testing.T) {
+	// Every codon listed for amino acid a must translate to a.
+	for a := AminoAcid(0); a < NumResidues; a++ {
+		for _, c := range a.Codons() {
+			if c.Translate() != a {
+				t.Errorf("codon %v listed for %v translates to %v", c, a, c.Translate())
+			}
+		}
+	}
+}
+
+func TestCodonsPartitionCodonSpace(t *testing.T) {
+	seen := map[int]bool{}
+	for a := AminoAcid(0); a < NumResidues; a++ {
+		for _, c := range a.Codons() {
+			if seen[c.Index()] {
+				t.Errorf("codon %v appears twice", c)
+			}
+			seen[c.Index()] = true
+		}
+	}
+	if len(seen) != NumCodons {
+		t.Errorf("codon lists cover %d codons, want 64", len(seen))
+	}
+}
+
+func TestParseCodonErrors(t *testing.T) {
+	for _, bad := range []string{"", "AU", "AUGC", "AXG"} {
+		if _, err := ParseCodon(bad); err == nil {
+			t.Errorf("ParseCodon(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCodonStringRoundTrip(t *testing.T) {
+	f := func(i uint8) bool {
+		c := CodonFromIndex(int(i) % NumCodons)
+		parsed, err := ParseCodon(c.String())
+		return err == nil && parsed == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStartCodon(t *testing.T) {
+	if StartCodon.Translate() != Met {
+		t.Error("start codon must encode Met")
+	}
+	if StartCodon.String() != "AUG" {
+		t.Errorf("StartCodon = %s", StartCodon)
+	}
+}

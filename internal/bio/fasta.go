@@ -1,0 +1,132 @@
+package bio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FastaRecord is one named sequence from a FASTA stream. Data holds the raw
+// residue letters with whitespace removed; interpret it with ParseNucSeq or
+// ParseProtSeq depending on the database type.
+type FastaRecord struct {
+	// ID is the first whitespace-delimited token of the header line.
+	ID string
+	// Description is the remainder of the header line after ID.
+	Description string
+	// Data is the concatenated sequence body.
+	Data string
+}
+
+// Nuc parses the record body as a nucleotide sequence.
+func (r *FastaRecord) Nuc() (NucSeq, error) { return ParseNucSeq(r.Data) }
+
+// Prot parses the record body as a protein sequence.
+func (r *FastaRecord) Prot() (ProtSeq, error) { return ParseProtSeq(r.Data) }
+
+// FastaReader streams records from FASTA-formatted input.
+type FastaReader struct {
+	s       *bufio.Scanner
+	pending string // header line of the next record, if already consumed
+	done    bool
+}
+
+// NewFastaReader wraps r in a FASTA record reader. Lines of any length up to
+// 16 MiB are accepted.
+func NewFastaReader(r io.Reader) *FastaReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &FastaReader{s: s}
+}
+
+// Next returns the next record, or io.EOF when the stream is exhausted.
+func (fr *FastaReader) Next() (*FastaRecord, error) {
+	header := fr.pending
+	fr.pending = ""
+	for header == "" {
+		if fr.done || !fr.s.Scan() {
+			fr.done = true
+			if err := fr.s.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		line := strings.TrimSpace(fr.s.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, ">") {
+			return nil, fmt.Errorf("bio: FASTA input must start with a '>' header, got %q", truncate(line, 40))
+		}
+		header = line
+	}
+
+	rec := &FastaRecord{}
+	fields := strings.SplitN(strings.TrimPrefix(header, ">"), " ", 2)
+	rec.ID = fields[0]
+	if len(fields) == 2 {
+		rec.Description = strings.TrimSpace(fields[1])
+	}
+
+	var body strings.Builder
+	for fr.s.Scan() {
+		line := strings.TrimSpace(fr.s.Text())
+		if strings.HasPrefix(line, ">") {
+			fr.pending = line
+			rec.Data = body.String()
+			return rec, nil
+		}
+		body.WriteString(line)
+	}
+	fr.done = true
+	if err := fr.s.Err(); err != nil {
+		return nil, err
+	}
+	rec.Data = body.String()
+	return rec, nil
+}
+
+// ReadAll drains the reader into a slice of records.
+func (fr *FastaReader) ReadAll() ([]*FastaRecord, error) {
+	var recs []*FastaRecord
+	for {
+		r, err := fr.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// WriteFasta writes one record with the body wrapped at 70 columns.
+func WriteFasta(w io.Writer, id, description, data string) error {
+	header := ">" + id
+	if description != "" {
+		header += " " + description
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	const width = 70
+	for i := 0; i < len(data); i += width {
+		end := i + width
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := fmt.Fprintln(w, data[i:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package bio
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFastaReaderBasic(t *testing.T) {
+	in := `>seq1 first sequence
+ACGT
+ACGU
+
+>seq2
+MFKY
+>seq3 trailing
+`
+	fr := NewFastaReader(strings.NewReader(in))
+	recs, err := fr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].ID != "seq1" || recs[0].Description != "first sequence" {
+		t.Errorf("rec0 header = %q %q", recs[0].ID, recs[0].Description)
+	}
+	if recs[0].Data != "ACGTACGU" {
+		t.Errorf("rec0 data = %q", recs[0].Data)
+	}
+	if recs[1].ID != "seq2" || recs[1].Data != "MFKY" {
+		t.Errorf("rec1 = %+v", recs[1])
+	}
+	if recs[2].Data != "" {
+		t.Errorf("rec2 data = %q", recs[2].Data)
+	}
+}
+
+func TestFastaReaderTyped(t *testing.T) {
+	fr := NewFastaReader(strings.NewReader(">n\nACGT\n>p\nMF*\n"))
+	r1, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nuc, err := r1.Nuc()
+	if err != nil || nuc.String() != "ACGU" {
+		t.Errorf("Nuc = %v, %v", nuc, err)
+	}
+	r2, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := r2.Prot()
+	if err != nil || prot.String() != "MF*" {
+		t.Errorf("Prot = %v, %v", prot, err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestFastaReaderErrors(t *testing.T) {
+	fr := NewFastaReader(strings.NewReader("ACGT\n"))
+	if _, err := fr.Next(); err == nil {
+		t.Error("missing header should fail")
+	}
+	fr = NewFastaReader(strings.NewReader(""))
+	if _, err := fr.Next(); err != io.EOF {
+		t.Errorf("empty input: want EOF, got %v", err)
+	}
+}
+
+func TestWriteFastaRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	data := strings.Repeat("ACGU", 50) // 200 chars, forces wrapping
+	if err := WriteFasta(&sb, "id1", "desc here", data); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if i > 0 && len(line) > 70 {
+			t.Errorf("line %d exceeds 70 cols: %d", i, len(line))
+		}
+	}
+	fr := NewFastaReader(strings.NewReader(sb.String()))
+	rec, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != "id1" || rec.Description != "desc here" || rec.Data != data {
+		t.Errorf("round trip mismatch: %+v", rec)
+	}
+}
+
+func TestWriteFastaNoDescription(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFasta(&sb, "x", "", "AC"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), ">x\n") {
+		t.Errorf("header = %q", sb.String())
+	}
+}

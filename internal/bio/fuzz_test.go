@@ -1,0 +1,66 @@
+package bio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNucSeq: arbitrary input must never panic, and accepted inputs
+// must round-trip through String (modulo case and T→U).
+func FuzzParseNucSeq(f *testing.F) {
+	f.Add("ACGT")
+	f.Add("acgu")
+	f.Add("AC GT\nNN")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		seq, err := ParseNucSeq(in)
+		if err != nil {
+			return
+		}
+		re, err2 := ParseNucSeq(seq.String())
+		if err2 != nil {
+			t.Fatalf("round trip rejected %q", seq.String())
+		}
+		if re.String() != seq.String() {
+			t.Fatal("round trip changed sequence")
+		}
+	})
+}
+
+// FuzzParseProtSeq mirrors FuzzParseNucSeq for proteins.
+func FuzzParseProtSeq(f *testing.F) {
+	f.Add("MKWVTF*")
+	f.Add("mkw vtf")
+	f.Add("BXZ")
+	f.Fuzz(func(t *testing.T, in string) {
+		seq, err := ParseProtSeq(in)
+		if err != nil {
+			return
+		}
+		re, err2 := ParseProtSeq(seq.String())
+		if err2 != nil || re.String() != seq.String() {
+			t.Fatal("round trip failed")
+		}
+	})
+}
+
+// FuzzFastaReader: arbitrary input must never panic or loop forever;
+// well-formed records must round-trip.
+func FuzzFastaReader(f *testing.F) {
+	f.Add(">id desc\nACGT\n")
+	f.Add(">a\n>b\nGG\n")
+	f.Add("no header")
+	f.Add(">")
+	f.Fuzz(func(t *testing.T, in string) {
+		fr := NewFastaReader(strings.NewReader(in))
+		recs, err := fr.ReadAll()
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if strings.ContainsAny(r.Data, "\n\r>") {
+				t.Fatalf("record body contains structure: %q", r.Data)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package bio
+
+import "fmt"
+
+// IUPAC degenerate-base support: the conventional way to write a consensus
+// back-translation (Fig. 1's "consensus sequence"). FabP's Type III
+// encoding is strictly more precise than an IUPAC consensus — the
+// experiments quantify by how much — so the library models both.
+
+// iupacSets maps each IUPAC nucleotide code to its 4-bit acceptance mask
+// (bit v set ⇔ nucleotide v accepted; A=bit0, C=1, G=2, U=3).
+var iupacSets = map[byte]uint8{
+	'A': 1 << A, 'C': 1 << C, 'G': 1 << G, 'U': 1 << U, 'T': 1 << U,
+	'R': 1<<A | 1<<G, // purine
+	'Y': 1<<C | 1<<U, // pyrimidine
+	'S': 1<<C | 1<<G,
+	'W': 1<<A | 1<<U,
+	'K': 1<<G | 1<<U,
+	'M': 1<<A | 1<<C,
+	'B': 1<<C | 1<<G | 1<<U, // not A
+	'D': 1<<A | 1<<G | 1<<U, // not C
+	'H': 1<<A | 1<<C | 1<<U, // not G
+	'V': 1<<A | 1<<C | 1<<G, // not U
+	'N': 1<<A | 1<<C | 1<<G | 1<<U,
+}
+
+// IUPACAccepts reports whether IUPAC code accepts nucleotide n. Unknown
+// codes accept nothing.
+func IUPACAccepts(code byte, n Nucleotide) bool {
+	if n > U {
+		return false
+	}
+	return iupacSets[code]>>n&1 == 1
+}
+
+// IUPACSetSize returns how many nucleotides the code accepts (0 for
+// unknown codes).
+func IUPACSetSize(code byte) int {
+	m := iupacSets[code]
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	return n
+}
+
+// ParseNucSeqIUPAC parses a nucleotide string that may contain IUPAC
+// ambiguity codes (N, R, Y, ...), as real NCBI nt data does. Each
+// ambiguous position resolves deterministically to one member of its set
+// (chosen by a position hash, so composition stays unbiased and results
+// reproduce). It returns the sequence and the count of ambiguous
+// positions resolved; the caller decides whether that count is acceptable.
+func ParseNucSeqIUPAC(s string) (NucSeq, int, error) {
+	seq := make(NucSeq, 0, len(s))
+	ambiguous := 0
+	pos := 0
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		if n, err := ParseNucleotide(b); err == nil {
+			seq = append(seq, n)
+			pos++
+			continue
+		}
+		upper := b &^ 0x20
+		mask := iupacSets[upper]
+		if mask == 0 {
+			return nil, 0, fmt.Errorf("bio: position %d: invalid nucleotide letter %q", pos, b)
+		}
+		// Deterministic member selection: hash the position into the set.
+		members := make([]Nucleotide, 0, 4)
+		for v := Nucleotide(0); v < 4; v++ {
+			if mask>>v&1 == 1 {
+				members = append(members, v)
+			}
+		}
+		h := uint32(pos)*2654435761 + uint32(upper)
+		seq = append(seq, members[int(h>>16)%len(members)])
+		ambiguous++
+		pos++
+	}
+	return seq, ambiguous, nil
+}
+
+// IUPACMatchesSeq reports whether every position of the IUPAC pattern
+// accepts the corresponding nucleotide of s (lengths must match).
+func IUPACMatchesSeq(pattern string, s NucSeq) bool {
+	if len(pattern) != len(s) {
+		return false
+	}
+	for i := 0; i < len(pattern); i++ {
+		if !IUPACAccepts(pattern[i], s[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package bio
+
+import "testing"
+
+func TestIUPACAccepts(t *testing.T) {
+	cases := []struct {
+		code byte
+		want map[Nucleotide]bool
+	}{
+		{'A', map[Nucleotide]bool{A: true, C: false, G: false, U: false}},
+		{'T', map[Nucleotide]bool{U: true, A: false}},
+		{'R', map[Nucleotide]bool{A: true, G: true, C: false, U: false}},
+		{'Y', map[Nucleotide]bool{C: true, U: true, A: false, G: false}},
+		{'H', map[Nucleotide]bool{A: true, C: true, U: true, G: false}},
+		{'N', map[Nucleotide]bool{A: true, C: true, G: true, U: true}},
+	}
+	for _, tc := range cases {
+		for n, want := range tc.want {
+			if got := IUPACAccepts(tc.code, n); got != want {
+				t.Errorf("IUPACAccepts(%c, %v) = %v, want %v", tc.code, n, got, want)
+			}
+		}
+	}
+	if IUPACAccepts('X', A) || IUPACAccepts('A', Nucleotide(9)) {
+		t.Error("unknown code / bad nucleotide must reject")
+	}
+}
+
+func TestIUPACSetSize(t *testing.T) {
+	cases := map[byte]int{'A': 1, 'R': 2, 'H': 3, 'N': 4, 'X': 0}
+	for code, want := range cases {
+		if got := IUPACSetSize(code); got != want {
+			t.Errorf("IUPACSetSize(%c) = %d, want %d", code, got, want)
+		}
+	}
+}
+
+func TestParseNucSeqIUPAC(t *testing.T) {
+	seq, amb, err := ParseNucSeqIUPAC("ACGTNRY acgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 11 || amb != 3 {
+		t.Fatalf("len %d amb %d", len(seq), amb)
+	}
+	// Each resolved base must belong to its code's set.
+	if !IUPACAccepts('N', seq[4]) || !IUPACAccepts('R', seq[5]) || !IUPACAccepts('Y', seq[6]) {
+		t.Errorf("resolved bases outside their sets: %v", seq[4:7])
+	}
+	// Determinism.
+	seq2, _, _ := ParseNucSeqIUPAC("ACGTNRY acgt")
+	if seq.String() != seq2.String() {
+		t.Error("resolution must be deterministic")
+	}
+	// Pure ACGT input resolves nothing.
+	_, amb, err = ParseNucSeqIUPAC("ACGT")
+	if err != nil || amb != 0 {
+		t.Errorf("clean input: amb=%d err=%v", amb, err)
+	}
+	// Truly invalid letters still fail.
+	if _, _, err := ParseNucSeqIUPAC("ACG!"); err == nil {
+		t.Error("invalid letter must fail")
+	}
+	// Unbiased-ish composition of N runs: all four bases appear.
+	long := make([]byte, 4000)
+	for i := range long {
+		long[i] = 'N'
+	}
+	nseq, amb, err := ParseNucSeqIUPAC(string(long))
+	if err != nil || amb != 4000 {
+		t.Fatal("N run parse failed")
+	}
+	var counts [4]int
+	for _, n := range nseq {
+		counts[n]++
+	}
+	for v, c := range counts {
+		if c < 500 {
+			t.Errorf("base %d underrepresented in N resolution: %d", v, c)
+		}
+	}
+}
+
+func TestIUPACMatchesSeq(t *testing.T) {
+	s, _ := ParseNucSeq("AUG")
+	if !IUPACMatchesSeq("AUG", s) || !IUPACMatchesSeq("NNN", s) || !IUPACMatchesSeq("RUS", s) {
+		t.Error("valid patterns rejected")
+	}
+	if IUPACMatchesSeq("AUC", s) || IUPACMatchesSeq("AU", s) || IUPACMatchesSeq("AUGG", s) {
+		t.Error("invalid patterns accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package bio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MutationModel parameterizes how query proteins diverge from the database
+// genes they originate from. Defaults follow the statistics the paper cites:
+// substitutions dominate, while indels in protein-coding regions have an
+// empirical frequency with mean 0.09 events per kilobase (sd 0.36, median 0)
+// [Neininger et al., PLoS ONE 2019].
+type MutationModel struct {
+	// SubstitutionRate is the per-residue probability of replacing an amino
+	// acid with a different one.
+	SubstitutionRate float64
+	// IndelRatePerKB is the expected number of indel events per kilobase of
+	// the underlying coding nucleotides. Events are Poisson-distributed,
+	// which matches the cited mean/median and closely matches the sd.
+	IndelRatePerKB float64
+	// MaxIndelLen bounds the residue length of a single indel event.
+	// Empirically most protein indels are 1-2 residues; default 3.
+	MaxIndelLen int
+}
+
+// DefaultMutationModel returns the model used by the paper's evaluation
+// workloads: 5 % residue divergence and the empirical indel distribution.
+func DefaultMutationModel() MutationModel {
+	return MutationModel{SubstitutionRate: 0.05, IndelRatePerKB: 0.09, MaxIndelLen: 3}
+}
+
+// MutationStats reports what a Mutate call actually did.
+type MutationStats struct {
+	Substitutions int
+	Insertions    int // residues inserted
+	Deletions     int // residues deleted
+	IndelEvents   int
+}
+
+// HasIndel reports whether any indel event occurred.
+func (s MutationStats) HasIndel() bool { return s.IndelEvents > 0 }
+
+// Mutate derives a diverged copy of p according to the model. The returned
+// sequence is independent of the input.
+func (m MutationModel) Mutate(rng *rand.Rand, p ProtSeq) (ProtSeq, MutationStats) {
+	var stats MutationStats
+	out := make(ProtSeq, len(p))
+	copy(out, p)
+
+	for i := range out {
+		if rng.Float64() < m.SubstitutionRate {
+			out[i] = substituteResidue(rng, out[i])
+			stats.Substitutions++
+		}
+	}
+
+	events := poisson(rng, m.IndelRatePerKB*float64(3*len(p))/1000)
+	for e := 0; e < events; e++ {
+		if len(out) == 0 {
+			break
+		}
+		maxLen := m.MaxIndelLen
+		if maxLen < 1 {
+			maxLen = 1
+		}
+		n := 1 + rng.Intn(maxLen)
+		if rng.Intn(2) == 0 {
+			// Insertion of n random residues at a random position.
+			pos := rng.Intn(len(out) + 1)
+			ins := RandomProtSeq(rng, n)
+			out = append(out[:pos], append(ins, out[pos:]...)...)
+			stats.Insertions += n
+		} else {
+			// Deletion of up to n residues at a random position.
+			pos := rng.Intn(len(out))
+			if pos+n > len(out) {
+				n = len(out) - pos
+			}
+			out = append(out[:pos], out[pos+n:]...)
+			stats.Deletions += n
+		}
+		stats.IndelEvents++
+	}
+	return out, stats
+}
+
+// substituteResidue picks a residue different from a, weighted by background
+// composition (a crude stand-in for a substitution matrix; adequate for
+// workload generation).
+func substituteResidue(rng *rand.Rand, a AminoAcid) AminoAcid {
+	for {
+		b := randomAminoAcid(rng)
+		if b != a {
+			return b
+		}
+	}
+}
+
+// MutateNucSubstitutions flips each nucleotide to a random different base
+// with probability rate. Used to model sequencing noise on references.
+func MutateNucSubstitutions(rng *rand.Rand, s NucSeq, rate float64) NucSeq {
+	out := make(NucSeq, len(s))
+	copy(out, s)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = Nucleotide((int(out[i]) + 1 + rng.Intn(3))) & 3
+		}
+	}
+	return out
+}
+
+// poisson samples a Poisson random variate with mean lambda using inversion
+// (lambda is tiny in our models, so this is exact and fast).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 { // guard against pathological lambda
+			return k
+		}
+	}
+}

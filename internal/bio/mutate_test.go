@@ -1,0 +1,130 @@
+package bio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMutateSubstitutionsOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := MutationModel{SubstitutionRate: 0.1, IndelRatePerKB: 0}
+	p := RandomProtSeq(rng, 5000)
+	out, stats := m.Mutate(rng, p)
+	if len(out) != len(p) {
+		t.Fatalf("length changed without indels: %d -> %d", len(p), len(out))
+	}
+	if stats.HasIndel() || stats.Insertions != 0 || stats.Deletions != 0 {
+		t.Error("no indels expected")
+	}
+	diff := 0
+	for i := range p {
+		if p[i] != out[i] {
+			diff++
+		}
+	}
+	if diff != stats.Substitutions {
+		t.Errorf("observed %d diffs, stats say %d", diff, stats.Substitutions)
+	}
+	frac := float64(diff) / float64(len(p))
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Errorf("substitution fraction %.3f far from 0.1", frac)
+	}
+}
+
+func TestMutateDoesNotAliasInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := MutationModel{SubstitutionRate: 1.0}
+	p := RandomProtSeq(rng, 100)
+	orig := p.String()
+	m.Mutate(rng, p)
+	if p.String() != orig {
+		t.Error("input was modified")
+	}
+}
+
+func TestMutateIndelIncidenceMatchesPaper(t *testing.T) {
+	// The paper observes ~0.02% of 10,000 sampled queries containing indels
+	// under the [18] distribution with short queries; with 250-residue
+	// queries and 0.09 events/kb, P(>=1 event) ≈ 1-exp(-0.0675) ≈ 6.5%.
+	// Check the model produces the analytic Poisson incidence.
+	rng := rand.New(rand.NewSource(3))
+	m := DefaultMutationModel()
+	const trials = 5000
+	const resLen = 250
+	lambda := m.IndelRatePerKB * 3 * resLen / 1000
+	wantP := 1 - math.Exp(-lambda)
+	hit := 0
+	for i := 0; i < trials; i++ {
+		p := RandomProtSeq(rng, resLen)
+		_, stats := m.Mutate(rng, p)
+		if stats.HasIndel() {
+			hit++
+		}
+	}
+	gotP := float64(hit) / trials
+	if math.Abs(gotP-wantP) > 0.02 {
+		t.Errorf("indel incidence %.4f, want ≈%.4f", gotP, wantP)
+	}
+}
+
+func TestMutateIndelsChangeLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := MutationModel{SubstitutionRate: 0, IndelRatePerKB: 1000, MaxIndelLen: 2}
+	p := RandomProtSeq(rng, 100)
+	sawChange := false
+	for i := 0; i < 20; i++ {
+		out, stats := m.Mutate(rng, p)
+		if want := len(p) + stats.Insertions - stats.Deletions; len(out) != want {
+			t.Fatalf("len %d, stats imply %d", len(out), want)
+		}
+		if stats.IndelEvents > 0 {
+			sawChange = true
+		}
+	}
+	if !sawChange {
+		t.Error("high indel rate produced no events")
+	}
+}
+
+func TestMutateNucSubstitutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := RandomNucSeq(rng, 10000)
+	out := MutateNucSubstitutions(rng, s, 0.2)
+	if len(out) != len(s) {
+		t.Fatal("length changed")
+	}
+	diff := 0
+	for i := range s {
+		if s[i] != out[i] {
+			diff++
+		}
+	}
+	frac := float64(diff) / float64(len(s))
+	if math.Abs(frac-0.2) > 0.02 {
+		t.Errorf("fraction %.3f far from 0.2", frac)
+	}
+	// Rate 0 must be an exact copy that doesn't alias.
+	same := MutateNucSubstitutions(rng, s, 0)
+	same[0] = same[0] ^ 1
+	if s[0] == same[0] {
+		t.Error("output aliases input")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const lambda = 0.5
+	var sum int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, lambda)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-lambda) > 0.03 {
+		t.Errorf("poisson mean %.3f, want %.3f", mean, lambda)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive lambda must give 0")
+	}
+}

@@ -1,0 +1,83 @@
+package bio
+
+// Open-reading-frame discovery: the classic way to locate candidate coding
+// regions in an unannotated reference, used by examples and database
+// statistics (FabP queries ultimately come from such regions).
+
+// ORF is an open reading frame: AUG..stop on one strand.
+type ORF struct {
+	// Start is the forward-strand offset of the first base of the start
+	// codon; End the offset one past the stop codon's last base (for
+	// reverse-strand ORFs these still delimit the forward-strand window).
+	Start, End int
+	// Reverse marks ORFs read from the reverse-complement strand.
+	Reverse bool
+	// Protein is the translation, excluding the stop.
+	Protein ProtSeq
+}
+
+// Length returns the ORF length in residues (stop excluded).
+func (o ORF) Length() int { return len(o.Protein) }
+
+// FindORFs returns every ORF of at least minResidues coding residues in
+// all six frames, ordered by forward-strand start position. Nested ORFs
+// (an AUG inside a longer ORF in the same frame) are suppressed — only the
+// longest ORF per stop is reported.
+func FindORFs(seq NucSeq, minResidues int) []ORF {
+	var out []ORF
+	out = append(out, findStrandORFs(seq, minResidues, false, len(seq))...)
+	rc := seq.ReverseComplement()
+	out = append(out, findStrandORFs(rc, minResidues, true, len(seq))...)
+	// Sort by forward start, then strand.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b ORF) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return !a.Reverse && b.Reverse
+}
+
+// findStrandORFs scans one strand's three frames. refLen maps positions
+// back to forward coordinates for the reverse strand.
+func findStrandORFs(s NucSeq, minResidues int, reverse bool, refLen int) []ORF {
+	var out []ORF
+	for frame := 0; frame < 3; frame++ {
+		start := -1 // codon index of the current ORF's AUG, -1 when closed
+		prot := s.Translate(frame)
+		for ci, aa := range prot {
+			switch {
+			case aa == Stop:
+				if start >= 0 && ci-start >= minResidues {
+					out = append(out, makeORF(s, frame, start, ci, reverse, refLen, prot))
+				}
+				start = -1
+			case aa == Met && start < 0:
+				start = ci
+			}
+		}
+		// ORFs running off the end are not reported (no stop codon).
+	}
+	return out
+}
+
+func makeORF(s NucSeq, frame, startCodon, stopCodon int, reverse bool, refLen int, prot ProtSeq) ORF {
+	lo := frame + 3*startCodon
+	hi := frame + 3*(stopCodon+1)
+	o := ORF{
+		Reverse: reverse,
+		Protein: append(ProtSeq(nil), prot[startCodon:stopCodon]...),
+	}
+	if !reverse {
+		o.Start, o.End = lo, hi
+	} else {
+		o.Start, o.End = refLen-hi, refLen-lo
+	}
+	return o
+}

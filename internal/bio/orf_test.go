@@ -1,0 +1,113 @@
+package bio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFindORFsSimple(t *testing.T) {
+	// AUG AAA UGG UAA = Met Lys Trp Stop, planted at offset 5.
+	s, _ := ParseNucSeq("CCCCC" + "AUGAAAUGGUAA" + "CCCCC")
+	orfs := FindORFs(s, 1)
+	var hit *ORF
+	for i := range orfs {
+		if !orfs[i].Reverse && orfs[i].Start == 5 {
+			hit = &orfs[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("ORF at 5 not found: %+v", orfs)
+	}
+	if hit.End != 17 || hit.Protein.String() != "MKW" || hit.Length() != 3 {
+		t.Errorf("ORF wrong: %+v", *hit)
+	}
+}
+
+func TestFindORFsReverseStrand(t *testing.T) {
+	// Plant MKW on the reverse strand: forward sequence holds the reverse
+	// complement of AUGAAAUGGUAA.
+	gene, _ := ParseNucSeq("AUGAAAUGGUAA")
+	rc := gene.ReverseComplement()
+	s := append(append(NucSeq{}, rc...), A, A, A, A)
+	orfs := FindORFs(s, 1)
+	found := false
+	for _, o := range orfs {
+		if o.Reverse && o.Protein.String() == "MKW" {
+			found = true
+			if o.Start != 0 || o.End != 12 {
+				t.Errorf("reverse ORF coords: %+v", o)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("reverse ORF missing: %+v", orfs)
+	}
+}
+
+func TestFindORFsMinLength(t *testing.T) {
+	s, _ := ParseNucSeq("AUGAAAUGGUAA") // 3-residue ORF
+	if len(FindORFs(s, 4)) != 0 {
+		t.Error("minResidues filter failed")
+	}
+	if len(FindORFs(s, 3)) == 0 {
+		t.Error("3-residue ORF should pass minResidues=3")
+	}
+}
+
+func TestFindORFsNoStopNoORF(t *testing.T) {
+	s, _ := ParseNucSeq("AUGAAAAAAAAA") // start, never stops
+	for _, o := range FindORFs(s, 1) {
+		if !o.Reverse && o.Start == 0 {
+			t.Error("unterminated ORF must not be reported")
+		}
+	}
+}
+
+func TestFindORFsNestedSuppressed(t *testing.T) {
+	// AUG xxx AUG xxx UAA: only the outer ORF (from the first AUG) counts.
+	s, _ := ParseNucSeq("AUG" + "AAA" + "AUG" + "AAA" + "UAA")
+	count := 0
+	for _, o := range FindORFs(s, 1) {
+		if !o.Reverse && o.End == 15 {
+			count++
+			if o.Start != 0 {
+				t.Errorf("outer ORF should start at 0, got %d", o.Start)
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("expected exactly 1 ORF per stop, got %d", count)
+	}
+}
+
+// TestFindORFsPlantedGenes: genes planted by the generator terminate with
+// a manually-added stop and must be recovered.
+func TestFindORFsPlantedGenes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prot := append(ProtSeq{Met}, RandomProtSeq(rng, 30)...)
+	gene := EncodeGene(rng, append(prot, Stop))
+	ref := RandomNucSeq(rng, 3000)
+	pos := 900
+	copy(ref[pos:], gene)
+	orfs := FindORFs(ref, 25)
+	found := false
+	for _, o := range orfs {
+		if !o.Reverse && o.Start == pos && o.Protein.String() == prot.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("planted ORF at %d not recovered (have %d ORFs)", pos, len(orfs))
+	}
+}
+
+func TestFindORFsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := RandomNucSeq(rng, 5000)
+	orfs := FindORFs(ref, 5)
+	for i := 1; i < len(orfs); i++ {
+		if orfs[i].Start < orfs[i-1].Start {
+			t.Fatal("ORFs not sorted")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package bio
+
+import "math/rand"
+
+// humanCodonUsage holds codon frequencies (occurrences per thousand codons)
+// for the human transcriptome (Kazusa codon-usage database, GenBank release
+// aggregate). The synthetic reference generator uses it so planted coding
+// regions have a realistic codon distribution rather than a uniform one.
+var humanCodonUsage = map[string]float64{
+	"UUU": 17.6, "UUC": 20.3, "UUA": 7.7, "UUG": 12.9,
+	"CUU": 13.2, "CUC": 19.6, "CUA": 7.2, "CUG": 39.6,
+	"AUU": 16.0, "AUC": 20.8, "AUA": 7.5, "AUG": 22.0,
+	"GUU": 11.0, "GUC": 14.5, "GUA": 7.1, "GUG": 28.1,
+	"UCU": 15.2, "UCC": 17.7, "UCA": 12.2, "UCG": 4.4,
+	"CCU": 17.5, "CCC": 19.8, "CCA": 16.9, "CCG": 6.9,
+	"ACU": 13.1, "ACC": 18.9, "ACA": 15.1, "ACG": 6.1,
+	"GCU": 18.4, "GCC": 27.7, "GCA": 15.8, "GCG": 7.4,
+	"UAU": 12.2, "UAC": 15.3, "UAA": 1.0, "UAG": 0.8,
+	"CAU": 10.9, "CAC": 15.1, "CAA": 12.3, "CAG": 34.2,
+	"AAU": 17.0, "AAC": 19.1, "AAA": 24.4, "AAG": 31.9,
+	"GAU": 21.8, "GAC": 25.1, "GAA": 29.0, "GAG": 39.6,
+	"UGU": 10.6, "UGC": 12.6, "UGA": 1.6, "UGG": 13.2,
+	"CGU": 4.5, "CGC": 10.4, "CGA": 6.2, "CGG": 11.4,
+	"AGU": 12.1, "AGC": 19.5, "AGA": 12.2, "AGG": 12.0,
+	"GGU": 10.8, "GGC": 22.2, "GGA": 16.5, "GGG": 16.5,
+}
+
+// codonUsageByIndex is humanCodonUsage re-keyed by dense codon index.
+var codonUsageByIndex [NumCodons]float64
+
+// aaFrequency is the amino-acid composition implied by the codon usage
+// table, used when sampling random protein queries.
+var aaFrequency [NumResidues]float64
+
+// synonymousCDF holds, per amino acid, the cumulative usage weights of its
+// codons, for weighted synonymous codon sampling.
+var synonymousCDF [NumResidues][]float64
+
+func init() {
+	for s, f := range humanCodonUsage {
+		c, err := ParseCodon(s)
+		if err != nil {
+			panic(err)
+		}
+		codonUsageByIndex[c.Index()] = f
+	}
+	var total float64
+	for i := 0; i < NumCodons; i++ {
+		if codonUsageByIndex[i] == 0 {
+			panic("bio: codon usage table is incomplete")
+		}
+		aaFrequency[codonToAA[i]] += codonUsageByIndex[i]
+		total += codonUsageByIndex[i]
+	}
+	for i := range aaFrequency {
+		aaFrequency[i] /= total
+	}
+	for aa := AminoAcid(0); aa < NumResidues; aa++ {
+		codons := aa.Codons()
+		cdf := make([]float64, len(codons))
+		var sum float64
+		for i, c := range codons {
+			sum += codonUsageByIndex[c.Index()]
+			cdf[i] = sum
+		}
+		synonymousCDF[aa] = cdf
+	}
+}
+
+// AminoAcidFrequency returns the background composition probability of a in
+// coding regions (derived from human codon usage; Stop has the frequency of
+// stop codons).
+func AminoAcidFrequency(a AminoAcid) float64 {
+	if a >= NumResidues {
+		return 0
+	}
+	return aaFrequency[a]
+}
+
+// RandomNucSeq generates n uniform random nucleotides.
+func RandomNucSeq(rng *rand.Rand, n int) NucSeq {
+	s := make(NucSeq, n)
+	for i := range s {
+		s[i] = Nucleotide(rng.Intn(NumNucleotides))
+	}
+	return s
+}
+
+// RandomProtSeq generates n residues sampled from the coding-region
+// amino-acid composition, never emitting Stop (query proteins are complete
+// chains).
+func RandomProtSeq(rng *rand.Rand, n int) ProtSeq {
+	p := make(ProtSeq, n)
+	for i := range p {
+		p[i] = randomAminoAcid(rng)
+	}
+	return p
+}
+
+func randomAminoAcid(rng *rand.Rand) AminoAcid {
+	// Rejection-free sampling over the 20 coding residues.
+	x := rng.Float64() * (1 - aaFrequency[Stop])
+	var cum float64
+	for a := AminoAcid(0); a < NumAminoAcids; a++ {
+		cum += aaFrequency[a]
+		if x < cum {
+			return a
+		}
+	}
+	return Tyr
+}
+
+// SynonymousCodon picks a codon encoding a, weighted by human codon usage.
+func SynonymousCodon(rng *rand.Rand, a AminoAcid) Codon {
+	codons := a.Codons()
+	if len(codons) == 1 {
+		return codons[0]
+	}
+	cdf := synonymousCDF[a]
+	x := rng.Float64() * cdf[len(cdf)-1]
+	for i, c := range cdf {
+		if x < c {
+			return codons[i]
+		}
+	}
+	return codons[len(codons)-1]
+}
+
+// EncodeGene back-translates p into a concrete coding sequence using
+// usage-weighted synonymous codon choice. The result translates back to p
+// exactly.
+func EncodeGene(rng *rand.Rand, p ProtSeq) NucSeq {
+	s := make(NucSeq, 0, 3*len(p))
+	for _, a := range p {
+		c := SynonymousCodon(rng, a)
+		s = append(s, c[0], c[1], c[2])
+	}
+	return s
+}
+
+// PlantedGene records where a known protein was embedded in a synthetic
+// reference, so experiments can score hit recovery.
+type PlantedGene struct {
+	// Protein is the translated product of the planted coding region.
+	Protein ProtSeq
+	// Pos is the nucleotide offset of the first codon in the reference.
+	Pos int
+}
+
+// SyntheticReference builds a reference of exactly length nucleotides:
+// uniform random background with numGenes coding regions (each geneLen
+// residues, codon-usage weighted) planted at non-overlapping positions.
+// It returns the reference and the planted gene records sorted by position.
+func SyntheticReference(rng *rand.Rand, length, numGenes, geneLen int) (NucSeq, []PlantedGene) {
+	ref := RandomNucSeq(rng, length)
+	geneNT := 3 * geneLen
+	if numGenes <= 0 || geneNT == 0 || geneNT > length {
+		return ref, nil
+	}
+	// Partition the reference into numGenes equal slots and plant one gene at
+	// a random offset within each slot, guaranteeing non-overlap.
+	slot := length / numGenes
+	if slot < geneNT {
+		numGenes = length / geneNT
+		if numGenes == 0 {
+			return ref, nil
+		}
+		slot = length / numGenes
+	}
+	genes := make([]PlantedGene, 0, numGenes)
+	for g := 0; g < numGenes; g++ {
+		prot := RandomProtSeq(rng, geneLen)
+		pos := g*slot + rng.Intn(slot-geneNT+1)
+		copy(ref[pos:pos+geneNT], EncodeGene(rng, prot))
+		genes = append(genes, PlantedGene{Protein: prot, Pos: pos})
+	}
+	return ref, genes
+}

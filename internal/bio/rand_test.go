@@ -1,0 +1,139 @@
+package bio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAminoAcidFrequencyNormalized(t *testing.T) {
+	var sum float64
+	for a := AminoAcid(0); a < NumResidues; a++ {
+		f := AminoAcidFrequency(a)
+		if f <= 0 {
+			t.Errorf("frequency of %v must be positive", a)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("frequencies sum to %g", sum)
+	}
+	if AminoAcidFrequency(AminoAcid(200)) != 0 {
+		t.Error("out of range frequency must be 0")
+	}
+	// Leucine is the most common residue in the human proteome.
+	if AminoAcidFrequency(Leu) < AminoAcidFrequency(Trp) {
+		t.Error("Leu should be far more common than Trp")
+	}
+}
+
+func TestRandomProtSeqNeverStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := RandomProtSeq(rng, 10000)
+	for i, a := range p {
+		if a == Stop {
+			t.Fatalf("Stop residue at %d", i)
+		}
+		if a >= NumAminoAcids {
+			t.Fatalf("invalid residue %d at %d", a, i)
+		}
+	}
+}
+
+func TestRandomNucSeqComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := RandomNucSeq(rng, 40000)
+	var counts [4]int
+	for _, n := range s {
+		counts[n]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(len(s))
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("base %d frequency %.3f far from uniform", i, frac)
+		}
+	}
+}
+
+func TestSynonymousCodonCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for a := AminoAcid(0); a < NumResidues; a++ {
+		for i := 0; i < 50; i++ {
+			c := SynonymousCodon(rng, a)
+			if c.Translate() != a {
+				t.Fatalf("SynonymousCodon(%v) = %v which encodes %v", a, c, c.Translate())
+			}
+		}
+	}
+}
+
+func TestSynonymousCodonUsesWeights(t *testing.T) {
+	// For Leu, CUG (39.6/1000) should be drawn far more often than CUA (7.2).
+	rng := rand.New(rand.NewSource(4))
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[SynonymousCodon(rng, Leu).String()]++
+	}
+	if counts["CUG"] <= counts["CUA"] {
+		t.Errorf("CUG=%d should exceed CUA=%d", counts["CUG"], counts["CUA"])
+	}
+}
+
+func TestEncodeGeneTranslatesBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := RandomProtSeq(rng, 200)
+	nt := EncodeGene(rng, p)
+	if got := nt.Translate(0).String(); got != p.String() {
+		t.Errorf("EncodeGene round trip failed:\n got %s\nwant %s", got, p)
+	}
+}
+
+func TestSyntheticReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ref, genes := SyntheticReference(rng, 10000, 5, 100)
+	if len(ref) != 10000 {
+		t.Fatalf("len = %d", len(ref))
+	}
+	if len(genes) != 5 {
+		t.Fatalf("planted %d genes", len(genes))
+	}
+	for i, g := range genes {
+		if len(g.Protein) != 100 {
+			t.Errorf("gene %d protein len %d", i, len(g.Protein))
+		}
+		// The planted region must translate back to the protein.
+		window := ref[g.Pos : g.Pos+3*len(g.Protein)]
+		if got := window.Translate(0).String(); got != g.Protein.String() {
+			t.Errorf("gene %d does not translate back", i)
+		}
+		if i > 0 && g.Pos < genes[i-1].Pos+3*100 {
+			t.Errorf("genes %d and %d overlap", i-1, i)
+		}
+	}
+}
+
+func TestSyntheticReferenceDegenerateCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref, genes := SyntheticReference(rng, 100, 0, 10)
+	if len(ref) != 100 || genes != nil {
+		t.Error("zero genes should yield background only")
+	}
+	// Genes longer than the reference: no planting.
+	_, genes = SyntheticReference(rng, 10, 3, 100)
+	if genes != nil {
+		t.Error("oversized genes should not be planted")
+	}
+	// Slots smaller than genes: planting count reduced, not failed.
+	ref, genes = SyntheticReference(rng, 650, 3, 100)
+	if len(ref) != 650 || len(genes) != 2 {
+		t.Errorf("expected 2 fitted genes, got %d", len(genes))
+	}
+}
+
+func TestSyntheticReferenceDeterministic(t *testing.T) {
+	a, _ := SyntheticReference(rand.New(rand.NewSource(9)), 500, 2, 20)
+	b, _ := SyntheticReference(rand.New(rand.NewSource(9)), 500, 2, 20)
+	if a.String() != b.String() {
+		t.Error("same seed must give same reference")
+	}
+}

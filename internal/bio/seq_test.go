@@ -1,0 +1,166 @@
+package bio
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNucSeq(t *testing.T) {
+	s, err := ParseNucSeq("ACGU acgt\nACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NucSeq{A, C, G, U, A, C, G, U, A, C, G, U}
+	if !reflect.DeepEqual(s, want) {
+		t.Errorf("got %v want %v", s, want)
+	}
+	if _, err := ParseNucSeq("ACGX"); err == nil {
+		t.Error("expected error for X")
+	}
+}
+
+func TestNucSeqStrings(t *testing.T) {
+	s := NucSeq{A, C, G, U}
+	if s.String() != "ACGU" {
+		t.Errorf("String = %q", s.String())
+	}
+	if s.DNAString() != "ACGT" {
+		t.Errorf("DNAString = %q", s.DNAString())
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	s, _ := ParseNucSeq("AACGU")
+	rc := s.ReverseComplement()
+	if rc.String() != "ACGUU" {
+		t.Errorf("rc = %s", rc)
+	}
+	// Involution property.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomNucSeq(rng, int(n))
+		return reflect.DeepEqual(s.ReverseComplement().ReverseComplement(), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateFrames(t *testing.T) {
+	s, _ := ParseNucSeq("AUGUUUUAA") // Met Phe Stop
+	if got := s.Translate(0).String(); got != "MF*" {
+		t.Errorf("frame 0 = %q", got)
+	}
+	// Frame 1: UGU UUU (AA dropped) = Cys Phe
+	if got := s.Translate(1).String(); got != "CF" {
+		t.Errorf("frame 1 = %q", got)
+	}
+	// Frame 2: GUU UUA = Val Leu
+	if got := s.Translate(2).String(); got != "VL" {
+		t.Errorf("frame 2 = %q", got)
+	}
+	if s.Translate(3) != nil || s.Translate(-1) != nil {
+		t.Error("invalid frames must return nil")
+	}
+	short := NucSeq{A, U}
+	if short.Translate(0) != nil {
+		t.Error("too-short sequence must return nil")
+	}
+}
+
+func TestCodonsSplit(t *testing.T) {
+	s, _ := ParseNucSeq("AUGUUUGG") // trailing GG dropped
+	cs := s.Codons()
+	if len(cs) != 2 || cs[0].String() != "AUG" || cs[1].String() != "UUU" {
+		t.Errorf("Codons = %v", cs)
+	}
+}
+
+func TestProtSeqParseAndString(t *testing.T) {
+	p, err := ParseProtSeq("MF*ky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "MF*KY" {
+		t.Errorf("got %q", p.String())
+	}
+	if _, err := ParseProtSeq("MXZ"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestBackTranslateArbitraryRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomProtSeq(rng, 1+int(n%64))
+		nt := p.BackTranslateArbitrary()
+		return nt.Translate(0).String() == p.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomNucSeq(rng, int(n%500))
+		return reflect.DeepEqual(Pack(s).Unpack(), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedAtSetSlice(t *testing.T) {
+	p := NewPackedNucSeq(100)
+	if p.Len() != 100 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for i := 0; i < 100; i++ {
+		p.Set(i, Nucleotide(i%4))
+	}
+	for i := 0; i < 100; i++ {
+		if p.At(i) != Nucleotide(i%4) {
+			t.Fatalf("At(%d) = %v", i, p.At(i))
+		}
+	}
+	// Overwrite must clear old bits.
+	p.Set(7, U)
+	p.Set(7, A)
+	if p.At(7) != A {
+		t.Errorf("Set overwrite failed: %v", p.At(7))
+	}
+	sl := p.Slice(96, 200)
+	if len(sl) != 4 {
+		t.Errorf("Slice clipped len = %d", len(sl))
+	}
+	if p.Slice(10, 10) != nil || p.Slice(-5, 0) != nil {
+		t.Error("empty slices must be nil")
+	}
+}
+
+func TestPackedWordLayout(t *testing.T) {
+	// Element i occupies bits [2i, 2i+1] of word i/32 — the FPGA DRAM layout.
+	s := make(NucSeq, 33)
+	s[0] = U  // word0 bits 0..1 = 11
+	s[1] = G  // word0 bits 2..3 = 10
+	s[32] = C // word1 bits 0..1 = 01
+	p := Pack(s)
+	if got := p.Words()[0] & 0xF; got != 0xB { // 10_11
+		t.Errorf("word0 low nibble = %#x, want 0xb", got)
+	}
+	if got := p.Words()[1] & 0x3; got != 0x1 {
+		t.Errorf("word1 low bits = %#x, want 0x1", got)
+	}
+}
+
+func TestPackedBytes(t *testing.T) {
+	s := NucSeq{U} // word = 0x3
+	b := Pack(s).Bytes()
+	if len(b) != 8 || b[0] != 3 {
+		t.Errorf("Bytes = %v", b)
+	}
+}

@@ -1,0 +1,130 @@
+package bio
+
+import "math/rand"
+
+// CodonUsage is an organism's codon frequency table (occurrences per
+// thousand codons) with precomputed sampling structures.
+type CodonUsage struct {
+	name    string
+	byIndex [NumCodons]float64
+	aaFreq  [NumResidues]float64
+	synCDF  [NumResidues][]float64
+}
+
+// Name returns the organism label.
+func (u *CodonUsage) Name() string { return u.name }
+
+// Frequency returns the per-thousand frequency of codon c.
+func (u *CodonUsage) Frequency(c Codon) float64 { return u.byIndex[c.Index()] }
+
+// AminoAcidFrequency returns the implied residue composition.
+func (u *CodonUsage) AminoAcidFrequency(a AminoAcid) float64 {
+	if a >= NumResidues {
+		return 0
+	}
+	return u.aaFreq[a]
+}
+
+// newCodonUsage builds the sampling structures from a raw table.
+func newCodonUsage(name string, table map[string]float64) *CodonUsage {
+	u := &CodonUsage{name: name}
+	for s, f := range table {
+		c, err := ParseCodon(s)
+		if err != nil {
+			panic(err)
+		}
+		u.byIndex[c.Index()] = f
+	}
+	var total float64
+	for i := 0; i < NumCodons; i++ {
+		if u.byIndex[i] == 0 {
+			panic("bio: codon usage table for " + name + " is incomplete")
+		}
+		u.aaFreq[codonToAA[i]] += u.byIndex[i]
+		total += u.byIndex[i]
+	}
+	for i := range u.aaFreq {
+		u.aaFreq[i] /= total
+	}
+	for aa := AminoAcid(0); aa < NumResidues; aa++ {
+		codons := aa.Codons()
+		cdf := make([]float64, len(codons))
+		var sum float64
+		for i, c := range codons {
+			sum += u.byIndex[c.Index()]
+			cdf[i] = sum
+		}
+		u.synCDF[aa] = cdf
+	}
+	return u
+}
+
+// SynonymousCodon picks a codon encoding a, weighted by this organism's
+// usage.
+func (u *CodonUsage) SynonymousCodon(rng *rand.Rand, a AminoAcid) Codon {
+	codons := a.Codons()
+	if len(codons) == 1 {
+		return codons[0]
+	}
+	cdf := u.synCDF[a]
+	x := rng.Float64() * cdf[len(cdf)-1]
+	for i, c := range cdf {
+		if x < c {
+			return codons[i]
+		}
+	}
+	return codons[len(codons)-1]
+}
+
+// EncodeGene back-translates p with this organism's codon preferences.
+func (u *CodonUsage) EncodeGene(rng *rand.Rand, p ProtSeq) NucSeq {
+	s := make(NucSeq, 0, 3*len(p))
+	for _, a := range p {
+		c := u.SynonymousCodon(rng, a)
+		s = append(s, c[0], c[1], c[2])
+	}
+	return s
+}
+
+// ecoliCodonUsage is the E. coli K-12 codon usage (per thousand; Kazusa).
+// E. coli strongly prefers CGU/CGC for arginine and uses far fewer AGY
+// serines than human — which changes the cost of the paper's UCD serine
+// template across organisms.
+var ecoliCodonUsage = map[string]float64{
+	"UUU": 22.2, "UUC": 16.6, "UUA": 13.9, "UUG": 13.7,
+	"CUU": 11.0, "CUC": 11.0, "CUA": 3.9, "CUG": 52.6,
+	"AUU": 30.3, "AUC": 25.1, "AUA": 4.4, "AUG": 27.9,
+	"GUU": 18.3, "GUC": 15.3, "GUA": 10.9, "GUG": 26.4,
+	"UCU": 8.5, "UCC": 8.6, "UCA": 7.2, "UCG": 8.9,
+	"CCU": 7.0, "CCC": 5.5, "CCA": 8.4, "CCG": 23.2,
+	"ACU": 9.0, "ACC": 23.4, "ACA": 7.1, "ACG": 14.4,
+	"GCU": 15.3, "GCC": 25.5, "GCA": 20.1, "GCG": 33.6,
+	"UAU": 16.2, "UAC": 12.2, "UAA": 2.0, "UAG": 0.2,
+	"CAU": 12.9, "CAC": 9.7, "CAA": 15.3, "CAG": 28.8,
+	"AAU": 17.7, "AAC": 21.7, "AAA": 33.6, "AAG": 10.3,
+	"GAU": 32.1, "GAC": 19.1, "GAA": 39.4, "GAG": 17.8,
+	"UGU": 5.2, "UGC": 6.4, "UGA": 0.9, "UGG": 15.2,
+	"CGU": 20.9, "CGC": 22.0, "CGA": 3.6, "CGG": 5.4,
+	"AGU": 8.8, "AGC": 16.1, "AGA": 2.1, "AGG": 1.2,
+	"GGU": 24.7, "GGC": 29.6, "GGA": 8.0, "GGG": 11.1,
+}
+
+var (
+	usageHuman *CodonUsage
+	usageEColi *CodonUsage
+)
+
+func init() {
+	usageHuman = newCodonUsage("human", humanCodonUsage)
+	usageEColi = newCodonUsage("ecoli", ecoliCodonUsage)
+}
+
+// UsageHuman returns the human codon-usage table (the default used by
+// EncodeGene and SyntheticReference).
+func UsageHuman() *CodonUsage { return usageHuman }
+
+// UsageEColi returns the E. coli K-12 codon-usage table.
+func UsageEColi() *CodonUsage { return usageEColi }
+
+// Usages lists the built-in organisms.
+func Usages() []*CodonUsage { return []*CodonUsage{usageHuman, usageEColi} }

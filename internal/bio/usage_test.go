@@ -1,0 +1,93 @@
+package bio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUsageTablesComplete(t *testing.T) {
+	for _, u := range Usages() {
+		var sum float64
+		for a := AminoAcid(0); a < NumResidues; a++ {
+			f := u.AminoAcidFrequency(a)
+			if f <= 0 {
+				t.Errorf("%s: residue %v frequency must be positive", u.Name(), a)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: frequencies sum to %g", u.Name(), sum)
+		}
+		if u.AminoAcidFrequency(99) != 0 {
+			t.Error("out of range must be 0")
+		}
+	}
+}
+
+func TestUsageSynonymousCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, u := range Usages() {
+		for a := AminoAcid(0); a < NumResidues; a++ {
+			for i := 0; i < 20; i++ {
+				if c := u.SynonymousCodon(rng, a); c.Translate() != a {
+					t.Fatalf("%s: %v sampled %v", u.Name(), a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestUsageEncodeGeneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := RandomProtSeq(rng, 100)
+	for _, u := range Usages() {
+		nt := u.EncodeGene(rng, p)
+		if nt.Translate(0).String() != p.String() {
+			t.Errorf("%s: gene does not translate back", u.Name())
+		}
+	}
+}
+
+// TestOrganismDifferences: the organism tables must reproduce known
+// biology — E. coli prefers CUG leucine even more than human, and uses AGR
+// arginine codons far less.
+func TestOrganismDifferences(t *testing.T) {
+	h, e := UsageHuman(), UsageEColi()
+	agr, _ := ParseCodon("AGA")
+	if e.Frequency(agr) >= h.Frequency(agr) {
+		t.Error("E. coli should avoid AGA arginine")
+	}
+	cgu, _ := ParseCodon("CGU")
+	if e.Frequency(cgu) <= h.Frequency(cgu) {
+		t.Error("E. coli should prefer CGU arginine")
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Sampled AGY-serine fraction should be lower in E. coli... compute.
+	agy := func(u *CodonUsage) float64 {
+		n := 0
+		const trials = 5000
+		for i := 0; i < trials; i++ {
+			c := u.SynonymousCodon(rng, Ser)
+			if c[0] == A {
+				n++
+			}
+		}
+		return float64(n) / trials
+	}
+	// Expected fractions straight from the tables: human AGY/all-Ser =
+	// 31.6/81.1 ≈ 0.39, E. coli 24.9/58.1 ≈ 0.43.
+	hf, ef := agy(h), agy(e)
+	if math.Abs(hf-0.39) > 0.03 {
+		t.Errorf("human AGY serine fraction %.2f, expected ≈0.39", hf)
+	}
+	if math.Abs(ef-0.43) > 0.03 {
+		t.Errorf("E. coli AGY serine fraction %.2f, expected ≈0.43", ef)
+	}
+}
+
+func TestUsageName(t *testing.T) {
+	if UsageHuman().Name() != "human" || UsageEColi().Name() != "ecoli" {
+		t.Error("names wrong")
+	}
+}

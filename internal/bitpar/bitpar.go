@@ -1,0 +1,342 @@
+// Package bitpar implements the bit-parallel (SIMD-within-register) FabP
+// kernel: the algorithm the paper's "highly optimized GPU implementation"
+// uses, evaluating the two-LUT comparator for 64 alignment positions per
+// machine word. The reference is held as two bit-planes (one per
+// nucleotide-encoding bit); each query element compiles to a handful of
+// bitwise operations plus a vertical-counter score accumulation.
+//
+// It is bit-exact with core.Engine / the generated netlist (asserted in
+// tests) and roughly an order of magnitude faster than the scalar engine,
+// which both makes large experiments tractable and substantiates the GPU
+// performance model's cells-per-second calibration.
+package bitpar
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"fabp/internal/backtrans"
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+)
+
+// Hit mirrors core.Hit (bitpar stays independent of core so either can
+// cross-check the other).
+type Hit struct {
+	Pos   int
+	Score int
+}
+
+// planes is the bit-sliced reference: bit j of b0[w] is the low encoding
+// bit of nucleotide 64w+j; b1 the high bit. One zero word of padding at
+// each end keeps fetches branch-light.
+type planes struct {
+	b0, b1 []uint64
+	n      int
+}
+
+// packPlanes converts a reference into bit-planes.
+func packPlanes(ref bio.NucSeq) *planes {
+	words := (len(ref) + 63) / 64
+	p := &planes{
+		b0: make([]uint64, words+2),
+		b1: make([]uint64, words+2),
+		n:  len(ref),
+	}
+	for j, nt := range ref {
+		w, b := 1+j/64, uint(j%64)
+		p.b0[w] |= uint64(nt&1) << b
+		p.b1[w] |= uint64(nt>>1&1) << b
+	}
+	return p
+}
+
+// fetch returns the 64 plane bits starting at element offset off (may be
+// negative or beyond the end; out-of-range bits read 0 = A, matching the
+// hardware's reset state).
+func fetch(plane []uint64, off int) uint64 {
+	// plane has one padding word at the front.
+	off += 64
+	w := off >> 6
+	s := uint(off & 63)
+	if w < 0 || w >= len(plane) {
+		return 0
+	}
+	v := plane[w] >> s
+	if s != 0 && w+1 < len(plane) {
+		v |= plane[w+1] << (64 - s)
+	}
+	return v
+}
+
+// compiledElem is one query element's bit-parallel form: accept masks over
+// the current nucleotide for both values of the dependent bit S, plus
+// which plane supplies S.
+type compiledElem struct {
+	dep backtrans.DepSource
+	// mask0/mask1: bit v set ⇔ the element matches nucleotide v when
+	// S=0 / S=1. Equal masks mean no dependency.
+	mask0, mask1 uint8
+}
+
+func compile(ins isa.Instruction) compiledElem {
+	var c compiledElem
+	elem, err := isa.Decode(ins)
+	if err == nil && elem.Type == backtrans.TypeIII {
+		c.dep = elem.Func.Dependency()
+	}
+	for v := bio.Nucleotide(0); v < 4; v++ {
+		// Choose prev nucleotides that force S to each value through the
+		// element's own dependency; for DepNone both probes coincide.
+		if ins.Matches(v, prevFor(c.dep, 0), prevFor2(c.dep, 0)) {
+			c.mask0 |= 1 << v
+		}
+		if ins.Matches(v, prevFor(c.dep, 1), prevFor2(c.dep, 1)) {
+			c.mask1 |= 1 << v
+		}
+	}
+	return c
+}
+
+// prevFor returns a prev1 nucleotide whose relevant bit equals s (A=00,
+// G=10 toggle bit1; C=01 toggles bit0 — covered by prevFor2).
+func prevFor(dep backtrans.DepSource, s uint8) bio.Nucleotide {
+	if dep == backtrans.DepPrev1Hi && s == 1 {
+		return bio.G
+	}
+	return bio.A
+}
+
+func prevFor2(dep backtrans.DepSource, s uint8) bio.Nucleotide {
+	switch dep {
+	case backtrans.DepPrev2Hi:
+		if s == 1 {
+			return bio.G
+		}
+	case backtrans.DepPrev2Lo:
+		if s == 1 {
+			return bio.C
+		}
+	}
+	return bio.A
+}
+
+// maskEval evaluates a 4-entry accept mask over the current-nucleotide
+// planes: returns the positions whose nucleotide is in the mask.
+func maskEval(mask uint8, c0, c1 uint64) uint64 {
+	var m uint64
+	if mask&1 != 0 { // A = 00
+		m |= ^c1 & ^c0
+	}
+	if mask&2 != 0 { // C = 01
+		m |= ^c1 & c0
+	}
+	if mask&4 != 0 { // G = 10
+		m |= c1 & ^c0
+	}
+	if mask&8 != 0 { // U = 11
+		m |= c1 & c0
+	}
+	return m
+}
+
+// Kernel is a compiled bit-parallel query.
+type Kernel struct {
+	elems     []compiledElem
+	threshold int
+	// scoreBits is the vertical-counter depth (fits the max score).
+	scoreBits int
+	// parallelism bounds Align's workers (0 = GOMAXPROCS).
+	parallelism int
+}
+
+// NewKernel compiles an encoded query for the given hit threshold.
+func NewKernel(prog isa.Program, threshold int) (*Kernel, error) {
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("bitpar: empty program")
+	}
+	if threshold < 0 || threshold > len(prog) {
+		return nil, fmt.Errorf("bitpar: threshold %d outside [0,%d]", threshold, len(prog))
+	}
+	k := &Kernel{threshold: threshold, scoreBits: 1}
+	for 1<<uint(k.scoreBits) <= len(prog) {
+		k.scoreBits++
+	}
+	for _, ins := range prog {
+		k.elems = append(k.elems, compile(ins))
+	}
+	return k, nil
+}
+
+// QueryElems returns the compiled query length.
+func (k *Kernel) QueryElems() int { return len(k.elems) }
+
+// Threshold returns the configured hit threshold.
+func (k *Kernel) Threshold() int { return k.threshold }
+
+// Planes is a reference packed into bit-planes, reusable across many
+// kernels — the batch workload packs the database once and scans it with
+// every query.
+type Planes struct {
+	p *planes
+}
+
+// PackReference packs a reference for repeated AlignPlanes calls.
+func PackReference(ref bio.NucSeq) *Planes {
+	return &Planes{p: packPlanes(ref)}
+}
+
+// Len returns the packed reference length in nucleotides.
+func (pp *Planes) Len() int { return pp.p.n }
+
+// AlignPlanes scans a pre-packed reference (see PackReference).
+func (k *Kernel) AlignPlanes(pp *Planes) []Hit {
+	return k.alignPacked(pp.p)
+}
+
+// Align scans the reference and returns every window position whose score
+// reaches the threshold, in position order. Large references parallelize
+// across blocks (set Parallelism to bound workers).
+func (k *Kernel) Align(ref bio.NucSeq) []Hit {
+	return k.alignPacked(packPlanes(ref))
+}
+
+func (k *Kernel) alignPacked(p *planes) []Hit {
+	n := p.n - len(k.elems) + 1
+	if n <= 0 {
+		return nil
+	}
+
+	workers := k.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if w := n/(1<<16) + 1; workers > w {
+		workers = w
+	}
+	if workers <= 1 {
+		return k.alignBlocks(p, 0, n)
+	}
+	// Split into worker ranges aligned to 64-position blocks.
+	blocks := (n + 63) / 64
+	per := (blocks + workers - 1) / workers
+	results := make([][]Hit, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per * 64
+		hi := (w + 1) * per * 64
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = k.alignBlocks(p, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var hits []Hit
+	for _, r := range results {
+		hits = append(hits, r...)
+	}
+	return hits
+}
+
+// SetParallelism bounds Align's worker goroutines (0 = GOMAXPROCS).
+func (k *Kernel) SetParallelism(p int) { k.parallelism = p }
+
+// alignBlocks scans window starts [lo, hi) where lo is 64-aligned.
+func (k *Kernel) alignBlocks(p *planes, lo, n int) []Hit {
+	var hits []Hit
+	counters := make([]uint64, k.scoreBits)
+	for p0 := lo; p0 < n; p0 += 64 {
+		for i := range counters {
+			counters[i] = 0
+		}
+		for i, e := range k.elems {
+			c0 := fetch(p.b0, p0+i)
+			c1 := fetch(p.b1, p0+i)
+			var m uint64
+			if e.mask0 == e.mask1 {
+				m = maskEval(e.mask0, c0, c1)
+			} else {
+				// Dependent comparison: mux the two accept functions on
+				// the selected earlier-reference bit-plane, exactly like
+				// the hardware's multiplexer LUT.
+				s := k.depPlane(p, e.dep, p0, i)
+				m = s&maskEval(e.mask1, c0, c1) | ^s&maskEval(e.mask0, c0, c1)
+			}
+			// Vertical counter += m (carry-save; the carry chain is short
+			// in practice).
+			carry := m
+			for b := 0; b < k.scoreBits && carry != 0; b++ {
+				old := counters[b]
+				counters[b] = old ^ carry
+				carry = old & carry
+			}
+		}
+
+		// Extract scores above threshold.
+		limit := n - p0
+		if limit > 64 {
+			limit = 64
+		}
+		ge := k.geThreshold(counters)
+		ge &= lowMask(limit)
+		for ge != 0 {
+			j := bits.TrailingZeros64(ge)
+			ge &= ge - 1
+			score := 0
+			for b := 0; b < k.scoreBits; b++ {
+				score |= int(counters[b]>>uint(j)&1) << uint(b)
+			}
+			hits = append(hits, Hit{Pos: p0 + j, Score: score})
+		}
+	}
+	return hits
+}
+
+// depPlane fetches the dependent-bit plane for element i of the block at
+// p0: the selected bit of the reference nucleotide one or two positions
+// before offset p0+i.
+func (k *Kernel) depPlane(p *planes, dep backtrans.DepSource, p0, i int) uint64 {
+	switch dep {
+	case backtrans.DepPrev1Hi:
+		return fetch(p.b1, p0+i-1)
+	case backtrans.DepPrev2Hi:
+		return fetch(p.b1, p0+i-2)
+	case backtrans.DepPrev2Lo:
+		return fetch(p.b0, p0+i-2)
+	}
+	return 0
+}
+
+// geThreshold returns a bitmask of lanes whose vertical counter is >= the
+// threshold, using the same LSB-first comparison as the hardware's
+// CompareGEConst.
+func (k *Kernel) geThreshold(counters []uint64) uint64 {
+	if k.threshold == 0 {
+		return ^uint64(0)
+	}
+	ge := ^uint64(0)
+	for b := 0; b < k.scoreBits; b++ {
+		if k.threshold>>uint(b)&1 == 1 {
+			ge = counters[b] & ge
+		} else {
+			ge = counters[b] | ge
+		}
+	}
+	return ge
+}
+
+func lowMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"fabp/internal/rtl"
+)
+
+// NetlistConfig parameterizes the generated FabP datapath.
+type NetlistConfig struct {
+	// QueryElems is the number of back-translated query elements (3 × the
+	// protein length). The paper's builds support up to 150 (FabP-50) and
+	// 750 (FabP-250).
+	QueryElems int
+	// Beat is the number of reference elements delivered per AXI data
+	// transfer; the paper's 512-bit port carries 256. Small values keep
+	// test netlists tractable.
+	Beat int
+	// Threshold is the minimum alignment score that produces a hit.
+	Threshold int
+	// Pop selects the pop-counter implementation.
+	Pop PopVariant
+	// PipelinedPop inserts register stages through the pop-counter (the
+	// paper's Fig. 4 "pipelined Pop-Counter"), trading latency for clock
+	// rate. Full-rate builds only.
+	PipelinedPop bool
+	// Iterations segments the query: each beat is processed over this many
+	// cycles with comparators sized for one segment and an accumulator
+	// summing partial scores (§III-C long-query operation). 0 or 1 builds
+	// the full-rate datapath.
+	Iterations int
+	// WriteBack adds the §III-C write-back unit: hits drain through a
+	// priority encoder into a staging FIFO and leave as (position, score)
+	// records on a pop interface. Requires a power-of-two Beat and a
+	// full-rate build (Iterations <= 1).
+	WriteBack bool
+	// BeatBits sizes the write-back beat counter (default 16).
+	BeatBits int
+	// WBDepth sizes the write-back staging FIFO (default 8).
+	WBDepth int
+}
+
+// Validate checks the configuration.
+func (c NetlistConfig) Validate() error {
+	if c.QueryElems <= 0 {
+		return fmt.Errorf("core: QueryElems must be positive, got %d", c.QueryElems)
+	}
+	if c.Beat <= 0 {
+		return fmt.Errorf("core: Beat must be positive, got %d", c.Beat)
+	}
+	if c.Threshold < 0 || c.Threshold > c.QueryElems {
+		return fmt.Errorf("core: Threshold %d outside [0,%d]", c.Threshold, c.QueryElems)
+	}
+	if c.WriteBack && c.Beat&(c.Beat-1) != 0 {
+		return fmt.Errorf("core: write-back requires a power-of-two Beat, got %d", c.Beat)
+	}
+	if c.Iterations > 1 {
+		if c.WriteBack {
+			return fmt.Errorf("core: write-back is only wired for full-rate builds")
+		}
+		if c.PipelinedPop {
+			return fmt.Errorf("core: pipelined pop-counter is only wired for full-rate builds")
+		}
+		if c.Iterations > c.QueryElems {
+			return fmt.Errorf("core: %d iterations exceed %d query elements", c.Iterations, c.QueryElems)
+		}
+	}
+	return nil
+}
+
+// AccelPorts exposes the generated accelerator's port signals for a
+// testbench or simulator harness.
+type AccelPorts struct {
+	// QueryLoad enables capturing Query into the query flip-flops.
+	QueryLoad rtl.Signal
+	// Query carries the encoded query: 6 signals per element, element 0
+	// first.
+	Query [][6]rtl.Signal
+	// BeatValid qualifies Beat for one cycle (the AXI read handshake).
+	BeatValid rtl.Signal
+	// Beat carries one reference transfer: Beat[i] is element i (2 bits).
+	Beat []RefBit
+	// Hits are the per-instance hit outputs, one per beat position; hit k
+	// of a beat corresponds to the window starting Lq-1 elements before
+	// beat element k... (see Engine for the global position mapping).
+	Hits []rtl.Signal
+	// Scores are the per-instance registered score buses.
+	Scores [][]rtl.Signal
+	// HitsValid is 1 when Hits/Scores correspond to a processed beat
+	// (BeatValid delayed by the pipeline depth).
+	HitsValid rtl.Signal
+	// WB holds the write-back unit's ports when the configuration enables
+	// it (nil otherwise).
+	WB *WriteBackPorts
+	// Latency is the number of clock edges between a beat's acceptance and
+	// its hits appearing on the outputs (PipelineDepth for the full-rate
+	// build; Iterations+1 for segmented builds).
+	Latency int
+	// BeatInterval is the minimum number of cycles between accepted beats
+	// (1 for full rate; Iterations for segmented builds — the §III-C
+	// effective-bandwidth division).
+	BeatInterval int
+}
+
+// PipelineDepth is the number of cycles between a valid beat entering the
+// reference buffer and its hits appearing on the outputs: one cycle for the
+// buffer itself, one for the match register, one for the score register.
+const PipelineDepth = 3
+
+// BuildNetlist generates the complete FabP streaming datapath (§III-C,
+// Fig. 3): query storage in flip-flops, the (Lq+Beat)-element reference
+// stream buffer with the Lq-element carry between consecutive beats, Beat
+// alignment instances, pop-counters and threshold comparators.
+//
+// The generated module is fully synchronous with one clock; the returned
+// ports let a harness drive AXI beats and observe hits. Resource counts of
+// the result are exact and feed the Table I model validation.
+func BuildNetlist(cfg NetlistConfig) (*rtl.Netlist, *AccelPorts, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Iterations > 1 {
+		return buildSegmentedNetlist(cfg)
+	}
+	n := rtl.New(fmt.Sprintf("fabp_q%d_b%d", cfg.QueryElems, cfg.Beat))
+	ports := &AccelPorts{}
+
+	// Query storage: 6 FFs per element, loaded while QueryLoad is high.
+	ports.QueryLoad = n.Input("qload")
+	ports.Query = make([][6]rtl.Signal, cfg.QueryElems)
+	query := make([][6]rtl.Signal, cfg.QueryElems)
+	for i := 0; i < cfg.QueryElems; i++ {
+		for b := 0; b < 6; b++ {
+			in := n.Input(fmt.Sprintf("q%d_%d", i, b))
+			ports.Query[i][b] = in
+			query[i][b] = n.DFFE(in, ports.QueryLoad)
+		}
+	}
+
+	// AXI beat input.
+	ports.BeatValid = n.Input("beat_valid")
+	ports.Beat = make([]RefBit, cfg.Beat)
+	for i := 0; i < cfg.Beat; i++ {
+		ports.Beat[i] = RefBit{
+			n.Input(fmt.Sprintf("beat%d_0", i)),
+			n.Input(fmt.Sprintf("beat%d_1", i)),
+		}
+	}
+
+	// Reference stream buffer: Lq + Beat nucleotides. On each valid beat
+	// the last Lq elements shift down and the new beat fills the top
+	// ("FabP keeps the last Lq elements of the current Reference Stream
+	// buffer and concatenates it with the next incoming reference").
+	bufLen := cfg.QueryElems + cfg.Beat
+	refBuf := make([]RefBit, bufLen)
+	// Allocate Q outputs first so D connections can reference them.
+	for i := range refBuf {
+		// Placeholder; filled below with real DFFs.
+		refBuf[i] = RefBit{}
+	}
+	// The D of carry position i is the Q of position i+Beat, which is
+	// itself a DFF. Build from the top (new data) down so sources exist.
+	// DFF Q signals are created on instantiation; we need forward
+	// references, so instantiate in two passes using intermediate wires is
+	// unnecessary: position i+Beat may itself be a carry position when
+	// Beat < Lq. Build top region first, then carries in descending index
+	// order (i from Lq-1 down to 0 reads i+Beat which is already built).
+	for j := 0; j < cfg.Beat; j++ {
+		i := cfg.QueryElems + j
+		refBuf[i] = RefBit{
+			n.DFFE(ports.Beat[j][0], ports.BeatValid),
+			n.DFFE(ports.Beat[j][1], ports.BeatValid),
+		}
+		n.SetName(refBuf[i][0], fmt.Sprintf("refbuf%d_0", i))
+		n.SetName(refBuf[i][1], fmt.Sprintf("refbuf%d_1", i))
+	}
+	for i := cfg.QueryElems - 1; i >= 0; i-- {
+		src := refBuf[i+cfg.Beat]
+		refBuf[i] = RefBit{
+			n.DFFE(src[0], ports.BeatValid),
+			n.DFFE(src[1], ports.BeatValid),
+		}
+		n.SetName(refBuf[i][0], fmt.Sprintf("refbuf%d_0", i))
+		n.SetName(refBuf[i][1], fmt.Sprintf("refbuf%d_1", i))
+	}
+
+	// Valid pipeline: beats take one cycle to enter the buffer, then the
+	// instance pipeline adds two more stages (or 1 + the pop-counter's
+	// register stages in the pipelined-pop build).
+	v1 := n.DFF(ports.BeatValid)
+	v2 := n.DFF(v1)
+
+	zeroRef := RefBit{rtl.Zero, rtl.Zero}
+	at := func(i int) RefBit {
+		if i < 0 {
+			return zeroRef
+		}
+		return refBuf[i]
+	}
+
+	// Alignment instances: instance k windows refBuf[k+1 .. k+Lq], the k-th
+	// new alignment position of this beat.
+	ports.Hits = make([]rtl.Signal, cfg.Beat)
+	ports.Scores = make([][]rtl.Signal, cfg.Beat)
+	window := make([]RefBit, cfg.QueryElems)
+	prev1 := make([]RefBit, cfg.QueryElems)
+	prev2 := make([]RefBit, cfg.QueryElems)
+	popStages := 0
+	for k := 0; k < cfg.Beat; k++ {
+		for i := 0; i < cfg.QueryElems; i++ {
+			window[i] = at(k + 1 + i)
+			prev1[i] = at(k + i)
+			prev2[i] = at(k + i - 1)
+		}
+		if cfg.PipelinedPop {
+			// Free-running pipeline: comparator -> match register ->
+			// registered pop-counter stages; validity rides the delay
+			// chain instead of per-stage enables.
+			matches := make([]rtl.Signal, cfg.QueryElems)
+			for i := range matches {
+				m := ComparatorCell(n, query[i], window[i], prev1[i], prev2[i])
+				matches[i] = n.DFF(m)
+			}
+			sum, stages := BuildPopCountPipelined(n, matches, rtl.One)
+			popStages = stages
+			score := trimWidth(sum, ScoreWidth(cfg.QueryElems))
+			ports.Hits[k] = n.CompareGEConst(score, uint(cfg.Threshold))
+			ports.Scores[k] = score
+		} else {
+			res := BuildInstance(n, query, window, prev1, prev2, cfg.Threshold, cfg.Pop, v1, v2)
+			ports.Hits[k] = res.Hit
+			ports.Scores[k] = res.Score
+		}
+		n.Output(fmt.Sprintf("hit_%d", k), ports.Hits[k])
+		n.OutputBus(fmt.Sprintf("score_%d", k), ports.Scores[k])
+	}
+
+	// Hits-valid: beat_valid delayed by the instance pipeline depth.
+	depth := PipelineDepth
+	if cfg.PipelinedPop {
+		depth = 2 + popStages // refbuf + match register + pop stages
+	}
+	hv := v2 // two delays so far (v1, v2)
+	for i := 2; i < depth; i++ {
+		hv = n.DFF(hv)
+	}
+	ports.HitsValid = hv
+	n.SetName(ports.HitsValid, "hits_valid")
+	n.Output("hits_valid", ports.HitsValid)
+
+	if cfg.WriteBack {
+		beatBits := cfg.BeatBits
+		if beatBits == 0 {
+			beatBits = 16
+		}
+		depth := cfg.WBDepth
+		if depth == 0 {
+			depth = 8
+		}
+		recPop := n.Input("wb_pop")
+		wb, err := BuildWriteBack(n, ports.Hits, ports.Scores, ports.HitsValid, recPop, beatBits, depth)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Output("wb_valid", wb.RecValid)
+		n.OutputBus("wb_pos", wb.RecPos)
+		n.OutputBus("wb_score", wb.RecScore)
+		n.Output("wb_busy", wb.Busy)
+		n.Output("wb_overflow", wb.Overflow)
+		ports.WB = wb
+	}
+
+	ports.Latency = depth
+	ports.BeatInterval = 1
+
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return n, ports, nil
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fabp/internal/backtrans"
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+	"fabp/internal/rtl"
+)
+
+// TestComparatorCellExhaustive proves the 2-LUT hardware cell equal to the
+// instruction matcher for every valid element and every reference context.
+func TestComparatorCellExhaustive(t *testing.T) {
+	n := rtl.New("cmp")
+	q := [6]rtl.Signal{}
+	for i := range q {
+		q[i] = n.Input("q")
+	}
+	ref := RefBit{n.Input("r0"), n.Input("r1")}
+	p1 := RefBit{n.Input("p10"), n.Input("p11")}
+	p2 := RefBit{n.Input("p20"), n.Input("p21")}
+	out := ComparatorCell(n, q, ref, p1, p2)
+	if n.Stats().LUTs != CompareLUTsPerElement {
+		t.Fatalf("comparator uses %d LUTs, paper says %d", n.Stats().LUTs, CompareLUTsPerElement)
+	}
+	sim, err := rtl.NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var elems []backtrans.Element
+	for nt := bio.Nucleotide(0); nt < 4; nt++ {
+		elems = append(elems, backtrans.Exact(nt))
+	}
+	for c := backtrans.Condition(0); c <= backtrans.CondAC; c++ {
+		elems = append(elems, backtrans.Conditional(c))
+	}
+	for f := backtrans.Function(0); f <= backtrans.FuncD; f++ {
+		elems = append(elems, backtrans.Dependent(f))
+	}
+	for _, e := range elems {
+		ins := isa.MustEncode(e)
+		for i := range q {
+			sim.Set(q[i], ins.Q(uint(i)))
+		}
+		for r := bio.Nucleotide(0); r < 4; r++ {
+			for a := bio.Nucleotide(0); a < 4; a++ {
+				for b := bio.Nucleotide(0); b < 4; b++ {
+					sim.Set(ref[0], r.Bit(0))
+					sim.Set(ref[1], r.Bit(1))
+					sim.Set(p1[0], a.Bit(0))
+					sim.Set(p1[1], a.Bit(1))
+					sim.Set(p2[0], b.Bit(0))
+					sim.Set(p2[1], b.Bit(1))
+					sim.Eval()
+					want := uint8(0)
+					if ins.Matches(r, a, b) {
+						want = 1
+					}
+					if got := sim.Get(out); got != want {
+						t.Fatalf("element %v ref=%v p1=%v p2=%v: hw=%d sw=%d", e, r, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConstInstructionSignals(t *testing.T) {
+	ins := isa.MustEncode(backtrans.Dependent(backtrans.FuncArg))
+	sigs := ConstInstructionSignals(ins)
+	for i, s := range sigs {
+		want := rtl.Zero
+		if ins.Q(uint(i)) == 1 {
+			want = rtl.One
+		}
+		if s != want {
+			t.Errorf("bit %d wrong", i)
+		}
+	}
+}
+
+func TestNetlistConfigValidate(t *testing.T) {
+	good := NetlistConfig{QueryElems: 6, Beat: 4, Threshold: 5}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []NetlistConfig{
+		{QueryElems: 0, Beat: 4},
+		{QueryElems: 6, Beat: 0},
+		{QueryElems: 6, Beat: 4, Threshold: -1},
+		{QueryElems: 6, Beat: 4, Threshold: 7},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, _, err := BuildNetlist(bad[0]); err == nil {
+		t.Error("BuildNetlist must propagate validation errors")
+	}
+}
+
+func TestNetlistRunnerRejectsLengthMismatch(t *testing.T) {
+	prog := isa.MustEncodeProtein(bio.ProtSeq{bio.Met})
+	if _, err := NewNetlistRunner(NetlistConfig{QueryElems: 6, Beat: 4, Threshold: 0}, prog); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+// TestNetlistMatchesEngine is the central hardware-correctness proof: the
+// cycle-accurate simulation of the generated FabP netlist produces exactly
+// the hits of the software Engine, across query lengths, beat widths,
+// thresholds and random references.
+func TestNetlistMatchesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		residues, beat int
+	}{
+		{2, 4},
+		{3, 8},
+		{4, 4},
+		{5, 16},
+		{4, 3}, // beat smaller than query
+	}
+	for _, tc := range cases {
+		p := bio.RandomProtSeq(rng, tc.residues)
+		prog := isa.MustEncodeProtein(p)
+		threshold := len(prog) / 2
+		cfg := NetlistConfig{
+			QueryElems: len(prog),
+			Beat:       tc.beat,
+			Threshold:  threshold,
+		}
+		runner, err := NewNetlistRunner(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine, err := NewEngine(prog, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			ref := bio.RandomNucSeq(rng, 40+rng.Intn(100))
+			hw := runner.Align(ref)
+			sw := engine.Align(ref)
+			if !reflect.DeepEqual(hw, sw) {
+				t.Fatalf("res=%d beat=%d trial=%d: hw %v != sw %v",
+					tc.residues, tc.beat, trial, hw, sw)
+			}
+		}
+	}
+}
+
+// TestNetlistStallInsensitivity injects random AXI stalls; results must be
+// bit-identical, only cycle counts change (§III-C: "all the stages of the
+// FabP will be stalled").
+func TestNetlistStallInsensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := bio.RandomProtSeq(rng, 3)
+	prog := isa.MustEncodeProtein(p)
+	cfg := NetlistConfig{QueryElems: len(prog), Beat: 8, Threshold: 4}
+	runner, err := NewNetlistRunner(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := bio.RandomNucSeq(rng, 120)
+	clean := runner.Align(ref)
+	cleanCycles := runner.Cycles()
+	numBeats := (len(ref) + cfg.Beat - 1) / cfg.Beat
+	stalls := make([]int, numBeats)
+	total := 0
+	for i := range stalls {
+		stalls[i] = rng.Intn(4)
+		total += stalls[i]
+	}
+	stalled := runner.AlignWithStalls(ref, stalls)
+	if !reflect.DeepEqual(clean, stalled) {
+		t.Fatalf("stalls changed results: %v vs %v", clean, stalled)
+	}
+	if runner.Cycles() != cleanCycles+total {
+		t.Errorf("cycles %d, want %d+%d", runner.Cycles(), cleanCycles, total)
+	}
+}
+
+// TestNetlistPerfectHit plants an exact gene and checks the hardware
+// reports a full score at the right position.
+func TestNetlistPerfectHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := bio.ProtSeq{bio.Met, bio.Lys, bio.Trp, bio.Glu}
+	gene := bio.EncodeGene(rng, p)
+	ref := bio.RandomNucSeq(rng, 64)
+	pos := 17
+	copy(ref[pos:], gene)
+	prog := isa.MustEncodeProtein(p)
+	cfg := NetlistConfig{QueryElems: len(prog), Beat: 8, Threshold: len(prog)}
+	runner, err := NewNetlistRunner(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := runner.Align(ref)
+	found := false
+	for _, h := range hits {
+		if h.Pos == pos {
+			found = true
+			if h.Score != len(prog) {
+				t.Errorf("score %d, want %d", h.Score, len(prog))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("planted gene not found in %v", hits)
+	}
+}
+
+// TestNetlistTreeAdderVariantEquivalent: the pop-counter variant must not
+// change results.
+func TestNetlistTreeAdderVariantEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := bio.RandomProtSeq(rng, 3)
+	prog := isa.MustEncodeProtein(p)
+	ref := bio.RandomNucSeq(rng, 80)
+	var results [][]Hit
+	for _, v := range []PopVariant{PopLUTOptimized, PopTree} {
+		cfg := NetlistConfig{QueryElems: len(prog), Beat: 4, Threshold: 3, Pop: v}
+		runner, err := NewNetlistRunner(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, runner.Align(ref))
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Error("pop-counter variant changed results")
+	}
+}
+
+// TestNetlistPaddedShortQuery runs a short query on a larger fixed build
+// via D-padding (§IV-A: a FabP-N bitstream serves any query ≤ N): interior
+// hits must match the unpadded engine with the bias-adjusted threshold.
+func TestNetlistPaddedShortQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	short := bio.RandomProtSeq(rng, 2) // 6 elements
+	prog := isa.MustEncodeProtein(short)
+	const buildElems = 12 // a FabP-4 build serving a 2-residue query
+	threshold := 4
+	padded, bias, err := prog.Pad(buildElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewNetlistRunner(NetlistConfig{
+		QueryElems: buildElems, Beat: 8, Threshold: threshold + bias,
+	}, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, _ := NewEngine(prog, threshold)
+	ref := bio.RandomNucSeq(rng, 150)
+
+	hw := runner.Align(ref)
+	sw := engine.Align(ref)
+	// The padded build cannot report windows whose padded extent runs past
+	// the reference end; compare the interior.
+	maxPos := len(ref) - buildElems
+	var swInterior []Hit
+	for _, h := range sw {
+		if h.Pos <= maxPos {
+			swInterior = append(swInterior, Hit{Pos: h.Pos, Score: h.Score + bias})
+		}
+	}
+	if len(hw) != len(swInterior) {
+		t.Fatalf("padded build %d hits, engine interior %d", len(hw), len(swInterior))
+	}
+	for i := range hw {
+		if hw[i] != swInterior[i] {
+			t.Fatalf("hit %d: %+v != %+v", i, hw[i], swInterior[i])
+		}
+	}
+}
+
+// TestNetlistResourceShape sanity-checks the structural cost model that the
+// fpga package's analytic estimator is calibrated against.
+func TestNetlistResourceShape(t *testing.T) {
+	cfg := NetlistConfig{QueryElems: 9, Beat: 4, Threshold: 5}
+	n, _, err := BuildNetlist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := n.Stats()
+	// Comparators alone: 2 LUTs × elems × instances.
+	minLUTs := CompareLUTsPerElement * cfg.QueryElems * cfg.Beat
+	if stats.LUTs < minLUTs {
+		t.Errorf("LUTs %d below comparator floor %d", stats.LUTs, minLUTs)
+	}
+	// FFs: query (6/elem) + refbuf (2×(elems+beat)) + match regs
+	// (elems×beat) + valid pipe (3) + score regs.
+	minFFs := 6*cfg.QueryElems + 2*(cfg.QueryElems+cfg.Beat) + cfg.QueryElems*cfg.Beat + 3
+	if stats.FFs < minFFs {
+		t.Errorf("FFs %d below floor %d", stats.FFs, minFFs)
+	}
+	t.Logf("q=%d beat=%d: %d LUTs, %d FFs", cfg.QueryElems, cfg.Beat, stats.LUTs, stats.FFs)
+}
+
+// TestNetlistVerilogEmission smoke-tests Verilog generation of a full
+// accelerator.
+func TestNetlistVerilogEmission(t *testing.T) {
+	cfg := NetlistConfig{QueryElems: 6, Beat: 2, Threshold: 4}
+	n, _, err := BuildNetlist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb sbWriter
+	if err := rtl.EmitVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb) < 1000 {
+		t.Error("verilog suspiciously small")
+	}
+}
+
+type sbWriter []byte
+
+func (s *sbWriter) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}

@@ -1,0 +1,56 @@
+// Package core implements the FabP accelerator itself: the two-LUT custom
+// comparator cell, the hand-crafted Pop36 pop-counter (and the naive
+// tree-adder variant it is compared against), per-position alignment
+// instances, the streaming alignment engine, and a generator that emits the
+// whole datapath as an rtl.Netlist with exact LUT/FF counts.
+//
+// Two implementations of the same semantics live here:
+//
+//   - Engine: a fast, bit-exact software model used for full-scale
+//     alignments and experiments;
+//   - BuildNetlist/BuildInstance/...: structural netlist generators whose
+//     cycle-accurate simulation is proven equivalent to Engine in tests.
+package core
+
+import (
+	"fabp/internal/isa"
+	"fabp/internal/rtl"
+)
+
+// CompareLUTsPerElement is the paper's headline figure: each query element
+// costs exactly two LUT6s (one multiplexer, one comparison table).
+const CompareLUTsPerElement = 2
+
+// RefBit is a 2-signal bus carrying one reference nucleotide (bit 0 first).
+type RefBit [2]rtl.Signal
+
+// ComparatorCell instantiates the paper's custom comparator (§III-D,
+// Fig. 5(a)): two LUT6s that decide whether query element q (6 instruction
+// bits, Q[0] first) can originate from reference nucleotide ref, given the
+// two preceding reference nucleotides prev1/prev2.
+//
+// LUT #1 multiplexes the dependent bit X from {Q[3], prev1[1], prev2[1],
+// prev2[0]} under the configuration bits Q[4:5]; LUT #2 holds the Fig. 5(b)
+// truth table.
+func ComparatorCell(n *rtl.Netlist, q [6]rtl.Signal, ref, prev1, prev2 RefBit) rtl.Signal {
+	// Input order must match isa.muxLUTIndex: I0=Q[3], I1=prev1[1],
+	// I2=prev2[1], I3=prev2[0], I4=Q[4], I5=Q[5].
+	x := n.LUT6(isa.MuxLUTInit, q[3], prev1[1], prev2[1], prev2[0], q[4], q[5])
+	// Input order must match isa.compareLUTIndex: I0=ref[0], I1=ref[1],
+	// I2=X, I3=Q[2], I4=Q[1], I5=Q[0].
+	return n.LUT6(isa.CompareLUTInit, ref[0], ref[1], x, q[2], q[1], q[0])
+}
+
+// ConstInstructionSignals expands an instruction into six constant netlist
+// signals, for builds where the query is baked into the bitstream.
+func ConstInstructionSignals(ins isa.Instruction) [6]rtl.Signal {
+	var q [6]rtl.Signal
+	for i := range q {
+		if ins.Q(uint(i)) == 1 {
+			q[i] = rtl.One
+		} else {
+			q[i] = rtl.Zero
+		}
+	}
+	return q
+}

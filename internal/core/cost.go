@@ -1,0 +1,38 @@
+package core
+
+import (
+	"sync"
+
+	"fabp/internal/rtl"
+)
+
+// PopCountLUTs returns the exact LUT6 count of a pop-counter of the given
+// width and variant, by generating the netlist and counting. Results are
+// memoized; the fpga resource estimator uses these exact figures rather
+// than an approximation.
+func PopCountLUTs(width int, v PopVariant) int {
+	if width <= 0 {
+		return 0
+	}
+	popCostMu.Lock()
+	defer popCostMu.Unlock()
+	key := popKey{width, v}
+	if c, ok := popCostCache[key]; ok {
+		return c
+	}
+	n := rtl.New("cost")
+	BuildPopCount(n, n.InputBus("x", width), v)
+	c := n.Stats().LUTs
+	popCostCache[key] = c
+	return c
+}
+
+type popKey struct {
+	width int
+	v     PopVariant
+}
+
+var (
+	popCostMu    sync.Mutex
+	popCostCache = map[popKey]int{}
+)

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"fabp/internal/rtl"
+)
+
+// ScoreWidth returns the register width needed for an alignment score over
+// queryElems elements (the paper notes 10 bits for its maximum query of
+// 750 elements).
+func ScoreWidth(queryElems int) int {
+	w := 1
+	for 1<<uint(w) <= queryElems {
+		w++
+	}
+	return w
+}
+
+// InstanceResult exposes the nets an alignment instance produces.
+type InstanceResult struct {
+	// Matches are the registered per-element comparator outputs.
+	Matches []rtl.Signal
+	// Score is the registered alignment score bus (bit 0 first).
+	Score []rtl.Signal
+	// Hit is 1 when Score >= threshold (combinational on Score).
+	Hit rtl.Signal
+}
+
+// BuildInstance assembles one alignment instance (§III-C): one comparator
+// cell per query element, a register stage on the match bits, a pop-counter
+// producing the score, a score register, and a threshold comparator.
+//
+// query holds 6 signals per element; window holds one RefBit per element
+// plus context accessors via the prev slices (prev1[i]/prev2[i] are the
+// reference nucleotides one/two positions before window[i]).
+// matchEn enables the match-bit register stage (asserted the cycle the
+// reference buffer holds the beat); scoreEn enables the score register one
+// stage later.
+func BuildInstance(n *rtl.Netlist, query [][6]rtl.Signal, window, prev1, prev2 []RefBit,
+	threshold int, pop PopVariant, matchEn, scoreEn rtl.Signal) InstanceResult {
+	if len(window) != len(query) || len(prev1) != len(query) || len(prev2) != len(query) {
+		panic(fmt.Sprintf("core: instance wiring mismatch: q=%d w=%d p1=%d p2=%d",
+			len(query), len(window), len(prev1), len(prev2)))
+	}
+	matches := make([]rtl.Signal, len(query))
+	for i := range query {
+		m := ComparatorCell(n, query[i], window[i], prev1[i], prev2[i])
+		matches[i] = n.DFFE(m, matchEn)
+	}
+	sum := BuildPopCount(n, matches, pop)
+	sumReg := n.RegisterBus(trimWidth(sum, ScoreWidth(len(query))), scoreEn)
+	hit := n.CompareGEConst(sumReg, uint(threshold))
+	return InstanceResult{Matches: matches, Score: sumReg, Hit: hit}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+	"fabp/internal/rtl"
+)
+
+// TestPipelinedPopCountCorrect: the registered pop-counter computes the
+// same sums, shifted by its latency.
+func TestPipelinedPopCountCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, width := range []int{1, 6, 13, 36, 50} {
+		n := rtl.New("pp")
+		in := n.InputBus("x", width)
+		sum, latency := BuildPopCountPipelined(n, in, rtl.One)
+		if latency < 1 {
+			t.Fatalf("width %d: latency %d", width, latency)
+		}
+		sim, err := rtl.NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Feed a stream of random vectors; expect each popcount latency
+		// cycles later.
+		var fed []uint64
+		for cycle := 0; cycle < 40; cycle++ {
+			v := rng.Uint64() & (1<<uint(width) - 1)
+			sim.SetBus(in, v)
+			sim.Eval()
+			if cycle >= latency {
+				want := popcountBits(fed[cycle-latency])
+				if got := sim.GetBus(sum); got != want {
+					t.Fatalf("width %d cycle %d: sum %d, want %d", width, cycle, got, want)
+				}
+			}
+			fed = append(fed, v)
+			sim.Step()
+		}
+	}
+}
+
+func popcountBits(v uint64) uint64 {
+	var n uint64
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// TestPipelinedNetlistMatchesEngine: the pipelined-pop datapath is one
+// more bit-exact rendering of the same semantics.
+func TestPipelinedNetlistMatchesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	p := bio.RandomProtSeq(rng, 4)
+	prog := isa.MustEncodeProtein(p)
+	threshold := len(prog) / 2
+	cfg := NetlistConfig{
+		QueryElems: len(prog), Beat: 8, Threshold: threshold, PipelinedPop: true,
+	}
+	runner, err := NewNetlistRunner(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.ports.Latency <= PipelineDepth {
+		t.Errorf("pipelined latency %d should exceed %d", runner.ports.Latency, PipelineDepth)
+	}
+	engine, _ := NewEngine(prog, threshold)
+	for trial := 0; trial < 3; trial++ {
+		ref := bio.RandomNucSeq(rng, 60+rng.Intn(100))
+		hw := runner.Align(ref)
+		sw := engine.Align(ref)
+		if !reflect.DeepEqual(hw, sw) {
+			t.Fatalf("trial %d: hw %v != sw %v", trial, hw, sw)
+		}
+	}
+}
+
+// TestPipelinedReducesDepth: the point of the exercise — shallower logic
+// between registers.
+func TestPipelinedReducesDepth(t *testing.T) {
+	base := NetlistConfig{QueryElems: 36, Beat: 4, Threshold: 20}
+	flat, _, err := BuildNetlist(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped := base
+	piped.PipelinedPop = true
+	deep, _, err := BuildNetlist(piped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFlat, _ := flat.Depth()
+	dPiped, _ := deep.Depth()
+	if dPiped >= dFlat {
+		t.Errorf("pipelined depth %d should undercut flat %d", dPiped, dFlat)
+	}
+	if deep.Stats().FFs <= flat.Stats().FFs {
+		t.Error("pipelining must add registers")
+	}
+	t.Logf("flat depth %d (Fmax %.0f MHz) -> pipelined depth %d (Fmax %.0f MHz)",
+		dFlat, rtl.FMaxEstimate(dFlat)/1e6, dPiped, rtl.FMaxEstimate(dPiped)/1e6)
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	cfg := NetlistConfig{QueryElems: 6, Beat: 4, Threshold: 3, Iterations: 2, PipelinedPop: true}
+	if err := cfg.Validate(); err == nil {
+		t.Error("pipelined pop with segmentation must fail")
+	}
+}
+
+// TestPipelinedStallInsensitivity: bubbles flow through the free-running
+// pipeline without corrupting results.
+func TestPipelinedStallInsensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	p := bio.RandomProtSeq(rng, 3)
+	prog := isa.MustEncodeProtein(p)
+	cfg := NetlistConfig{QueryElems: len(prog), Beat: 4, Threshold: 5, PipelinedPop: true}
+	runner, err := NewNetlistRunner(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := bio.RandomNucSeq(rng, 100)
+	clean := runner.Align(ref)
+	stalls := make([]int, (len(ref)+3)/4)
+	for i := range stalls {
+		stalls[i] = rng.Intn(4)
+	}
+	stalled := runner.AlignWithStalls(ref, stalls)
+	if !reflect.DeepEqual(clean, stalled) {
+		t.Error("stalls corrupted the pipelined datapath")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import "fabp/internal/rtl"
+
+// This file implements the paper's hand-crafted Pop-Counter (§III-D,
+// Fig. 4) and the naive tree-adder pop-counter it is evaluated against.
+// Pop-counters dominate FabP's area after the comparators — there is one
+// per alignment instance — so the paper optimizes them at LUT level and
+// reports ~20 % area reduction over a plain HDL tree adder.
+
+// countOf6 produces the 3-bit population count of up to six bits using one
+// LUT per output bit — the building block of Pop36's first stage ("six
+// groups of three-LUTs that share six inputs").
+func countOf6(n *rtl.Netlist, bits []rtl.Signal) []rtl.Signal {
+	if len(bits) == 0 {
+		return []rtl.Signal{rtl.Zero}
+	}
+	if len(bits) == 1 {
+		return []rtl.Signal{bits[0]}
+	}
+	if len(bits) > 6 {
+		panic("core: countOf6 takes at most 6 bits")
+	}
+	var in [6]rtl.Signal
+	for i := range in {
+		if i < len(bits) {
+			in[i] = bits[i]
+		} else {
+			in[i] = rtl.Zero
+		}
+	}
+	width := 2
+	if len(bits) > 3 {
+		width = 3
+	}
+	out := make([]rtl.Signal, width)
+	for b := 0; b < width; b++ {
+		var init uint64
+		for idx := uint(0); idx < 64; idx++ {
+			pop := uint(0)
+			for k := uint(0); k < uint(len(bits)); k++ {
+				pop += idx >> k & 1
+			}
+			if pop>>uint(b)&1 == 1 {
+				init |= 1 << idx
+			}
+		}
+		out[b] = n.LUT6(init, in[0], in[1], in[2], in[3], in[4], in[5])
+	}
+	return out
+}
+
+// Pop36 is the paper's optimized 36-bit population counter. The first stage
+// compresses the 36 inputs into six 3-bit counts (18 LUTs). The second
+// stage sums the six counts "according to their bit order": the six bit-0
+// lines are themselves popcounted (3 LUTs), likewise bit-1 and bit-2, and
+// the three column counts are recombined with their positional weights by a
+// small ripple adder. Total: 27 LUTs + the final adder.
+func Pop36(n *rtl.Netlist, bits []rtl.Signal) []rtl.Signal {
+	if len(bits) != 36 {
+		panic("core: Pop36 takes exactly 36 bits")
+	}
+	// Stage 1: six count-of-6 groups.
+	counts := make([][]rtl.Signal, 6)
+	for g := 0; g < 6; g++ {
+		counts[g] = countOf6(n, bits[6*g:6*g+6])
+	}
+	// Stage 2: column-wise compression.
+	column := func(bit int) []rtl.Signal {
+		col := make([]rtl.Signal, 6)
+		for g := 0; g < 6; g++ {
+			col[g] = counts[g][bit]
+		}
+		return countOf6(n, col)
+	}
+	c0 := column(0)               // weight 1
+	c1 := shiftLeft(column(1), 1) // weight 2
+	c2 := shiftLeft(column(2), 2) // weight 4
+	// Sum: max value 36 fits in 6 bits.
+	sum := n.AddBus(n.AddBus(c0, c1), c2)
+	return trimWidth(sum, 6)
+}
+
+// shiftLeft multiplies a bus by 2^k by prepending constant-zero bits.
+func shiftLeft(bus []rtl.Signal, k int) []rtl.Signal {
+	out := make([]rtl.Signal, k, k+len(bus))
+	for i := range out {
+		out[i] = rtl.Zero
+	}
+	return append(out, bus...)
+}
+
+// trimWidth drops constant-zero high bits beyond width (sums are padded by
+// ripple carries that cannot assert for popcount value ranges).
+func trimWidth(bus []rtl.Signal, width int) []rtl.Signal {
+	if len(bus) <= width {
+		return bus
+	}
+	return bus[:width]
+}
+
+// PopCountOptimized builds the paper's pop-counter for any width: full
+// Pop36 blocks plus a count-of-6 stage for the tail, combined with a
+// balanced adder tree. Used per alignment instance with width = 3·Lq.
+func PopCountOptimized(n *rtl.Netlist, bits []rtl.Signal) []rtl.Signal {
+	if len(bits) == 0 {
+		return []rtl.Signal{rtl.Zero}
+	}
+	var partial [][]rtl.Signal
+	i := 0
+	for ; i+36 <= len(bits); i += 36 {
+		partial = append(partial, Pop36(n, bits[i:i+36]))
+	}
+	for ; i < len(bits); i += 6 {
+		end := i + 6
+		if end > len(bits) {
+			end = len(bits)
+		}
+		partial = append(partial, countOf6(n, bits[i:end]))
+	}
+	return n.AddBusMany(partial...)
+}
+
+// PopCountTreeAdder is the baseline the paper compares against: a plain
+// HDL-style binary adder tree that pairs bits into 1-bit numbers and keeps
+// adding. It is functionally identical to PopCountOptimized and ~20 %
+// larger, which the popcount ablation experiment measures.
+func PopCountTreeAdder(n *rtl.Netlist, bits []rtl.Signal) []rtl.Signal {
+	if len(bits) == 0 {
+		return []rtl.Signal{rtl.Zero}
+	}
+	buses := make([][]rtl.Signal, len(bits))
+	for i, b := range bits {
+		buses[i] = []rtl.Signal{b}
+	}
+	for len(buses) > 1 {
+		var next [][]rtl.Signal
+		for i := 0; i+1 < len(buses); i += 2 {
+			next = append(next, n.AddBus(buses[i], buses[i+1]))
+		}
+		if len(buses)%2 == 1 {
+			next = append(next, buses[len(buses)-1])
+		}
+		buses = next
+	}
+	return buses[0]
+}
+
+// BuildPopCountPipelined is the paper's "pipelined Pop-Counter" (Fig. 4):
+// the same Pop36 decomposition with a register stage after the first-level
+// group counts and another after the column compression, cutting the
+// combinational depth to at most two LUT levels per stage. It returns the
+// sum bus and the added register latency in cycles. All registers share
+// the enable.
+func BuildPopCountPipelined(n *rtl.Netlist, bits []rtl.Signal, en rtl.Signal) (sum []rtl.Signal, latency int) {
+	if len(bits) == 0 {
+		return []rtl.Signal{rtl.Zero}, 0
+	}
+	// Stage 1: group counts of 6, registered.
+	var groups [][]rtl.Signal
+	for i := 0; i < len(bits); i += 6 {
+		end := i + 6
+		if end > len(bits) {
+			end = len(bits)
+		}
+		groups = append(groups, n.RegisterBus(countOf6(n, bits[i:end]), en))
+	}
+	// Stage 2+: registered binary adder tree over the group counts.
+	level := groups
+	stages := 1
+	for len(level) > 1 {
+		var next [][]rtl.Signal
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, n.RegisterBus(n.AddBus(level[i], level[i+1]), en))
+		}
+		if len(level)%2 == 1 {
+			// Odd bus rides through a register to stay phase-aligned.
+			next = append(next, n.RegisterBus(level[len(level)-1], en))
+		}
+		level = next
+		stages++
+	}
+	return level[0], stages
+}
+
+// PopVariant selects a pop-counter implementation for ablation studies.
+type PopVariant int
+
+const (
+	// PopLUTOptimized is the paper's Pop36-based design.
+	PopLUTOptimized PopVariant = iota
+	// PopTree is the naive tree-adder HDL description.
+	PopTree
+)
+
+// String names the variant.
+func (v PopVariant) String() string {
+	if v == PopTree {
+		return "tree-adder"
+	}
+	return "lut-optimized"
+}
+
+// BuildPopCount dispatches on the variant.
+func BuildPopCount(n *rtl.Netlist, bits []rtl.Signal, v PopVariant) []rtl.Signal {
+	if v == PopTree {
+		return PopCountTreeAdder(n, bits)
+	}
+	return PopCountOptimized(n, bits)
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"fabp/internal/rtl"
+)
+
+// simPopcount builds a popcount of the given width/variant, drives value v
+// and returns the computed count.
+func simPopcount(t *testing.T, width int, variant PopVariant, vals []uint64) []uint64 {
+	t.Helper()
+	n := rtl.New("pop")
+	in := n.InputBus("x", width)
+	out := BuildPopCount(n, in, variant)
+	sim, err := rtl.NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]uint64, len(vals))
+	for i, v := range vals {
+		sim.SetBus(in, v)
+		sim.Eval()
+		res[i] = sim.GetBus(out)
+	}
+	return res
+}
+
+func TestCountOf6AllValues(t *testing.T) {
+	for width := 1; width <= 6; width++ {
+		n := rtl.New("c6")
+		in := n.InputBus("x", width)
+		out := countOf6(n, in)
+		sim, err := rtl.NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := uint64(0); v < 1<<uint(width); v++ {
+			sim.SetBus(in, v)
+			sim.Eval()
+			if got := sim.GetBus(out); got != uint64(bits.OnesCount64(v)) {
+				t.Errorf("width %d: count(%b) = %d", width, v, got)
+			}
+		}
+	}
+}
+
+func TestCountOf6Degenerate(t *testing.T) {
+	n := rtl.New("c6d")
+	if got := countOf6(n, nil); len(got) != 1 || got[0] != rtl.Zero {
+		t.Error("empty count must be zero")
+	}
+	a := n.Input("a")
+	if got := countOf6(n, []rtl.Signal{a}); len(got) != 1 || got[0] != a {
+		t.Error("single-bit count is the bit itself")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("countOf6 must reject >6 bits")
+		}
+	}()
+	countOf6(n, make([]rtl.Signal, 7))
+}
+
+func TestPop36Exhaustive(t *testing.T) {
+	n := rtl.New("pop36")
+	in := n.InputBus("x", 36)
+	out := Pop36(n, in)
+	if len(out) != 6 {
+		t.Fatalf("Pop36 output width %d", len(out))
+	}
+	sim, err := rtl.NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// All-zeros, all-ones, single bits and random patterns.
+	vals := []uint64{0, 1<<36 - 1}
+	for i := 0; i < 36; i++ {
+		vals = append(vals, 1<<uint(i))
+	}
+	for i := 0; i < 300; i++ {
+		vals = append(vals, rng.Uint64()&(1<<36-1))
+	}
+	for _, v := range vals {
+		sim.SetBus(in, v)
+		sim.Eval()
+		if got := sim.GetBus(out); got != uint64(bits.OnesCount64(v)) {
+			t.Errorf("pop36(%036b) = %d, want %d", v, got, bits.OnesCount64(v))
+		}
+	}
+}
+
+func TestPop36RejectsWrongWidth(t *testing.T) {
+	n := rtl.New("bad")
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop36 must reject non-36 widths")
+		}
+	}()
+	Pop36(n, make([]rtl.Signal, 35))
+}
+
+func TestPopCountBothVariantsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, width := range []int{1, 3, 6, 7, 12, 36, 37, 48, 60} {
+		var vals []uint64
+		mask := uint64(1)<<uint(width) - 1
+		if width >= 64 {
+			mask = ^uint64(0)
+		}
+		vals = append(vals, 0, mask)
+		for i := 0; i < 50; i++ {
+			vals = append(vals, rng.Uint64()&mask)
+		}
+		opt := simPopcount(t, width, PopLUTOptimized, vals)
+		tree := simPopcount(t, width, PopTree, vals)
+		for i, v := range vals {
+			want := uint64(bits.OnesCount64(v))
+			if opt[i] != want {
+				t.Errorf("optimized width %d: pop(%x) = %d, want %d", width, v, opt[i], want)
+			}
+			if tree[i] != want {
+				t.Errorf("tree width %d: pop(%x) = %d, want %d", width, v, tree[i], want)
+			}
+		}
+	}
+}
+
+func TestPopCountEmptyInput(t *testing.T) {
+	n := rtl.New("empty")
+	if got := PopCountOptimized(n, nil); len(got) != 1 || got[0] != rtl.Zero {
+		t.Error("empty optimized popcount must be zero")
+	}
+	if got := PopCountTreeAdder(n, nil); len(got) != 1 || got[0] != rtl.Zero {
+		t.Error("empty tree popcount must be zero")
+	}
+}
+
+// TestPopCountAreaAdvantage reproduces the §III-D claim: the LUT-level
+// Pop-Counter is meaningfully smaller than the tree-adder description (the
+// paper reports ~20 % at its operating widths).
+func TestPopCountAreaAdvantage(t *testing.T) {
+	for _, width := range []int{150, 300, 750} {
+		nOpt := rtl.New("opt")
+		BuildPopCount(nOpt, nOpt.InputBus("x", width), PopLUTOptimized)
+		nTree := rtl.New("tree")
+		BuildPopCount(nTree, nTree.InputBus("x", width), PopTree)
+		opt := nOpt.Stats().LUTs
+		tree := nTree.Stats().LUTs
+		if opt >= tree {
+			t.Errorf("width %d: optimized %d LUTs not smaller than tree %d", width, opt, tree)
+		}
+		saving := 1 - float64(opt)/float64(tree)
+		t.Logf("width %d: optimized %d vs tree %d LUTs (%.0f%% saving)", width, opt, tree, 100*saving)
+		if saving < 0.10 {
+			t.Errorf("width %d: saving %.2f below 10%%, paper reports ~20%%", width, saving)
+		}
+	}
+}
+
+// TestPop36Structure pins the Fig. 4 decomposition: first stage 6 groups ×
+// 3 LUTs = 18, column stage 3 × 3 LUTs = 9, plus the positional adder.
+func TestPop36Structure(t *testing.T) {
+	n := rtl.New("p36")
+	Pop36(n, n.InputBus("x", 36))
+	luts := n.Stats().LUTs
+	const stage1 = 18
+	const columns = 9
+	adder := luts - stage1 - columns
+	if adder < 8 || adder > 24 {
+		t.Errorf("Pop36 = %d LUTs: stage1 %d + columns %d + adder %d (adder outside 8..24)",
+			luts, stage1, columns, adder)
+	}
+	// The whole block must stay well under a naive 36-bit tree adder.
+	tree := PopCountLUTs(36, PopTree)
+	if luts >= tree {
+		t.Errorf("Pop36 %d LUTs should undercut tree %d", luts, tree)
+	}
+}
+
+func TestPopVariantString(t *testing.T) {
+	if PopLUTOptimized.String() != "lut-optimized" || PopTree.String() != "tree-adder" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestScoreWidth(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 150: 8, 750: 10, 1023: 10, 1024: 11}
+	for elems, want := range cases {
+		if got := ScoreWidth(elems); got != want {
+			t.Errorf("ScoreWidth(%d) = %d, want %d", elems, got, want)
+		}
+	}
+}

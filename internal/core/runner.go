@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+	"fabp/internal/rtl"
+)
+
+// NetlistRunner drives a generated FabP netlist cycle by cycle: it loads
+// the encoded query into the query flip-flops, streams reference beats
+// through the AXI-side inputs and collects hits from the write-back
+// outputs. It exists to prove the netlist equivalent to Engine and to
+// demonstrate stall insensitivity; Engine is the tool for large runs.
+type NetlistRunner struct {
+	cfg   NetlistConfig
+	prog  isa.Program
+	n     *rtl.Netlist
+	ports *AccelPorts
+	sim   *rtl.Simulator
+
+	// cycles counts clock edges spent in the last Align call.
+	cycles int
+	// rec, when attached, captures every cycle for testbench emission.
+	rec *rtl.TraceRecorder
+}
+
+// AttachRecorder captures every subsequent cycle's stimulus and outputs
+// into rec (pass nil to detach). Use with rtl.TraceRecorder.EmitTestbench
+// to produce a self-checking Verilog testbench of a real alignment.
+func (r *NetlistRunner) AttachRecorder(rec *rtl.TraceRecorder) { r.rec = rec }
+
+// AttachVCD streams every subsequent cycle of the runner's simulation as a
+// VCD waveform to w.
+func (r *NetlistRunner) AttachVCD(w io.Writer) (*rtl.VCDWriter, error) {
+	vcd := rtl.NewVCDWriter(w, r.n)
+	r.sim.AttachVCD(vcd)
+	return vcd, nil
+}
+
+// NewNetlistRunner builds the netlist for cfg and elaborates a simulator.
+// The program length must equal cfg.QueryElems.
+func NewNetlistRunner(cfg NetlistConfig, prog isa.Program) (*NetlistRunner, error) {
+	if len(prog) != cfg.QueryElems {
+		return nil, fmt.Errorf("core: program has %d elements, config wants %d", len(prog), cfg.QueryElems)
+	}
+	n, ports, err := BuildNetlist(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := rtl.NewSimulator(n)
+	if err != nil {
+		return nil, err
+	}
+	return &NetlistRunner{cfg: cfg, prog: prog, n: n, ports: ports, sim: sim}, nil
+}
+
+// Netlist exposes the generated design (for stats or Verilog emission).
+func (r *NetlistRunner) Netlist() *rtl.Netlist { return r.n }
+
+// Cycles reports the clock edges consumed by the last Align call.
+func (r *NetlistRunner) Cycles() int { return r.cycles }
+
+// loadQuery drives the query inputs and pulses the load enable for one
+// cycle.
+func (r *NetlistRunner) loadQuery() {
+	for i, ins := range r.prog {
+		for b := 0; b < 6; b++ {
+			r.sim.Set(r.ports.Query[i][b], ins.Q(uint(b)))
+		}
+	}
+	r.sim.Set(r.ports.QueryLoad, 1)
+	r.step()
+	r.sim.Set(r.ports.QueryLoad, 0)
+}
+
+// Align streams the reference through the netlist at full rate (one valid
+// beat per cycle) and returns all hits in position order.
+func (r *NetlistRunner) Align(ref bio.NucSeq) []Hit {
+	return r.AlignWithStalls(ref, nil)
+}
+
+// AlignWithStalls streams the reference with stallsBefore[b] idle (invalid)
+// cycles inserted before beat b, modeling cycles where the AXI port has no
+// valid DRAM data. Hits must be identical to Align — stalls change timing
+// only; the test suite asserts this.
+func (r *NetlistRunner) AlignWithStalls(ref bio.NucSeq, stallsBefore []int) []Hit {
+	r.sim.Reset()
+	r.loadQuery()
+
+	numBeats := (len(ref) + r.cfg.Beat - 1) / r.cfg.Beat
+	var hits []Hit
+	// Shadow pipeline tracking which beat's results are visible: the last
+	// slot is the beat whose hits are readable this cycle (-1 = bubble).
+	latency := r.ports.Latency
+	shadow := make([]int, latency)
+	for i := range shadow {
+		shadow[i] = -1
+	}
+	startCycle := r.sim.Cycle()
+
+	step := func(beat int, valid bool) {
+		r.driveBeat(ref, beat, valid)
+		copy(shadow[1:], shadow[:latency-1])
+		shadow[0] = -1
+		if valid {
+			shadow[0] = beat
+		}
+		if last := shadow[latency-1]; last >= 0 {
+			r.collect(last, len(ref), &hits)
+		}
+	}
+
+	for b := 0; b < numBeats; b++ {
+		if b < len(stallsBefore) {
+			for s := 0; s < stallsBefore[b]; s++ {
+				step(0, false)
+			}
+		}
+		step(b, true)
+		// Segmented builds need the datapath to itself for the remaining
+		// iterations (the AXI port stalls).
+		for i := 1; i < r.ports.BeatInterval; i++ {
+			step(0, false)
+		}
+	}
+	for i := 0; i < latency; i++ {
+		step(0, false)
+	}
+	r.cycles = r.sim.Cycle() - startCycle
+	return hits
+}
+
+// driveBeat presents one beat of reference elements (padded with A beyond
+// the reference end) plus the valid flag, then clocks one cycle.
+func (r *NetlistRunner) driveBeat(ref bio.NucSeq, beat int, valid bool) {
+	for i := 0; i < r.cfg.Beat; i++ {
+		var nt bio.Nucleotide
+		if j := beat*r.cfg.Beat + i; valid && j < len(ref) {
+			nt = ref[j]
+		}
+		r.sim.Set(r.ports.Beat[i][0], nt.Bit(0))
+		r.sim.Set(r.ports.Beat[i][1], nt.Bit(1))
+	}
+	v := uint8(0)
+	if valid {
+		v = 1
+	}
+	r.sim.Set(r.ports.BeatValid, v)
+	r.step()
+}
+
+// step captures the cycle (when a recorder is attached) and clocks once.
+func (r *NetlistRunner) step() {
+	if r.rec != nil {
+		r.rec.Capture(r.sim)
+	}
+	r.sim.Step()
+}
+
+// collect reads the hits of the given beat (whose results are currently on
+// the outputs) into hits, mapping instance k to its global window start.
+func (r *NetlistRunner) collect(beat, refLen int, hits *[]Hit) {
+	r.sim.Eval()
+	if r.sim.Get(r.ports.HitsValid) != 1 {
+		return
+	}
+	base := beat*r.cfg.Beat - r.cfg.QueryElems + 1
+	for k := 0; k < r.cfg.Beat; k++ {
+		p := base + k
+		if p < 0 || p > refLen-r.cfg.QueryElems {
+			continue
+		}
+		if r.sim.Get(r.ports.Hits[k]) == 1 {
+			score := int(r.sim.GetBus(r.ports.Scores[k]))
+			*hits = append(*hits, Hit{Pos: p, Score: score})
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"fabp/internal/bio"
+)
+
+// AlignViaWriteBack streams the reference through a write-back-enabled
+// netlist, collecting hits from the (position, score) record stream the WB
+// unit emits — the full §III-C path: comparators → pop-counters →
+// threshold → priority encoder → staging FIFO → host.
+//
+// Beats are issued conservatively (each beat's hits drain fully before the
+// next beat enters) so the staging FIFO can never overflow; the test suite
+// asserts the record stream reproduces Align exactly.
+func (r *NetlistRunner) AlignViaWriteBack(ref bio.NucSeq) ([]Hit, error) {
+	if r.ports.WB == nil {
+		return nil, fmt.Errorf("core: netlist was built without the write-back unit")
+	}
+	r.sim.Reset()
+	r.loadQuery()
+	wb := r.ports.WB
+	startCycle := r.sim.Cycle()
+
+	var hits []Hit
+	numBeats := (len(ref) + r.cfg.Beat - 1) / r.cfg.Beat
+	kBits := 0
+	for 1<<uint(kBits) < r.cfg.Beat {
+		kBits++
+	}
+
+	drain := func() error {
+		for guard := 0; ; guard++ {
+			if guard > 10000 {
+				return fmt.Errorf("core: write-back drain did not converge")
+			}
+			r.sim.Eval()
+			valid := r.sim.Get(wb.RecValid) == 1
+			busy := r.sim.Get(wb.Busy) == 1
+			if valid {
+				raw := r.sim.GetBus(wb.RecPos)
+				k := int(raw & (1<<uint(kBits) - 1))
+				beat := int(raw >> uint(kBits))
+				pos := beat*r.cfg.Beat + k - (r.cfg.QueryElems - 1)
+				if pos >= 0 && pos <= len(ref)-r.cfg.QueryElems {
+					hits = append(hits, Hit{
+						Pos:   pos,
+						Score: int(r.sim.GetBus(wb.RecScore)),
+					})
+				}
+				r.sim.Set(wb.RecPop, 1)
+			} else {
+				r.sim.Set(wb.RecPop, 0)
+				if !busy {
+					return nil // pop already deasserted for the next beat
+				}
+			}
+			r.driveBeat(ref, 0, false) // idle cycle (also steps)
+		}
+	}
+
+	for b := 0; b < numBeats; b++ {
+		r.driveBeat(ref, b, true)
+		// Let the pipeline deliver this beat's hits into the WB unit.
+		for i := 0; i < PipelineDepth; i++ {
+			r.driveBeat(ref, 0, false)
+		}
+		if err := drain(); err != nil {
+			return nil, err
+		}
+	}
+	if r.sim.Get(wb.Overflow) == 1 {
+		return nil, fmt.Errorf("core: write-back overflow despite conservative pacing")
+	}
+	r.cycles = r.sim.Cycle() - startCycle
+	return hits, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"fabp/internal/rtl"
+)
+
+// buildSegmentedNetlist generates the long-query FabP variant (§III-C):
+// "FabP uses a set of multiplexers to divide Query Seq. and Reference
+// Stream into multiple segments and process each segment in a cycle.
+// Therefore, for longer queries, FabP needs multiple iterations to
+// calculate all the alignment instances."
+//
+// With S = cfg.Iterations, each alignment instance carries comparators for
+// one ceil(Lq/S)-element segment; a one-hot schedule derived from the
+// beat-valid delay chain steers segment j through the comparators on cycle
+// j after the beat loads, and a per-instance accumulator sums the partial
+// pop-counts. A new beat may enter at most every S cycles — exactly the
+// effective-bandwidth division Table I reports for FabP-250.
+//
+// Contract: the driver asserts BeatValid for one cycle and then keeps it
+// low for at least S-1 cycles (the AXI port stalls while the datapath is
+// busy). Hits for a beat appear S+1 edges after its acceptance.
+func buildSegmentedNetlist(cfg NetlistConfig) (*rtl.Netlist, *AccelPorts, error) {
+	s := cfg.Iterations
+	segElems := (cfg.QueryElems + s - 1) / s
+	n := rtl.New(fmt.Sprintf("fabp_q%d_b%d_s%d", cfg.QueryElems, cfg.Beat, s))
+	ports := &AccelPorts{}
+
+	// Query storage: full width, as in the full-rate build.
+	ports.QueryLoad = n.Input("qload")
+	ports.Query = make([][6]rtl.Signal, cfg.QueryElems)
+	query := make([][6]rtl.Signal, cfg.QueryElems)
+	for i := 0; i < cfg.QueryElems; i++ {
+		for b := 0; b < 6; b++ {
+			in := n.Input(fmt.Sprintf("q%d_%d", i, b))
+			ports.Query[i][b] = in
+			query[i][b] = n.DFFE(in, ports.QueryLoad)
+		}
+	}
+
+	ports.BeatValid = n.Input("beat_valid")
+	ports.Beat = make([]RefBit, cfg.Beat)
+	for i := 0; i < cfg.Beat; i++ {
+		ports.Beat[i] = RefBit{
+			n.Input(fmt.Sprintf("beat%d_0", i)),
+			n.Input(fmt.Sprintf("beat%d_1", i)),
+		}
+	}
+
+	// Reference stream buffer, identical to the full-rate build.
+	bufLen := cfg.QueryElems + cfg.Beat
+	refBuf := make([]RefBit, bufLen)
+	for j := 0; j < cfg.Beat; j++ {
+		i := cfg.QueryElems + j
+		refBuf[i] = RefBit{
+			n.DFFE(ports.Beat[j][0], ports.BeatValid),
+			n.DFFE(ports.Beat[j][1], ports.BeatValid),
+		}
+	}
+	for i := cfg.QueryElems - 1; i >= 0; i-- {
+		src := refBuf[i+cfg.Beat]
+		refBuf[i] = RefBit{
+			n.DFFE(src[0], ports.BeatValid),
+			n.DFFE(src[1], ports.BeatValid),
+		}
+	}
+
+	// Segment schedule: d[k] is BeatValid delayed k edges; segment j is
+	// active (on the comparators) during the cycle where d[j+1] is high.
+	d := make([]rtl.Signal, s+2)
+	d[0] = ports.BeatValid
+	for k := 1; k < len(d); k++ {
+		d[k] = n.DFF(d[k-1])
+	}
+	segOH := make([]rtl.Signal, s)
+	for j := 0; j < s; j++ {
+		segOH[j] = d[j+1]
+		n.SetName(segOH[j], fmt.Sprintf("seg_%d", j))
+	}
+	firstSeg := segOH[0]
+	anySeg := n.OrWide(segOH)
+	ports.HitsValid = d[s+1]
+	n.SetName(ports.HitsValid, "hits_valid")
+	n.Output("hits_valid", ports.HitsValid)
+
+	// Shared query-segment multiplexers: 6 bits × segElems, selected by
+	// the one-hot schedule. Padding positions (beyond the query) read as
+	// all-zero instructions; their matches are masked below.
+	qSeg := make([][6]rtl.Signal, segElems)
+	for i := 0; i < segElems; i++ {
+		for b := 0; b < 6; b++ {
+			data := make([][]rtl.Signal, s)
+			for j := 0; j < s; j++ {
+				pos := j*segElems + i
+				if pos < cfg.QueryElems {
+					data[j] = []rtl.Signal{query[pos][b]}
+				} else {
+					data[j] = []rtl.Signal{rtl.Zero}
+				}
+			}
+			qSeg[i][b] = n.OneHotMux(segOH, data)[0]
+		}
+	}
+	// isPad[i] is 1 when the active segment's element i lies beyond the
+	// query — only possible in the last segment.
+	isPad := make([]rtl.Signal, segElems)
+	for i := 0; i < segElems; i++ {
+		if (s-1)*segElems+i >= cfg.QueryElems {
+			isPad[i] = segOH[s-1]
+		} else {
+			isPad[i] = rtl.Zero
+		}
+	}
+
+	zeroRef := RefBit{rtl.Zero, rtl.Zero}
+	at := func(i int) RefBit {
+		if i < 0 || i >= bufLen {
+			return zeroRef
+		}
+		return refBuf[i]
+	}
+	// muxRef selects, for window offset base+i, the active segment's
+	// reference bit pair.
+	muxRef := func(k, i, delta int) RefBit {
+		data0 := make([][]rtl.Signal, s)
+		data1 := make([][]rtl.Signal, s)
+		for j := 0; j < s; j++ {
+			rb := at(k + 1 + j*segElems + i + delta)
+			data0[j] = []rtl.Signal{rb[0]}
+			data1[j] = []rtl.Signal{rb[1]}
+		}
+		return RefBit{
+			n.OneHotMux(segOH, data0)[0],
+			n.OneHotMux(segOH, data1)[0],
+		}
+	}
+
+	scoreWidth := ScoreWidth(cfg.QueryElems)
+	ports.Hits = make([]rtl.Signal, cfg.Beat)
+	ports.Scores = make([][]rtl.Signal, cfg.Beat)
+	for k := 0; k < cfg.Beat; k++ {
+		matches := make([]rtl.Signal, segElems)
+		for i := 0; i < segElems; i++ {
+			m := ComparatorCell(n, qSeg[i], muxRef(k, i, 0), muxRef(k, i, -1), muxRef(k, i, -2))
+			if isPad[i] != rtl.Zero {
+				m = n.And(m, n.Not(isPad[i]))
+			}
+			matches[i] = m
+		}
+		partial := BuildPopCount(n, matches, cfg.Pop)
+
+		// Accumulator: acc <= partial + (firstSeg ? 0 : acc), updating only
+		// while a segment is active.
+		acc := make([]rtl.Signal, scoreWidth)
+		setAcc := make([]func(rtl.Signal), scoreWidth)
+		for b := 0; b < scoreWidth; b++ {
+			acc[b], setAcc[b] = n.FeedbackDFF(anySeg)
+		}
+		prev := make([]rtl.Signal, scoreWidth)
+		for b := 0; b < scoreWidth; b++ {
+			prev[b] = n.And(acc[b], n.Not(firstSeg))
+		}
+		sum := trimWidth(n.AddBus(prev, partial), scoreWidth)
+		for b := 0; b < scoreWidth; b++ {
+			src := rtl.Zero
+			if b < len(sum) {
+				src = sum[b]
+			}
+			setAcc[b](src)
+		}
+
+		ports.Hits[k] = n.CompareGEConst(acc, uint(cfg.Threshold))
+		ports.Scores[k] = acc
+		n.Output(fmt.Sprintf("hit_%d", k), ports.Hits[k])
+		n.OutputBus(fmt.Sprintf("score_%d", k), acc)
+	}
+
+	ports.Latency = s + 1
+	ports.BeatInterval = s
+
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return n, ports, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fabp/internal/axi"
+	"fabp/internal/bio"
+)
+
+// StreamConfig describes the microarchitectural conditions of a streaming
+// run: beat width, the iteration count the sized design needs per beat
+// (query segmentation, §III-C), and the DRAM stall behaviour.
+type StreamConfig struct {
+	// Beat is the reference elements per AXI transfer.
+	Beat int
+	// Iterations is the cycles the datapath needs per beat (from
+	// fpga.Size; 1 = full rate).
+	Iterations int
+	// Stall models DRAM unavailability (nil = ideal).
+	Stall axi.StallModel
+}
+
+// StreamStats profiles a streaming run at beat granularity.
+type StreamStats struct {
+	Beats  int
+	Cycles int
+	// StallCycles waited on DRAM; ComputeCycles waited on segmentation.
+	StallCycles   int
+	ComputeCycles int
+}
+
+// AlignStream processes the reference beat by beat the way the hardware
+// does — each beat contributes the Beat window positions that end inside
+// it, scored against the carried history — and accounts cycles under the
+// stream configuration. The hit list is identical to Align (asserted in
+// tests); only the cycle accounting depends on the configuration.
+func (e *Engine) AlignStream(ref bio.NucSeq, cfg StreamConfig) ([]Hit, StreamStats) {
+	if cfg.Beat <= 0 {
+		cfg.Beat = 256
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	m := len(e.prog)
+	numBeats := (len(ref) + cfg.Beat - 1) / cfg.Beat
+
+	var hits []Hit
+	if len(ref) >= m {
+		ctxs := contexts(ref)
+		for b := 0; b < numBeats; b++ {
+			// Window starts handled by beat b (they end inside it).
+			lo := b*cfg.Beat - m + 1
+			hi := lo + cfg.Beat
+			if lo < 0 {
+				lo = 0
+			}
+			if max := len(ref) - m + 1; hi > max {
+				hi = max
+			}
+			if lo < hi {
+				hits = append(hits, e.alignRange(ctxs, lo, hi)...)
+			}
+		}
+	}
+
+	s := axi.SimulateStream(numBeats, cfg.Stall, cfg.Iterations)
+	return hits, StreamStats{
+		Beats:         numBeats,
+		Cycles:        s.TotalCycles + PipelineDepth,
+		StallCycles:   s.StallCycles,
+		ComputeCycles: s.ComputeBoundCycles,
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"fabp/internal/bio"
+)
+
+// AlignReader scans a nucleotide stream of arbitrary size in fixed-size
+// chunks, carrying the last QueryElems-1 elements between chunks so no
+// window is lost at a boundary — the software mirror of the hardware's
+// reference-stream carry (§III-C), and the way to scan references too
+// large to hold unpacked in memory.
+//
+// The reader must yield raw sequence letters (A/C/G/T/U, either case);
+// whitespace is skipped, anything else is an error. Hits stream to the
+// callback in position order; returning a non-nil error stops the scan.
+func (e *Engine) AlignReader(r io.Reader, emit func(Hit) error) error {
+	const chunkLetters = 1 << 20
+	m := len(e.prog)
+
+	carry := make(bio.NucSeq, 0, m+1)
+	buf := make([]byte, chunkLetters)
+	seq := make(bio.NucSeq, 0, chunkLetters+m+2)
+	base := 0 // global position of seq[0]
+	skip := 0 // window starts below this are re-carried context, already emitted
+
+	flush := func(final bool) error {
+		n := len(seq) - m + 1
+		if !final {
+			// Only emit windows whose full extent is present; keep the
+			// last m-1 elements (plus context) for the next chunk.
+			n = len(seq) - (m - 1)
+		}
+		if n <= skip {
+			return nil
+		}
+		ctxs := contexts(seq)
+		for _, h := range e.alignRange(ctxs, skip, n) {
+			if err := emit(Hit{Pos: base + h.Pos, Score: h.Score}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for {
+		nRead, readErr := r.Read(buf)
+		for _, b := range buf[:nRead] {
+			switch b {
+			case ' ', '\t', '\n', '\r':
+				continue
+			}
+			nt, err := bio.ParseNucleotide(b)
+			if err != nil {
+				return fmt.Errorf("core: position %d: %w", base+len(seq), err)
+			}
+			seq = append(seq, nt)
+		}
+		if len(seq) >= chunkLetters {
+			if err := flush(false); err != nil {
+				return err
+			}
+			// Carry the unemitted tail (m-1 elements) plus 2 elements of
+			// comparison context for the first carried window.
+			keep := m + 1
+			if keep > len(seq) {
+				keep = len(seq)
+			}
+			carry = append(carry[:0], seq[len(seq)-keep:]...)
+			base += len(seq) - keep
+			seq = append(seq[:0], carry...)
+			skip = keep - (m - 1) // the context prefix, already emitted
+		}
+		if readErr == io.EOF {
+			return flush(true)
+		}
+		if readErr != nil {
+			return readErr
+		}
+	}
+}
+
+// AlignReaderAll is AlignReader collecting every hit.
+func (e *Engine) AlignReaderAll(r io.Reader) ([]Hit, error) {
+	var hits []Hit
+	err := e.AlignReader(r, func(h Hit) error {
+		hits = append(hits, h)
+		return nil
+	})
+	return hits, err
+}

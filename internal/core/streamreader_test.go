@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+)
+
+// TestAlignReaderMatchesAlign: chunked streaming over an io.Reader must
+// reproduce the in-memory scan exactly, including across the 1 MiB chunk
+// boundary (context and carry correctness).
+func TestAlignReaderMatchesAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	p := bio.RandomProtSeq(rng, 6)
+	prog := isa.MustEncodeProtein(p)
+	e, _ := NewEngine(prog, len(prog)*2/3)
+	// 2.5 MiB of letters forces two chunk boundaries.
+	ref := bio.RandomNucSeq(rng, 2_500_000)
+	want := e.Align(ref)
+	got, err := e.AlignReaderAll(strings.NewReader(ref.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed %d hits, in-memory %d", len(got), len(want))
+	}
+}
+
+func TestAlignReaderPlantedAtBoundary(t *testing.T) {
+	// Plant perfect genes straddling the chunk boundary itself.
+	rng := rand.New(rand.NewSource(72))
+	p := bio.ProtSeq{bio.Met, bio.Lys, bio.Trp, bio.Glu, bio.His}
+	prog := isa.MustEncodeProtein(p)
+	ref := bio.RandomNucSeq(rng, 1<<20+3000)
+	gene := bio.EncodeGene(rng, p)
+	// Non-overlapping (gene is 15 nt), straddling the boundary both ways.
+	positions := []int{1<<20 - 45, 1<<20 - 25, 1<<20 - 7, 1<<20 + 15}
+	for _, pos := range positions {
+		copy(ref[pos:], gene)
+	}
+	e, _ := NewEngine(prog, len(prog))
+	hits, err := e.AlignReaderAll(strings.NewReader(ref.DNAString()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, h := range hits {
+		found[h.Pos] = true
+	}
+	for _, pos := range positions {
+		if !found[pos] {
+			t.Errorf("planted gene at %d lost at the chunk boundary", pos)
+		}
+	}
+	// And the streamed result equals the in-memory result entirely.
+	want := e.Align(ref)
+	if !reflect.DeepEqual(hits, want) {
+		t.Error("streamed hits differ from in-memory scan")
+	}
+}
+
+func TestAlignReaderWhitespaceAndCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	p := bio.RandomProtSeq(rng, 3)
+	prog := isa.MustEncodeProtein(p)
+	e, _ := NewEngine(prog, 0)
+	ref := bio.RandomNucSeq(rng, 200)
+	// Interleave whitespace and lowercase.
+	var sb strings.Builder
+	for i, nt := range ref {
+		sb.WriteByte(nt.DNALetter() | 0x20) // lowercase
+		if i%60 == 59 {
+			sb.WriteString("\r\n")
+		}
+	}
+	got, err := e.AlignReaderAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e.Align(ref)) {
+		t.Error("whitespace/case handling changed results")
+	}
+}
+
+func TestAlignReaderErrors(t *testing.T) {
+	prog := isa.MustEncodeProtein(bio.ProtSeq{bio.Met})
+	e, _ := NewEngine(prog, 0)
+	if _, err := e.AlignReaderAll(strings.NewReader("ACGX")); err == nil {
+		t.Error("invalid letter must fail")
+	}
+	// Callback error propagates and stops the scan.
+	boom := errors.New("stop")
+	err := e.AlignReader(strings.NewReader("ACGUACGU"), func(Hit) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("callback error lost: %v", err)
+	}
+	// Empty stream: no hits, no error.
+	hits, err := e.AlignReaderAll(strings.NewReader(""))
+	if err != nil || hits != nil {
+		t.Errorf("empty stream: %v %v", hits, err)
+	}
+}
+
+func TestEValue(t *testing.T) {
+	prog := isa.MustEncodeProtein(bio.ProtSeq{bio.Met, bio.Trp})
+	e, _ := NewEngine(prog, 0)
+	// Perfect score: P = 0.25^6, E over 1001-window scan.
+	want := 1001.0 * 1.0 / (1 << 12)
+	if got := e.EValue(6, 1006); got < want*0.999 || got > want*1.001 {
+		t.Errorf("EValue = %g, want %g", got, want)
+	}
+	if e.EValue(3, 1) != 0 {
+		t.Error("short reference must have E=0")
+	}
+	if e.EValue(0, 1006) != 1001 {
+		t.Error("score 0 is certain: E = window count")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+)
+
+// TestRandomConfigSweep fuzzes the hardware/software equivalence across
+// randomly drawn build shapes: query length, beat width, threshold,
+// pop-counter variant, pipelining and segmentation.
+func TestRandomConfigSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 12; trial++ {
+		residues := 1 + rng.Intn(4)
+		prog := isa.MustEncodeProtein(bio.RandomProtSeq(rng, residues))
+		cfg := NetlistConfig{
+			QueryElems: len(prog),
+			Beat:       []int{2, 4, 8, 16}[rng.Intn(4)],
+			Threshold:  rng.Intn(len(prog) + 1),
+			Pop:        PopVariant(rng.Intn(2)),
+		}
+		switch rng.Intn(3) {
+		case 1:
+			cfg.PipelinedPop = true
+		case 2:
+			cfg.Iterations = 2 + rng.Intn(2)
+			if cfg.Iterations > cfg.QueryElems {
+				cfg.Iterations = cfg.QueryElems
+			}
+		}
+		runner, err := NewNetlistRunner(cfg, prog)
+		if err != nil {
+			t.Fatalf("trial %d cfg %+v: %v", trial, cfg, err)
+		}
+		engine, _ := NewEngine(prog, cfg.Threshold)
+		ref := bio.RandomNucSeq(rng, 30+rng.Intn(120))
+		hw := runner.Align(ref)
+		sw := engine.Align(ref)
+		if !reflect.DeepEqual(hw, sw) {
+			t.Fatalf("trial %d cfg %+v: hw %v != sw %v", trial, cfg, hw, sw)
+		}
+	}
+}
+
+// TestScoreDistributionExactEnumeration bounds the independence
+// approximation of ScoreDistribution by exhaustively enumerating every
+// window for short queries (the approximation is exact without Type III
+// elements; with them the error stays small).
+func TestScoreDistributionExactEnumeration(t *testing.T) {
+	cases := []bio.ProtSeq{
+		{bio.Met, bio.Trp},          // pure Type I — exact
+		{bio.Phe, bio.Lys},          // Type II — exact (self-contained elements)
+		{bio.Leu, bio.Arg},          // Type III heavy — approximate
+		{bio.Ser, bio.Leu},          // D + dependent
+		{bio.Met, bio.Leu, bio.Arg}, // mixed, 9 elements
+	}
+	for _, q := range cases {
+		prog := isa.MustEncodeProtein(q)
+		e, _ := NewEngine(prog, 0)
+		pmf := e.ScoreDistribution()
+		m := len(prog)
+
+		exact := make([]float64, m+1)
+		total := 1 << uint(2*m)
+		w := make(bio.NucSeq, m)
+		for v := 0; v < total; v++ {
+			for i := 0; i < m; i++ {
+				w[i] = bio.Nucleotide(v >> uint(2*i) & 3)
+			}
+			exact[prog.Score(w)]++
+		}
+		for s := range exact {
+			exact[s] /= float64(total)
+		}
+
+		maxErr := 0.0
+		for s := 0; s <= m; s++ {
+			if d := abs64(pmf[s] - exact[s]); d > maxErr {
+				maxErr = d
+			}
+		}
+		hasTypeIII := false
+		for _, ins := range prog {
+			if ins.Q(0) == 1 && ins.DepSelect() != 0 {
+				hasTypeIII = true
+			}
+		}
+		if !hasTypeIII && maxErr > 1e-12 {
+			t.Errorf("%s: distribution must be exact without dependent elements (err %g)", q, maxErr)
+		}
+		if maxErr > 0.06 {
+			t.Errorf("%s: independence approximation error %g too large", q, maxErr)
+		}
+		t.Logf("%s: max pmf error %.4f (TypeIII=%v)", q, maxErr, hasTypeIII)
+	}
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file provides threshold statistics for the "user-defined threshold"
+// the paper leaves unspecified: the exact null distribution of a window's
+// score against a uniform random reference, and a threshold suggestion for
+// a target expected false-positive count.
+
+// ScoreDistribution returns the probability mass function of one window's
+// alignment score under a uniform i.i.d. random reference: pmf[s] =
+// P(score = s), length QueryElems+1.
+//
+// Per-element match probabilities come from each element's 64-context
+// truth table; elements are treated as independent. For Type I/II elements
+// that is trivially exact (each match depends only on its own reference
+// nucleotide). For FabP's Type III templates it turns out to be exact as
+// well: every dependent bit S splits each conditioning nucleotide set
+// evenly (e.g. Arg's pos-0 set {A,C} splits 1:1 on the bit its pos-2
+// comparison reads), so the conditional and marginal match probabilities
+// coincide — the test suite proves this by exhaustive window enumeration.
+func (e *Engine) ScoreDistribution() []float64 {
+	pmf := make([]float64, 1, len(e.prog)+1)
+	pmf[0] = 1
+	for _, tab := range e.matchTab {
+		ones := 0
+		for _, v := range tab {
+			ones += int(v)
+		}
+		p := float64(ones) / 64
+		next := make([]float64, len(pmf)+1)
+		for s, q := range pmf {
+			next[s] += q * (1 - p)
+			next[s+1] += q * p
+		}
+		pmf = next
+	}
+	return pmf
+}
+
+// TailProbability returns P(score >= t) under the null distribution.
+func (e *Engine) TailProbability(t int) float64 {
+	pmf := e.ScoreDistribution()
+	if t < 0 {
+		t = 0
+	}
+	var tail float64
+	for s := t; s < len(pmf); s++ {
+		tail += pmf[s]
+	}
+	return tail
+}
+
+// ExpectedRandomHits returns the expected number of threshold crossings a
+// scan of refLen random nucleotides produces by chance.
+func (e *Engine) ExpectedRandomHits(refLen int) float64 {
+	n := refLen - len(e.prog) + 1
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * e.TailProbability(e.threshold)
+}
+
+// SuggestThreshold returns the smallest threshold t such that the expected
+// number of chance hits over a refLen scan is at most maxExpectedFP.
+func (e *Engine) SuggestThreshold(refLen int, maxExpectedFP float64) (int, error) {
+	if maxExpectedFP <= 0 {
+		return 0, fmt.Errorf("core: target false-positive count must be positive")
+	}
+	n := refLen - len(e.prog) + 1
+	if n <= 0 {
+		return 0, fmt.Errorf("core: reference shorter than the query")
+	}
+	pmf := e.ScoreDistribution()
+	// Walk thresholds from high to low accumulating the tail.
+	tail := 0.0
+	best := -1
+	for t := len(pmf) - 1; t >= 0; t-- {
+		tail += pmf[t]
+		if float64(n)*tail <= maxExpectedFP {
+			best = t
+		} else {
+			break
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("core: no threshold meets %.3g expected false positives over %d nt",
+			maxExpectedFP, refLen)
+	}
+	return best, nil
+}
+
+// EValue returns the expected number of random windows scoring >= score in
+// a refLen-nucleotide scan — the significance FabP's write-back records
+// can be annotated with (analogous to BLAST E-values, but from the exact
+// null distribution rather than Karlin-Altschul asymptotics).
+func (e *Engine) EValue(score, refLen int) float64 {
+	n := refLen - len(e.prog) + 1
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * e.TailProbability(score)
+}
+
+// MeanScore returns the null distribution's mean — useful as a sanity
+// floor when picking thresholds (random windows score ≈0.44 per element).
+func (e *Engine) MeanScore() float64 {
+	mean := 0.0
+	for _, tab := range e.matchTab {
+		ones := 0
+		for _, v := range tab {
+			ones += int(v)
+		}
+		mean += float64(ones) / 64
+	}
+	return mean
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"fabp/internal/rtl"
+)
+
+// WriteBackPorts exposes the hit write-back unit (§III-C: "The WB buffer
+// writes back all aligned positions to the FPGA DRAM using an AXI bus").
+// The unit latches each beat's hit vector and scores, drains them through a
+// priority encoder into a staging FIFO, and presents (position, score)
+// records on a pop interface — the netlist-level stand-in for the AXI
+// write channel.
+type WriteBackPorts struct {
+	// RecValid is 1 when RecPos/RecScore carry a record.
+	RecValid rtl.Signal
+	// RecPos is the raw position: low bits = instance index k within the
+	// beat, high bits = beat counter. Global window start =
+	// beat·Beat + k − (QueryElems−1).
+	RecPos []rtl.Signal
+	// RecScore is the hit's score bus.
+	RecScore []rtl.Signal
+	// RecPop (input) consumes the presented record at the next edge.
+	RecPop rtl.Signal
+	// Busy is 1 while hits of the latched beat are still draining.
+	Busy rtl.Signal
+	// Overflow latches (sticky) if a new beat's hits arrived while the
+	// previous beat was still draining — records were lost and the host
+	// must re-run with more drain cycles.
+	Overflow rtl.Signal
+}
+
+// BuildWriteBack wires the write-back unit onto an accelerator's hit and
+// score outputs. beat must be a power of two (positions concatenate
+// cleanly); beatBits sets the beat-counter width; fifoDepth the staging
+// FIFO depth.
+func BuildWriteBack(n *rtl.Netlist, hits []rtl.Signal, scores [][]rtl.Signal,
+	hitsValid, recPop rtl.Signal, beatBits, fifoDepth int) (*WriteBackPorts, error) {
+	beat := len(hits)
+	if beat == 0 || beat&(beat-1) != 0 {
+		return nil, fmt.Errorf("core: write-back needs a power-of-two beat, got %d", beat)
+	}
+	if len(scores) != beat {
+		return nil, fmt.Errorf("core: write-back score/hit mismatch")
+	}
+	kBits := 0
+	for 1<<uint(kBits) < beat {
+		kBits++
+	}
+	scoreWidth := len(scores[0])
+
+	// Latch the beat index; the counter increments on each completed beat,
+	// so its pre-increment value during the hitsValid cycle IS the index.
+	beatCounter := n.Counter(beatBits, hitsValid)
+	latchedBeat := n.RegisterBus(beatCounter, hitsValid)
+
+	// Latch scores (they change when the next beat completes).
+	latchedScores := make([][]rtl.Signal, beat)
+	for k := 0; k < beat; k++ {
+		latchedScores[k] = n.RegisterBus(scores[k], hitsValid)
+	}
+
+	// Pending hit bits: loaded on hitsValid, cleared one-by-one as records
+	// push into the FIFO.
+	pending := make([]rtl.Signal, beat)
+	setPending := make([]func(rtl.Signal), beat)
+	for k := 0; k < beat; k++ {
+		pending[k], setPending[k] = n.FeedbackDFF(rtl.One)
+	}
+
+	idx, anyPending, grants := n.PriorityEncoderGrants(pending)
+
+	// Record layout: [k bits | beat bits | score bits].
+	rec := make([]rtl.Signal, 0, kBits+beatBits+scoreWidth)
+	rec = append(rec, idx...)
+	rec = append(rec, latchedBeat...)
+	rec = append(rec, n.OneHotMux(grants, latchedScores)...)
+
+	fifo := n.BuildFIFO(len(rec), fifoDepth, rec, anyPending, recPop)
+
+	// A push is accepted unless the FIFO is full and not popping.
+	accepted := n.And(anyPending, n.Or(n.Not(fifo.Full), recPop))
+	for k := 0; k < beat; k++ {
+		cleared := n.And(pending[k], n.Not(n.And(grants[k], accepted)))
+		setPending[k](n.Mux2(hitsValid, cleared, hits[k]))
+	}
+
+	// Sticky overflow: a new beat landed while still draining.
+	ovf, setOvf := n.FeedbackDFF(rtl.One)
+	setOvf(n.Or(ovf, n.And(hitsValid, anyPending)))
+
+	ports := &WriteBackPorts{
+		RecValid: fifo.PopValid,
+		RecPos:   fifo.PopData[:kBits+beatBits],
+		RecScore: fifo.PopData[kBits+beatBits:],
+		RecPop:   recPop,
+		Busy:     anyPending,
+		Overflow: ovf,
+	}
+	return ports, nil
+}

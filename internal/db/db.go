@@ -1,0 +1,265 @@
+// Package db implements the on-disk reference database FabP's host keeps:
+// multiple FASTA records concatenated into one 2-bit packed stream (the
+// exact DRAM image the accelerator scans) plus a record index, so hits can
+// be attributed back to sequences and hits spanning record boundaries can
+// be rejected. The format is a single self-contained binary file.
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"fabp/internal/bio"
+	"fabp/internal/core"
+)
+
+// magic identifies the file format; the trailing digit is the version.
+var magic = [8]byte{'F', 'A', 'B', 'P', 'D', 'B', '0', '1'}
+
+// Record is one database sequence's index entry.
+type Record struct {
+	// ID and Description come from the FASTA header.
+	ID          string
+	Description string
+	// Start is the record's offset in the concatenated element stream;
+	// Length its element count.
+	Start, Length int
+}
+
+// Database is an indexed, packed reference ready for scanning.
+type Database struct {
+	records []Record
+	packed  *bio.PackedNucSeq
+}
+
+// Build concatenates nucleotide FASTA records into a database.
+func Build(records []*bio.FastaRecord) (*Database, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("db: no records")
+	}
+	var seq bio.NucSeq
+	idx := make([]Record, 0, len(records))
+	for i, rec := range records {
+		s, err := rec.Nuc()
+		if err != nil {
+			return nil, fmt.Errorf("db: record %d (%s): %w", i, rec.ID, err)
+		}
+		if len(s) == 0 {
+			return nil, fmt.Errorf("db: record %d (%s) is empty", i, rec.ID)
+		}
+		idx = append(idx, Record{
+			ID: rec.ID, Description: rec.Description,
+			Start: len(seq), Length: len(s),
+		})
+		seq = append(seq, s...)
+	}
+	return &Database{records: idx, packed: bio.Pack(seq)}, nil
+}
+
+// FromSeq builds a single-record database from a raw sequence.
+func FromSeq(id string, seq bio.NucSeq) (*Database, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("db: empty sequence")
+	}
+	return &Database{
+		records: []Record{{ID: id, Start: 0, Length: len(seq)}},
+		packed:  bio.Pack(seq),
+	}, nil
+}
+
+// Len returns the total element count.
+func (d *Database) Len() int { return d.packed.Len() }
+
+// NumRecords returns the record count.
+func (d *Database) NumRecords() int { return len(d.records) }
+
+// Record returns index entry i.
+func (d *Database) Record(i int) Record { return d.records[i] }
+
+// Seq unpacks the full concatenated sequence (the accelerator's scan
+// input).
+func (d *Database) Seq() bio.NucSeq { return d.packed.Unpack() }
+
+// Packed exposes the DRAM image.
+func (d *Database) Packed() *bio.PackedNucSeq { return d.packed }
+
+// Locate maps a global element position to (record index, in-record
+// offset); ok is false for out-of-range positions.
+func (d *Database) Locate(pos int) (recIdx, offset int, ok bool) {
+	if pos < 0 || pos >= d.Len() {
+		return 0, 0, false
+	}
+	i := sort.Search(len(d.records), func(i int) bool {
+		return d.records[i].Start+d.records[i].Length > pos
+	})
+	return i, pos - d.records[i].Start, true
+}
+
+// RecordHit is a hit attributed to a database record.
+type RecordHit struct {
+	// RecordIndex/RecordID identify the sequence.
+	RecordIndex int
+	RecordID    string
+	// Offset is the window start within the record.
+	Offset int
+	// Score is the alignment score.
+	Score int
+}
+
+// Attribute maps engine hits (global positions) onto records, dropping any
+// window that spans a record boundary — those alignments are artifacts of
+// concatenation, exactly what a host-side post-filter removes.
+func (d *Database) Attribute(hits []core.Hit, queryElems int) []RecordHit {
+	var out []RecordHit
+	for _, h := range hits {
+		idx, off, ok := d.Locate(h.Pos)
+		if !ok {
+			continue
+		}
+		if off+queryElems > d.records[idx].Length {
+			continue // spans into the next record
+		}
+		out = append(out, RecordHit{
+			RecordIndex: idx,
+			RecordID:    d.records[idx].ID,
+			Offset:      off,
+			Score:       h.Score,
+		})
+	}
+	return out
+}
+
+// WriteTo serializes the database (io.WriterTo).
+func (d *Database) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(d.records))); err != nil {
+		return n, err
+	}
+	if err := write(uint64(d.packed.Len())); err != nil {
+		return n, err
+	}
+	for _, r := range d.records {
+		if err := writeString(bw, &n, r.ID); err != nil {
+			return n, err
+		}
+		if err := writeString(bw, &n, r.Description); err != nil {
+			return n, err
+		}
+		if err := write(uint64(r.Start)); err != nil {
+			return n, err
+		}
+		if err := write(uint64(r.Length)); err != nil {
+			return n, err
+		}
+	}
+	for _, word := range d.packed.Words() {
+		if err := write(word); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+func writeString(w io.Writer, n *int64, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("db: string exceeds 64 KiB")
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	*n += 2
+	m, err := io.WriteString(w, s)
+	*n += int64(m)
+	return err
+}
+
+// Read deserializes a database written by WriteTo.
+func Read(r io.Reader) (*Database, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("db: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("db: bad magic %q", m[:])
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	var total uint64
+	if err := binary.Read(br, binary.LittleEndian, &total); err != nil {
+		return nil, err
+	}
+	if count == 0 || total == 0 {
+		return nil, fmt.Errorf("db: empty database file")
+	}
+	const maxReasonable = 1 << 40
+	if total > maxReasonable || count > 1<<28 {
+		return nil, fmt.Errorf("db: implausible header (count=%d total=%d)", count, total)
+	}
+	records := make([]Record, count)
+	for i := range records {
+		id, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		desc, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		var start, length uint64
+		if err := binary.Read(br, binary.LittleEndian, &start); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return nil, err
+		}
+		records[i] = Record{ID: id, Description: desc, Start: int(start), Length: int(length)}
+	}
+	// Structural validation: records must tile [0, total).
+	pos := 0
+	for i, r := range records {
+		if r.Start != pos || r.Length <= 0 {
+			return nil, fmt.Errorf("db: record %d index corrupt", i)
+		}
+		pos += r.Length
+	}
+	if uint64(pos) != total {
+		return nil, fmt.Errorf("db: index covers %d elements, header says %d", pos, total)
+	}
+
+	words := make([]uint64, (total+31)/32)
+	packed := bio.NewPackedNucSeq(int(total))
+	if err := binary.Read(br, binary.LittleEndian, words); err != nil {
+		return nil, fmt.Errorf("db: reading payload: %w", err)
+	}
+	copy(packed.Words(), words)
+	return &Database{records: records, packed: packed}, nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var l uint16
+	if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+		return "", err
+	}
+	buf := make([]byte, l)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,210 @@
+package db
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/core"
+	"fabp/internal/isa"
+)
+
+func buildTestDB(t *testing.T) *Database {
+	t.Helper()
+	fr := bio.NewFastaReader(strings.NewReader(
+		">chr1 first\nACGUACGUACGU\n>chr2\nGGGGCCCC\n>chr3 third\nAUAUAUAUAUAUAUAU\n"))
+	recs, err := fr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildBasics(t *testing.T) {
+	d := buildTestDB(t)
+	if d.NumRecords() != 3 || d.Len() != 12+8+16 {
+		t.Fatalf("geometry: %d records, %d elements", d.NumRecords(), d.Len())
+	}
+	if r := d.Record(1); r.ID != "chr2" || r.Start != 12 || r.Length != 8 {
+		t.Errorf("record 1: %+v", r)
+	}
+	if got := d.Seq()[:4].String(); got != "ACGU" {
+		t.Errorf("seq start %q", got)
+	}
+	if d.Packed().Len() != d.Len() {
+		t.Error("packed view")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("no records must fail")
+	}
+	if _, err := Build([]*bio.FastaRecord{{ID: "x", Data: "MKW"}}); err == nil {
+		t.Error("protein record must fail")
+	}
+	if _, err := Build([]*bio.FastaRecord{{ID: "x", Data: ""}}); err == nil {
+		t.Error("empty record must fail")
+	}
+	if _, err := FromSeq("x", nil); err == nil {
+		t.Error("empty FromSeq must fail")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	d := buildTestDB(t)
+	cases := []struct {
+		pos, recIdx, offset int
+		ok                  bool
+	}{
+		{0, 0, 0, true},
+		{11, 0, 11, true},
+		{12, 1, 0, true},
+		{19, 1, 7, true},
+		{20, 2, 0, true},
+		{35, 2, 15, true},
+		{36, 0, 0, false},
+		{-1, 0, 0, false},
+	}
+	for _, tc := range cases {
+		idx, off, ok := d.Locate(tc.pos)
+		if ok != tc.ok || (ok && (idx != tc.recIdx || off != tc.offset)) {
+			t.Errorf("Locate(%d) = (%d,%d,%v), want (%d,%d,%v)",
+				tc.pos, idx, off, ok, tc.recIdx, tc.offset, tc.ok)
+		}
+	}
+}
+
+func TestAttributeDropsBoundarySpans(t *testing.T) {
+	d := buildTestDB(t)
+	hits := []core.Hit{
+		{Pos: 0, Score: 5},  // fully inside chr1
+		{Pos: 10, Score: 6}, // starts in chr1, spans into chr2 (queryElems 6)
+		{Pos: 14, Score: 7}, // inside chr2
+		{Pos: 30, Score: 8}, // inside chr3
+		{Pos: 99, Score: 9}, // out of range
+	}
+	out := d.Attribute(hits, 6)
+	if len(out) != 3 {
+		t.Fatalf("attributed %d hits, want 3: %+v", len(out), out)
+	}
+	if out[0].RecordID != "chr1" || out[0].Offset != 0 {
+		t.Errorf("hit 0: %+v", out[0])
+	}
+	if out[1].RecordID != "chr2" || out[1].Offset != 2 || out[1].Score != 7 {
+		t.Errorf("hit 1: %+v", out[1])
+	}
+	if out[2].RecordID != "chr3" || out[2].Offset != 10 {
+		t.Errorf("hit 2: %+v", out[2])
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	d := buildTestDB(t)
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != d.NumRecords() || got.Len() != d.Len() {
+		t.Fatal("geometry lost")
+	}
+	for i := 0; i < d.NumRecords(); i++ {
+		if got.Record(i) != d.Record(i) {
+			t.Errorf("record %d: %+v != %+v", i, got.Record(i), d.Record(i))
+		}
+	}
+	if got.Seq().String() != d.Seq().String() {
+		t.Error("sequence payload lost")
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	d := buildTestDB(t)
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTFABPDB"), good[9:]...),
+		"truncated":   good[:len(good)-9],
+		"short index": good[:20],
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s must fail", name)
+		}
+	}
+	// Corrupt record index: break the tiling invariant.
+	mangled := append([]byte(nil), good...)
+	// Record 0 start is right after magic(8)+count(4)+total(8)+idlen(2)+id(4)+desclen(2)+desc(5)=33
+	mangled[33] = 99
+	if _, err := Read(bytes.NewReader(mangled)); err == nil {
+		t.Error("corrupt index must fail")
+	}
+}
+
+// TestEndToEndSearchThroughDatabase: build, serialize, reload, scan with
+// the engine, attribute hits.
+func TestEndToEndSearchThroughDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prot := bio.RandomProtSeq(rng, 30)
+	for i := range prot {
+		if prot[i] == bio.Ser {
+			prot[i] = bio.Ala
+		}
+	}
+	gene := bio.EncodeGene(rng, prot)
+	rec2 := bio.RandomNucSeq(rng, 5000)
+	copy(rec2[1234:], gene)
+
+	recs := []*bio.FastaRecord{
+		{ID: "decoy", Data: bio.RandomNucSeq(rng, 3000).String()},
+		{ID: "target", Data: rec2.String()},
+	}
+	d, err := Build(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog := isa.MustEncodeProtein(prot)
+	e, err := core.NewEngine(prog, len(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := e.Align(d2.Seq())
+	attributed := d2.Attribute(hits, len(prog))
+	found := false
+	for _, h := range attributed {
+		if h.RecordID == "target" && h.Offset == 1234 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("planted gene not attributed: %+v", attributed)
+	}
+}

@@ -1,0 +1,52 @@
+package db
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+// FuzzRead: arbitrary bytes must never panic or allocate absurdly; valid
+// files must round-trip.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid database and a few corruptions.
+	fr := bio.NewFastaReader(strings.NewReader(">a\nACGT\n>b\nGGCC\n"))
+	recs, _ := fr.ReadAll()
+	d, _ := Build(recs)
+	var buf bytes.Buffer
+	d.WriteTo(&buf)
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:10])
+	f.Add([]byte("FABPDB01garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be internally consistent.
+		if got.Len() <= 0 || got.NumRecords() <= 0 {
+			t.Fatal("parsed database with empty geometry")
+		}
+		pos := 0
+		for i := 0; i < got.NumRecords(); i++ {
+			r := got.Record(i)
+			if r.Start != pos || r.Length <= 0 {
+				t.Fatal("inconsistent index escaped validation")
+			}
+			pos += r.Length
+		}
+		if pos != got.Len() {
+			t.Fatal("index does not tile the payload")
+		}
+		// And must re-serialize cleanly.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+	})
+}

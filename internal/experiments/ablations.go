@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fabp/internal/axi"
+	"fabp/internal/backtrans"
+	"fabp/internal/bio"
+	"fabp/internal/core"
+	"fabp/internal/fpga"
+	"fabp/internal/subonly"
+)
+
+// PopcountAblation reproduces the §III-D claim that the LUT-level Pop36
+// pop-counter is smaller than a tree-adder HDL description, across the
+// paper's operating widths.
+func PopcountAblation() *Table {
+	t := &Table{
+		Title:  "§III-D — pop-counter area: Pop36 LUT-optimized vs tree-adder",
+		Header: []string{"width (elements)", "lut-optimized", "tree-adder", "saving"},
+	}
+	for _, w := range []int{36, 150, 300, 450, 600, 750} {
+		opt := core.PopCountLUTs(w, core.PopLUTOptimized)
+		tree := core.PopCountLUTs(w, core.PopTree)
+		t.AddRow(itoa(w), itoa(opt), itoa(tree), pct(1-float64(opt)/float64(tree)))
+	}
+	t.AddNote("paper reports ~20%% saving; our structural tree-adder spends 2 LUTs per " +
+		"full-adder bit (no CARRY4 modeling), which widens the measured gap — direction and " +
+		"conclusion are unchanged")
+	return t
+}
+
+// ChannelScaling explores the §III-C remark that more memory channels keep
+// accelerating short (bandwidth-bound) queries.
+func ChannelScaling() *Table {
+	t := &Table{
+		Title:  "§III-C — memory-channel scaling (VU9P, time for 1 GB reference)",
+		Header: []string{"query len", "channels", "fits", "iterations", "time (ms)", "speedup vs 1ch"},
+	}
+	dev := fpga.VirtexUS()
+	for _, res := range []int{50, 150, 250} {
+		var base float64
+		for _, ch := range []int{1, 2, 4} {
+			est := fpga.Size(dev, fpga.Config{QueryElems: 3 * res, Channels: ch})
+			if !est.Fits {
+				t.AddRow(itoa(res), itoa(ch), "no", "-", "-", "-")
+				continue
+			}
+			tm := fpga.Time(est, PaperRefNucleotides, axi.NoStall{})
+			if ch == 1 {
+				base = tm.Seconds
+			}
+			t.AddRow(itoa(res), itoa(ch), "yes", itoa(est.Iterations),
+				f2(tm.Seconds*1000), f2(base/tm.Seconds))
+		}
+	}
+	t.AddNote("bandwidth-bound builds scale near-linearly with channels until LUTs run out")
+	return t
+}
+
+// SerineAblationResult quantifies the sensitivity cost of the paper's UCD
+// serine template (which drops AGU/AGC).
+type SerineAblationResult struct {
+	Queries        int
+	AGYCodons      int     // serine codons encoded as AGU/AGC in the genes
+	PaperRecall    float64 // hit recall with the paper-faithful template
+	ExactRecall    float64 // recall with the AGY-repaired scorer
+	MeanScoreDrop  float64 // mean (exact − paper) score at the true locus
+	WorstScoreDrop int
+}
+
+// RunSerineAblation plants serine-rich genes (human codon usage) and
+// compares detection between the hardware encoding and the AGY-repaired
+// scorer.
+func RunSerineAblation(seed int64, queries int) SerineAblationResult {
+	return RunSerineAblationUsage(seed, queries, bio.UsageHuman())
+}
+
+// RunSerineAblationUsage is RunSerineAblation with an explicit organism
+// codon-usage table, since the AGY-serine fraction (and thus the cost of
+// the paper's encoding) is organism-dependent.
+func RunSerineAblationUsage(seed int64, queries int, usage *bio.CodonUsage) SerineAblationResult {
+	rng := rand.New(rand.NewSource(seed))
+	const qLen = 40
+	res := SerineAblationResult{Queries: queries}
+	var dropSum float64
+	for qi := 0; qi < queries; qi++ {
+		// Serine-rich query: ~25% Ser.
+		q := bio.RandomProtSeq(rng, qLen)
+		for i := range q {
+			if rng.Float64() < 0.25 {
+				q[i] = bio.Ser
+			}
+		}
+		gene := usage.EncodeGene(rng, q)
+		for ci, c := range gene.Codons() {
+			if q[ci] == bio.Ser && c[0] == bio.A {
+				res.AGYCodons++
+			}
+		}
+		ref := bio.RandomNucSeq(rng, 6000)
+		pos := rng.Intn(len(ref) - len(gene))
+		copy(ref[pos:], gene)
+
+		max := 3 * qLen
+		threshold := int(0.9 * float64(max))
+		paperScore := subonly.ScoreProteinAt(q, ref, pos)
+		exactScore := subonly.ExactScoreProteinAt(q, ref, pos)
+		if paperScore >= threshold {
+			res.PaperRecall++
+		}
+		if exactScore >= threshold {
+			res.ExactRecall++
+		}
+		drop := exactScore - paperScore
+		dropSum += float64(drop)
+		if drop > res.WorstScoreDrop {
+			res.WorstScoreDrop = drop
+		}
+	}
+	res.PaperRecall /= float64(queries)
+	res.ExactRecall /= float64(queries)
+	res.MeanScoreDrop = dropSum / float64(queries)
+	return res
+}
+
+// SerineAblation renders the serine study, per organism.
+func SerineAblation() *Table {
+	t := &Table{
+		Title: "Ablation — cost of the paper's UCD serine template (drops AGU/AGC)",
+		Header: []string{"organism", "queries", "AGY codons", "recall (paper)",
+			"recall (repaired)", "mean shortfall", "worst"},
+	}
+	for _, usage := range bio.Usages() {
+		r := RunSerineAblationUsage(7, 150, usage)
+		t.AddRow(usage.Name(), itoa(r.Queries), itoa(r.AGYCodons),
+			pct(r.PaperRecall), pct(r.ExactRecall),
+			f2(r.MeanScoreDrop), itoa(r.WorstScoreDrop))
+	}
+	t.AddNote("each AGY serine costs up to 2 matching elements under the UCD template; " +
+		"usage-weighted genes encode ~39%% (human) / ~43%% (E. coli) of serines as AGU/AGC, " +
+		"so the encoding loss is organism-dependent")
+	return t
+}
+
+// EncodingTable renders the full degenerate back-translation table — the
+// reproduction of the paper's Fig. 2 + §III-A classification.
+func EncodingTable() *Table {
+	t := &Table{
+		Title:  "§III-A/B — degenerate templates and 6-bit encodings",
+		Header: []string{"amino acid", "codons", "template", "IUPAC", "instructions"},
+	}
+	for a := bio.AminoAcid(0); a < bio.NumResidues; a++ {
+		tpl := backtrans.TemplateOf(a)
+		var insStr string
+		for i, e := range tpl {
+			if i > 0 {
+				insStr += " "
+			}
+			ins, err := encodeElement(e)
+			if err != nil {
+				insStr += "?"
+				continue
+			}
+			insStr += ins
+		}
+		t.AddRow(
+			fmt.Sprintf("%s (%s)", a.ThreeLetter(), a),
+			itoa(a.Degeneracy()),
+			tpl.String(),
+			tpl.IUPAC(),
+			insStr,
+		)
+	}
+	t.AddNote("Ser lists 6 codons but the template covers the UCN four (paper-faithful)")
+	return t
+}

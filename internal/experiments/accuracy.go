@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"fabp/internal/bio"
+	"fabp/internal/core"
+	"fabp/internal/isa"
+	"fabp/internal/tblastn"
+)
+
+// AccuracyConfig scales the §IV-A accuracy study. Zero values take the
+// quick defaults below (CI-sized); cmd/fabp-bench can run it larger.
+type AccuracyConfig struct {
+	// RefLen is the synthetic reference length in nucleotides.
+	RefLen int
+	// Genes is the number of planted source genes.
+	Genes int
+	// GeneLen is the planted gene length in residues.
+	GeneLen int
+	// Queries is the number of sampled query proteins.
+	Queries int
+	// QueryLen is the query length in residues.
+	QueryLen int
+	// Model is the divergence model (defaults to the paper's).
+	Model bio.MutationModel
+	// ThresholdFrac is the FabP hit threshold as a fraction of the
+	// maximum score.
+	ThresholdFrac float64
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (c AccuracyConfig) defaults() AccuracyConfig {
+	if c.RefLen == 0 {
+		c.RefLen = 120_000
+	}
+	if c.Genes == 0 {
+		c.Genes = 12
+	}
+	if c.GeneLen == 0 {
+		c.GeneLen = 120
+	}
+	if c.Queries == 0 {
+		c.Queries = 200
+	}
+	if c.QueryLen == 0 {
+		c.QueryLen = 50
+	}
+	if c.Model == (bio.MutationModel{}) {
+		c.Model = bio.DefaultMutationModel()
+	}
+	if c.ThresholdFrac == 0 {
+		c.ThresholdFrac = 0.8
+	}
+	if c.Seed == 0 {
+		c.Seed = 2021
+	}
+	return c
+}
+
+// AccuracyResult aggregates the study.
+type AccuracyResult struct {
+	Config         AccuracyConfig
+	Queries        int
+	IndelQueries   int     // queries whose divergence included an indel
+	IndelFraction  float64 // IndelQueries / Queries
+	FabPRecall     float64 // fraction of queries whose true locus FabP hit
+	TBLASTNRecall  float64 // same for the heuristic DP baseline
+	FabPRecallSub  float64 // recall among substitution-only queries
+	FabPRecallInd  float64 // recall among indel-containing queries
+	MeanScoreFrac  float64 // mean FabP score at the true locus / max score
+	PoissonPredict float64 // analytic P(>=1 indel) under the model
+}
+
+// RunAccuracy samples diverged queries from planted genes and measures how
+// often FabP's substitution-only scoring still detects the true locus,
+// versus the TBLASTN baseline that tolerates indels via seeding. It
+// reproduces the paper's argument that indels are rare enough for
+// substitution-only alignment to lose almost nothing.
+func RunAccuracy(cfg AccuracyConfig) AccuracyResult {
+	cfg = cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ref, genes := bio.SyntheticReference(rng, cfg.RefLen, cfg.Genes, cfg.GeneLen)
+
+	res := AccuracyResult{Config: cfg, Queries: cfg.Queries}
+	lambda := cfg.Model.IndelRatePerKB * float64(3*cfg.QueryLen) / 1000
+	res.PoissonPredict = 1 - math.Exp(-lambda)
+
+	var fabpHits, tblastnHits, fabpSubHits, subQueries, fabpIndHits int
+	var scoreFracSum float64
+
+	for qi := 0; qi < cfg.Queries; qi++ {
+		g := genes[rng.Intn(len(genes))]
+		off := rng.Intn(cfg.GeneLen - cfg.QueryLen + 1)
+		orig := g.Protein[off : off+cfg.QueryLen]
+		truth := g.Pos + 3*off
+
+		query, stats := cfg.Model.Mutate(rng, orig)
+		if stats.HasIndel() {
+			res.IndelQueries++
+		} else {
+			subQueries++
+		}
+
+		// FabP: substitution-only scan at the configured threshold.
+		prog := isa.MustEncodeProtein(query)
+		maxScore := len(prog)
+		threshold := int(cfg.ThresholdFrac * float64(maxScore))
+		engine, err := core.NewEngine(prog, threshold)
+		if err != nil {
+			continue
+		}
+		hits := engine.Align(ref)
+		found := false
+		for _, h := range hits {
+			// Indels shift the locus by up to the indel length in codons.
+			if abs(h.Pos-truth) <= 3*(stats.Insertions+stats.Deletions)+2 {
+				found = true
+				break
+			}
+		}
+		if found {
+			fabpHits++
+			if stats.HasIndel() {
+				fabpIndHits++
+			} else {
+				fabpSubHits++
+			}
+		}
+		scoreFracSum += float64(engine.Score(ref, clamp(truth, 0, len(ref)-len(prog)))) / float64(maxScore)
+
+		// TBLASTN baseline.
+		hsps, _, err := tblastn.Search(query, ref, tblastn.Options{Frames: 3, Threads: 1})
+		if err == nil {
+			for _, h := range hsps {
+				if h.Frame < 3 && abs(h.NucPos-truth) <= 3*cfg.QueryLen {
+					tblastnHits++
+					break
+				}
+			}
+		}
+	}
+
+	res.IndelFraction = float64(res.IndelQueries) / float64(cfg.Queries)
+	res.FabPRecall = float64(fabpHits) / float64(cfg.Queries)
+	res.TBLASTNRecall = float64(tblastnHits) / float64(cfg.Queries)
+	if subQueries > 0 {
+		res.FabPRecallSub = float64(fabpSubHits) / float64(subQueries)
+	}
+	if res.IndelQueries > 0 {
+		res.FabPRecallInd = float64(fabpIndHits) / float64(res.IndelQueries)
+	}
+	res.MeanScoreFrac = scoreFracSum / float64(cfg.Queries)
+	return res
+}
+
+// Accuracy renders the §IV-A study as a table.
+func Accuracy(cfg AccuracyConfig) *Table {
+	r := RunAccuracy(cfg)
+	t := &Table{
+		Title:  "§IV-A — indel incidence and substitution-only accuracy",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("queries sampled", itoa(r.Queries))
+	t.AddRow("queries with >=1 indel", itoa(r.IndelQueries))
+	t.AddRow("indel incidence (measured)", pct(r.IndelFraction))
+	t.AddRow("indel incidence (Poisson model)", pct(r.PoissonPredict))
+	t.AddRow("FabP recall (all queries)", pct(r.FabPRecall))
+	t.AddRow("FabP recall (substitution-only queries)", pct(r.FabPRecallSub))
+	t.AddRow("FabP recall (indel queries)", pct(r.FabPRecallInd))
+	t.AddRow("TBLASTN recall (all queries)", pct(r.TBLASTNRecall))
+	t.AddRow("mean FabP score at true locus / max", f3(r.MeanScoreFrac))
+	t.AddNote("paper: 2 of 10,000 NCBI-sampled queries (~0.02%%) involved indels; " +
+		"the cited distribution [18] (0.09 indels/kb) predicts the Poisson row — " +
+		"accuracy loss is confined to the indel slice either way")
+	return t
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

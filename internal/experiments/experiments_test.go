@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.AddNote("n=%d", 5)
+	out := tb.Render()
+	for _, want := range []string{"T\n=", "a    bb", "333  4", "note: n=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig6aShape asserts the paper's qualitative and quantitative speedup
+// claims from the model series.
+func TestFig6aShape(t *testing.T) {
+	gpu, cpu12, err := Fig6aAverages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FabP beats the GPU slightly and the CPU hugely; who-wins must hold.
+	if gpu < 1.0 || gpu > 1.35 {
+		t.Errorf("FabP/GPU average %.3f outside [1.0, 1.35] (paper 1.081)", gpu)
+	}
+	if math.Abs(cpu12-24.8)/24.8 > 0.25 {
+		t.Errorf("FabP/CPU-12 average %.1f, paper 24.8 (tol 25%%)", cpu12)
+	}
+	tb, err := Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(Fig6Lengths) {
+		t.Errorf("row per query length expected")
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	gpu, cpu12, err := Fig6bAverages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gpu-23.2)/23.2 > 0.35 {
+		t.Errorf("energy vs GPU %.1f, paper 23.2", gpu)
+	}
+	if math.Abs(cpu12-266.8)/266.8 > 0.35 {
+		t.Errorf("energy vs CPU-12 %.1f, paper 266.8", cpu12)
+	}
+	if _, err := Fig6b(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	tb := Table1()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want available + 2 builds, got %d rows", len(tb.Rows))
+	}
+	out := tb.Render()
+	for _, want := range []string{"FabP-50", "FabP-250", "326k", "12.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestCrossoverInRange(t *testing.T) {
+	c := CrossoverResidues()
+	if c < 50 || c > 110 {
+		t.Errorf("crossover %d residues, paper ~70", c)
+	}
+	tb := Crossover()
+	if len(tb.Rows) == 0 {
+		t.Error("crossover sweep empty")
+	}
+}
+
+func TestAccuracyStudy(t *testing.T) {
+	// Small but statistically meaningful configuration for CI.
+	r := RunAccuracy(AccuracyConfig{
+		RefLen: 60_000, Genes: 8, GeneLen: 100, Queries: 60, QueryLen: 50,
+	})
+	if r.FabPRecallSub < 0.95 {
+		t.Errorf("substitution-only recall %.2f should be near 1", r.FabPRecallSub)
+	}
+	if r.TBLASTNRecall < 0.9 {
+		t.Errorf("TBLASTN recall %.2f should be near 1", r.TBLASTNRecall)
+	}
+	if r.MeanScoreFrac < 0.85 {
+		t.Errorf("mean true-locus score fraction %.2f too low", r.MeanScoreFrac)
+	}
+	// The accuracy drop must be confined to the indel slice.
+	drop := r.FabPRecallSub - r.FabPRecall
+	if drop > r.IndelFraction+0.02 {
+		t.Errorf("overall recall drop %.3f exceeds indel incidence %.3f", drop, r.IndelFraction)
+	}
+	if r.PoissonPredict <= 0 || r.PoissonPredict > 0.1 {
+		t.Errorf("Poisson prediction %.4f implausible", r.PoissonPredict)
+	}
+}
+
+func TestSerineAblationNumbers(t *testing.T) {
+	r := RunSerineAblation(3, 60)
+	if r.AGYCodons == 0 {
+		t.Fatal("workload must contain AGY serines")
+	}
+	if r.ExactRecall < r.PaperRecall {
+		t.Error("AGY repair can only help")
+	}
+	if r.ExactRecall != 1.0 {
+		t.Errorf("exact scorer must always detect the perfect gene, got %.2f", r.ExactRecall)
+	}
+	if r.MeanScoreDrop <= 0 {
+		t.Error("serine-rich genes must show a score shortfall")
+	}
+	if r.WorstScoreDrop <= 0 {
+		t.Error("worst drop must be positive")
+	}
+}
+
+func TestPopcountAblationTable(t *testing.T) {
+	tb := PopcountAblation()
+	if len(tb.Rows) < 4 {
+		t.Error("expected several widths")
+	}
+	for _, row := range tb.Rows {
+		if !strings.HasSuffix(row[3], "%") {
+			t.Errorf("saving cell %q not a percentage", row[3])
+		}
+	}
+}
+
+func TestChannelScalingTable(t *testing.T) {
+	tb := ChannelScaling()
+	out := tb.Render()
+	if !strings.Contains(out, "channels") {
+		t.Error("missing channels column")
+	}
+	if len(tb.Rows) != 9 {
+		t.Errorf("expected 3 lengths × 3 channel counts, got %d rows", len(tb.Rows))
+	}
+}
+
+func TestEncodingTableComplete(t *testing.T) {
+	tb := EncodingTable()
+	if len(tb.Rows) != 21 {
+		t.Fatalf("expected 21 residues, got %d", len(tb.Rows))
+	}
+	out := tb.Render()
+	for _, want := range []string{"Met", "AUG", "UU(U/C)", "(A/C)G(F:10)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encoding table missing %q", want)
+		}
+	}
+}
+
+func TestThresholdTable(t *testing.T) {
+	tb := Threshold()
+	if len(tb.Rows) != len(Fig6Lengths) {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[3] == "-" {
+			t.Errorf("threshold suggestion failed for length %s", row[0])
+		}
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	tb := Timing()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	out := tb.Render()
+	if strings.Contains(out, "-  -  -") {
+		t.Error("a build failed to generate")
+	}
+}
+
+func TestPrecisionTable(t *testing.T) {
+	tb := Precision()
+	if len(tb.Rows) != 21 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	out := tb.Render()
+	// The three dependent-comparison amino acids are exactly where IUPAC
+	// over-accepts.
+	for _, want := range []string{"UUC(F)", "AGC(S)", "UGG(W)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("precision table missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "5 wrong codons") {
+		t.Error("total false-accept count should be 5")
+	}
+}
+
+func TestMeasuredQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured comparison skipped in -short")
+	}
+	r := RunMeasured(MeasuredConfig{RefLen: 300_000, QueryLen: 40, Threads: 4})
+	if r.EngineSec <= 0 || r.TBLASTN1Sec <= 0 || r.TBLASTNnSec <= 0 {
+		t.Errorf("timings must be positive: %+v", r)
+	}
+	if r.EngineHits == 0 {
+		t.Error("engine should find the planted gene")
+	}
+	tb := Measured(MeasuredConfig{RefLen: 150_000, QueryLen: 40, Threads: 2})
+	if !strings.Contains(tb.Render(), "TBLASTN") {
+		t.Error("measured table malformed")
+	}
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run skipped in -short")
+	}
+	for _, name := range Names() {
+		if name == "measured" || name == "accuracy" {
+			continue // exercised with smaller configs above
+		}
+		tb, err := Run(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tb == nil || len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+	names := Names()
+	if len(names) < 9 {
+		t.Errorf("registry too small: %v", names)
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fabp/internal/fpga"
+	"fabp/internal/perf"
+)
+
+// Fig6Lengths are the protein query lengths of Fig. 6.
+var Fig6Lengths = []int{50, 100, 150, 200, 250}
+
+// PaperRefNucleotides is the evaluation database size: 1 GB of sequence
+// data ≈ 1e9 nucleotides (NCBI nt sample).
+const PaperRefNucleotides = 1_000_000_000
+
+// paperFig6 holds the paper's reported in-text averages for comparison
+// columns.
+const (
+	paperGPUSpeedupAvg   = 1.081
+	paperCPU12SpeedupAvg = 24.8
+	paperGPUEnergyAvg    = 23.2
+	paperCPU12EnergyAvg  = 266.8
+)
+
+// fig6Point is one column of Fig. 6: all platforms at one query length.
+type fig6Point struct {
+	queryLen               int
+	cpu1, cpu12, gpu, fabp perf.Result
+}
+
+// fig6Series evaluates every platform model at every Fig. 6 query length.
+func fig6Series(refNT int) ([]fig6Point, error) {
+	dev := fpga.Kintex7()
+	gpu := perf.DefaultGPU()
+	cpu1 := perf.DefaultCPU(1)
+	cpu12 := perf.DefaultCPU(12)
+	var out []fig6Point
+	for _, l := range Fig6Lengths {
+		f, err := perf.FPGA(dev, l, refNT)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig6Point{
+			queryLen: l,
+			cpu1:     cpu1.Time(l, refNT),
+			cpu12:    cpu12.Time(l, refNT),
+			gpu:      gpu.Time(l, refNT),
+			fabp:     f,
+		})
+	}
+	return out, nil
+}
+
+// Fig6a reproduces Fig. 6(a): execution-time speedup of every platform
+// normalized to single-thread TBLASTN, per query length.
+func Fig6a() (*Table, error) {
+	points, err := fig6Series(PaperRefNucleotides)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig. 6(a) — speedup over 1-thread TBLASTN (higher is better)",
+		Header: []string{"query len", "CPU-1", "CPU-12", "GPU", "FabP", "FabP/GPU", "FabP/CPU-12"},
+	}
+	var sumGPU, sumCPU float64
+	for _, p := range points {
+		base := p.cpu1
+		nCPU12 := perf.Normalize(base, p.cpu12).Speedup
+		nGPU := perf.Normalize(base, p.gpu).Speedup
+		nFabP := perf.Normalize(base, p.fabp).Speedup
+		sumGPU += nFabP / nGPU
+		sumCPU += nFabP / nCPU12
+		t.AddRow(
+			itoa(p.queryLen), f2(1.0), f2(nCPU12), f2(nGPU), f2(nFabP),
+			f3(nFabP/nGPU), f1(nFabP/nCPU12),
+		)
+	}
+	n := float64(len(points))
+	t.AddNote("average FabP/GPU speedup: %.3fx (paper: %.3fx)", sumGPU/n, paperGPUSpeedupAvg)
+	t.AddNote("average FabP/CPU-12 speedup: %.1fx (paper: %.1fx)", sumCPU/n, paperCPU12SpeedupAvg)
+	return t, nil
+}
+
+// Fig6aAverages returns the two headline speedup averages (FabP vs GPU and
+// FabP vs CPU-12) for programmatic assertions.
+func Fig6aAverages() (gpu, cpu12 float64, err error) {
+	points, err := fig6Series(PaperRefNucleotides)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, p := range points {
+		gpu += p.gpu.Seconds / p.fabp.Seconds
+		cpu12 += p.cpu12.Seconds / p.fabp.Seconds
+	}
+	n := float64(len(points))
+	return gpu / n, cpu12 / n, nil
+}
+
+// Fig6b reproduces Fig. 6(b): energy efficiency normalized to single-thread
+// TBLASTN.
+func Fig6b() (*Table, error) {
+	points, err := fig6Series(PaperRefNucleotides)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig. 6(b) — energy efficiency over 1-thread TBLASTN (higher is better)",
+		Header: []string{"query len", "CPU-1", "CPU-12", "GPU", "FabP", "FabP/GPU", "FabP/CPU-12"},
+	}
+	var sumGPU, sumCPU float64
+	for _, p := range points {
+		base := p.cpu1
+		nCPU12 := perf.Normalize(base, p.cpu12).EnergyEfficiency
+		nGPU := perf.Normalize(base, p.gpu).EnergyEfficiency
+		nFabP := perf.Normalize(base, p.fabp).EnergyEfficiency
+		sumGPU += nFabP / nGPU
+		sumCPU += nFabP / nCPU12
+		t.AddRow(
+			itoa(p.queryLen), f2(1.0), f2(nCPU12), f1(nGPU), f1(nFabP),
+			f1(nFabP/nGPU), f1(nFabP/nCPU12),
+		)
+	}
+	n := float64(len(points))
+	t.AddNote("average FabP/GPU energy efficiency: %.1fx (paper: %.1fx)", sumGPU/n, paperGPUEnergyAvg)
+	t.AddNote("average FabP/CPU-12 energy efficiency: %.1fx (paper: %.1fx)", sumCPU/n, paperCPU12EnergyAvg)
+	return t, nil
+}
+
+// Fig6bAverages returns the two headline energy-ratio averages.
+func Fig6bAverages() (gpu, cpu12 float64, err error) {
+	points, err := fig6Series(PaperRefNucleotides)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, p := range points {
+		gpu += p.gpu.EnergyJoules() / p.fabp.EnergyJoules()
+		cpu12 += p.cpu12.EnergyJoules() / p.fabp.EnergyJoules()
+	}
+	n := float64(len(points))
+	return gpu / n, cpu12 / n, nil
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

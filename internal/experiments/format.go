@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Format selects a table rendering.
+type Format string
+
+// Supported table output formats.
+const (
+	// FormatText is the aligned monospace default.
+	FormatText Format = "text"
+	// FormatMarkdown renders a GitHub-flavoured markdown table.
+	FormatMarkdown Format = "markdown"
+	// FormatCSV renders RFC-4180 CSV (notes become # comment lines).
+	FormatCSV Format = "csv"
+)
+
+// ParseFormat validates a format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatText, FormatMarkdown, FormatCSV, "":
+		if s == "" {
+			return FormatText, nil
+		}
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("experiments: unknown format %q (text, markdown, csv)", s)
+}
+
+// RenderAs renders the table in the requested format.
+func (t *Table) RenderAs(f Format) (string, error) {
+	switch f {
+	case FormatText, "":
+		return t.Render(), nil
+	case FormatMarkdown:
+		return t.renderMarkdown(), nil
+	case FormatCSV:
+		return t.renderCSV()
+	}
+	return "", fmt.Errorf("experiments: unknown format %q", f)
+}
+
+func (t *Table) renderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	escape := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	b.WriteString("|")
+	for _, h := range t.Header {
+		b.WriteString(" " + escape(h) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Header {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			b.WriteString(" " + escape(cell) + " |")
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+func (t *Table) renderCSV() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	w := csv.NewWriter(&b)
+	if err := w.Write(t.Header); err != nil {
+		return "", err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String(), nil
+}

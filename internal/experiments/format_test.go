@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "Sample", Header: []string{"name", "value"}}
+	t.AddRow("alpha", "1")
+	t.AddRow("with|pipe", "2,3")
+	t.AddNote("a note")
+	return t
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"", "text", "markdown", "csv"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format must fail")
+	}
+	if f, _ := ParseFormat(""); f != FormatText {
+		t.Error("empty defaults to text")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	out, err := sampleTable().RenderAs(FormatMarkdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### Sample", "| name | value |", "|---|---|", "with\\|pipe", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	out, err := sampleTable().RenderAs(FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Sample", "name,value", `"2,3"`, "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAsText(t *testing.T) {
+	out, err := sampleTable().RenderAs(FormatText)
+	if err != nil || out != sampleTable().Render() {
+		t.Error("text format must match Render")
+	}
+	if _, err := sampleTable().RenderAs(Format("bogus")); err == nil {
+		t.Error("bogus format must fail")
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one experiment table.
+type Runner func() (*Table, error)
+
+// Registry maps experiment ids (as used by `fabp-bench -exp`) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig6a":    Fig6a,
+		"fig6b":    Fig6b,
+		"table1":   func() (*Table, error) { return Table1(), nil },
+		"accuracy": func() (*Table, error) { return Accuracy(AccuracyConfig{}), nil },
+		"crossover": func() (*Table, error) {
+			return Crossover(), nil
+		},
+		"popcount":  func() (*Table, error) { return PopcountAblation(), nil },
+		"channels":  func() (*Table, error) { return ChannelScaling(), nil },
+		"serine":    func() (*Table, error) { return SerineAblation(), nil },
+		"encoding":  func() (*Table, error) { return EncodingTable(), nil },
+		"precision": func() (*Table, error) { return Precision(), nil },
+		"threshold": func() (*Table, error) { return Threshold(), nil },
+		"devices":   func() (*Table, error) { return Devices(), nil },
+		"timing":    func() (*Table, error) { return Timing(), nil },
+		"measured":  func() (*Table, error) { return Measured(MeasuredConfig{}), nil },
+	}
+}
+
+// Names lists the registered experiment ids in sorted order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by id.
+func Run(name string) (*Table, error) {
+	r, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r()
+}

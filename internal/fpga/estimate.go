@@ -1,0 +1,228 @@
+package fpga
+
+import (
+	"fmt"
+
+	"fabp/internal/axi"
+	"fabp/internal/core"
+)
+
+// Calibration constants of the resource model. The structural parts
+// (comparators, pop-counters) are exact netlist counts from internal/core;
+// the control/write-back overheads below were fitted once against the
+// paper's Table I (FabP-50: 58 % LUT / 16 % FF / 31 % DSP / 19 % BRAM;
+// FabP-250: 98 % / 40 % / 68 % / 15 %) and are never re-tuned per
+// experiment.
+const (
+	// instOverheadLUTs covers per-instance control: position tracking,
+	// write-back arbitration and hit encoding.
+	instOverheadLUTs = 150
+	// sharedLUTs covers the AXI datapath, host interface and global
+	// control.
+	sharedLUTs = 13_000
+	// sharedFFs covers global control/pipeline registers beyond the query
+	// and reference-stream storage.
+	sharedFFs = 2_000
+	// stagingFFFactor models per-instance score double-buffering and
+	// write-back staging, proportional to the full query width.
+	stagingFFFactor = 0.5
+	// sharedDSPs covers address generation.
+	sharedDSPs = 16
+	// wbBRAMBaseKb + wbBRAMStreamKb/iterations models the write-back and
+	// host FIFOs, which shrink as effective throughput drops.
+	wbBRAMBaseKb   = 2_240
+	wbBRAMStreamKb = 853
+	// maxIterations bounds the segmentation search.
+	maxIterations = 64
+)
+
+// Config selects the accelerator build the estimator sizes.
+type Config struct {
+	// QueryElems is the back-translated query length (3 × residues).
+	QueryElems int
+	// Channels is the number of memory channels used (each adds one beat's
+	// worth of alignment instances). Default 1, the paper's setting.
+	Channels int
+	// Pop selects the pop-counter implementation.
+	Pop core.PopVariant
+}
+
+// Estimate is the sized design: the chosen iteration count and the
+// projected resource utilization — the Table I quantities.
+type Estimate struct {
+	Device Device
+	Config Config
+
+	// Fits reports whether any iteration count makes the design fit.
+	Fits bool
+	// Iterations is the cycles needed per beat (query segmentation); 1
+	// means full rate.
+	Iterations int
+	// SegmentElems is the per-iteration query segment width.
+	SegmentElems int
+	// Instances is the number of parallel alignment instances.
+	Instances int
+
+	LUTs, FFs, DSPs int
+	BRAMKb          int
+}
+
+// LUTFrac returns LUT utilization in [0,1] (may exceed 1 for non-fitting
+// single-iteration probes).
+func (e Estimate) LUTFrac() float64 { return float64(e.LUTs) / float64(e.Device.LUTs) }
+
+// FFFrac returns flip-flop utilization.
+func (e Estimate) FFFrac() float64 { return float64(e.FFs) / float64(e.Device.FFs) }
+
+// DSPFrac returns DSP utilization.
+func (e Estimate) DSPFrac() float64 { return float64(e.DSPs) / float64(e.Device.DSPs) }
+
+// BRAMFrac returns block-RAM utilization.
+func (e Estimate) BRAMFrac() float64 { return float64(e.BRAMKb) / float64(e.Device.BRAMKb) }
+
+// String renders the estimate like a Table I row.
+func (e Estimate) String() string {
+	return fmt.Sprintf("FabP-%d on %s: iter=%d LUT=%.0f%% FF=%.0f%% BRAM=%.0f%% DSP=%.0f%%",
+		e.Config.QueryElems/3, e.Device.Name, e.Iterations,
+		100*e.LUTFrac(), 100*e.FFFrac(), 100*e.BRAMFrac(), 100*e.DSPFrac())
+}
+
+// muxLUTsPerBit is the LUT cost of an S:1 multiplexer per data bit (a LUT6
+// implements a 4:1 mux; wider selects cascade).
+func muxLUTsPerBit(s int) int {
+	if s <= 1 {
+		return 0
+	}
+	return (s + 1) / 3 // ceil((s-1)/3): a LUT6 merges 3 more ways per level
+
+}
+
+// sizeAt computes the resource totals for a fixed iteration count.
+func sizeAt(dev Device, cfg Config, iterations int) Estimate {
+	lq := cfg.QueryElems
+	seg := (lq + iterations - 1) / iterations
+	instances := dev.Port.ElementsPerBeat() * cfg.Channels
+
+	perInstLUT := core.CompareLUTsPerElement*seg +
+		core.PopCountLUTs(seg, cfg.Pop) +
+		2*seg*muxLUTsPerBit(iterations) + // reference segment steering
+		instOverheadLUTs
+	luts := instances*perInstLUT + sharedLUTs +
+		6*seg*muxLUTsPerBit(iterations) // shared query segment mux
+
+	popPipeFF := 6*((seg+35)/36) + 12
+	perInstFF := seg + popPipeFF + core.ScoreWidth(lq) + int(stagingFFFactor*float64(lq))
+	ffs := instances*perInstFF +
+		6*lq + // query storage
+		2*(lq+instances) + // reference stream buffer
+		sharedFFs
+
+	perInstDSP := 1 // threshold comparator (§IV-B)
+	if iterations > 1 {
+		perInstDSP++ // score accumulator across segments
+	}
+	dsps := instances*perInstDSP + sharedDSPs
+
+	bram := wbBRAMBaseKb + wbBRAMStreamKb/iterations
+
+	return Estimate{
+		Device: dev, Config: cfg,
+		Iterations: iterations, SegmentElems: seg, Instances: instances,
+		LUTs: luts, FFs: ffs, DSPs: dsps, BRAMKb: bram,
+	}
+}
+
+// fitsDevice checks every budget.
+func (e Estimate) fitsDevice() bool {
+	return e.LUTs <= e.Device.LUTs && e.FFs <= e.Device.FFs &&
+		e.DSPs <= e.Device.DSPs && e.BRAMKb <= e.Device.BRAMKb
+}
+
+// Size picks the smallest iteration count whose build fits the device and
+// returns its estimate. If nothing fits within maxIterations the returned
+// estimate has Fits=false and carries the single-iteration sizing for
+// diagnosis.
+func Size(dev Device, cfg Config) Estimate {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.QueryElems <= 0 {
+		e := sizeAt(dev, cfg, 1)
+		e.Fits = false
+		return e
+	}
+	for s := 1; s <= maxIterations; s++ {
+		e := sizeAt(dev, cfg, s)
+		if e.fitsDevice() {
+			e.Fits = true
+			return e
+		}
+	}
+	e := sizeAt(dev, cfg, 1)
+	e.Fits = false
+	return e
+}
+
+// Power returns the modeled board power draw in watts for the estimate:
+// static plus dynamic proportional to LUT utilization.
+func (e Estimate) Power() float64 {
+	util := e.LUTFrac()
+	if util > 1 {
+		util = 1
+	}
+	return e.Device.StaticWatts + e.Device.DynamicWattsFull*util
+}
+
+// Timing is the projected execution profile for one query against a
+// reference.
+type Timing struct {
+	Estimate Estimate
+	// Beats is the number of AXI transfers.
+	Beats int
+	// Cycles is the total kernel cycles including DRAM stalls.
+	Cycles int
+	// Seconds is wall-clock kernel time.
+	Seconds float64
+	// AchievedBandwidth is realized DRAM read bandwidth (bytes/s) summed
+	// over channels.
+	AchievedBandwidth float64
+	// EnergyJoules is Seconds × Power.
+	EnergyJoules float64
+}
+
+// DefaultStall models the ~5 % DRAM inefficiency observed in Table I
+// (12.2 of 12.8 GB/s achieved on sequential streams).
+func DefaultStall() axi.StallModel { return axi.NewRandomStall(0.05, 1, 1) }
+
+// Time projects the execution of one alignment of refElements reference
+// elements under the estimate's iteration count. A nil stall model uses
+// DefaultStall.
+func Time(e Estimate, refElements int, stall axi.StallModel) Timing {
+	if stall == nil {
+		stall = DefaultStall()
+	}
+	perCycle := e.Device.Port.ElementsPerBeat() * e.Config.Channels
+	beats := (refElements + perCycle - 1) / perCycle
+	stats := axi.SimulateStream(beats, stall, e.Iterations)
+	cycles := stats.TotalCycles + core.PipelineDepth + e.Config.QueryElems/4 // drain + query load
+	secs := float64(cycles) / e.Device.Port.FreqHz
+	bw := float64(beats*e.Device.Port.BytesPerBeat()*e.Config.Channels) / secs
+	return Timing{
+		Estimate: e, Beats: beats, Cycles: cycles, Seconds: secs,
+		AchievedBandwidth: bw,
+		EnergyJoules:      secs * e.Power(),
+	}
+}
+
+// Bottleneck classifies a sized design as bandwidth-bound (iterations == 1:
+// the memory channel limits throughput) or resource-bound (iterations > 1:
+// LUT capacity forces segmentation) — the §IV-B crossover analysis.
+func (e Estimate) Bottleneck() string {
+	if !e.Fits {
+		return "does-not-fit"
+	}
+	if e.Iterations == 1 {
+		return "bandwidth-bound"
+	}
+	return "resource-bound"
+}

@@ -1,0 +1,238 @@
+package fpga
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fabp/internal/axi"
+	"fabp/internal/core"
+)
+
+func TestCatalog(t *testing.T) {
+	devs := Catalog()
+	if len(devs) < 3 {
+		t.Fatal("catalog too small")
+	}
+	for _, d := range devs {
+		if d.LUTs <= 0 || d.FFs <= 0 || d.DSPs <= 0 || d.BRAMKb <= 0 {
+			t.Errorf("%s has empty budgets", d.Name)
+		}
+		if err := d.Port.Validate(); err != nil {
+			t.Errorf("%s port: %v", d.Name, err)
+		}
+	}
+}
+
+func TestKintex7MatchesTableIAvailableRow(t *testing.T) {
+	d := Kintex7()
+	if d.LUTs != 326_000 || d.FFs != 407_000 || d.DSPs != 840 || d.BRAMKb != 16_384 {
+		t.Errorf("Kintex-7 budgets drifted from Table I: %+v", d)
+	}
+	if bw := d.Port.NominalBandwidth(); math.Abs(bw-12.8e9) > 1e6 {
+		t.Errorf("nominal bandwidth %.2f GB/s, Table I says 12.8", bw/1e9)
+	}
+	if d.Port.ElementsPerBeat() != 256 {
+		t.Errorf("beat elements %d, paper says 256", d.Port.ElementsPerBeat())
+	}
+}
+
+// TestTableIFabP50 checks the sized FabP-50 build against the paper's
+// utilization row within modeling tolerance.
+func TestTableIFabP50(t *testing.T) {
+	e := Size(Kintex7(), Config{QueryElems: 150})
+	if !e.Fits {
+		t.Fatal("FabP-50 must fit the Kintex-7")
+	}
+	if e.Iterations != 1 {
+		t.Fatalf("FabP-50 must run at full rate, got %d iterations", e.Iterations)
+	}
+	if e.Bottleneck() != "bandwidth-bound" {
+		t.Errorf("FabP-50 should be bandwidth-bound, got %s", e.Bottleneck())
+	}
+	checkFrac(t, "LUT", e.LUTFrac(), 0.58, 0.06)
+	checkFrac(t, "FF", e.FFFrac(), 0.16, 0.05)
+	checkFrac(t, "DSP", e.DSPFrac(), 0.31, 0.06)
+	checkFrac(t, "BRAM", e.BRAMFrac(), 0.19, 0.04)
+}
+
+// TestTableIFabP250 checks the FabP-250 row: near-full LUTs and multiple
+// iterations.
+func TestTableIFabP250(t *testing.T) {
+	e := Size(Kintex7(), Config{QueryElems: 750})
+	if !e.Fits {
+		t.Fatal("FabP-250 must fit (with segmentation)")
+	}
+	if e.Iterations < 2 {
+		t.Fatalf("FabP-250 must segment, got %d iterations", e.Iterations)
+	}
+	if e.Bottleneck() != "resource-bound" {
+		t.Errorf("FabP-250 should be resource-bound, got %s", e.Bottleneck())
+	}
+	checkFrac(t, "LUT", e.LUTFrac(), 0.98, 0.08)
+	checkFrac(t, "FF", e.FFFrac(), 0.40, 0.08)
+	checkFrac(t, "DSP", e.DSPFrac(), 0.68, 0.10)
+	checkFrac(t, "BRAM", e.BRAMFrac(), 0.15, 0.04)
+	t.Log(e.String())
+}
+
+func checkFrac(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s utilization %.1f%%, paper %.1f%% (tol ±%.0fpp)",
+			what, 100*got, 100*want, 100*tol)
+	} else {
+		t.Logf("%s utilization %.1f%% (paper %.0f%%)", what, 100*got, 100*want)
+	}
+}
+
+// TestTableIAchievedBandwidth checks the achieved-bandwidth row: ~12.2 GB/s
+// for FabP-50 and ~3.4 GB/s for FabP-250.
+func TestTableIAchievedBandwidth(t *testing.T) {
+	const refElems = 1 << 30 // 1 G elements ≈ 256 MB
+	e50 := Size(Kintex7(), Config{QueryElems: 150})
+	t50 := Time(e50, refElems, nil)
+	if bw := t50.AchievedBandwidth / 1e9; math.Abs(bw-12.2) > 0.5 {
+		t.Errorf("FabP-50 achieved %.2f GB/s, paper 12.2", bw)
+	} else {
+		t.Logf("FabP-50 achieved %.2f GB/s (paper 12.2)", bw)
+	}
+	e250 := Size(Kintex7(), Config{QueryElems: 750})
+	t250 := Time(e250, refElems, nil)
+	if bw := t250.AchievedBandwidth / 1e9; math.Abs(bw-3.4) > 0.7 {
+		t.Errorf("FabP-250 achieved %.2f GB/s, paper 3.4", bw)
+	} else {
+		t.Logf("FabP-250 achieved %.2f GB/s (paper 3.4)", bw)
+	}
+	if t250.Seconds <= t50.Seconds {
+		t.Error("longer queries must take longer")
+	}
+}
+
+// TestCrossover reproduces §IV-B: below ~70 residues the design is
+// bandwidth-bound; above, resource-bound.
+func TestCrossover(t *testing.T) {
+	dev := Kintex7()
+	last := ""
+	crossover := -1
+	for res := 10; res <= 250; res += 5 {
+		e := Size(dev, Config{QueryElems: 3 * res})
+		b := e.Bottleneck()
+		if last == "bandwidth-bound" && b == "resource-bound" {
+			crossover = res
+		}
+		last = b
+	}
+	if crossover < 0 {
+		t.Fatal("no crossover found")
+	}
+	t.Logf("crossover at ~%d residues (paper: ~70)", crossover)
+	if crossover < 50 || crossover > 100 {
+		t.Errorf("crossover %d outside the paper's ~70 neighbourhood", crossover)
+	}
+}
+
+// TestEstimatorStructuralFloor cross-validates the analytic sizing against
+// a real generated netlist: the estimator's structural component
+// (comparators + pop-counter per instance) must match the generated
+// design's comparator/pop cost, and the full netlist must land between the
+// structural floor and the floor plus the estimator's overhead allowance.
+func TestEstimatorStructuralFloor(t *testing.T) {
+	const lq, beat = 30, 8
+	n, _, err := core.BuildNetlist(core.NetlistConfig{
+		QueryElems: lq, Beat: beat, Threshold: lq / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := n.Stats().LUTs
+	floor := beat * (core.CompareLUTsPerElement*lq + core.PopCountLUTs(lq, core.PopLUTOptimized))
+	ceil := beat*(core.CompareLUTsPerElement*lq+core.PopCountLUTs(lq, core.PopLUTOptimized)+instOverheadLUTs) + sharedLUTs
+	if got < floor {
+		t.Errorf("netlist %d LUTs below structural floor %d", got, floor)
+	}
+	if got > ceil {
+		t.Errorf("netlist %d LUTs above estimator ceiling %d", got, ceil)
+	}
+	t.Logf("netlist %d LUTs, structural floor %d, estimator ceiling %d", got, floor, ceil)
+}
+
+func TestMuxCost(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 1, 5: 2, 7: 2, 8: 3}
+	for s, want := range cases {
+		if got := muxLUTsPerBit(s); got != want {
+			t.Errorf("muxLUTsPerBit(%d) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestSizeDegenerate(t *testing.T) {
+	if e := Size(Kintex7(), Config{QueryElems: 0}); e.Fits {
+		t.Error("zero-length query must not fit")
+	}
+	// A query too large for any segmentation on a small device.
+	small := Artix7()
+	small.LUTs = 1000
+	if e := Size(small, Config{QueryElems: 100000}); e.Fits {
+		t.Error("absurd query must not fit")
+	}
+	// Channels default to 1.
+	e := Size(Kintex7(), Config{QueryElems: 150, Channels: 0})
+	if e.Config.Channels != 1 {
+		t.Error("channels must default to 1")
+	}
+}
+
+func TestMultiChannelScaling(t *testing.T) {
+	dev := VirtexUS()
+	one := Size(dev, Config{QueryElems: 150, Channels: 1})
+	two := Size(dev, Config{QueryElems: 150, Channels: 2})
+	if !one.Fits || !two.Fits {
+		t.Fatal("both builds should fit the VU9P")
+	}
+	if two.Instances != 2*one.Instances {
+		t.Error("channels must scale instances")
+	}
+	t1 := Time(one, 1<<28, axi.NoStall{})
+	t2 := Time(two, 1<<28, axi.NoStall{})
+	ratio := t1.Seconds / t2.Seconds
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("2 channels should ~halve time, ratio %.2f", ratio)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	e := Size(Kintex7(), Config{QueryElems: 150})
+	p := e.Power()
+	if p < e.Device.StaticWatts || p > e.Device.StaticWatts+e.Device.DynamicWattsFull {
+		t.Errorf("power %.1f W outside plausible range", p)
+	}
+	big := Size(Kintex7(), Config{QueryElems: 750})
+	if big.Power() <= p {
+		t.Error("higher utilization must draw more power")
+	}
+}
+
+func TestTimingEnergy(t *testing.T) {
+	e := Size(Kintex7(), Config{QueryElems: 150})
+	tm := Time(e, 1<<24, axi.NoStall{})
+	if tm.EnergyJoules <= 0 || math.Abs(tm.EnergyJoules-tm.Seconds*e.Power()) > 1e-12 {
+		t.Error("energy must be time × power")
+	}
+	if tm.Beats != (1<<24)/256 {
+		t.Errorf("beats %d", tm.Beats)
+	}
+}
+
+func TestEstimateStringAndVariants(t *testing.T) {
+	e := Size(Kintex7(), Config{QueryElems: 150})
+	s := e.String()
+	if !strings.Contains(s, "FabP-50") || !strings.Contains(s, "Kintex") {
+		t.Errorf("estimate string %q", s)
+	}
+	// The tree-adder variant must cost more LUTs at the same size.
+	tree := Size(Kintex7(), Config{QueryElems: 150, Pop: core.PopTree})
+	if tree.Fits && tree.LUTs <= e.LUTs {
+		t.Error("tree-adder build should use more LUTs")
+	}
+}

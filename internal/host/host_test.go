@@ -1,0 +1,165 @@
+package host
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/core"
+	"fabp/internal/fpga"
+	"fabp/internal/isa"
+)
+
+func TestPCIeTransfer(t *testing.T) {
+	link := Gen3x8()
+	if link.TransferSec(0) != 0 {
+		t.Error("zero bytes must be free")
+	}
+	oneGB := link.TransferSec(1 << 30)
+	if oneGB < 0.1 || oneGB > 0.3 {
+		t.Errorf("1 GiB over Gen3 x8 took %.3fs, expected ~0.165s", oneGB)
+	}
+	// Latency dominates tiny transfers.
+	if tiny := link.TransferSec(64); math.Abs(tiny-link.LatencySec) > 1e-6 {
+		t.Errorf("tiny transfer %.2e should be ≈latency", tiny)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := NewSession(DefaultPlatform())
+	if s.DatabaseLen() != 0 {
+		t.Error("fresh session must be empty")
+	}
+	prog := isa.MustEncodeProtein(bio.ProtSeq{bio.Met, bio.Lys})
+	if _, err := s.RunQuery(prog, 3); err == nil {
+		t.Error("query before load must fail")
+	}
+	if _, err := s.RunBatch([]isa.Program{prog}, 0.8); err == nil {
+		t.Error("batch before load must fail")
+	}
+	if _, err := s.LoadDatabase(nil); err == nil {
+		t.Error("empty database must fail")
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	ref := bio.RandomNucSeq(rng, 100_000)
+	stats, err := s.LoadDatabase(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bytes != int64((100_000+31)/32*8) {
+		t.Errorf("packed bytes %d", stats.Bytes)
+	}
+	if stats.Seconds <= 0 || s.LoadCost() != stats {
+		t.Error("load cost bookkeeping")
+	}
+	if s.DatabaseLen() != 100_000 {
+		t.Error("database length")
+	}
+}
+
+func TestSessionCapacity(t *testing.T) {
+	p := DefaultPlatform()
+	p.DRAMBytes = 1024
+	s := NewSession(p)
+	if _, err := s.LoadDatabase(make(bio.NucSeq, 100_000)); err == nil {
+		t.Error("oversized database must fail")
+	}
+}
+
+func TestRunQueryEndToEnd(t *testing.T) {
+	s := NewSession(DefaultPlatform())
+	rng := rand.New(rand.NewSource(2))
+	ref, genes := bio.SyntheticReference(rng, 80_000, 3, 50)
+	if _, err := s.LoadDatabase(ref); err != nil {
+		t.Fatal(err)
+	}
+	g := genes[1]
+	prog := isa.MustEncodeProtein(g.Protein)
+	threshold := len(prog) * 9 / 10
+	res, err := s.RunQuery(prog, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real hits: must match a direct engine run.
+	e, _ := core.NewEngine(prog, threshold)
+	if !reflect.DeepEqual(res.Hits, e.Align(ref)) {
+		t.Error("session hits differ from engine")
+	}
+	found := false
+	for _, h := range res.Hits {
+		if h.Pos == g.Pos {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("planted gene not recovered through the session")
+	}
+	// Timing decomposition must add up.
+	tm := res.Timing
+	sum := tm.EncodeSec + tm.QueryTransferSec + tm.KernelSec + tm.ReadbackSec +
+		s.platform.InvokeOverheadSec
+	if math.Abs(sum-tm.TotalSec) > 1e-12 {
+		t.Errorf("timing legs %.3e != total %.3e", sum, tm.TotalSec)
+	}
+	if tm.KernelSec <= 0 || !res.Sizing.Fits {
+		t.Error("kernel timing/sizing missing")
+	}
+}
+
+func TestRunQueryOversized(t *testing.T) {
+	p := DefaultPlatform()
+	p.Device = fpga.Artix7()
+	p.Device.LUTs = 5000
+	s := NewSession(p)
+	ref := make(bio.NucSeq, 10_000)
+	if _, err := s.LoadDatabase(ref); err != nil {
+		t.Fatal(err)
+	}
+	prog := isa.MustEncodeProtein(make(bio.ProtSeq, 500))
+	if _, err := s.RunQuery(prog, 10); err == nil {
+		t.Error("non-fitting query must fail")
+	}
+	if _, err := s.RunBatch([]isa.Program{prog}, 0.5); err == nil {
+		t.Error("non-fitting batch must fail")
+	}
+}
+
+func TestRunBatchAmortization(t *testing.T) {
+	s := NewSession(DefaultPlatform())
+	rng := rand.New(rand.NewSource(3))
+	ref, genes := bio.SyntheticReference(rng, 60_000, 4, 40)
+	if _, err := s.LoadDatabase(ref); err != nil {
+		t.Fatal(err)
+	}
+	var progs []isa.Program
+	for _, g := range genes {
+		progs = append(progs, isa.MustEncodeProtein(g.Protein))
+	}
+	res, err := s.RunBatch(progs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerQuery) != len(progs) {
+		t.Fatal("per-query results missing")
+	}
+	for i, g := range genes {
+		found := false
+		for _, h := range res.PerQuery[i] {
+			if h.Pos == g.Pos {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("batch query %d missed its gene", i)
+		}
+	}
+	if res.KernelSec <= 0 || res.TotalSec <= res.KernelSec {
+		t.Errorf("batch timing implausible: %+v", res)
+	}
+	if _, err := s.RunBatch(nil, 0.9); err == nil {
+		t.Error("empty batch must fail")
+	}
+}

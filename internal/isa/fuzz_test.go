@@ -1,0 +1,50 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+// FuzzUnpackProgram: arbitrary bytes either fail cleanly or produce a
+// program whose every instruction decodes and matches consistently.
+func FuzzUnpackProgram(f *testing.F) {
+	f.Add([]byte{0x00, 0x0C, 0x01})
+	f.Add(MustEncodeProtein(bio.ProtSeq{bio.Met, bio.Leu, bio.Arg, bio.Ser}).Pack())
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := UnpackProgram(data)
+		if err != nil {
+			return
+		}
+		// Every accepted instruction must decode, re-encode identically,
+		// and agree with its element semantics on a probe input.
+		for i, ins := range prog {
+			e, err := Decode(ins)
+			if err != nil {
+				t.Fatalf("instruction %d accepted but does not decode", i)
+			}
+			re, err := Encode(e)
+			if err != nil || re != ins {
+				t.Fatalf("instruction %d not canonical: %v -> %v", i, ins, re)
+			}
+			for ref := bio.Nucleotide(0); ref < 4; ref++ {
+				if ins.Matches(ref, bio.G, bio.C) != e.Matches(ref, bio.G, bio.C) {
+					t.Fatalf("instruction %d semantics drift", i)
+				}
+			}
+		}
+		if len(prog) > 0 {
+			var seed int64 = 1
+			for _, b := range data {
+				seed = seed*131 + int64(b)
+			}
+			w := bio.RandomNucSeq(rand.New(rand.NewSource(seed)), len(prog))
+			s := prog.Score(w)
+			if s < 0 || s > len(prog) {
+				t.Fatalf("score %d out of range", s)
+			}
+		}
+	})
+}

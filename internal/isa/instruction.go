@@ -1,0 +1,140 @@
+// Package isa defines FabP's 6-bit query-element instruction set (§III-B of
+// the paper) and the comparator truth tables derived from it (Fig. 5).
+//
+// Each back-translated query element is stored as a 6-bit instruction with
+// three fields:
+//
+//	Q[0:1]  variable-length opcode: 00 = Type I, 01 = Type II, 1x = Type III
+//	        (for Type III only Q[0] is opcode; Q[1] already belongs to the
+//	        function field)
+//	Q[2:3]  matching condition: the exact nucleotide (Type I) or the
+//	        condition code (Type II); for Type III, Q[1:2] hold the function
+//	        and Q[3] is forced to zero
+//	Q[4:5]  configuration bits: select which earlier reference bit feeds the
+//	        dependent comparison through the comparator's multiplexer LUT
+//
+// Two-bit fields are written most-significant bit first (F:10 means
+// Q[1]=1, Q[2]=0), matching the paper's notation. The configuration-bit
+// select values are an internal layout choice (the paper's worked example is
+// internally inconsistent); we use the DepSource numbering of package
+// backtrans: 00 = constant Q[3], 01 = Ref⁽ⁱ⁻¹⁾[1], 10 = Ref⁽ⁱ⁻²⁾[1],
+// 11 = Ref⁽ⁱ⁻²⁾[0].
+package isa
+
+import (
+	"fmt"
+
+	"fabp/internal/backtrans"
+	"fabp/internal/bio"
+)
+
+// Instruction is one encoded query element. Bit i of the byte is the
+// paper's Q[i]; only the low 6 bits are used.
+type Instruction uint8
+
+// InstructionBits is the width of an encoded query element.
+const InstructionBits = 6
+
+// Q returns instruction bit i (the paper's Q[i]).
+func (ins Instruction) Q(i uint) uint8 { return uint8(ins>>i) & 1 }
+
+// Opcode field values for Q[0:1] (Type III uses only Q[0]).
+const (
+	opTypeI  = 0 // Q[0]=0, Q[1]=0
+	opTypeII = 1 // Q[0]=0, Q[1]=1
+)
+
+// Encode converts a back-translated element into its 6-bit instruction.
+func Encode(e backtrans.Element) (Instruction, error) {
+	if err := e.Validate(); err != nil {
+		return 0, err
+	}
+	var ins Instruction
+	switch e.Type {
+	case backtrans.TypeI:
+		// Q[0:1]=00, Q[2]=nuc high bit, Q[3]=nuc low bit, Q[4:5]=00.
+		ins = Instruction(e.Nuc.Bit(1))<<2 | Instruction(e.Nuc.Bit(0))<<3
+	case backtrans.TypeII:
+		// Q[0:1]=01, Q[2]=cond high bit, Q[3]=cond low bit, Q[4:5]=00.
+		ins = 1<<1 |
+			Instruction(e.Cond>>1&1)<<2 | Instruction(e.Cond&1)<<3
+	case backtrans.TypeIII:
+		// Q[0]=1, Q[1]=func high bit, Q[2]=func low bit, Q[3]=0,
+		// Q[4]=dep high bit, Q[5]=dep low bit.
+		dep := e.Func.Dependency()
+		ins = 1 |
+			Instruction(e.Func>>1&1)<<1 | Instruction(e.Func&1)<<2 |
+			Instruction(dep>>1&1)<<4 | Instruction(dep&1)<<5
+	}
+	return ins, nil
+}
+
+// MustEncode is Encode for elements known valid; it panics on error.
+func MustEncode(e backtrans.Element) Instruction {
+	ins, err := Encode(e)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// Decode reconstructs the back-translated element an instruction encodes.
+func Decode(ins Instruction) (backtrans.Element, error) {
+	if ins >= 1<<InstructionBits {
+		return backtrans.Element{}, fmt.Errorf("isa: instruction %#x exceeds 6 bits", uint8(ins))
+	}
+	if ins.Q(0) == 1 { // Type III
+		f := backtrans.Function(ins.Q(1)<<1 | ins.Q(2))
+		if ins.Q(3) != 0 {
+			return backtrans.Element{}, fmt.Errorf("isa: Type III instruction %#x has Q[3]=1", uint8(ins))
+		}
+		wantDep := f.Dependency()
+		gotDep := backtrans.DepSource(ins.Q(4)<<1 | ins.Q(5))
+		if gotDep != wantDep {
+			return backtrans.Element{}, fmt.Errorf(
+				"isa: Type III instruction %#x selects dependency %d, function %v needs %d",
+				uint8(ins), gotDep, f, wantDep)
+		}
+		return backtrans.Dependent(f), nil
+	}
+	if ins.Q(4) != 0 || ins.Q(5) != 0 {
+		return backtrans.Element{}, fmt.Errorf("isa: Type I/II instruction %#x has nonzero configuration bits", uint8(ins))
+	}
+	field := ins.Q(2)<<1 | ins.Q(3)
+	if ins.Q(1) == opTypeII {
+		return backtrans.Conditional(backtrans.Condition(field)), nil
+	}
+	return backtrans.Exact(bio.Nucleotide(field)), nil
+}
+
+// String renders the instruction as the paper writes them: opcode, matching
+// field and configuration bits separated by dashes, e.g. "01-00-00".
+func (ins Instruction) String() string {
+	b := func(i uint) byte { return '0' + ins.Q(i) }
+	if ins.Q(0) == 1 {
+		return fmt.Sprintf("1-%c%c-%c-%c%c", b(1), b(2), b(3), b(4), b(5))
+	}
+	return fmt.Sprintf("%c%c-%c%c-%c%c", b(0), b(1), b(2), b(3), b(4), b(5))
+}
+
+// DepSelect returns the dependency source the configuration bits select.
+func (ins Instruction) DepSelect() backtrans.DepSource {
+	return backtrans.DepSource(ins.Q(4)<<1 | ins.Q(5))
+}
+
+// Matches evaluates the instruction against reference nucleotide ref with
+// the two preceding reference nucleotides, by table lookup in the very same
+// LUT masks the hardware is programmed with. This is the software model of
+// the two-LUT comparator cell.
+func (ins Instruction) Matches(ref, prev1, prev2 bio.Nucleotide) bool {
+	x := muxOutput(ins, prev1, prev2)
+	idx := compareLUTIndex(ins.Q(0), ins.Q(1), ins.Q(2), x, ref)
+	return CompareLUTInit>>idx&1 == 1
+}
+
+// muxOutput computes the comparator's first LUT: a 4:1 multiplexer selecting
+// the dependent bit X from {Q[3], Ref⁽ⁱ⁻¹⁾[1], Ref⁽ⁱ⁻²⁾[1], Ref⁽ⁱ⁻²⁾[0]}.
+func muxOutput(ins Instruction, prev1, prev2 bio.Nucleotide) uint8 {
+	idx := muxLUTIndex(ins.Q(3), prev1.Bit(1), prev2.Bit(1), prev2.Bit(0), ins.Q(4), ins.Q(5))
+	return uint8(MuxLUTInit >> idx & 1)
+}

@@ -1,0 +1,336 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fabp/internal/backtrans"
+	"fabp/internal/bio"
+)
+
+// allElements enumerates every valid back-translated element.
+func allElements() []backtrans.Element {
+	var out []backtrans.Element
+	for n := bio.Nucleotide(0); n < 4; n++ {
+		out = append(out, backtrans.Exact(n))
+	}
+	for c := backtrans.Condition(0); c <= backtrans.CondAC; c++ {
+		out = append(out, backtrans.Conditional(c))
+	}
+	for f := backtrans.Function(0); f <= backtrans.FuncD; f++ {
+		out = append(out, backtrans.Dependent(f))
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, e := range allElements() {
+		ins, err := Encode(e)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", e, err)
+		}
+		if ins >= 64 {
+			t.Errorf("Encode(%v) = %#x exceeds 6 bits", e, uint8(ins))
+		}
+		got, err := Decode(ins)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", ins, err)
+		}
+		if got != e {
+			t.Errorf("round trip %v -> %v -> %v", e, ins, got)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(backtrans.Element{Type: backtrans.ElementType(9)}); err == nil {
+		t.Error("invalid element must fail")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode must panic on invalid element")
+		}
+	}()
+	MustEncode(backtrans.Element{Type: backtrans.ElementType(9)})
+}
+
+func TestEncodingIsInjective(t *testing.T) {
+	seen := map[Instruction]backtrans.Element{}
+	for _, e := range allElements() {
+		ins := MustEncode(e)
+		if prev, dup := seen[ins]; dup {
+			t.Errorf("instruction %v encodes both %v and %v", ins, prev, e)
+		}
+		seen[ins] = e
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []Instruction{
+		1 << 6,          // out of range
+		1 | 1<<3,        // Type III with Q[3]=1
+		1 | 1<<4,        // Type III Stop with wrong dependency (10 not 01)
+		1<<2 | 1<<4,     // Type I with nonzero cfg
+		1<<1 | 1<<5,     // Type II with nonzero cfg
+		1 | 1<<1 | 1<<2, // F:11 (D) with cfg 00 is VALID — asserted below
+	}
+	for _, ins := range cases[:5] {
+		if _, err := Decode(ins); err == nil {
+			t.Errorf("Decode(%#x) should fail", uint8(ins))
+		}
+	}
+	if _, err := Decode(cases[5]); err != nil {
+		t.Errorf("D instruction should decode: %v", err)
+	}
+}
+
+func TestOpcodeLayout(t *testing.T) {
+	// Type I: Q[0:1]=00; Type II: 01; Type III: Q[0]=1.
+	if ins := MustEncode(backtrans.Exact(bio.A)); ins.Q(0) != 0 || ins.Q(1) != 0 {
+		t.Errorf("Type I opcode wrong: %v", ins)
+	}
+	if ins := MustEncode(backtrans.Conditional(backtrans.CondUC)); ins.Q(0) != 0 || ins.Q(1) != 1 {
+		t.Errorf("Type II opcode wrong: %v", ins)
+	}
+	if ins := MustEncode(backtrans.Dependent(backtrans.FuncLeu)); ins.Q(0) != 1 {
+		t.Errorf("Type III opcode wrong: %v", ins)
+	}
+	// Field bit order: F:10 (Arg) must put 1 in Q[1], 0 in Q[2].
+	arg := MustEncode(backtrans.Dependent(backtrans.FuncArg))
+	if arg.Q(1) != 1 || arg.Q(2) != 0 || arg.Q(3) != 0 {
+		t.Errorf("Arg function field wrong: %v", arg)
+	}
+	// Nucleotide G (10): Q[2]=1, Q[3]=0.
+	g := MustEncode(backtrans.Exact(bio.G))
+	if g.Q(2) != 1 || g.Q(3) != 0 {
+		t.Errorf("Type I G field wrong: %v", g)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	if s := MustEncode(backtrans.Exact(bio.U)).String(); s != "00-11-00" {
+		t.Errorf("Type I string = %s", s)
+	}
+	if s := MustEncode(backtrans.Dependent(backtrans.FuncArg)).String(); s != "1-10-0-11" {
+		t.Errorf("Arg string = %s", s)
+	}
+}
+
+// TestMatchesAgainstElementSemantics is the central equivalence proof: the
+// LUT-based instruction matcher must agree with the element-level golden
+// semantics on every (element, ref, prev1, prev2) combination.
+func TestMatchesAgainstElementSemantics(t *testing.T) {
+	for _, e := range allElements() {
+		ins := MustEncode(e)
+		for ref := bio.Nucleotide(0); ref < 4; ref++ {
+			for p1 := bio.Nucleotide(0); p1 < 4; p1++ {
+				for p2 := bio.Nucleotide(0); p2 < 4; p2++ {
+					want := e.Matches(ref, p1, p2)
+					got := ins.Matches(ref, p1, p2)
+					if got != want {
+						t.Fatalf("element %v ref=%v p1=%v p2=%v: LUT=%v semantics=%v",
+							e, ref, p1, p2, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFig5bColumns transcribes spot rows of the paper's comparator truth
+// table (Fig. 5(b)) and checks them against the generated LUT.
+func TestFig5bColumns(t *testing.T) {
+	uc := MustEncode(backtrans.Conditional(backtrans.CondUC))
+	// "01-U/C-A → 0, 01-U/C-C → 1, 01-U/C-G → 0, 01-U/C-U → 1"
+	for ref, want := range map[bio.Nucleotide]bool{bio.A: false, bio.C: true, bio.G: false, bio.U: true} {
+		if got := uc.Matches(ref, bio.A, bio.A); got != want {
+			t.Errorf("U/C column ref=%v: got %v", ref, got)
+		}
+	}
+	notG := MustEncode(backtrans.Conditional(backtrans.CondNotG))
+	// "01-Ḡ-A → 1, 01-Ḡ-C → 1, 01-Ḡ-G → 0, 01-Ḡ-U → 1"
+	for ref, want := range map[bio.Nucleotide]bool{bio.A: true, bio.C: true, bio.G: false, bio.U: true} {
+		if got := notG.Matches(ref, bio.A, bio.A); got != want {
+			t.Errorf("Ḡ column ref=%v: got %v", ref, got)
+		}
+	}
+	stop := MustEncode(backtrans.Dependent(backtrans.FuncStop))
+	// "1-00-0-*": S=0 rows (prev1 hi bit 0): 1,0,1,0.
+	for ref, want := range map[bio.Nucleotide]bool{bio.A: true, bio.C: false, bio.G: true, bio.U: false} {
+		if got := stop.Matches(ref, bio.A, bio.A); got != want {
+			t.Errorf("Stop S=0 ref=%v: got %v", ref, got)
+		}
+	}
+	// "1-00-1-*": S=1 rows: 1,0,0,0.
+	for ref, want := range map[bio.Nucleotide]bool{bio.A: true, bio.C: false, bio.G: false, bio.U: false} {
+		if got := stop.Matches(ref, bio.G, bio.A); got != want {
+			t.Errorf("Stop S=1 ref=%v: got %v", ref, got)
+		}
+	}
+	d := MustEncode(backtrans.Dependent(backtrans.FuncD))
+	// "1-11-*-*": all ones.
+	for ref := bio.Nucleotide(0); ref < 4; ref++ {
+		if !d.Matches(ref, bio.U, bio.U) {
+			t.Errorf("D column ref=%v must match", ref)
+		}
+	}
+}
+
+func TestLUTInitsAreStable(t *testing.T) {
+	// The INIT masks are part of the hardware contract; pin them so an
+	// accidental semantics change is caught loudly. Values are derived, not
+	// magic: see buildCompareLUT/buildMuxLUT.
+	if CompareLUTInit != buildCompareLUT() || MuxLUTInit != buildMuxLUT() {
+		t.Fatal("INIT masks must be deterministic")
+	}
+	if CompareLUTInit == 0 || CompareLUTInit == ^uint64(0) {
+		t.Error("comparator LUT must be non-trivial")
+	}
+	// The mux must output Q[3] when sel=00 regardless of reference bits.
+	for _, q3 := range []uint8{0, 1} {
+		idx := muxLUTIndex(q3, 1, 1, 1, 0, 0)
+		if got := uint8(MuxLUTInit >> idx & 1); got != q3 {
+			t.Errorf("mux sel=00 must pass Q[3]=%d, got %d", q3, got)
+		}
+	}
+}
+
+func TestProgramEncodeDecode(t *testing.T) {
+	p, _ := bio.ParseProtSeq("MFSR*LW")
+	prog, err := EncodeProtein(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3*len(p) {
+		t.Fatalf("program length %d", len(prog))
+	}
+	elems, err := prog.Elements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := backtrans.BackTranslate(p)
+	for i := range want {
+		if elems[i] != want[i] {
+			t.Errorf("element %d: %v != %v", i, elems[i], want[i])
+		}
+	}
+}
+
+func TestProgramPackUnpack(t *testing.T) {
+	prog := MustEncodeProtein(bio.ProtSeq{bio.Met, bio.Leu, bio.Arg})
+	b := prog.Pack()
+	got, err := UnpackProgram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Errorf("instruction %d mismatch", i)
+		}
+	}
+	b[0] = 0xFF
+	if _, err := UnpackProgram(b); err == nil {
+		t.Error("corrupt byte must fail")
+	}
+}
+
+// TestProgramScoreMatchesTemplateCount: the program score over a gene window
+// equals the sum of per-codon template match counts.
+func TestProgramScoreMatchesTemplateCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		p := bio.RandomProtSeq(rng, 20)
+		w := bio.RandomNucSeq(rng, 3*len(p))
+		prog := MustEncodeProtein(p)
+		want := 0
+		for i, a := range p {
+			c := bio.Codon{w[3*i], w[3*i+1], w[3*i+2]}
+			want += backtrans.TemplateOf(a).MatchCount(c)
+		}
+		if got := prog.Score(w); got != want {
+			t.Fatalf("trial %d: score %d, template sum %d", trial, got, want)
+		}
+	}
+}
+
+func TestProgramScorePerfectOnOwnGene(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Avoid Ser (its dropped codons would not score 3) by filtering.
+	for trial := 0; trial < 50; trial++ {
+		p := bio.RandomProtSeq(rng, 40)
+		for i := range p {
+			if p[i] == bio.Ser {
+				p[i] = bio.Thr
+			}
+		}
+		gene := bio.EncodeGene(rng, p)
+		prog := MustEncodeProtein(p)
+		if got := prog.Score(gene); got != len(prog) {
+			t.Fatalf("trial %d: perfect gene scores %d/%d", trial, got, len(prog))
+		}
+	}
+}
+
+// TestProgramPad: padding with D shifts every window score by exactly the
+// pad count — the fixed-build variable-length-query mechanism.
+func TestProgramPad(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := bio.RandomProtSeq(rng, 5)
+	prog := MustEncodeProtein(p)
+	padded, bias, err := prog.Pad(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(padded) != 24 || bias != 9 {
+		t.Fatalf("padded len %d bias %d", len(padded), bias)
+	}
+	for trial := 0; trial < 50; trial++ {
+		w := bio.RandomNucSeq(rng, 24)
+		if padded.Score(w) != prog.Score(w[:15])+bias {
+			t.Fatalf("padded score %d != base %d + bias %d",
+				padded.Score(w), prog.Score(w[:15]), bias)
+		}
+	}
+	// Identity and error cases.
+	same, bias, err := prog.Pad(len(prog))
+	if err != nil || bias != 0 || len(same) != len(prog) {
+		t.Error("identity pad wrong")
+	}
+	if _, _, err := prog.Pad(3); err == nil {
+		t.Error("shrinking must fail")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog := MustEncodeProtein(bio.ProtSeq{bio.Met, bio.Phe, bio.Arg})
+	dis := prog.Disassemble()
+	lines := strings.Split(strings.TrimSpace(dis), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("expected 9 lines, got %d", len(lines))
+	}
+	if !strings.Contains(dis, "Type I") || !strings.Contains(dis, "Type II") ||
+		!strings.Contains(dis, "Type III") {
+		t.Error("disassembly must mention all element types")
+	}
+	if !strings.Contains(dis, "ref[i-2] bit0") {
+		t.Error("Arg dependency must be described")
+	}
+}
+
+func TestQuickScoreBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := bio.RandomProtSeq(rng, 1+rng.Intn(30))
+		w := bio.RandomNucSeq(rng, 3*len(p))
+		s := MustEncodeProtein(p).Score(w)
+		return s >= 0 && s <= 3*len(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package isa
+
+import "fabp/internal/bio"
+
+// This file derives the two 64-bit LUT INIT masks of the FabP comparator
+// cell (Fig. 5). The masks are computed once at init from the instruction
+// semantics, so the software matcher, the generated netlist and the emitted
+// Verilog all share one source of truth.
+//
+// LUT INIT convention (matching Xilinx LUT6 primitives): for inputs
+// I0..I5, output = INIT[I5<<5 | I4<<4 | I3<<3 | I2<<2 | I1<<1 | I0].
+
+// Comparator LUT input assignment (LUT #2 in Fig. 5(a)):
+//
+//	I0 = Ref[0] (current reference nucleotide, low bit)
+//	I1 = Ref[1] (current reference nucleotide, high bit)
+//	I2 = X      (multiplexer output: Q[3] or a previous reference bit)
+//	I3 = Q[2]
+//	I4 = Q[1]
+//	I5 = Q[0]
+func compareLUTIndex(q0, q1, q2, x uint8, ref bio.Nucleotide) uint {
+	return uint(ref.Bit(0)) |
+		uint(ref.Bit(1))<<1 |
+		uint(x)<<2 |
+		uint(q2)<<3 |
+		uint(q1)<<4 |
+		uint(q0)<<5
+}
+
+// Multiplexer LUT input assignment (LUT #1 in Fig. 5(a)):
+//
+//	I0 = Q[3] (constant path; zero for Type III encodings)
+//	I1 = Ref⁽ⁱ⁻¹⁾[1]
+//	I2 = Ref⁽ⁱ⁻²⁾[1]
+//	I3 = Ref⁽ⁱ⁻²⁾[0]
+//	I4 = Q[4] (select, high bit)
+//	I5 = Q[5] (select, low bit)
+func muxLUTIndex(q3, r1hi, r2hi, r2lo, q4, q5 uint8) uint {
+	return uint(q3) |
+		uint(r1hi)<<1 |
+		uint(r2hi)<<2 |
+		uint(r2lo)<<3 |
+		uint(q4)<<4 |
+		uint(q5)<<5
+}
+
+// compareSemantics is the combinational function the comparator LUT must
+// realize: given the instruction bits Q[0..2], the muxed bit X (which stands
+// in for Q[3] on Types I/II and for the selected earlier reference bit on
+// Type III), and the current reference nucleotide, decide the match bit.
+// This is a literal transcription of the Fig. 5(b) columns.
+func compareSemantics(q0, q1, q2, x uint8, ref bio.Nucleotide) bool {
+	if q0 == 1 {
+		// Type III: function in Q[1:2], dependent bit in X.
+		switch q1<<1 | q2 {
+		case 0: // F:00 Stop — prev hi bit 0 (A) → {A,G}; 1 (G) → {A}.
+			if x == 0 {
+				return ref == bio.A || ref == bio.G
+			}
+			return ref == bio.A
+		case 1: // F:01 Leu — first base C → any; U → {A,G}.
+			if x == 0 {
+				return true
+			}
+			return ref == bio.A || ref == bio.G
+		case 2: // F:10 Arg — first base A → {A,G}; C → any.
+			if x == 0 {
+				return ref == bio.A || ref == bio.G
+			}
+			return true
+		default: // F:11 D — unconditional match.
+			return true
+		}
+	}
+	field := q2<<1 | x // Q[2] high, Q[3]≡X low
+	if q1 == 1 {
+		// Type II conditions: U/C=00, A/G=01, Ḡ=10, A/C=11.
+		switch field {
+		case 0:
+			return ref == bio.U || ref == bio.C
+		case 1:
+			return ref == bio.A || ref == bio.G
+		case 2:
+			return ref != bio.G
+		default:
+			return ref == bio.A || ref == bio.C
+		}
+	}
+	// Type I: exact nucleotide match.
+	return ref == bio.Nucleotide(field)
+}
+
+// buildCompareLUT enumerates all 64 comparator-LUT input combinations.
+func buildCompareLUT() uint64 {
+	var init uint64
+	for q0 := uint8(0); q0 < 2; q0++ {
+		for q1 := uint8(0); q1 < 2; q1++ {
+			for q2 := uint8(0); q2 < 2; q2++ {
+				for x := uint8(0); x < 2; x++ {
+					for ref := bio.Nucleotide(0); ref < 4; ref++ {
+						if compareSemantics(q0, q1, q2, x, ref) {
+							init |= 1 << compareLUTIndex(q0, q1, q2, x, ref)
+						}
+					}
+				}
+			}
+		}
+	}
+	return init
+}
+
+// buildMuxLUT enumerates all 64 multiplexer-LUT input combinations.
+func buildMuxLUT() uint64 {
+	var init uint64
+	for i := uint(0); i < 64; i++ {
+		q3 := uint8(i) & 1
+		r1hi := uint8(i>>1) & 1
+		r2hi := uint8(i>>2) & 1
+		r2lo := uint8(i>>3) & 1
+		sel := (uint8(i>>4)&1)<<1 | uint8(i>>5)&1 // Q[4] high, Q[5] low
+		var out uint8
+		switch sel {
+		case 0:
+			out = q3
+		case 1:
+			out = r1hi
+		case 2:
+			out = r2hi
+		default:
+			out = r2lo
+		}
+		if out == 1 {
+			init |= 1 << i
+		}
+	}
+	return init
+}
+
+// CompareLUTInit and MuxLUTInit are the 64-bit INIT masks programmed into
+// the two LUT6 primitives of every comparator cell.
+var (
+	CompareLUTInit = buildCompareLUT()
+	MuxLUTInit     = buildMuxLUT()
+)

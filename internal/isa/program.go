@@ -1,0 +1,168 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+
+	"fabp/internal/backtrans"
+	"fabp/internal/bio"
+)
+
+// Program is an encoded query: one instruction per back-translated element,
+// three per amino acid. This is what the host writes into the FPGA's
+// distributed memory (flip-flops) before streaming the reference.
+type Program []Instruction
+
+// EncodeElements encodes a back-translated element sequence.
+func EncodeElements(elems []backtrans.Element) (Program, error) {
+	prog := make(Program, len(elems))
+	for i, e := range elems {
+		ins, err := Encode(e)
+		if err != nil {
+			return nil, fmt.Errorf("isa: element %d: %w", i, err)
+		}
+		prog[i] = ins
+	}
+	return prog, nil
+}
+
+// EncodeProtein back-translates and encodes a protein query in one step.
+func EncodeProtein(p bio.ProtSeq) (Program, error) {
+	return EncodeElements(backtrans.BackTranslate(p))
+}
+
+// MustEncodeProtein is EncodeProtein for queries known valid.
+func MustEncodeProtein(p bio.ProtSeq) Program {
+	prog, err := EncodeProtein(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Elements decodes the program back into its element sequence.
+func (p Program) Elements() ([]backtrans.Element, error) {
+	elems := make([]backtrans.Element, len(p))
+	for i, ins := range p {
+		e, err := Decode(ins)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		elems[i] = e
+	}
+	return elems, nil
+}
+
+// Matches evaluates instruction i of the program against the reference
+// window starting at the instruction's position: ref is the current
+// nucleotide, prev1/prev2 the one/two before it in the reference stream.
+func (p Program) Matches(i int, ref, prev1, prev2 bio.Nucleotide) bool {
+	return p[i].Matches(ref, prev1, prev2)
+}
+
+// Score computes the FabP alignment score of the program against the
+// reference window w (len(w) must be >= len(p)); element i is compared with
+// w[i] using w[i-1], w[i-2] as context. This is the per-instance golden
+// model the hardware pop-counter result must equal.
+func (p Program) Score(w bio.NucSeq) int {
+	score := 0
+	for i, ins := range p {
+		var p1, p2 bio.Nucleotide
+		if i >= 1 {
+			p1 = w[i-1]
+		}
+		if i >= 2 {
+			p2 = w[i-2]
+		}
+		if ins.Matches(w[i], p1, p2) {
+			score++
+		}
+	}
+	return score
+}
+
+// Pack serializes the program one instruction per byte (low 6 bits), the
+// host-to-FPGA transfer format.
+func (p Program) Pack() []byte {
+	b := make([]byte, len(p))
+	for i, ins := range p {
+		b[i] = byte(ins)
+	}
+	return b
+}
+
+// UnpackProgram parses the byte serialization produced by Pack, validating
+// every instruction.
+func UnpackProgram(b []byte) (Program, error) {
+	prog := make(Program, len(b))
+	for i, v := range b {
+		ins := Instruction(v)
+		if _, err := Decode(ins); err != nil {
+			return nil, fmt.Errorf("isa: byte %d: %w", i, err)
+		}
+		prog[i] = ins
+	}
+	return prog, nil
+}
+
+// Pad extends the program to targetElems elements by appending
+// always-match D instructions, returning the padded program and the score
+// bias the padding adds to every window. This is how a fixed FabP-N build
+// serves shorter queries (§IV-A: "the length refers to the maximum
+// sequence length, and FabP can work with any sequence smaller than
+// that"): every padded element matches unconditionally, so scores shift by
+// a constant and the host raises its threshold by the same amount.
+func (p Program) Pad(targetElems int) (Program, int, error) {
+	if targetElems < len(p) {
+		return nil, 0, fmt.Errorf("isa: cannot pad %d elements down to %d", len(p), targetElems)
+	}
+	if targetElems == len(p) {
+		return p, 0, nil
+	}
+	d := MustEncode(backtrans.AnyElement)
+	out := make(Program, targetElems)
+	copy(out, p)
+	for i := len(p); i < targetElems; i++ {
+		out[i] = d
+	}
+	return out, targetElems - len(p), nil
+}
+
+// Disassemble renders a human-readable instruction listing with one line
+// per element: index, bit pattern, type and semantics. Used by the
+// fabp-translate CLI.
+func (p Program) Disassemble() string {
+	var b strings.Builder
+	for i, ins := range p {
+		e, err := Decode(ins)
+		desc := "<invalid>"
+		if err == nil {
+			switch e.Type {
+			case backtrans.TypeI:
+				desc = fmt.Sprintf("%-8s match %s exactly", e.Type, e.Nuc)
+			case backtrans.TypeII:
+				desc = fmt.Sprintf("%-8s match %s", e.Type, e.Cond)
+			case backtrans.TypeIII:
+				if e.Func == backtrans.FuncD {
+					desc = fmt.Sprintf("%-8s match any (D)", e.Type)
+				} else {
+					desc = fmt.Sprintf("%-8s dependent %s (reads %s)", e.Type, e.Func, depName(e.Func.Dependency()))
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%4d  %-11s %s\n", i, ins, desc)
+	}
+	return b.String()
+}
+
+func depName(d backtrans.DepSource) string {
+	switch d {
+	case backtrans.DepPrev1Hi:
+		return "ref[i-1] bit1"
+	case backtrans.DepPrev2Hi:
+		return "ref[i-2] bit1"
+	case backtrans.DepPrev2Lo:
+		return "ref[i-2] bit0"
+	}
+	return "constant 0"
+}

@@ -1,0 +1,170 @@
+package perf
+
+import (
+	"fabp/internal/axi"
+	"math"
+	"strings"
+	"testing"
+
+	"fabp/internal/fpga"
+)
+
+// paperRefNT is the evaluation database size: 1 GB of sequence ≈ 1e9
+// nucleotides.
+const paperRefNT = 1_000_000_000
+
+// fig6Lengths are the query lengths of Fig. 6.
+var fig6Lengths = []int{50, 100, 150, 200, 250}
+
+func TestFPGAModelBasics(t *testing.T) {
+	dev := fpga.Kintex7()
+	r50, err := FPGA(dev, 50, paperRefNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FabP-50 is bandwidth-bound: 250 MB at ~12.2 GB/s ≈ 20.5 ms.
+	if r50.Seconds < 0.015 || r50.Seconds > 0.03 {
+		t.Errorf("FabP-50 time %.4fs outside expectation", r50.Seconds)
+	}
+	r250, err := FPGA(dev, 250, paperRefNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r250.Seconds <= r50.Seconds {
+		t.Error("longer query must be slower")
+	}
+	if r50.Watts < 5 || r50.Watts > 20 {
+		t.Errorf("FPGA power %.1fW implausible", r50.Watts)
+	}
+	if _, err := FPGA(dev, 100000, paperRefNT); err == nil {
+		t.Error("oversized query must error")
+	}
+}
+
+func TestFPGAWithStall(t *testing.T) {
+	dev := fpga.Kintex7()
+	ideal, err := FPGAWithStall(dev, 50, 1<<26, axi.NoStall{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := FPGAWithStall(dev, 50, 1<<26, axi.NewRandomStall(0.3, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Seconds <= ideal.Seconds {
+		t.Error("stalls must slow the scan")
+	}
+	if _, err := FPGAWithStall(dev, 100000, 1<<26, axi.NoStall{}); err == nil {
+		t.Error("non-fitting query must fail")
+	}
+}
+
+func TestGPUModelMonotone(t *testing.T) {
+	g := DefaultGPU()
+	prev := 0.0
+	for _, l := range fig6Lengths {
+		r := g.Time(l, paperRefNT)
+		if r.Seconds <= prev {
+			t.Errorf("GPU time must grow with query length at %d", l)
+		}
+		prev = r.Seconds
+		if r.Watts != 250 {
+			t.Error("1080Ti draw should be 250W")
+		}
+	}
+}
+
+func TestCPUModelThreadScaling(t *testing.T) {
+	one := DefaultCPU(1).Time(150, paperRefNT)
+	twelve := DefaultCPU(12).Time(150, paperRefNT)
+	ratio := one.Seconds / twelve.Seconds
+	if math.Abs(ratio-8.0) > 0.01 {
+		t.Errorf("12-thread scaling %.2f, want 8.0", ratio)
+	}
+	if twelve.Watts <= one.Watts {
+		t.Error("more threads must draw more power")
+	}
+}
+
+// TestFig6HeadlineAverages checks the paper's headline numbers: FabP is on
+// average 8.1 % faster than the GPU, 24.8× faster than 12-thread TBLASTN,
+// with 23.2× and 266.8× energy-efficiency gains respectively.
+func TestFig6HeadlineAverages(t *testing.T) {
+	dev := fpga.Kintex7()
+	gpu := DefaultGPU()
+	cpu12 := DefaultCPU(12)
+
+	var sumGPUSpeed, sumCPUSpeed, sumGPUEnergy, sumCPUEnergy float64
+	for _, l := range fig6Lengths {
+		f, err := FPGA(dev, l, paperRefNT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := gpu.Time(l, paperRefNT)
+		c := cpu12.Time(l, paperRefNT)
+		sumGPUSpeed += g.Seconds / f.Seconds
+		sumCPUSpeed += c.Seconds / f.Seconds
+		sumGPUEnergy += g.EnergyJoules() / f.EnergyJoules()
+		sumCPUEnergy += c.EnergyJoules() / f.EnergyJoules()
+	}
+	n := float64(len(fig6Lengths))
+	gpuSpeed := sumGPUSpeed / n
+	cpuSpeed := sumCPUSpeed / n
+	gpuEnergy := sumGPUEnergy / n
+	cpuEnergy := sumCPUEnergy / n
+	t.Logf("avg FabP vs GPU: %.3fx speed, %.1fx energy (paper: 1.081x, 23.2x)", gpuSpeed, gpuEnergy)
+	t.Logf("avg FabP vs CPU-12: %.1fx speed, %.1fx energy (paper: 24.8x, 266.8x)", cpuSpeed, cpuEnergy)
+
+	check := func(name string, got, want, relTol float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > relTol {
+			t.Errorf("%s = %.2f, paper %.2f (tol %.0f%%)", name, got, want, 100*relTol)
+		}
+	}
+	check("GPU speedup", gpuSpeed, 1.081, 0.15)
+	check("CPU-12 speedup", cpuSpeed, 24.8, 0.25)
+	check("GPU energy ratio", gpuEnergy, 23.2, 0.35)
+	check("CPU-12 energy ratio", cpuEnergy, 266.8, 0.35)
+}
+
+// TestAllPlatformsGrowWithQueryLength reproduces the Fig. 6 qualitative
+// statement: "for all platforms, increasing the number of query elements
+// increases the execution time and energy consumption."
+func TestAllPlatformsGrowWithQueryLength(t *testing.T) {
+	dev := fpga.Kintex7()
+	gpu := DefaultGPU()
+	cpu1 := DefaultCPU(1)
+	var prevF, prevG, prevC float64
+	for _, l := range fig6Lengths {
+		f, err := FPGA(dev, l, paperRefNT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := gpu.Time(l, paperRefNT)
+		c := cpu1.Time(l, paperRefNT)
+		if f.Seconds < prevF || g.Seconds < prevG || c.Seconds < prevC {
+			t.Errorf("time decreased at length %d", l)
+		}
+		prevF, prevG, prevC = f.Seconds, g.Seconds, c.Seconds
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	base := Result{Seconds: 10, Watts: 100}
+	x := Result{Seconds: 1, Watts: 10}
+	n := Normalize(base, x)
+	if n.Speedup != 10 || n.EnergyEfficiency != 100 {
+		t.Errorf("normalized %+v", n)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Platform: "GPU/x", QueryResidues: 50, Seconds: 0.5, Watts: 100}
+	s := r.String()
+	if !strings.Contains(s, "GPU/x") || !strings.Contains(s, "50.00J") {
+		t.Errorf("String = %q", s)
+	}
+	if r.EnergyJoules() != 50 {
+		t.Error("energy wrong")
+	}
+}

@@ -1,0 +1,186 @@
+package rtl
+
+// Arithmetic building blocks assembled from LUT6 primitives. FabP's
+// pop-counter adder stages and threshold comparison are built from these.
+
+// HalfAdder returns (sum, carry) of two bits: 2 LUTs.
+func (n *Netlist) HalfAdder(a, b Signal) (sum, carry Signal) {
+	return n.Xor(a, b), n.And(a, b)
+}
+
+// FullAdder returns (sum, carry) of three bits: 2 LUTs (XOR3 + majority).
+func (n *Netlist) FullAdder(a, b, cin Signal) (sum, carry Signal) {
+	return n.Xor(a, b, cin), n.Maj3(a, b, cin)
+}
+
+// Maj3 returns the majority of three bits ((a&b)|(a&c)|(b&c)): 1 LUT.
+func (n *Netlist) Maj3(a, b, c Signal) Signal {
+	var init uint64
+	for i := uint(0); i < 64; i++ {
+		x, y, z := i&1, i>>1&1, i>>2&1
+		if x+y+z >= 2 {
+			init |= 1 << i
+		}
+	}
+	return n.LUT6(init, a, b, c, Zero, Zero, Zero)
+}
+
+// AddBus returns the ripple-carry sum of two unsigned buses (bit 0 first).
+// The result is one bit wider than the wider operand. Shorter operands are
+// zero-extended.
+func (n *Netlist) AddBus(a, b []Signal) []Signal {
+	width := len(a)
+	if len(b) > width {
+		width = len(b)
+	}
+	get := func(bus []Signal, i int) Signal {
+		if i < len(bus) {
+			return bus[i]
+		}
+		return Zero
+	}
+	out := make([]Signal, width+1)
+	carry := Zero
+	for i := 0; i < width; i++ {
+		ai, bi := get(a, i), get(b, i)
+		switch {
+		case carry == Zero:
+			out[i], carry = n.HalfAdder(ai, bi)
+		case bi == Zero:
+			out[i], carry = n.HalfAdder(ai, carry)
+		case ai == Zero:
+			out[i], carry = n.HalfAdder(bi, carry)
+		default:
+			out[i], carry = n.FullAdder(ai, bi, carry)
+		}
+	}
+	out[width] = carry
+	return out
+}
+
+// AddBusMany sums several unsigned buses with a balanced tree of AddBus
+// stages.
+func (n *Netlist) AddBusMany(buses ...[]Signal) []Signal {
+	switch len(buses) {
+	case 0:
+		return []Signal{Zero}
+	case 1:
+		return buses[0]
+	}
+	mid := len(buses) / 2
+	return n.AddBus(n.AddBusMany(buses[:mid]...), n.AddBusMany(buses[mid:]...))
+}
+
+// CompareGEConst returns a signal that is 1 when the unsigned bus value is
+// >= k, built as a logarithmic-depth (greater, equal) reduction tree over
+// 3-bit chunks — the LUT analogue of a carry-tree comparator, keeping the
+// threshold off the critical path (the paper moves it to DSPs; here it
+// costs ~2 LUTs per 3 bits at log depth).
+func (n *Netlist) CompareGEConst(bus []Signal, k uint) Signal {
+	if k == 0 {
+		return One
+	}
+	if len(bus) < 64 && k >= 1<<uint(len(bus)) {
+		return Zero
+	}
+	type cmp struct{ gt, eq Signal }
+	// Leaves: 3-bit chunks compared against the constant's chunk.
+	var leaves []cmp
+	for lo := 0; lo < len(bus); lo += 3 {
+		hi := lo + 3
+		if hi > len(bus) {
+			hi = len(bus)
+		}
+		width := hi - lo
+		kc := k >> uint(lo) & (1<<uint(width) - 1)
+		var gtInit, eqInit uint64
+		for v := uint(0); v < 1<<uint(width); v++ {
+			if v > kc {
+				gtInit |= 1 << v
+			}
+			if v == kc {
+				eqInit |= 1 << v
+			}
+		}
+		var in [6]Signal
+		for i := range in {
+			if lo+i < hi {
+				in[i] = bus[lo+i]
+			} else {
+				in[i] = Zero
+			}
+		}
+		leaves = append(leaves, cmp{
+			gt: n.LUT6(gtInit, in[0], in[1], in[2], in[3], in[4], in[5]),
+			eq: n.LUT6(eqInit, in[0], in[1], in[2], in[3], in[4], in[5]),
+		})
+	}
+	// Reduce pairwise, least-significant chunks first in the slice; the
+	// combiner treats the later element as more significant.
+	for len(leaves) > 1 {
+		var next []cmp
+		for i := 0; i+1 < len(leaves); i += 2 {
+			low, high := leaves[i], leaves[i+1]
+			next = append(next, cmp{
+				gt: n.Or(high.gt, n.And(high.eq, low.gt)),
+				eq: n.And(high.eq, low.eq),
+			})
+		}
+		if len(leaves)%2 == 1 {
+			next = append(next, leaves[len(leaves)-1])
+		}
+		leaves = next
+	}
+	return n.Or(leaves[0].gt, leaves[0].eq)
+}
+
+// EqualConst returns a signal that is 1 when the bus equals constant k:
+// inverts the 0-bits and ANDs in 6-input chunks.
+func (n *Netlist) EqualConst(bus []Signal, k uint) Signal {
+	terms := make([]Signal, len(bus))
+	for i := range bus {
+		if k>>uint(i)&1 == 1 {
+			terms[i] = bus[i]
+		} else {
+			terms[i] = n.Not(bus[i])
+		}
+	}
+	return n.AndWide(terms)
+}
+
+// AndWide ANDs arbitrarily many signals using a tree of 6-input LUTs.
+func (n *Netlist) AndWide(sigs []Signal) Signal {
+	return n.wideGate(sigs, n.And)
+}
+
+// OrWide ORs arbitrarily many signals using a tree of 6-input LUTs.
+func (n *Netlist) OrWide(sigs []Signal) Signal {
+	return n.wideGate(sigs, n.Or)
+}
+
+func (n *Netlist) wideGate(sigs []Signal, gate func(...Signal) Signal) Signal {
+	switch len(sigs) {
+	case 0:
+		panic("rtl: wide gate needs at least one input")
+	case 1:
+		return sigs[0]
+	}
+	var next []Signal
+	for i := 0; i < len(sigs); i += 6 {
+		end := i + 6
+		if end > len(sigs) {
+			end = len(sigs)
+		}
+		next = append(next, gate(sigs[i:end]...))
+	}
+	return n.wideGate(next, gate)
+}
+
+// RegisterBus passes every bus bit through a DFF with a shared enable.
+func (n *Netlist) RegisterBus(bus []Signal, en Signal) []Signal {
+	out := make([]Signal, len(bus))
+	for i, s := range bus {
+		out[i] = n.DFFE(s, en)
+	}
+	return out
+}

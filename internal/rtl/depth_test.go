@@ -1,0 +1,86 @@
+package rtl
+
+import "testing"
+
+func TestDepthSimpleChain(t *testing.T) {
+	n := New("chain")
+	a := n.Input("a")
+	x := a
+	for i := 0; i < 5; i++ {
+		x = n.Not(x)
+	}
+	d, err := n.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("depth %d, want 5", d)
+	}
+	path, err := n.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 {
+		t.Errorf("critical path length %d, want 5", len(path))
+	}
+}
+
+func TestDepthResetsAtRegisters(t *testing.T) {
+	n := New("pipe")
+	a := n.Input("a")
+	x := n.Not(n.Not(a)) // depth 2
+	q := n.DFF(x)
+	y := n.Not(q) // depth restarts: 1
+	n.Output("y", y)
+	d, err := n.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("depth %d, want 2 (register must cut the path)", d)
+	}
+}
+
+func TestDepthEmptyNetlist(t *testing.T) {
+	n := New("empty")
+	d, err := n.Depth()
+	if err != nil || d != 0 {
+		t.Errorf("empty depth = %d, %v", d, err)
+	}
+	path, err := n.CriticalPath()
+	if err != nil || path != nil {
+		t.Errorf("empty critical path = %v, %v", path, err)
+	}
+}
+
+func TestFMaxEstimate(t *testing.T) {
+	f1 := FMaxEstimate(1)
+	f10 := FMaxEstimate(10)
+	if f1 <= f10 {
+		t.Error("deeper logic must be slower")
+	}
+	// A ~4-level pipeline should land in the 200-400 MHz range on the
+	// modeled part — consistent with the paper's 200 MHz operating point.
+	f4 := FMaxEstimate(4)
+	if f4 < 200e6 || f4 > 400e6 {
+		t.Errorf("FMax(4) = %.0f MHz outside plausible range", f4/1e6)
+	}
+	if FMaxEstimate(0) != FMaxEstimate(1) {
+		t.Error("depth floors at 1")
+	}
+}
+
+// TestFabPComparatorDepth pins the comparator cell's depth at 2 (mux LUT +
+// compare LUT) — the structure Fig. 5(a) shows.
+func TestDepthOfWideGate(t *testing.T) {
+	n := New("wide")
+	in := n.InputBus("x", 36)
+	n.AndWide(in)
+	d, err := n.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 { // 36 -> 6 -> 1
+		t.Errorf("36-wide AND depth %d, want 2", d)
+	}
+}

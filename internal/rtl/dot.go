@@ -1,0 +1,50 @@
+package rtl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EmitDOT writes the netlist as a Graphviz digraph: inputs as diamonds,
+// LUTs as boxes (labelled with their INIT), flip-flops as double circles,
+// outputs as house shapes. Intended for inspecting small generated blocks
+// (a full accelerator renders, but is unreadable).
+func EmitDOT(w io.Writer, n *Netlist) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=LR;\n  node [fontsize=10];\n", sanitizeIdent(n.name))
+
+	node := func(s Signal) string { return fmt.Sprintf("n%d", s) }
+
+	fmt.Fprintf(&b, "  n%d [label=\"0\" shape=plaintext];\n", Zero)
+	fmt.Fprintf(&b, "  n%d [label=\"1\" shape=plaintext];\n", One)
+	for _, s := range n.inputs {
+		fmt.Fprintf(&b, "  %s [label=\"%s\" shape=diamond];\n", node(s), sanitizeIdent(n.NameOf(s)))
+	}
+	for i, l := range n.luts {
+		fmt.Fprintf(&b, "  %s [label=\"LUT%d\\n%016X\" shape=box];\n", node(l.out), i, l.init)
+		seen := map[Signal]bool{}
+		for _, in := range l.in {
+			if in == Zero || seen[in] {
+				continue // skip tied-off and duplicate edges for readability
+			}
+			seen[in] = true
+			fmt.Fprintf(&b, "  %s -> %s;\n", node(in), node(l.out))
+		}
+	}
+	for i, d := range n.dffs {
+		fmt.Fprintf(&b, "  %s [label=\"FF%d\" shape=doublecircle];\n", node(d.q), i)
+		fmt.Fprintf(&b, "  %s -> %s;\n", node(d.d), node(d.q))
+		if d.en != One {
+			fmt.Fprintf(&b, "  %s -> %s [style=dashed label=en];\n", node(d.en), node(d.q))
+		}
+	}
+	for _, s := range n.outputs {
+		name := sanitizeIdent(n.outName[s])
+		fmt.Fprintf(&b, "  out_%s [label=\"%s\" shape=house];\n", name, name)
+		fmt.Fprintf(&b, "  %s -> out_%s;\n", node(s), name)
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,34 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmitDOT(t *testing.T) {
+	n := New("viz")
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.And(a, b)
+	q := n.DFFE(x, a)
+	n.Output("q", q)
+	var sb strings.Builder
+	if err := EmitDOT(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph viz {",
+		"shape=diamond", // inputs
+		"shape=box",     // LUT
+		"LUT0",
+		"shape=doublecircle", // FF
+		"style=dashed label=en",
+		"shape=house", // output
+		"out_q",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q:\n%s", want, out)
+		}
+	}
+}

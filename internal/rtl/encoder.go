@@ -1,0 +1,115 @@
+package rtl
+
+import "fmt"
+
+// Combinational encoder blocks used by FabP's write-back stage: the hit
+// vector of a beat (one bit per alignment instance) is scanned by a
+// priority encoder to emit hit positions one per cycle into the WB FIFO.
+
+// PriorityEncoder returns (index bus, valid) for the lowest set bit of in.
+// The index bus has ceil(log2(len(in))) bits; valid is the OR of all
+// inputs. Cost: O(n) LUTs via a prefix "no lower bit set" chain.
+func (n *Netlist) PriorityEncoder(in []Signal) (index []Signal, valid Signal) {
+	index, valid, _ = n.PriorityEncoderGrants(in)
+	return index, valid
+}
+
+// PriorityEncoderGrants is PriorityEncoder that also exposes the one-hot
+// grant vector (grants[i] = 1 iff i is the selected index), which
+// arbitration-style consumers use to clear the serviced bit.
+func (n *Netlist) PriorityEncoderGrants(in []Signal) (index []Signal, valid Signal, grants []Signal) {
+	if len(in) == 0 {
+		panic("rtl: priority encoder needs at least one input")
+	}
+	width := 1
+	for 1<<uint(width) < len(in) {
+		width++
+	}
+	// grant[i] = in[i] & none of in[0..i-1]; computed with a running
+	// "none below" chain.
+	grants = make([]Signal, len(in))
+	noneBelow := One
+	for i, s := range in {
+		if i == 0 {
+			grants[i] = s
+		} else {
+			grants[i] = n.And(s, noneBelow)
+		}
+		noneBelow = n.And(noneBelow, n.Not(s))
+	}
+	// index bit b = OR of grants whose position has bit b set.
+	index = make([]Signal, width)
+	for b := 0; b < width; b++ {
+		var terms []Signal
+		for i, g := range grants {
+			if i>>uint(b)&1 == 1 {
+				terms = append(terms, g)
+			}
+		}
+		if len(terms) == 0 {
+			index[b] = Zero
+		} else {
+			index[b] = n.OrWide(terms)
+		}
+	}
+	return index, n.OrWide(in), grants
+}
+
+// OneHotMux selects data[i] where sel[i] is the (assumed one-hot) select
+// vector; each data element is a bus of equal width.
+func (n *Netlist) OneHotMux(sel []Signal, data [][]Signal) []Signal {
+	if len(sel) != len(data) || len(sel) == 0 {
+		panic(fmt.Sprintf("rtl: one-hot mux mismatch: %d selects, %d data", len(sel), len(data)))
+	}
+	width := len(data[0])
+	out := make([]Signal, width)
+	for b := 0; b < width; b++ {
+		terms := make([]Signal, len(sel))
+		for i := range sel {
+			if b >= len(data[i]) {
+				terms[i] = Zero
+				continue
+			}
+			terms[i] = n.And(sel[i], data[i][b])
+		}
+		out[b] = n.OrWide(terms)
+	}
+	return out
+}
+
+// ConstBus returns a bus of constant signals carrying value v in width
+// bits.
+func ConstBus(v uint64, width int) []Signal {
+	bus := make([]Signal, width)
+	for i := range bus {
+		if v>>uint(i)&1 == 1 {
+			bus[i] = One
+		} else {
+			bus[i] = Zero
+		}
+	}
+	return bus
+}
+
+// Counter builds a free-running width-bit counter with enable; returns the
+// count bus. Cost: width LUTs (increment) + width FFs.
+func (n *Netlist) Counter(width int, en Signal) []Signal {
+	if width <= 0 {
+		panic("rtl: counter width must be positive")
+	}
+	// The increment reads the counter's own Q, so allocate feedback FFs
+	// first and wire their D inputs afterwards.
+	qs := make([]Signal, width)
+	setD := make([]func(Signal), width)
+	for i := 0; i < width; i++ {
+		qs[i], setD[i] = n.FeedbackDFF(en)
+	}
+	carry := One
+	for i := 0; i < width; i++ {
+		setD[i](n.Xor(qs[i], carry))
+		if i+1 < width {
+			carry = n.And(qs[i], carry)
+		}
+	}
+	return qs
+}

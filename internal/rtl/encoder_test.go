@@ -1,0 +1,190 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPriorityEncoderExhaustive(t *testing.T) {
+	for _, width := range []int{1, 2, 5, 8} {
+		n := New("pe")
+		in := n.InputBus("x", width)
+		idx, valid := n.PriorityEncoder(in)
+		sim, err := NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := uint64(0); v < 1<<uint(width); v++ {
+			sim.SetBus(in, v)
+			sim.Eval()
+			if v == 0 {
+				if sim.Get(valid) != 0 {
+					t.Errorf("width %d: valid asserted for zero", width)
+				}
+				continue
+			}
+			if sim.Get(valid) != 1 {
+				t.Errorf("width %d v=%b: valid not asserted", width, v)
+			}
+			want := uint64(0)
+			for v>>want&1 == 0 {
+				want++
+			}
+			if got := sim.GetBus(idx); got != want {
+				t.Errorf("width %d v=%b: index %d, want %d", width, v, got, want)
+			}
+		}
+	}
+}
+
+func TestPriorityEncoderPanics(t *testing.T) {
+	n := New("pe")
+	mustPanic(t, func() { n.PriorityEncoder(nil) })
+}
+
+func TestOneHotMux(t *testing.T) {
+	n := New("ohm")
+	sel := n.InputBus("sel", 3)
+	data := [][]Signal{
+		ConstBus(0xA, 4),
+		ConstBus(0x5, 4),
+		ConstBus(0xF, 4),
+	}
+	out := n.OneHotMux(sel, data)
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{0xA, 0x5, 0xF} {
+		sim.SetBus(sel, 1<<uint(i))
+		sim.Eval()
+		if got := sim.GetBus(out); got != want {
+			t.Errorf("sel %d: got %#x want %#x", i, got, want)
+		}
+	}
+	sim.SetBus(sel, 0)
+	sim.Eval()
+	if got := sim.GetBus(out); got != 0 {
+		t.Errorf("no select must give 0, got %#x", got)
+	}
+	mustPanic(t, func() { n.OneHotMux(nil, nil) })
+	mustPanic(t, func() { n.OneHotMux(sel, data[:2]) })
+}
+
+func TestOneHotMuxUnequalWidths(t *testing.T) {
+	n := New("ohm2")
+	sel := n.InputBus("sel", 2)
+	data := [][]Signal{ConstBus(0x3, 4), ConstBus(0x1, 2)} // second narrower
+	out := n.OneHotMux(sel, data)
+	sim, _ := NewSimulator(n)
+	sim.SetBus(sel, 2)
+	sim.Eval()
+	if got := sim.GetBus(out); got != 1 {
+		t.Errorf("narrow bus zero-extends: got %#x", got)
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	bus := ConstBus(0b101, 3)
+	if bus[0] != One || bus[1] != Zero || bus[2] != One {
+		t.Errorf("ConstBus wrong: %v", bus)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	n := New("ctr")
+	en := n.Input("en")
+	cnt := n.Counter(4, en)
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Set(en, 1)
+	for i := 1; i <= 20; i++ {
+		sim.Step()
+		sim.Eval()
+		if got := sim.GetBus(cnt); got != uint64(i%16) {
+			t.Fatalf("after %d steps: %d", i, got)
+		}
+	}
+	sim.Set(en, 0)
+	sim.Step()
+	sim.Eval()
+	if got := sim.GetBus(cnt); got != 20%16 {
+		t.Errorf("disabled counter moved: %d", got)
+	}
+	mustPanic(t, func() { n.Counter(0, en) })
+}
+
+// TestFIFOBehaviour drives a 4-deep FIFO through pushes, pops and
+// simultaneous push+pop, comparing against a software queue.
+func TestFIFOBehaviour(t *testing.T) {
+	n := New("fifo")
+	pushData := n.InputBus("pd", 8)
+	push := n.Input("push")
+	pop := n.Input("pop")
+	f := n.BuildFIFO(8, 4, pushData, push, pop)
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var model []uint64
+	rng := rand.New(rand.NewSource(1))
+	next := uint64(1)
+	for step := 0; step < 400; step++ {
+		doPush := rng.Intn(2) == 1
+		doPop := rng.Intn(3) == 0
+
+		sim.Eval()
+		// Check outputs against the model BEFORE the edge.
+		if len(model) > 0 {
+			if sim.Get(f.PopValid) != 1 {
+				t.Fatalf("step %d: PopValid low with %d entries", step, len(model))
+			}
+			if got := sim.GetBus(f.PopData); got != model[0] {
+				t.Fatalf("step %d: head %d, want %d", step, got, model[0])
+			}
+		} else if sim.Get(f.PopValid) != 0 {
+			t.Fatalf("step %d: PopValid high when empty", step)
+		}
+		wantFull := len(model) == 4
+		if got := sim.Get(f.Full) == 1; got != wantFull {
+			t.Fatalf("step %d: full=%v want %v", step, got, wantFull)
+		}
+
+		// Drive this cycle's operations.
+		val := next
+		sim.SetBus(pushData, val)
+		sim.Set(push, b2u(doPush))
+		sim.Set(pop, b2u(doPop && len(model) > 0))
+		sim.Step()
+
+		// Update the model with the same acceptance rules.
+		popped := doPop && len(model) > 0
+		if popped {
+			model = model[1:]
+		}
+		accepted := doPush && (len(model) < 4)
+		if accepted {
+			model = append(model, val)
+			next++
+			if next == 256 {
+				next = 1
+			}
+		}
+	}
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestFIFOPanics(t *testing.T) {
+	n := New("fp")
+	mustPanic(t, func() { n.BuildFIFO(0, 4, nil, Zero, Zero) })
+	mustPanic(t, func() { n.BuildFIFO(4, 4, make([]Signal, 3), Zero, Zero) })
+}

@@ -1,0 +1,98 @@
+package rtl
+
+import "fmt"
+
+// FIFO is a register-file FIFO built from flip-flops (FabP's write-back
+// buffer stages hit records this way before the AXI write burst; §III-C).
+// It exposes the classic ready/valid interface as netlist signals.
+type FIFO struct {
+	// PushData is the input bus the caller must drive; Push enables a
+	// write this cycle.
+	PushData []Signal
+	Push     Signal
+	// PopData carries the oldest entry; PopValid is 1 when the FIFO is
+	// non-empty; Pop consumes the oldest entry at the next edge.
+	PopData  []Signal
+	PopValid Signal
+	// Full is 1 when a push this cycle would overflow.
+	Full Signal
+}
+
+// BuildFIFO creates a depth-entry FIFO of width-bit words inside the
+// netlist. Depth must be a power of two. The caller receives the port
+// signals; PushData/Push/Pop are inputs created by the caller and passed
+// in, the rest are produced.
+//
+// Implementation: a shift-register FIFO — entries shift toward slot 0 on
+// pop; pushes land in the first free slot. This costs depth×width FFs plus
+// occupancy flags, appropriate for the shallow staging buffers FabP uses.
+func (n *Netlist) BuildFIFO(width, depth int, pushData []Signal, push, pop Signal) *FIFO {
+	if width <= 0 || depth <= 0 {
+		panic(fmt.Sprintf("rtl: fifo %dx%d invalid", width, depth))
+	}
+	if len(pushData) != width {
+		panic("rtl: fifo push bus width mismatch")
+	}
+
+	// valid[i]: slot i holds data. Slots compact toward 0. Next-state
+	// logic reads the current state, so use feedback registers.
+	validQ := make([]Signal, depth)
+	validSet := make([]func(Signal), depth)
+	dataQ := make([][]Signal, depth)
+	dataSet := make([][]func(Signal), depth)
+	for i := 0; i < depth; i++ {
+		validQ[i], validSet[i] = n.FeedbackDFF(One)
+		dataQ[i] = make([]Signal, width)
+		dataSet[i] = make([]func(Signal), width)
+		for b := 0; b < width; b++ {
+			dataQ[i][b], dataSet[i][b] = n.FeedbackDFF(One)
+		}
+	}
+
+	full := n.AndWide(validQ)
+	// pushNow: accepted push (not full, or popping frees a slot this cycle).
+	pushOK := n.Or(n.Not(full), pop)
+	pushNow := n.And(push, pushOK)
+
+	// After a pop, everything shifts down one slot. The push lands at the
+	// first slot that will be free after the (optional) shift.
+	// nextValidCount logic per slot:
+	//   shifted[i] = pop ? valid[i+1] : valid[i]
+	//   shiftedData[i] = pop ? data[i+1] : data[i]
+	//   pushHere[i] = pushNow & !shifted[i] & shifted[i-1..0] all valid
+	//   (first free slot; slots below are all occupied after shift)
+	shifted := make([]Signal, depth)
+	shiftedData := make([][]Signal, depth)
+	for i := 0; i < depth; i++ {
+		if i+1 < depth {
+			shifted[i] = n.Mux2(pop, validQ[i], validQ[i+1])
+		} else {
+			shifted[i] = n.Mux2(pop, validQ[i], Zero)
+		}
+		shiftedData[i] = make([]Signal, width)
+		for b := 0; b < width; b++ {
+			if i+1 < depth {
+				shiftedData[i][b] = n.Mux2(pop, dataQ[i][b], dataQ[i+1][b])
+			} else {
+				shiftedData[i][b] = n.Mux2(pop, dataQ[i][b], Zero)
+			}
+		}
+	}
+	allBelowFull := One
+	for i := 0; i < depth; i++ {
+		pushHere := n.And(pushNow, n.Not(shifted[i]), allBelowFull)
+		allBelowFull = n.And(allBelowFull, shifted[i])
+		validSet[i](n.Or(shifted[i], pushHere))
+		for b := 0; b < width; b++ {
+			dataSet[i][b](n.Mux2(pushHere, shiftedData[i][b], pushData[b]))
+		}
+	}
+
+	return &FIFO{
+		PushData: pushData,
+		Push:     push,
+		PopData:  dataQ[0],
+		PopValid: validQ[0],
+		Full:     full,
+	}
+}

@@ -1,0 +1,42 @@
+package rtl
+
+import (
+	"fmt"
+	"io"
+)
+
+// EmitPrimitiveLibrary writes behavioral Verilog models of the two
+// primitives generated netlists instantiate (LUT6 and FDRE), so the module
+// + testbench simulate under any plain Verilog simulator without Xilinx
+// unisim libraries. Synthesis flows targeting real parts should omit this
+// file and let the vendor primitives bind instead.
+func EmitPrimitiveLibrary(w io.Writer) error {
+	const lib = `// Behavioral models of the Xilinx primitives used by generated FabP
+// netlists. For simulation only — omit when synthesizing for a real part.
+
+module LUT6 #(parameter [63:0] INIT = 64'h0) (
+  output O,
+  input I0, I1, I2, I3, I4, I5
+);
+  assign O = INIT[{I5, I4, I3, I2, I1, I0}];
+endmodule
+
+module FDRE #(parameter [0:0] INIT = 1'b0) (
+  output reg Q,
+  input C,
+  input CE,
+  input R,
+  input D
+);
+  initial Q = INIT;
+  always @(posedge C) begin
+    if (R)
+      Q <= 1'b0;
+    else if (CE)
+      Q <= D;
+  end
+endmodule
+`
+	_, err := fmt.Fprint(w, lib)
+	return err
+}

@@ -1,0 +1,440 @@
+package rtl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildAndSim is a test helper: validate + simulate, failing the test on
+// error.
+func buildAndSim(t *testing.T, n *Netlist) *Simulator {
+	t.Helper()
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestConstants(t *testing.T) {
+	n := New("consts")
+	n.Output("zero", Zero)
+	n.Output("one", One)
+	sim := buildAndSim(t, n)
+	sim.Eval()
+	if sim.Get(Zero) != 0 || sim.Get(One) != 1 {
+		t.Error("constants wrong")
+	}
+}
+
+func TestBasicGates(t *testing.T) {
+	n := New("gates")
+	a := n.Input("a")
+	b := n.Input("b")
+	c := n.Input("c")
+	and := n.And(a, b, c)
+	or := n.Or(a, b, c)
+	xor := n.Xor(a, b, c)
+	not := n.Not(a)
+	maj := n.Maj3(a, b, c)
+	mux := n.Mux2(c, a, b)
+	sim := buildAndSim(t, n)
+	for v := uint64(0); v < 8; v++ {
+		av, bv, cv := uint8(v&1), uint8(v>>1&1), uint8(v>>2&1)
+		sim.Set(a, av)
+		sim.Set(b, bv)
+		sim.Set(c, cv)
+		sim.Eval()
+		if got := sim.Get(and); got != av&bv&cv {
+			t.Errorf("and(%d%d%d) = %d", av, bv, cv, got)
+		}
+		if got := sim.Get(or); got != av|bv|cv {
+			t.Errorf("or(%d%d%d) = %d", av, bv, cv, got)
+		}
+		if got := sim.Get(xor); got != av^bv^cv {
+			t.Errorf("xor(%d%d%d) = %d", av, bv, cv, got)
+		}
+		if got := sim.Get(not); got != 1-av {
+			t.Errorf("not(%d) = %d", av, got)
+		}
+		wantMaj := uint8(0)
+		if av+bv+cv >= 2 {
+			wantMaj = 1
+		}
+		if got := sim.Get(maj); got != wantMaj {
+			t.Errorf("maj(%d%d%d) = %d", av, bv, cv, got)
+		}
+		wantMux := av
+		if cv == 1 {
+			wantMux = bv
+		}
+		if got := sim.Get(mux); got != wantMux {
+			t.Errorf("mux(%d%d%d) = %d", av, bv, cv, got)
+		}
+	}
+}
+
+func TestSingleInputGatePassthrough(t *testing.T) {
+	n := New("g1")
+	a := n.Input("a")
+	if n.And(a) != a || n.Or(a) != a || n.Xor(a) != a {
+		t.Error("1-input gates must be wires")
+	}
+}
+
+func TestGatePanics(t *testing.T) {
+	n := New("p")
+	a := n.Input("a")
+	mustPanic(t, func() { n.And() })
+	mustPanic(t, func() { n.And(a, a, a, a, a, a, a) })
+	mustPanic(t, func() { n.AndWide(nil) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestLUT6Direct(t *testing.T) {
+	n := New("lut")
+	in := n.InputBus("i", 6)
+	var init uint64 = 0x8000000000000001 // 1 at index 0 and 63
+	out := n.LUT6(init, in[0], in[1], in[2], in[3], in[4], in[5])
+	sim := buildAndSim(t, n)
+	sim.SetBus(in, 0)
+	sim.Eval()
+	if sim.Get(out) != 1 {
+		t.Error("index 0 should be 1")
+	}
+	sim.SetBus(in, 63)
+	sim.Eval()
+	if sim.Get(out) != 1 {
+		t.Error("index 63 should be 1")
+	}
+	sim.SetBus(in, 5)
+	sim.Eval()
+	if sim.Get(out) != 0 {
+		t.Error("index 5 should be 0")
+	}
+}
+
+func TestDFFBasics(t *testing.T) {
+	n := New("dff")
+	d := n.Input("d")
+	q := n.DFF(d)
+	n.Output("q", q)
+	sim := buildAndSim(t, n)
+	if sim.Get(q) != 0 {
+		t.Error("power-on state must be 0")
+	}
+	sim.Set(d, 1)
+	sim.Step()
+	if sim.Get(q) != 1 {
+		t.Error("q must capture d at the edge")
+	}
+	sim.Set(d, 0)
+	sim.Eval()
+	if sim.Get(q) != 1 {
+		t.Error("q must hold between edges")
+	}
+	sim.Step()
+	if sim.Get(q) != 0 {
+		t.Error("q must capture new d")
+	}
+}
+
+func TestDFFEnable(t *testing.T) {
+	n := New("dffe")
+	d := n.Input("d")
+	en := n.Input("en")
+	q := n.DFFE(d, en)
+	sim := buildAndSim(t, n)
+	sim.Set(d, 1)
+	sim.Set(en, 0)
+	sim.Step()
+	if sim.Get(q) != 0 {
+		t.Error("disabled FF must hold")
+	}
+	sim.Set(en, 1)
+	sim.Step()
+	if sim.Get(q) != 1 {
+		t.Error("enabled FF must capture")
+	}
+}
+
+func TestShiftRegisterSimultaneity(t *testing.T) {
+	// q2 <- q1 <- d: after one edge with d=1, only q1 is set.
+	n := New("shift")
+	d := n.Input("d")
+	q1 := n.DFF(d)
+	q2 := n.DFF(q1)
+	sim := buildAndSim(t, n)
+	sim.Set(d, 1)
+	sim.Step()
+	if sim.Get(q1) != 1 || sim.Get(q2) != 0 {
+		t.Errorf("after 1 edge: q1=%d q2=%d", sim.Get(q1), sim.Get(q2))
+	}
+	sim.Set(d, 0)
+	sim.Step()
+	if sim.Get(q1) != 0 || sim.Get(q2) != 1 {
+		t.Errorf("after 2 edges: q1=%d q2=%d", sim.Get(q1), sim.Get(q2))
+	}
+}
+
+func TestSimulatorReset(t *testing.T) {
+	n := New("rst")
+	d := n.Input("d")
+	q := n.DFF(d)
+	sim := buildAndSim(t, n)
+	sim.Set(d, 1)
+	sim.Run(3)
+	if sim.Cycle() != 3 || sim.Get(q) != 1 {
+		t.Fatal("setup failed")
+	}
+	sim.Reset()
+	if sim.Cycle() != 0 || sim.Get(q) != 0 || sim.Get(One) != 1 {
+		t.Error("reset must clear state but keep One")
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	n := New("loop")
+	a := n.Input("a")
+	// Build a LUT whose input is its own output via a second LUT.
+	fwd := n.LUT6(andInit(2), a, Zero, Zero, Zero, Zero, Zero)
+	// Rewire: create loop manually by constructing b = and(a, c), c = and(b,b).
+	b := n.LUT6(andInit(2), a, fwd, Zero, Zero, Zero, Zero)
+	// Manually patch the first LUT to read the second's output — loop.
+	n.luts[0].in[1] = b
+	if _, err := NewSimulator(n); err == nil {
+		t.Error("combinational loop must be detected")
+	}
+	if !strings.Contains(n.Validate().Error(), "loop") {
+		t.Error("error should mention loop")
+	}
+}
+
+func TestValidateUndriven(t *testing.T) {
+	n := New("undriven")
+	ghost := n.newSignal()
+	n.LUT6(0, ghost, Zero, Zero, Zero, Zero, Zero)
+	if err := n.Validate(); err == nil {
+		t.Error("undriven LUT input must be rejected")
+	}
+	n2 := New("undriven2")
+	ghost2 := n2.newSignal()
+	n2.Output("o", ghost2)
+	if err := n2.Validate(); err == nil {
+		t.Error("undriven output must be rejected")
+	}
+	n3 := New("undriven3")
+	ghost3 := n3.newSignal()
+	n3.DFF(ghost3)
+	if err := n3.Validate(); err == nil {
+		t.Error("undriven DFF input must be rejected")
+	}
+}
+
+func TestAddBus(t *testing.T) {
+	n := New("add")
+	a := n.InputBus("a", 5)
+	b := n.InputBus("b", 5)
+	sum := n.AddBus(a, b)
+	if len(sum) != 6 {
+		t.Fatalf("sum width %d", len(sum))
+	}
+	sim := buildAndSim(t, n)
+	for av := uint64(0); av < 32; av += 3 {
+		for bv := uint64(0); bv < 32; bv += 5 {
+			sim.SetBus(a, av)
+			sim.SetBus(b, bv)
+			sim.Eval()
+			if got := sim.GetBus(sum); got != av+bv {
+				t.Errorf("%d+%d = %d", av, bv, got)
+			}
+		}
+	}
+}
+
+func TestAddBusUnequalWidths(t *testing.T) {
+	n := New("addw")
+	a := n.InputBus("a", 3)
+	b := n.InputBus("b", 6)
+	sum := n.AddBus(a, b)
+	sim := buildAndSim(t, n)
+	sim.SetBus(a, 7)
+	sim.SetBus(b, 63)
+	sim.Eval()
+	if got := sim.GetBus(sum); got != 70 {
+		t.Errorf("7+63 = %d", got)
+	}
+}
+
+func TestAddBusMany(t *testing.T) {
+	n := New("addmany")
+	buses := make([][]Signal, 5)
+	for i := range buses {
+		buses[i] = n.InputBus("b", 3)
+	}
+	sum := n.AddBusMany(buses...)
+	sim := buildAndSim(t, n)
+	vals := []uint64{7, 3, 5, 6, 1}
+	var want uint64
+	for i, v := range vals {
+		sim.SetBus(buses[i], v)
+		want += v
+	}
+	sim.Eval()
+	if got := sim.GetBus(sum); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	// Degenerate cases.
+	if got := n.AddBusMany(); len(got) != 1 || got[0] != Zero {
+		t.Error("empty sum must be zero")
+	}
+	single := [][]Signal{{One}}
+	if got := n.AddBusMany(single...); len(got) != 1 || got[0] != One {
+		t.Error("single sum must pass through")
+	}
+}
+
+func TestCompareGEConst(t *testing.T) {
+	for _, k := range []uint{0, 1, 5, 9, 15, 16, 31, 32, 100} {
+		n := New("ge")
+		bus := n.InputBus("v", 5)
+		ge := n.CompareGEConst(bus, k)
+		sim := buildAndSim(t, n)
+		for v := uint64(0); v < 32; v++ {
+			sim.SetBus(bus, v)
+			sim.Eval()
+			want := uint8(0)
+			if uint(v) >= k {
+				want = 1
+			}
+			if got := sim.Get(ge); got != want {
+				t.Errorf("k=%d v=%d: ge=%d want %d", k, v, got, want)
+			}
+		}
+	}
+}
+
+func TestEqualConst(t *testing.T) {
+	n := New("eq")
+	bus := n.InputBus("v", 8)
+	eq := n.EqualConst(bus, 0xA5)
+	sim := buildAndSim(t, n)
+	for _, v := range []uint64{0, 1, 0xA5, 0xA4, 0xFF} {
+		sim.SetBus(bus, v)
+		sim.Eval()
+		want := uint8(0)
+		if v == 0xA5 {
+			want = 1
+		}
+		if got := sim.Get(eq); got != want {
+			t.Errorf("v=%#x eq=%d", v, got)
+		}
+	}
+}
+
+func TestWideGates(t *testing.T) {
+	n := New("wide")
+	bus := n.InputBus("v", 20)
+	and := n.AndWide(bus)
+	or := n.OrWide(bus)
+	sim := buildAndSim(t, n)
+	sim.SetBus(bus, 1<<20-1)
+	sim.Eval()
+	if sim.Get(and) != 1 || sim.Get(or) != 1 {
+		t.Error("all ones")
+	}
+	sim.SetBus(bus, 1<<20-2)
+	sim.Eval()
+	if sim.Get(and) != 0 || sim.Get(or) != 1 {
+		t.Error("one zero")
+	}
+	sim.SetBus(bus, 0)
+	sim.Eval()
+	if sim.Get(and) != 0 || sim.Get(or) != 0 {
+		t.Error("all zero")
+	}
+}
+
+func TestRegisterBus(t *testing.T) {
+	n := New("regbus")
+	bus := n.InputBus("v", 4)
+	en := n.Input("en")
+	reg := n.RegisterBus(bus, en)
+	sim := buildAndSim(t, n)
+	sim.SetBus(bus, 0xC)
+	sim.Set(en, 1)
+	sim.Step()
+	if got := sim.GetBus(reg); got != 0xC {
+		t.Errorf("reg = %#x", got)
+	}
+	sim.SetBus(bus, 0x3)
+	sim.Set(en, 0)
+	sim.Step()
+	if got := sim.GetBus(reg); got != 0xC {
+		t.Errorf("disabled reg = %#x", got)
+	}
+}
+
+func TestAddBusRandom(t *testing.T) {
+	f := func(av, bv uint16) bool {
+		n := New("addq")
+		a := n.InputBus("a", 16)
+		b := n.InputBus("b", 16)
+		sum := n.AddBus(a, b)
+		sim, err := NewSimulator(n)
+		if err != nil {
+			return false
+		}
+		sim.SetBus(a, uint64(av))
+		sim.SetBus(b, uint64(bv))
+		sim.Eval()
+		return sim.GetBus(sum) == uint64(av)+uint64(bv)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New("stats")
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.And(a, b)
+	q := n.DFF(x)
+	n.Output("q", q)
+	s := n.Stats()
+	if s.LUTs != 1 || s.FFs != 1 || s.Inputs != 2 || s.Outputs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestNames(t *testing.T) {
+	n := New("names")
+	a := n.Input("alpha")
+	if n.NameOf(a) != "alpha" {
+		t.Error("input name lost")
+	}
+	s := n.And(a, a, a) // 3-input uses LUT
+	if !strings.HasPrefix(n.NameOf(s), "n") {
+		t.Errorf("unnamed signal = %q", n.NameOf(s))
+	}
+	n.SetName(s, "result")
+	if n.NameOf(s) != "result" {
+		t.Error("SetName failed")
+	}
+	if n.Name() != "names" {
+		t.Error("module name")
+	}
+}

@@ -1,0 +1,89 @@
+package rtl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// VCDWriter dumps value-change data for all named signals of a netlist, one
+// sample per clock cycle, viewable in GTKWave and friends.
+type VCDWriter struct {
+	w       io.Writer
+	n       *Netlist
+	signals []Signal
+	ids     map[Signal]string
+	last    map[Signal]uint8
+	started bool
+	err     error
+}
+
+// NewVCDWriter prepares a VCD dump of every signal that has a debug name
+// (ports always do; call Netlist.SetName to include internal nets).
+func NewVCDWriter(w io.Writer, n *Netlist) *VCDWriter {
+	v := &VCDWriter{
+		w:    w,
+		n:    n,
+		ids:  map[Signal]string{},
+		last: map[Signal]uint8{},
+	}
+	for _, s := range n.sortedSignals() {
+		if s == Zero || s == One {
+			continue
+		}
+		v.signals = append(v.signals, s)
+		v.ids[s] = vcdID(len(v.ids))
+	}
+	return v
+}
+
+// vcdID converts an index into the printable-ASCII short identifiers VCD
+// uses ("!", "\"", ..., "!!", ...).
+func vcdID(i int) string {
+	const lo, hi = 33, 127
+	var b []byte
+	for {
+		b = append([]byte{byte(lo + i%(hi-lo))}, b...)
+		i = i/(hi-lo) - 1
+		if i < 0 {
+			return string(b)
+		}
+	}
+}
+
+// header emits the declaration section on first use.
+func (v *VCDWriter) header() {
+	if v.started || v.err != nil {
+		return
+	}
+	v.started = true
+	var b strings.Builder
+	fmt.Fprintf(&b, "$timescale 1ns $end\n$scope module %s $end\n", sanitizeIdent(v.n.name))
+	for _, s := range v.signals {
+		fmt.Fprintf(&b, "$var wire 1 %s %s $end\n", v.ids[s], sanitizeIdent(v.n.NameOf(s)))
+	}
+	fmt.Fprintf(&b, "$upscope $end\n$enddefinitions $end\n")
+	_, v.err = io.WriteString(v.w, b.String())
+}
+
+// Sample records the current settled values at the simulator's cycle.
+// Simulator.Step calls this automatically when a writer is attached.
+func (v *VCDWriter) Sample(sim *Simulator) {
+	v.header()
+	if v.err != nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d\n", sim.Cycle())
+	for _, s := range v.signals {
+		val := sim.Get(s)
+		if old, seen := v.last[s]; !seen || old != val {
+			fmt.Fprintf(&b, "%d%s\n", val, v.ids[s])
+			v.last[s] = val
+		}
+	}
+	_, v.err = io.WriteString(v.w, b.String())
+}
+
+// Err returns the first write error encountered, if any.
+func (v *VCDWriter) Err() error { return v.err }

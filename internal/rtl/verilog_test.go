@@ -1,0 +1,113 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildExample() (*Netlist, Signal, Signal) {
+	n := New("example-mod")
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.And(a, b)
+	q := n.DFF(x)
+	n.Output("q", q)
+	return n, a, b
+}
+
+func TestEmitVerilogStructure(t *testing.T) {
+	n, _, _ := buildExample()
+	var sb strings.Builder
+	if err := EmitVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module example_mod (",
+		"input wire clk",
+		"input wire a",
+		"input wire b",
+		"output wire q",
+		"LUT6 #(.INIT(64'h",
+		"FDRE #(.INIT(1'b0))",
+		".C(clk)",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q\n%s", want, v)
+		}
+	}
+}
+
+func TestEmitVerilogRejectsInvalid(t *testing.T) {
+	n := New("bad")
+	ghost := n.newSignal()
+	n.Output("o", ghost)
+	var sb strings.Builder
+	if err := EmitVerilog(&sb, n); err == nil {
+		t.Error("invalid netlist must not emit")
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":  "ok_name",
+		"has-dash": "has_dash",
+		"9lead":    "_9lead",
+		"":         "_",
+		"a b[0]":   "a_b_0_",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVCDOutput(t *testing.T) {
+	n, a, b := buildExample()
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	vcd := NewVCDWriter(&sb, n)
+	sim.AttachVCD(vcd)
+	sim.Set(a, 1)
+	sim.Set(b, 1)
+	sim.Run(2)
+	sim.Set(b, 0)
+	sim.Run(2)
+	if vcd.Err() != nil {
+		t.Fatal(vcd.Err())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 1", "$enddefinitions", "#0", "#3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vcd missing %q\n%s", want, out)
+		}
+	}
+	// Value changes must only be recorded when the value changes: the
+	// literal for input a (constant 1 after cycle 0) appears once.
+	if strings.Count(out, "$var") < 3 {
+		t.Error("expected at least 3 declared signals")
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("vcdID(%d) = %q duplicate or empty", i, id)
+		}
+		seen[id] = true
+		for _, c := range []byte(id) {
+			if c < 33 || c >= 127 {
+				t.Fatalf("vcdID(%d) contains non-printable %d", i, c)
+			}
+		}
+	}
+}

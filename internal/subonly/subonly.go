@@ -1,0 +1,98 @@
+// Package subonly is the reference software implementation of FabP's
+// substitution-only sliding alignment: a deliberately naive, obviously
+// correct scorer used as the golden model for the optimized Engine and the
+// generated netlist, plus an "exact" variant that repairs the paper's
+// dropped serine codons for the accuracy ablation.
+package subonly
+
+import (
+	"fabp/internal/backtrans"
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+)
+
+// Hit mirrors core.Hit without importing it (subonly sits below core in the
+// validation stack).
+type Hit struct {
+	Pos   int
+	Score int
+}
+
+// Align slides the encoded query over the reference one position at a time
+// and reports every window scoring at least threshold. O(L_r · L_q); use
+// core.Engine for large inputs.
+func Align(prog isa.Program, ref bio.NucSeq, threshold int) []Hit {
+	var hits []Hit
+	for p := 0; p+len(prog) <= len(ref); p++ {
+		score := prog.Score(ref[p : p+len(prog)])
+		if score >= threshold {
+			hits = append(hits, Hit{Pos: p, Score: score})
+		}
+	}
+	return hits
+}
+
+// ScoreProteinAt scores protein q against the reference window starting at
+// pos using the paper-faithful hardware semantics, returning the number of
+// matching elements (max 3·len(q)).
+func ScoreProteinAt(q bio.ProtSeq, ref bio.NucSeq, pos int) int {
+	score := 0
+	for i, a := range q {
+		c := bio.Codon{ref[pos+3*i], ref[pos+3*i+1], ref[pos+3*i+2]}
+		score += backtrans.TemplateOf(a).MatchCount(c)
+	}
+	return score
+}
+
+// ExactScoreProteinAt scores with the serine repair: a serine residue may
+// match either the UCN family (the paper's UCD template) or the AGY family
+// the hardware encoding drops; each residue contributes the better of the
+// two template match counts. Every other residue scores identically to the
+// hardware. This is the upper bound a 2-template design could reach.
+func ExactScoreProteinAt(q bio.ProtSeq, ref bio.NucSeq, pos int) int {
+	score := 0
+	for i, a := range q {
+		c := bio.Codon{ref[pos+3*i], ref[pos+3*i+1], ref[pos+3*i+2]}
+		m := backtrans.TemplateOf(a).MatchCount(c)
+		if a == bio.Ser {
+			if agy := serAGYTemplate.MatchCount(c); agy > m {
+				m = agy
+			}
+		}
+		score += m
+	}
+	return score
+}
+
+// serAGYTemplate matches the AGU/AGC serine family: A, G, then U/C.
+var serAGYTemplate = backtrans.Template{
+	backtrans.Exact(bio.A),
+	backtrans.Exact(bio.G),
+	backtrans.Conditional(backtrans.CondUC),
+}
+
+// AlignProtein slides a protein query over every nucleotide offset of the
+// reference (like the hardware — codon phase is discovered, not assumed)
+// using paper-faithful template semantics.
+func AlignProtein(q bio.ProtSeq, ref bio.NucSeq, threshold int) []Hit {
+	var hits []Hit
+	m := 3 * len(q)
+	for p := 0; p+m <= len(ref); p++ {
+		if s := ScoreProteinAt(q, ref, p); s >= threshold {
+			hits = append(hits, Hit{Pos: p, Score: s})
+		}
+	}
+	return hits
+}
+
+// AlignProteinExact is AlignProtein with the serine repair.
+func AlignProteinExact(q bio.ProtSeq, ref bio.NucSeq, threshold int) []Hit {
+	var hits []Hit
+	m := 3 * len(q)
+	for p := 0; p+m <= len(ref); p++ {
+		if s := ExactScoreProteinAt(q, ref, p); s >= threshold {
+			hits = append(hits, Hit{Pos: p, Score: s})
+		}
+	}
+	return hits
+}

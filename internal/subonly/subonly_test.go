@@ -1,0 +1,116 @@
+package subonly
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+)
+
+// TestAlignEqualsTemplateSemantics: the instruction-level naive aligner and
+// the template-level protein aligner are two independent renderings of the
+// same hardware semantics and must agree exactly.
+func TestAlignEqualsTemplateSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		q := bio.RandomProtSeq(rng, 2+rng.Intn(8))
+		ref := bio.RandomNucSeq(rng, 3*len(q)+rng.Intn(150))
+		prog := isa.MustEncodeProtein(q)
+		thr := rng.Intn(len(prog) + 1)
+		a := Align(prog, ref, thr)
+		b := AlignProtein(q, ref, thr)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: instruction %v vs template %v", trial, a, b)
+		}
+	}
+}
+
+func TestAlignEmptyAndShort(t *testing.T) {
+	q := bio.ProtSeq{bio.Met}
+	prog := isa.MustEncodeProtein(q)
+	if hits := Align(prog, bio.NucSeq{bio.A, bio.U}, 0); hits != nil {
+		t.Error("short reference must yield nothing")
+	}
+}
+
+func TestExactScoreNeverBelowPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		q := bio.RandomProtSeq(rng, 5)
+		ref := bio.RandomNucSeq(rng, 15)
+		paper := ScoreProteinAt(q, ref, 0)
+		exact := ExactScoreProteinAt(q, ref, 0)
+		if exact < paper {
+			t.Fatalf("exact %d < paper %d for %s vs %s", exact, paper, q, ref)
+		}
+	}
+}
+
+func TestExactRepairsAGYSerine(t *testing.T) {
+	q := bio.ProtSeq{bio.Ser}
+	for _, codon := range []string{"AGU", "AGC"} {
+		c, _ := bio.ParseCodon(codon)
+		ref := bio.NucSeq{c[0], c[1], c[2]}
+		if got := ScoreProteinAt(q, ref, 0); got != 1 {
+			// UCD vs AGU: only the D position matches.
+			t.Errorf("paper score for %s = %d, want 1", codon, got)
+		}
+		if got := ExactScoreProteinAt(q, ref, 0); got != 3 {
+			t.Errorf("exact score for %s = %d, want 3", codon, got)
+		}
+	}
+	// UCN serines score 3 either way.
+	for _, codon := range []string{"UCU", "UCC", "UCA", "UCG"} {
+		c, _ := bio.ParseCodon(codon)
+		ref := bio.NucSeq{c[0], c[1], c[2]}
+		if ScoreProteinAt(q, ref, 0) != 3 || ExactScoreProteinAt(q, ref, 0) != 3 {
+			t.Errorf("UCN serine %s must score 3 in both modes", codon)
+		}
+	}
+}
+
+func TestExactDoesNotOveraccept(t *testing.T) {
+	// AGY repair must not make Ser match non-serine codons fully.
+	q := bio.ProtSeq{bio.Ser}
+	for i := 0; i < bio.NumCodons; i++ {
+		c := bio.CodonFromIndex(i)
+		ref := bio.NucSeq{c[0], c[1], c[2]}
+		if ExactScoreProteinAt(q, ref, 0) == 3 && c.Translate() != bio.Ser {
+			t.Errorf("exact Ser fully accepts %v which encodes %v", c, c.Translate())
+		}
+	}
+}
+
+func TestAlignProteinExactSupersets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := bio.RandomProtSeq(rng, 6)
+	q[2] = bio.Ser
+	ref := bio.RandomNucSeq(rng, 500)
+	thr := 3*len(q) - 3
+	paper := AlignProtein(q, ref, thr)
+	exact := AlignProteinExact(q, ref, thr)
+	// Every paper hit must appear among exact hits (with >= score).
+	em := map[int]int{}
+	for _, h := range exact {
+		em[h.Pos] = h.Score
+	}
+	for _, h := range paper {
+		s, ok := em[h.Pos]
+		if !ok || s < h.Score {
+			t.Fatalf("paper hit %+v missing from exact set", h)
+		}
+	}
+}
+
+func TestPerfectGeneScoresFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := bio.RandomProtSeq(rng, 25)
+	gene := bio.EncodeGene(rng, q)
+	// Exact mode scores every synonymous encoding perfectly, including AGY
+	// serines.
+	if got := ExactScoreProteinAt(q, gene, 0); got != 3*len(q) {
+		t.Errorf("exact score on own gene = %d, want %d", got, 3*len(q))
+	}
+}

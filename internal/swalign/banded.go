@@ -1,0 +1,78 @@
+package swalign
+
+import "fabp/internal/bio"
+
+// Banded local alignment: the Gotoh DP restricted to a diagonal corridor,
+// the standard way BLAST-style tools afford gapped refinement of a seeded
+// HSP (the seed fixes the diagonal; indels only shift it slightly).
+
+// ScoreBanded computes the optimal local alignment score of proteins a and
+// b restricted to diagonals j−i ∈ [diag−band, diag+band] (i indexes a, j
+// indexes b, both 0-based). A band covering every diagonal reproduces
+// Score exactly; narrow bands cost O(len(a)·band).
+//
+// Cells outside the corridor are unreachable; since local alignments may
+// restart anywhere with score 0, the band only ever removes paths, so
+// ScoreBanded never exceeds Score (a property the tests check).
+func ScoreBanded(a, b bio.ProtSeq, s Scoring, diag, band int) int {
+	if len(a) == 0 || len(b) == 0 || band < 0 {
+		return 0
+	}
+	const negInf = -1 << 30
+
+	hPrev := make([]int, len(b)+1)
+	ePrev := make([]int, len(b)+1)
+	hRow := make([]int, len(b)+1)
+	eRow := make([]int, len(b)+1)
+	// Row 0: any in-band cell can start a local alignment with score 0;
+	// everything else is unreachable.
+	for j := range hPrev {
+		hPrev[j] = negInf
+		ePrev[j] = negInf
+	}
+	for j := maxInt(0, 0+diag-band); j <= minInt(len(b), 0+diag+band); j++ {
+		hPrev[j] = 0
+	}
+
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		jLo := maxInt(1, i+diag-band)
+		jHi := minInt(len(b), i+diag+band)
+		for j := range hRow {
+			hRow[j] = negInf
+			eRow[j] = negInf
+		}
+		f := negInf
+		for j := jLo; j <= jHi; j++ {
+			eRow[j] = max2(ePrev[j]-s.GapExtend, hPrev[j]-s.GapOpen-s.GapExtend)
+			f = max2(f-s.GapExtend, hRow[j-1]-s.GapOpen-s.GapExtend)
+			// In local alignment every cell may restart at 0, so an
+			// unreachable (out-of-band) diagonal predecessor is exactly a
+			// restart — clamp to 0, which is also the floor every in-band
+			// unbanded cell satisfies.
+			dh := max2(hPrev[j-1], 0)
+			v := max2(0, max2(dh+s.Substitution(a[i-1], b[j-1]), max2(eRow[j], f)))
+			hRow[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		hPrev, hRow = hRow, hPrev
+		ePrev, eRow = eRow, ePrev
+	}
+	return best
+}
+
+func maxInt(x, y int) int {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+func minInt(x, y int) int {
+	if x < y {
+		return x
+	}
+	return y
+}

@@ -1,0 +1,132 @@
+package swalign
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+// TestBandedEqualsFullWithWideBand: a band covering every diagonal must
+// reproduce the unbanded score.
+func TestBandedEqualsFullWithWideBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := DefaultScoring()
+	for trial := 0; trial < 40; trial++ {
+		a := bio.RandomProtSeq(rng, 5+rng.Intn(30))
+		b := bio.RandomProtSeq(rng, 5+rng.Intn(30))
+		full := Score(a, b, s)
+		banded := ScoreBanded(a, b, s, 0, len(a)+len(b))
+		if banded != full {
+			t.Fatalf("trial %d: banded %d != full %d", trial, banded, full)
+		}
+	}
+}
+
+// TestBandedNeverExceedsFull: narrowing the band can only remove paths.
+func TestBandedNeverExceedsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := DefaultScoring()
+	for trial := 0; trial < 40; trial++ {
+		a := bio.RandomProtSeq(rng, 10+rng.Intn(30))
+		b := bio.RandomProtSeq(rng, 10+rng.Intn(30))
+		full := Score(a, b, s)
+		for _, band := range []int{0, 1, 3, 8} {
+			diag := rng.Intn(11) - 5
+			if got := ScoreBanded(a, b, s, diag, band); got > full {
+				t.Fatalf("trial %d band %d: banded %d exceeds full %d", trial, band, got, full)
+			}
+		}
+	}
+}
+
+// TestBandedFindsOnDiagonalMatch: an identical pair sits on diagonal 0 and
+// must reach the full self-score even with band 0.
+func TestBandedFindsOnDiagonalMatch(t *testing.T) {
+	p, _ := bio.ParseProtSeq("MKWVTFISLLFLFSSAYS")
+	s := DefaultScoring()
+	want := Score(p, p, s)
+	if got := ScoreBanded(p, p, s, 0, 0); got != want {
+		t.Errorf("band 0 on diagonal: %d, want %d", got, want)
+	}
+	// Shifted subject: match lives on diagonal 5.
+	b := append(bio.RandomProtSeq(rand.New(rand.NewSource(3)), 5), p...)
+	if got := ScoreBanded(p, b, s, 5, 0); got != want {
+		t.Errorf("diag 5 band 0: %d, want %d", got, want)
+	}
+	// Wrong diagonal with tiny band: cannot reach the full score.
+	if got := ScoreBanded(p, b, s, 0, 1); got >= want {
+		t.Errorf("wrong diagonal should score lower: %d", got)
+	}
+}
+
+// TestBandedBridgesSmallIndel: a 2-residue deletion needs band >= 2.
+func TestBandedBridgesSmallIndel(t *testing.T) {
+	a, _ := bio.ParseProtSeq("MKWVTFISKKLLFLFSSAYS")
+	b, _ := bio.ParseProtSeq("MKWVTFISLLFLFSSAYS")
+	s := DefaultScoring()
+	full := Score(a, b, s)
+	if got := ScoreBanded(a, b, s, 0, 2); got != full {
+		t.Errorf("band 2: %d, want %d", got, full)
+	}
+	if got := ScoreBanded(a, b, s, 0, 0); got >= full {
+		t.Errorf("band 0 cannot bridge the indel: %d", got)
+	}
+}
+
+func TestBandedDegenerate(t *testing.T) {
+	p, _ := bio.ParseProtSeq("MKW")
+	if ScoreBanded(nil, p, DefaultScoring(), 0, 3) != 0 {
+		t.Error("empty a")
+	}
+	if ScoreBanded(p, nil, DefaultScoring(), 0, 3) != 0 {
+		t.Error("empty b")
+	}
+	if ScoreBanded(p, p, DefaultScoring(), 0, -1) != 0 {
+		t.Error("negative band")
+	}
+}
+
+func TestFormatAlignment(t *testing.T) {
+	a, _ := bio.ParseProtSeq("MKWVTFISKKLLFLFSSAYS")
+	b, _ := bio.ParseProtSeq("MKWVTFISLLFLFSSAYS")
+	s := DefaultScoring()
+	r := Align(a, b, s)
+	out := FormatAlignment(a, b, r, s, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Query     1  ") {
+		t.Errorf("query line: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "KK") || !strings.Contains(lines[2], "--") {
+		t.Errorf("gap rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "||||||||") {
+		t.Errorf("midline wrong:\n%s", out)
+	}
+	// Wrapping.
+	wrapped := FormatAlignment(a, b, r, s, 10)
+	if strings.Count(wrapped, "Query") != 2 {
+		t.Errorf("wrapping produced %d blocks", strings.Count(wrapped, "Query"))
+	}
+	// Empty result.
+	if FormatAlignment(a, b, Result{}, s, 60) != "" {
+		t.Error("empty result must render empty")
+	}
+}
+
+func TestFormatAlignmentMidlineSymbols(t *testing.T) {
+	// K vs R scores +2 (positive) → '+'; K vs W scores -3 → ' '.
+	a := bio.ProtSeq{bio.Lys, bio.Lys, bio.Lys}
+	b := bio.ProtSeq{bio.Lys, bio.Arg, bio.Trp}
+	s := DefaultScoring()
+	r := Result{AStart: 0, AEnd: 3, BStart: 0, BEnd: 3, Ops: []Op{OpMatch, OpMatch, OpMatch}}
+	out := FormatAlignment(a, b, r, s, 60)
+	mid := strings.Split(out, "\n")[1]
+	if !strings.HasSuffix(mid, "|+ ") {
+		t.Errorf("midline %q, want suffix \"|+ \"", mid)
+	}
+}

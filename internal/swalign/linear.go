@@ -1,0 +1,276 @@
+package swalign
+
+import "fabp/internal/bio"
+
+// Linear-space local alignment with full traceback (Hirschberg / Myers-
+// Miller): O(len(a)+len(b)) memory instead of Align's O(len(a)·len(b)),
+// making tracebacks of chromosome-scale windows practical.
+//
+// Strategy: two score-only passes locate the optimal local alignment's end
+// and start; the spanned substrings are then aligned globally by divide
+// and conquer, splitting at the middle row and joining either in the
+// match state or inside a vertical gap run (re-crediting the double-
+// charged gap open, as in Myers & Miller 1988).
+
+// AlignLinear computes the same optimal local alignment score as Align
+// with a traceback, in linear memory. Tie-breaking may pick a different
+// co-optimal path than Align; the score and the re-scored traceback always
+// agree.
+func AlignLinear(a, b bio.ProtSeq, s Scoring) Result {
+	if len(a) == 0 || len(b) == 0 {
+		return Result{}
+	}
+	// Pass 1: locate the end of the optimal local alignment.
+	score, ae, be := localArgmax(a, b, s)
+	if score <= 0 {
+		return Result{}
+	}
+	// Pass 2: locate the start by scanning the reversed prefixes.
+	ar := reverseSeq(a[:ae])
+	br := reverseSeq(b[:be])
+	score2, ai, bi := localArgmax(ar, br, s)
+	if score2 != score {
+		// Cannot happen for a correct DP; fall back to the quadratic path.
+		return Align(a, b, s)
+	}
+	as, bs := ae-ai, be-bi
+
+	ops := globalLinear(a[as:ae], b[bs:be], s, false, false)
+	return Result{
+		Score:  score,
+		AStart: as, AEnd: ae,
+		BStart: bs, BEnd: be,
+		Ops: ops,
+	}
+}
+
+// localArgmax is the score-only local DP returning the best score and the
+// first cell attaining it (row-major order).
+func localArgmax(a, b bio.ProtSeq, s Scoring) (best, ai, bi int) {
+	const negInf = -1 << 30
+	h := make([]int, len(b)+1)
+	e := make([]int, len(b)+1)
+	for j := range e {
+		e[j] = negInf
+	}
+	for i := 1; i <= len(a); i++ {
+		f := negInf
+		diag := 0
+		for j := 1; j <= len(b); j++ {
+			e[j] = max2(e[j]-s.GapExtend, h[j]-s.GapOpen-s.GapExtend)
+			f = max2(f-s.GapExtend, h[j-1]-s.GapOpen-s.GapExtend)
+			v := max2(0, max2(diag+s.Substitution(a[i-1], b[j-1]), max2(e[j], f)))
+			diag = h[j]
+			h[j] = v
+			if v > best {
+				best, ai, bi = v, i, j
+			}
+		}
+	}
+	return best, ai, bi
+}
+
+func reverseSeq(p bio.ProtSeq) bio.ProtSeq {
+	out := make(bio.ProtSeq, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}
+
+// globalLinear aligns a against b globally in linear space. startV forces
+// the first operation to be vertical (OpInsert, consuming a) with its gap
+// open already paid; endV forces the last operation to be vertical with
+// the open for the continuing run paid by the caller's join credit.
+func globalLinear(a, b bio.ProtSeq, s Scoring, startV, endV bool) []Op {
+	m, n := len(a), len(b)
+	switch {
+	case m == 0:
+		// Only horizontal ops possible; the flags can never be set here
+		// (the V-join always spans at least one row on each side).
+		return repeatOp(OpDelete, n)
+	case n == 0:
+		return repeatOp(OpInsert, m)
+	case m <= 2:
+		return globalSmall(a, b, s, startV, endV)
+	}
+
+	mid := m / 2
+	hF, vF := nwForward(a[:mid], b, s, startV)
+	hR, vR := nwForward(reverseSeq(a[mid:]), reverseSeq(b), s, endV)
+
+	const negInf = -1 << 29
+	bestVal, bestJ, bestVJoin := negInf, 0, false
+	for j := 0; j <= n; j++ {
+		if v := addSat(hF[j], hR[n-j]); v > bestVal {
+			bestVal, bestJ, bestVJoin = v, j, false
+		}
+		if v := addSat(addSat(vF[j], vR[n-j]), s.GapOpen); v > bestVal {
+			bestVal, bestJ, bestVJoin = v, j, true
+		}
+	}
+
+	left := globalLinear(a[:mid], b[:bestJ], s, startV, bestVJoin)
+	right := globalLinear(a[mid:], b[bestJ:], s, bestVJoin, endV)
+	return append(left, right...)
+}
+
+func addSat(x, y int) int {
+	const negInf = -1 << 29
+	if x <= negInf || y <= negInf {
+		return negInf * 2
+	}
+	return x + y
+}
+
+func repeatOp(op Op, n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = op
+	}
+	return ops
+}
+
+// nwForward computes, for every prefix b[:j], the optimal global score of
+// aligning all of a against it: h[j] for alignments ending in any state,
+// v[j] for alignments ending inside a vertical gap run. startV constrains
+// the first operation as in globalLinear.
+func nwForward(a, b bio.ProtSeq, s Scoring, startV bool) (h, v []int) {
+	const negInf = -1 << 29
+	m, n := len(a), len(b)
+	h = make([]int, n+1) // best ending in any state
+	v = make([]int, n+1) // best ending in vertical state
+	// Row 0.
+	if startV {
+		for j := 0; j <= n; j++ {
+			h[j] = negInf
+			v[j] = negInf
+		}
+		v[0] = 0 // the crossing run is open; extensions charge per row
+	} else {
+		v[0] = negInf
+		h[0] = 0
+		for j := 1; j <= n; j++ {
+			h[j] = -(s.GapOpen + j*s.GapExtend)
+			v[j] = negInf
+		}
+	}
+	prevH := make([]int, n+1)
+	for i := 1; i <= m; i++ {
+		copy(prevH, h)
+		// Vertical into column 0.
+		v[0] = max2(addSat(v[0], -s.GapExtend), addSat(prevH[0], -(s.GapOpen+s.GapExtend)))
+		if startV {
+			// Only the crossing run reaches column 0 in row i.
+			v[0] = addSat(-s.GapExtend*i, 0)
+		}
+		h[0] = v[0]
+		z := negInf // horizontal state within the row
+		for j := 1; j <= n; j++ {
+			v[j] = max2(addSat(v[j], -s.GapExtend), addSat(prevH[j], -(s.GapOpen+s.GapExtend)))
+			z = max2(addSat(z, -s.GapExtend), addSat(h[j-1], -(s.GapOpen+s.GapExtend)))
+			d := addSat(prevH[j-1], s.Substitution(a[i-1], b[j-1]))
+			h[j] = max2(d, max2(v[j], z))
+		}
+	}
+	return h, v
+}
+
+// globalSmall solves the base case (len(a) <= 2) with a full traceback DP
+// in O(len(b)) memory.
+func globalSmall(a, b bio.ProtSeq, s Scoring, startV, endV bool) []Op {
+	const negInf = -1 << 29
+	m, n := len(a), len(b)
+	// Full matrices are fine: (m+1)x(n+1) with m <= 2.
+	idx := func(i, j int) int { return i*(n+1) + j }
+	H := make([]int, (m+1)*(n+1)) // best any-state
+	V := make([]int, (m+1)*(n+1))
+	Z := make([]int, (m+1)*(n+1))
+	for i := range H {
+		H[i], V[i], Z[i] = negInf, negInf, negInf
+	}
+	if startV {
+		V[idx(0, 0)] = 0
+		H[idx(0, 0)] = negInf
+	} else {
+		H[idx(0, 0)] = 0
+		for j := 1; j <= n; j++ {
+			Z[idx(0, j)] = -(s.GapOpen + j*s.GapExtend)
+			H[idx(0, j)] = Z[idx(0, j)]
+		}
+	}
+	for i := 1; i <= m; i++ {
+		for j := 0; j <= n; j++ {
+			V[idx(i, j)] = max2(addSat(V[idx(i-1, j)], -s.GapExtend),
+				addSat(H[idx(i-1, j)], -(s.GapOpen+s.GapExtend)))
+			if j > 0 {
+				Z[idx(i, j)] = max2(addSat(Z[idx(i, j-1)], -s.GapExtend),
+					addSat(H[idx(i, j-1)], -(s.GapOpen+s.GapExtend)))
+				d := addSat(H[idx(i-1, j-1)], s.Substitution(a[i-1], b[j-1]))
+				H[idx(i, j)] = max2(d, max2(V[idx(i, j)], Z[idx(i, j)]))
+			} else {
+				H[idx(i, j)] = V[idx(i, j)]
+			}
+		}
+	}
+
+	// Traceback from the required end state.
+	var ops []Op
+	i, j := m, n
+	state := 'H'
+	if endV {
+		state = 'V'
+	}
+	for i > 0 || j > 0 {
+		switch state {
+		case 'H':
+			cur := H[idx(i, j)]
+			switch {
+			case i > 0 && j > 0 && cur == addSat(H[idx(i-1, j-1)], s.Substitution(a[i-1], b[j-1])):
+				ops = append(ops, OpMatch)
+				i--
+				j--
+			case cur == V[idx(i, j)]:
+				state = 'V'
+			case cur == Z[idx(i, j)]:
+				state = 'Z'
+			default:
+				// Row-0 boundary: remaining horizontal run.
+				state = 'Z'
+			}
+		case 'V':
+			if i == 0 {
+				// Crossing-run origin (startV).
+				if j != 0 {
+					// Should not happen; defensively drain horizontally.
+					state = 'Z'
+					continue
+				}
+				return reverseOps(ops)
+			}
+			ops = append(ops, OpInsert)
+			if V[idx(i, j)] == addSat(H[idx(i-1, j)], -(s.GapOpen+s.GapExtend)) {
+				state = 'H'
+			}
+			i--
+		case 'Z':
+			if j == 0 {
+				state = 'H'
+				continue
+			}
+			ops = append(ops, OpDelete)
+			if Z[idx(i, j)] == addSat(H[idx(i, j-1)], -(s.GapOpen+s.GapExtend)) {
+				state = 'H'
+			}
+			j--
+		}
+	}
+	return reverseOps(ops)
+}
+
+func reverseOps(ops []Op) []Op {
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	return ops
+}

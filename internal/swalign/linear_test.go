@@ -1,0 +1,139 @@
+package swalign
+
+import (
+	"math/rand"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+// rescore computes the affine cost of a traceback (shared helper).
+func rescore(a, b bio.ProtSeq, r Result, s Scoring, t *testing.T) int {
+	t.Helper()
+	score := 0
+	ai, bi := r.AStart, r.BStart
+	var prev Op
+	for _, op := range r.Ops {
+		switch op {
+		case OpMatch:
+			score += s.Substitution(a[ai], b[bi])
+			ai++
+			bi++
+		case OpInsert:
+			if prev == OpInsert {
+				score -= s.GapExtend
+			} else {
+				score -= s.GapOpen + s.GapExtend
+			}
+			ai++
+		case OpDelete:
+			if prev == OpDelete {
+				score -= s.GapExtend
+			} else {
+				score -= s.GapOpen + s.GapExtend
+			}
+			bi++
+		}
+		prev = op
+	}
+	if ai != r.AEnd || bi != r.BEnd {
+		t.Fatalf("ops consume (%d,%d), ranges end (%d,%d)", ai, bi, r.AEnd, r.BEnd)
+	}
+	return score
+}
+
+// TestAlignLinearMatchesQuadratic: same optimal score, and the linear-space
+// traceback re-scores to it exactly.
+func TestAlignLinearMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := DefaultScoring()
+	for trial := 0; trial < 250; trial++ {
+		a := bio.RandomProtSeq(rng, 1+rng.Intn(40))
+		b := bio.RandomProtSeq(rng, 1+rng.Intn(40))
+		want := Align(a, b, s)
+		got := AlignLinear(a, b, s)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: linear %d, quadratic %d", trial, got.Score, want.Score)
+		}
+		if got.Score == 0 {
+			continue
+		}
+		if re := rescore(a, b, got, s, t); re != got.Score {
+			t.Fatalf("trial %d: traceback re-scores to %d, reported %d (%s)",
+				trial, re, got.Score, got.CIGAR())
+		}
+	}
+}
+
+// TestAlignLinearGapMerging stresses the vertical-join credit: homologs
+// differing by one long deletion must produce a single affine gap.
+func TestAlignLinearGapMerging(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(40)
+		a := bio.RandomProtSeq(rng, n)
+		cut := 3 + rng.Intn(8)
+		at := rng.Intn(n - cut)
+		b := append(append(bio.ProtSeq{}, a[:at]...), a[at+cut:]...)
+		want := Score(a, b, s)
+		got := AlignLinear(a, b, s)
+		if got.Score != want {
+			t.Fatalf("trial %d: linear %d, want %d", trial, got.Score, want)
+		}
+		if re := rescore(a, b, got, s, t); re != got.Score {
+			t.Fatalf("trial %d: rescore mismatch", trial)
+		}
+	}
+}
+
+func TestAlignLinearDegenerate(t *testing.T) {
+	s := DefaultScoring()
+	p, _ := bio.ParseProtSeq("MKW")
+	if r := AlignLinear(nil, p, s); r.Score != 0 {
+		t.Error("empty a")
+	}
+	if r := AlignLinear(p, nil, s); r.Score != 0 {
+		t.Error("empty b")
+	}
+	// Self alignment.
+	r := AlignLinear(p, p, s)
+	if r.CIGAR() != "3M" {
+		t.Errorf("self CIGAR %s", r.CIGAR())
+	}
+}
+
+// TestAlignLinearLarge is the point of linear space: a traceback over a
+// pair whose full DP matrix would hold 4M cells.
+func TestAlignLinearLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := bio.RandomProtSeq(rng, 2000)
+	b := append(append(bio.ProtSeq{}, a[:900]...), a[950:]...) // 50-residue deletion
+	for i := 0; i < len(b); i += 37 {
+		b[i] = bio.Ala // sprinkle substitutions
+	}
+	s := DefaultScoring()
+	r := AlignLinear(a, b, s)
+	if r.Score != Score(a, b, s) {
+		t.Fatalf("large: linear %d, score-only %d", r.Score, Score(a, b, s))
+	}
+	if re := rescore(a, b, r, s, t); re != r.Score {
+		t.Fatal("large rescore mismatch")
+	}
+	if r.Gaps() < 50 {
+		t.Errorf("expected the 50-residue deletion in the traceback, gaps=%d", r.Gaps())
+	}
+}
+
+func TestAlignLinearAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := DefaultScoring()
+	for trial := 0; trial < 150; trial++ {
+		a := bio.RandomProtSeq(rng, 1+rng.Intn(7))
+		b := bio.RandomProtSeq(rng, 1+rng.Intn(7))
+		want := oracleLocal(a, b, s)
+		if got := AlignLinear(a, b, s).Score; got != want {
+			t.Fatalf("trial %d: linear %d, oracle %d", trial, got, want)
+		}
+	}
+}

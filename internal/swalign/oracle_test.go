@@ -1,0 +1,119 @@
+package swalign
+
+import (
+	"math/rand"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+// oracleLocal computes the optimal local affine-gap score by exhaustive
+// recursion with memoization over (i, j, state) — an implementation
+// independent of the production DP (different decomposition, different
+// order), used as a correctness oracle on small inputs.
+//
+// States: 0 = last column was a match/substitution (or fresh start),
+// 1 = inside a gap in b (consuming a), 2 = inside a gap in a (consuming b).
+func oracleLocal(a, b bio.ProtSeq, s Scoring) int {
+	const negInf = -1 << 28
+	type key struct{ i, j, st int }
+	memo := map[key]int{}
+
+	// bestEnding(i, j, st) = best score of a local alignment ENDING exactly
+	// at (i, j) with the given last-operation state.
+	var bestEnding func(i, j, st int) int
+	bestEnding = func(i, j, st int) int {
+		k := key{i, j, st}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v := negInf
+		switch st {
+		case 0: // a[i-1] aligned to b[j-1]
+			if i >= 1 && j >= 1 {
+				sub := s.Substitution(a[i-1], b[j-1])
+				prev := 0 // fresh start
+				for _, pst := range []int{0, 1, 2} {
+					if p := bestEnding(i-1, j-1, pst); p > prev {
+						prev = p
+					}
+				}
+				v = prev + sub
+			}
+		case 1: // gap in b, consuming a[i-1]
+			if i >= 1 {
+				open := negInf
+				for _, pst := range []int{0, 2} {
+					if p := bestEnding(i-1, j, pst); p > open {
+						open = p
+					}
+				}
+				v = open - s.GapOpen - s.GapExtend
+				if p := bestEnding(i-1, j, 1); p-s.GapExtend > v {
+					v = p - s.GapExtend
+				}
+			}
+		case 2: // gap in a, consuming b[j-1]
+			if j >= 1 {
+				open := negInf
+				for _, pst := range []int{0, 1} {
+					if p := bestEnding(i, j-1, pst); p > open {
+						open = p
+					}
+				}
+				v = open - s.GapOpen - s.GapExtend
+				if p := bestEnding(i, j-1, 2); p-s.GapExtend > v {
+					v = p - s.GapExtend
+				}
+			}
+		}
+		memo[k] = v
+		return v
+	}
+
+	best := 0
+	for i := 0; i <= len(a); i++ {
+		for j := 0; j <= len(b); j++ {
+			for st := 0; st < 3; st++ {
+				if v := bestEnding(i, j, st); v > best {
+					best = v
+				}
+			}
+		}
+	}
+	return best
+}
+
+// TestScoreAgainstOracle cross-checks the production aligner against the
+// independent recursion on many small random pairs.
+func TestScoreAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := DefaultScoring()
+	for trial := 0; trial < 300; trial++ {
+		a := bio.RandomProtSeq(rng, 1+rng.Intn(8))
+		b := bio.RandomProtSeq(rng, 1+rng.Intn(8))
+		want := oracleLocal(a, b, s)
+		if got := Score(a, b, s); got != want {
+			t.Fatalf("trial %d (%s vs %s): production %d, oracle %d",
+				trial, a, b, got, want)
+		}
+		if got := Align(a, b, s).Score; got != want {
+			t.Fatalf("trial %d: traceback path %d, oracle %d", trial, got, want)
+		}
+	}
+}
+
+// TestOracleAgreesWithBanded: full-band banded alignment equals the oracle
+// too (three independent implementations agreeing).
+func TestOracleAgreesWithBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := DefaultScoring()
+	for trial := 0; trial < 100; trial++ {
+		a := bio.RandomProtSeq(rng, 1+rng.Intn(7))
+		b := bio.RandomProtSeq(rng, 1+rng.Intn(7))
+		want := oracleLocal(a, b, s)
+		if got := ScoreBanded(a, b, s, 0, len(a)+len(b)); got != want {
+			t.Fatalf("trial %d: banded %d, oracle %d", trial, got, want)
+		}
+	}
+}

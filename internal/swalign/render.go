@@ -1,0 +1,71 @@
+package swalign
+
+import (
+	"fmt"
+	"strings"
+
+	"fabp/internal/bio"
+)
+
+// FormatAlignment renders a traceback BLAST-style in blocks of width
+// columns: query line, midline ('|' identical, '+' positive substitution
+// score, ' ' otherwise), subject line, with 1-based coordinates.
+func FormatAlignment(a, b bio.ProtSeq, r Result, s Scoring, width int) string {
+	if len(r.Ops) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 60
+	}
+	var qLine, mLine, sLine []byte
+	ai, bi := r.AStart, r.BStart
+	for _, op := range r.Ops {
+		switch op {
+		case OpMatch:
+			qc, sc := a[ai], b[bi]
+			qLine = append(qLine, qc.Letter())
+			sLine = append(sLine, sc.Letter())
+			switch {
+			case qc == sc:
+				mLine = append(mLine, '|')
+			case s.Substitution(qc, sc) > 0:
+				mLine = append(mLine, '+')
+			default:
+				mLine = append(mLine, ' ')
+			}
+			ai++
+			bi++
+		case OpInsert:
+			qLine = append(qLine, a[ai].Letter())
+			mLine = append(mLine, ' ')
+			sLine = append(sLine, '-')
+			ai++
+		case OpDelete:
+			qLine = append(qLine, '-')
+			mLine = append(mLine, ' ')
+			sLine = append(sLine, b[bi].Letter())
+			bi++
+		}
+	}
+
+	var out strings.Builder
+	qPos, sPos := r.AStart, r.BStart
+	for off := 0; off < len(qLine); off += width {
+		end := off + width
+		if end > len(qLine) {
+			end = len(qLine)
+		}
+		qSeg, mSeg, sSeg := qLine[off:end], mLine[off:end], sLine[off:end]
+		qConsumed := len(qSeg) - strings.Count(string(qSeg), "-")
+		sConsumed := len(sSeg) - strings.Count(string(sSeg), "-")
+		fmt.Fprintf(&out, "Query  %4d  %s  %d\n", qPos+1, qSeg, qPos+qConsumed)
+		fmt.Fprintf(&out, "             %s\n", mSeg)
+		fmt.Fprintf(&out, "Sbjct  %4d  %s  %d\n", sPos+1, sSeg, sPos+sConsumed)
+		if end < len(qLine) {
+			out.WriteByte('\n')
+		}
+		qPos += qConsumed
+		sPos += sConsumed
+	}
+	return out.String()
+}

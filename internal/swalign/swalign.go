@@ -1,0 +1,266 @@
+// Package swalign implements Smith-Waterman local alignment (Gotoh affine
+// gaps) for protein and nucleotide sequences — the dynamic-programming gold
+// standard FabP trades for substitution-only scoring (§II of the paper) and
+// the extension scorer of the TBLASTN baseline.
+package swalign
+
+import (
+	"fmt"
+	"strings"
+
+	"fabp/internal/bio"
+)
+
+// Scoring parameterizes the protein aligner.
+type Scoring struct {
+	// Substitution scores a residue pair (default BLOSUM62).
+	Substitution func(a, b bio.AminoAcid) int
+	// GapOpen is the (positive) penalty to open a gap; GapExtend the
+	// penalty to lengthen one. BLAST protein defaults: 11, 1.
+	GapOpen   int
+	GapExtend int
+}
+
+// DefaultScoring returns BLOSUM62 with BLAST's 11/1 affine gaps.
+func DefaultScoring() Scoring {
+	return Scoring{Substitution: bio.Blosum62, GapOpen: 11, GapExtend: 1}
+}
+
+// Op is one alignment operation.
+type Op byte
+
+// Alignment operations in CIGAR-like notation.
+const (
+	OpMatch  Op = 'M' // residue aligned to residue (match or substitution)
+	OpInsert Op = 'I' // residue in a only (gap in b)
+	OpDelete Op = 'D' // residue in b only (gap in a)
+)
+
+// Result is a local alignment: the best-scoring pair of subsequences.
+type Result struct {
+	// Score is the optimal local alignment score.
+	Score int
+	// AStart/AEnd delimit the aligned region of a (half-open).
+	AStart, AEnd int
+	// BStart/BEnd delimit the aligned region of b (half-open).
+	BStart, BEnd int
+	// Ops is the operation sequence of the traceback (empty when the
+	// aligner ran score-only).
+	Ops []Op
+}
+
+// Identity returns the fraction of OpMatch columns whose residues were
+// identical; it requires a traceback and the original sequences.
+func (r Result) Identity(a, b []bio.AminoAcid) float64 {
+	if len(r.Ops) == 0 {
+		return 0
+	}
+	ai, bi := r.AStart, r.BStart
+	ident, cols := 0, 0
+	for _, op := range r.Ops {
+		switch op {
+		case OpMatch:
+			if a[ai] == b[bi] {
+				ident++
+			}
+			ai++
+			bi++
+		case OpInsert:
+			ai++
+		case OpDelete:
+			bi++
+		}
+		cols++
+	}
+	if cols == 0 {
+		return 0
+	}
+	return float64(ident) / float64(cols)
+}
+
+// CIGAR renders the op sequence in run-length CIGAR form ("12M1D4M").
+func (r Result) CIGAR() string {
+	if len(r.Ops) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	run := 1
+	for i := 1; i <= len(r.Ops); i++ {
+		if i < len(r.Ops) && r.Ops[i] == r.Ops[i-1] {
+			run++
+			continue
+		}
+		fmt.Fprintf(&b, "%d%c", run, r.Ops[i-1])
+		run = 1
+	}
+	return b.String()
+}
+
+// Gaps counts the gapped columns (I+D operations) in the traceback.
+func (r Result) Gaps() int {
+	n := 0
+	for _, op := range r.Ops {
+		if op != OpMatch {
+			n++
+		}
+	}
+	return n
+}
+
+// Align computes the optimal local alignment of proteins a and b with full
+// traceback. Memory is O(len(a)·len(b)); use Score for long pairs.
+func Align(a, b bio.ProtSeq, s Scoring) Result {
+	return alignGeneric(len(a), len(b), func(i, j int) int {
+		return s.Substitution(a[i], b[j])
+	}, s.GapOpen, s.GapExtend, true)
+}
+
+// Score computes only the optimal local score in O(min) memory.
+func Score(a, b bio.ProtSeq, s Scoring) int {
+	return alignGeneric(len(a), len(b), func(i, j int) int {
+		return s.Substitution(a[i], b[j])
+	}, s.GapOpen, s.GapExtend, false).Score
+}
+
+// NucScoring parameterizes the nucleotide aligner.
+type NucScoring struct {
+	Match     int // score for identical bases (positive)
+	Mismatch  int // score for different bases (negative)
+	GapOpen   int // positive penalty
+	GapExtend int // positive penalty
+}
+
+// DefaultNucScoring matches megablast-style defaults.
+func DefaultNucScoring() NucScoring {
+	return NucScoring{Match: 2, Mismatch: -3, GapOpen: 5, GapExtend: 2}
+}
+
+// AlignNuc computes the optimal local alignment of nucleotide sequences.
+func AlignNuc(a, b bio.NucSeq, s NucScoring) Result {
+	sub := func(i, j int) int {
+		if a[i] == b[j] {
+			return s.Match
+		}
+		return s.Mismatch
+	}
+	return alignGeneric(len(a), len(b), sub, s.GapOpen, s.GapExtend, true)
+}
+
+// ScoreNuc computes only the optimal nucleotide local score.
+func ScoreNuc(a, b bio.NucSeq, s NucScoring) int {
+	sub := func(i, j int) int {
+		if a[i] == b[j] {
+			return s.Match
+		}
+		return s.Mismatch
+	}
+	return alignGeneric(len(a), len(b), sub, s.GapOpen, s.GapExtend, false).Score
+}
+
+// alignGeneric is the Gotoh affine-gap local aligner over an abstract
+// substitution function. With traceback it stores direction matrices; the
+// score-only path keeps two rows.
+func alignGeneric(la, lb int, sub func(i, j int) int, gapOpen, gapExtend int, traceback bool) Result {
+	if la == 0 || lb == 0 {
+		return Result{}
+	}
+	const negInf = -1 << 30
+
+	if !traceback {
+		// Rolling arrays: H (main), E (gap in a ... vertical), F handled on the fly.
+		h := make([]int, lb+1)
+		e := make([]int, lb+1)
+		for j := range e {
+			e[j] = negInf
+		}
+		best := 0
+		for i := 1; i <= la; i++ {
+			f := negInf
+			diag := 0 // h[j-1] from the previous row
+			for j := 1; j <= lb; j++ {
+				e[j] = max2(e[j]-gapExtend, h[j]-gapOpen-gapExtend)
+				f = max2(f-gapExtend, h[j-1]-gapOpen-gapExtend)
+				score := max2(0, max2(diag+sub(i-1, j-1), max2(e[j], f)))
+				diag = h[j]
+				h[j] = score
+				if score > best {
+					best = score
+				}
+			}
+		}
+		return Result{Score: best}
+	}
+
+	// Full matrices with traceback.
+	idx := func(i, j int) int { return i*(lb+1) + j }
+	h := make([]int, (la+1)*(lb+1))
+	e := make([]int, (la+1)*(lb+1))
+	f := make([]int, (la+1)*(lb+1))
+	for j := 0; j <= lb; j++ {
+		e[idx(0, j)] = negInf
+		f[idx(0, j)] = negInf
+	}
+	bestScore, bi, bj := 0, 0, 0
+	for i := 1; i <= la; i++ {
+		e[idx(i, 0)] = negInf
+		f[idx(i, 0)] = negInf
+		for j := 1; j <= lb; j++ {
+			e[idx(i, j)] = max2(e[idx(i-1, j)]-gapExtend, h[idx(i-1, j)]-gapOpen-gapExtend)
+			f[idx(i, j)] = max2(f[idx(i, j-1)]-gapExtend, h[idx(i, j-1)]-gapOpen-gapExtend)
+			s := max2(0, max2(h[idx(i-1, j-1)]+sub(i-1, j-1), max2(e[idx(i, j)], f[idx(i, j)])))
+			h[idx(i, j)] = s
+			if s > bestScore {
+				bestScore, bi, bj = s, i, j
+			}
+		}
+	}
+	res := Result{Score: bestScore, AEnd: bi, BEnd: bj}
+	// Traceback from the maximum until a zero cell.
+	var ops []Op
+	i, j := bi, bj
+	for i > 0 && j > 0 && h[idx(i, j)] > 0 {
+		cur := h[idx(i, j)]
+		switch {
+		case cur == h[idx(i-1, j-1)]+sub(i-1, j-1):
+			ops = append(ops, OpMatch)
+			i--
+			j--
+		case cur == e[idx(i, j)]:
+			// Gap in b: consume residues of a until the gap opens.
+			for {
+				ops = append(ops, OpInsert)
+				if e[idx(i, j)] == h[idx(i-1, j)]-gapOpen-gapExtend {
+					i--
+					break
+				}
+				i--
+			}
+		case cur == f[idx(i, j)]:
+			for {
+				ops = append(ops, OpDelete)
+				if f[idx(i, j)] == h[idx(i, j-1)]-gapOpen-gapExtend {
+					j--
+					break
+				}
+				j--
+			}
+		default:
+			// Unreachable for a consistent DP; stop defensively.
+			i, j = 0, 0
+		}
+	}
+	res.AStart, res.BStart = i, j
+	// Reverse ops.
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	res.Ops = ops
+	return res
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,259 @@
+package swalign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fabp/internal/bio"
+)
+
+func prot(t *testing.T, s string) bio.ProtSeq {
+	t.Helper()
+	p, err := bio.ParseProtSeq(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func nuc(t *testing.T, s string) bio.NucSeq {
+	t.Helper()
+	n, err := bio.ParseNucSeq(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestIdenticalSequences(t *testing.T) {
+	p := prot(t, "MKWVTFISLLFLFSSAYS")
+	r := Align(p, p, DefaultScoring())
+	want := 0
+	for _, a := range p {
+		want += bio.Blosum62(a, a)
+	}
+	if r.Score != want {
+		t.Errorf("self score %d, want %d", r.Score, want)
+	}
+	if r.AStart != 0 || r.AEnd != len(p) || r.BStart != 0 || r.BEnd != len(p) {
+		t.Errorf("self alignment range %+v", r)
+	}
+	if r.Identity(p, p) != 1 {
+		t.Errorf("self identity %f", r.Identity(p, p))
+	}
+	if r.Gaps() != 0 {
+		t.Error("self alignment must be gapless")
+	}
+}
+
+func TestLocalAlignmentFindsEmbeddedMotif(t *testing.T) {
+	motif := prot(t, "WWKHW")
+	a := prot(t, "AAAAAWWKHWAAAAA")
+	r := Align(a, motif, DefaultScoring())
+	if r.AStart != 5 || r.AEnd != 10 {
+		t.Errorf("motif located at [%d,%d)", r.AStart, r.AEnd)
+	}
+	if r.BStart != 0 || r.BEnd != 5 {
+		t.Errorf("motif range in b: [%d,%d)", r.BStart, r.BEnd)
+	}
+}
+
+func TestGapHandling(t *testing.T) {
+	// b equals a with a deletion in the middle; an affine gap should bridge.
+	a := prot(t, "MKWVTFISLLFLFSSAYS")
+	b := prot(t, "MKWVTFISLFLFSSAYS") // one L deleted
+	r := Align(a, b, DefaultScoring())
+	if r.Gaps() != 1 {
+		t.Errorf("expected 1 gap column, got %d (%s)", r.Gaps(), r.CIGAR())
+	}
+	// All 17 residues of b pair with identical residues of a; the deleted L
+	// costs one gap open + extend.
+	wantSelf := 0
+	for _, x := range b {
+		wantSelf += bio.Blosum62(x, x)
+	}
+	wantScore := wantSelf - DefaultScoring().GapOpen - DefaultScoring().GapExtend
+	if r.Score != wantScore {
+		t.Errorf("score %d, want %d", r.Score, wantScore)
+	}
+}
+
+func TestAffineGapPreference(t *testing.T) {
+	// One 2-residue gap must beat two 1-residue gaps under affine scoring:
+	// construct b missing two consecutive residues.
+	a := prot(t, "MKWVTFISKKLLFLFSSAYS")
+	b := prot(t, "MKWVTFISLLFLFSSAYS") // KK deleted
+	r := Align(a, b, DefaultScoring())
+	if r.Gaps() != 2 {
+		t.Fatalf("gap columns %d, want 2", r.Gaps())
+	}
+	// CIGAR must contain a single 2I run, not two separate runs.
+	if got := r.CIGAR(); got != "8M2I10M" {
+		t.Errorf("CIGAR %s, want 8M2I10M", got)
+	}
+}
+
+func TestScoreMatchesAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		a := bio.RandomProtSeq(rng, 5+rng.Intn(40))
+		b := bio.RandomProtSeq(rng, 5+rng.Intn(40))
+		full := Align(a, b, s)
+		fast := Score(a, b, s)
+		if full.Score != fast {
+			t.Fatalf("trial %d: traceback %d, score-only %d", trial, full.Score, fast)
+		}
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	p := prot(t, "MKW")
+	if r := Align(nil, p, DefaultScoring()); r.Score != 0 {
+		t.Error("empty a must score 0")
+	}
+	if r := Align(p, nil, DefaultScoring()); r.Score != 0 {
+		t.Error("empty b must score 0")
+	}
+	var empty Result
+	if empty.CIGAR() != "" || empty.Identity(nil, nil) != 0 {
+		t.Error("empty result rendering")
+	}
+}
+
+func TestScoreNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := bio.RandomProtSeq(rng, rng.Intn(30))
+		b := bio.RandomProtSeq(rng, rng.Intn(30))
+		return Score(a, b, DefaultScoring()) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreSymmetry(t *testing.T) {
+	// BLOSUM62 is symmetric, so local alignment score must be too.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		a := bio.RandomProtSeq(rng, 5+rng.Intn(30))
+		b := bio.RandomProtSeq(rng, 5+rng.Intn(30))
+		if Score(a, b, DefaultScoring()) != Score(b, a, DefaultScoring()) {
+			t.Fatalf("asymmetric at trial %d", trial)
+		}
+	}
+}
+
+func TestScoreMonotoneInContext(t *testing.T) {
+	// Embedding a shared motif in longer sequences can only help or tie.
+	rng := rand.New(rand.NewSource(3))
+	motif := bio.RandomProtSeq(rng, 10)
+	base := Score(motif, motif, DefaultScoring())
+	a := append(append(bio.RandomProtSeq(rng, 5), motif...), bio.RandomProtSeq(rng, 5)...)
+	b := append(append(bio.RandomProtSeq(rng, 7), motif...), bio.RandomProtSeq(rng, 3)...)
+	if got := Score(a, b, DefaultScoring()); got < base {
+		t.Errorf("embedded score %d below motif self-score %d", got, base)
+	}
+}
+
+func TestNucAlign(t *testing.T) {
+	a := nuc(t, "ACGUACGUACGU")
+	r := AlignNuc(a, a, DefaultNucScoring())
+	if r.Score != 2*len(a) {
+		t.Errorf("self score %d", r.Score)
+	}
+	b := nuc(t, "ACGUACCUACGU") // one substitution
+	r2 := AlignNuc(a, b, DefaultNucScoring())
+	if r2.Score >= r.Score {
+		t.Error("substitution must lower score")
+	}
+	if got := ScoreNuc(a, b, DefaultNucScoring()); got != r2.Score {
+		t.Errorf("ScoreNuc %d != AlignNuc %d", got, r2.Score)
+	}
+}
+
+func TestNucAlignGap(t *testing.T) {
+	a := nuc(t, "ACGUACGUACGUACGU")
+	b := nuc(t, "ACGUACUACGUACGU") // G deleted
+	r := AlignNuc(a, b, DefaultNucScoring())
+	if r.Gaps() != 1 {
+		t.Errorf("gaps %d (%s)", r.Gaps(), r.CIGAR())
+	}
+}
+
+func TestCIGARRendering(t *testing.T) {
+	r := Result{Ops: []Op{OpMatch, OpMatch, OpDelete, OpMatch, OpInsert, OpInsert}}
+	if got := r.CIGAR(); got != "2M1D1M2I" {
+		t.Errorf("CIGAR %s", got)
+	}
+}
+
+// TestTracebackConsistency: walking the ops must consume exactly the
+// aligned ranges.
+func TestTracebackConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		a := bio.RandomProtSeq(rng, 10+rng.Intn(40))
+		b := bio.RandomProtSeq(rng, 10+rng.Intn(40))
+		r := Align(a, b, DefaultScoring())
+		ai, bi := r.AStart, r.BStart
+		for _, op := range r.Ops {
+			switch op {
+			case OpMatch:
+				ai++
+				bi++
+			case OpInsert:
+				ai++
+			case OpDelete:
+				bi++
+			}
+		}
+		if ai != r.AEnd || bi != r.BEnd {
+			t.Fatalf("trial %d: ops consume (%d,%d), ranges end (%d,%d)",
+				trial, ai, bi, r.AEnd, r.BEnd)
+		}
+	}
+}
+
+// TestTracebackScoreReconstruction: re-scoring the traceback must give the
+// reported score.
+func TestTracebackScoreReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		a := bio.RandomProtSeq(rng, 10+rng.Intn(30))
+		b := bio.RandomProtSeq(rng, 10+rng.Intn(30))
+		r := Align(a, b, s)
+		score := 0
+		ai, bi := r.AStart, r.BStart
+		var prev Op
+		for _, op := range r.Ops {
+			switch op {
+			case OpMatch:
+				score += s.Substitution(a[ai], b[bi])
+				ai++
+				bi++
+			case OpInsert:
+				if prev == OpInsert {
+					score -= s.GapExtend
+				} else {
+					score -= s.GapOpen + s.GapExtend
+				}
+				ai++
+			case OpDelete:
+				if prev == OpDelete {
+					score -= s.GapExtend
+				} else {
+					score -= s.GapOpen + s.GapExtend
+				}
+				bi++
+			}
+			prev = op
+		}
+		if score != r.Score {
+			t.Fatalf("trial %d: reconstructed %d, reported %d (%s)", trial, score, r.Score, r.CIGAR())
+		}
+	}
+}

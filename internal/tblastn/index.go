@@ -1,0 +1,119 @@
+package tblastn
+
+import (
+	"fmt"
+
+	"fabp/internal/bio"
+)
+
+// WordSize is the protein k-mer length (BLAST protein default).
+const WordSize = 3
+
+// numWords is the size of the word space (20^3; Stop never indexes).
+const numWords = 20 * 20 * 20
+
+// wordID packs a 3-mer of coding residues into a dense integer, or returns
+// -1 when the window contains a Stop.
+func wordID(a, b, c bio.AminoAcid) int {
+	if a >= bio.NumAminoAcids || b >= bio.NumAminoAcids || c >= bio.NumAminoAcids {
+		return -1
+	}
+	return int(a)*400 + int(b)*20 + int(c)
+}
+
+// wordResidues unpacks a dense word id.
+func wordResidues(w int) (a, b, c bio.AminoAcid) {
+	return bio.AminoAcid(w / 400), bio.AminoAcid(w / 20 % 20), bio.AminoAcid(w % 20)
+}
+
+// wordScore is the BLOSUM62 score of aligning two words position-wise.
+func wordScore(w, v int) int {
+	wa, wb, wc := wordResidues(w)
+	va, vb, vc := wordResidues(v)
+	return bio.Blosum62(wa, va) + bio.Blosum62(wb, vb) + bio.Blosum62(wc, vc)
+}
+
+// Index is the query-side neighborhood hash table: for every database word
+// it lists the query positions whose word neighborhood contains it. This is
+// the structure whose random-access lookups bound BLAST's throughput
+// (§II: "the performance of the hash-table lookup step ... is limited by
+// the numerous random memory accesses").
+type Index struct {
+	// Query is the indexed protein.
+	Query bio.ProtSeq
+	// NeighborThreshold is the minimum word pair score for membership.
+	NeighborThreshold int
+	// buckets[word] lists query word-start positions.
+	buckets [][]int32
+	// entries counts the total postings.
+	entries int
+}
+
+// BuildIndex enumerates, for each query word, every 3-mer whose pairwise
+// BLOSUM62 score reaches threshold t, and posts the query position under
+// that neighbor. BLAST's default T for word size 3 is 11.
+func BuildIndex(q bio.ProtSeq, t int) (*Index, error) {
+	if len(q) < WordSize {
+		return nil, fmt.Errorf("tblastn: query length %d below word size %d", len(q), WordSize)
+	}
+	idx := &Index{Query: q, NeighborThreshold: t, buckets: make([][]int32, numWords)}
+	// Enumerate neighbors per position, pruning by per-position best
+	// remaining score so most of the 8000-word space is skipped.
+	for i := 0; i+WordSize <= len(q); i++ {
+		if wordID(q[i], q[i+1], q[i+2]) < 0 {
+			continue // query word spans a Stop
+		}
+		rowA := bio.Blosum62Row(q[i])
+		rowB := bio.Blosum62Row(q[i+1])
+		rowC := bio.Blosum62Row(q[i+2])
+		maxB, maxC := maxRow(rowB), maxRow(rowC)
+		for a := bio.AminoAcid(0); a < bio.NumAminoAcids; a++ {
+			sa := int(rowA[a])
+			if sa+maxB+maxC < t {
+				continue
+			}
+			for b := bio.AminoAcid(0); b < bio.NumAminoAcids; b++ {
+				sab := sa + int(rowB[b])
+				if sab+maxC < t {
+					continue
+				}
+				for c := bio.AminoAcid(0); c < bio.NumAminoAcids; c++ {
+					if sab+int(rowC[c]) < t {
+						continue
+					}
+					v := int(a)*400 + int(b)*20 + int(c)
+					idx.buckets[v] = append(idx.buckets[v], int32(i))
+					idx.entries++
+				}
+			}
+		}
+	}
+	if idx.entries == 0 {
+		return nil, fmt.Errorf("tblastn: neighborhood threshold %d leaves no index entries", t)
+	}
+	return idx, nil
+}
+
+func maxRow(r [bio.NumResidues]int8) int {
+	best := int(r[0])
+	for _, v := range r[1:bio.NumAminoAcids] {
+		if int(v) > best {
+			best = int(v)
+		}
+	}
+	return best
+}
+
+// Lookup returns the query positions seeded by the database word starting
+// at s[j] (nil when the window holds a Stop or has no neighbors). The
+// returned slice is shared — do not modify.
+func (idx *Index) Lookup(a, b, c bio.AminoAcid) []int32 {
+	w := wordID(a, b, c)
+	if w < 0 {
+		return nil
+	}
+	return idx.buckets[w]
+}
+
+// Entries returns the total posting count (a measure of index density).
+func (idx *Index) Entries() int { return idx.entries }

@@ -1,0 +1,373 @@
+package tblastn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fabp/internal/bio"
+	kastats "fabp/internal/stats"
+	"fabp/internal/swalign"
+)
+
+// Options tune the search pipeline; zero values take BLAST-like defaults
+// via Defaults.
+type Options struct {
+	// NeighborThreshold is the word-pair score to enter the index (T).
+	NeighborThreshold int
+	// TwoHit requires two non-overlapping same-diagonal word hits within
+	// HitWindow residues before extending (BLAST's default strategy).
+	TwoHit bool
+	// HitWindow is the two-hit distance window (A).
+	HitWindow int
+	// XDrop stops ungapped extension when the running score falls this far
+	// below the best seen.
+	XDrop int
+	// MinScore discards HSPs scoring lower (raw BLOSUM score cutoff).
+	MinScore int
+	// Threads is the worker count (the paper measures 1 and 12).
+	Threads int
+	// Frames limits the search to the first N frames (3 = forward only,
+	// matching FabP's single-strand scan; 6 = full TBLASTN).
+	Frames int
+	// MaxEValue, when positive, discards HSPs whose Karlin-Altschul
+	// E-value exceeds it (applied after MinScore).
+	MaxEValue float64
+	// GappedRefine re-aligns each surviving HSP's neighbourhood with
+	// Smith-Waterman (BLOSUM62, affine 11/1), filling GappedScore.
+	GappedRefine bool
+	// KeepContained disables the default culling of HSPs whose query and
+	// subject ranges are contained in a higher-scoring same-frame HSP
+	// (BLAST's dominance filter).
+	KeepContained bool
+	// RefineMargin is the residue margin around the HSP used for gapped
+	// refinement (default 20).
+	RefineMargin int
+}
+
+// Defaults fills unset fields with BLAST-flavoured values.
+func (o Options) Defaults() Options {
+	if o.NeighborThreshold == 0 {
+		o.NeighborThreshold = 11
+	}
+	if o.HitWindow == 0 {
+		o.HitWindow = 40
+	}
+	if o.XDrop == 0 {
+		o.XDrop = 16
+	}
+	if o.MinScore == 0 {
+		o.MinScore = 35
+	}
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.Frames == 0 {
+		o.Frames = NumFrames
+	}
+	if o.RefineMargin == 0 {
+		o.RefineMargin = 20
+	}
+	return o
+}
+
+// HSP is a high-scoring segment pair: an ungapped local alignment between
+// the query and one translated frame.
+type HSP struct {
+	Frame Frame
+	// QStart/QEnd delimit the query residues (half-open).
+	QStart, QEnd int
+	// SStart/SEnd delimit the frame's protein positions (half-open).
+	SStart, SEnd int
+	// Score is the raw BLOSUM62 segment score.
+	Score int
+	// NucPos is the forward-strand nucleotide offset of the subject
+	// segment's lowest-address codon base.
+	NucPos int
+	// BitScore and EValue are Karlin-Altschul statistics over the search
+	// space (ungapped BLOSUM62 parameters).
+	BitScore float64
+	EValue   float64
+	// GappedScore is the Smith-Waterman score of the refined alignment
+	// window (0 unless Options.GappedRefine is set).
+	GappedScore int
+}
+
+// Stats profiles one search, exposing the pipeline costs the paper
+// discusses (hash build, lookups, extensions).
+type Stats struct {
+	IndexEntries int
+	WordLookups  int
+	WordHits     int
+	Extensions   int
+	HSPs         int
+}
+
+// Search runs the TBLASTN pipeline for query q over reference ref.
+func Search(q bio.ProtSeq, ref bio.NucSeq, opts Options) ([]HSP, Stats, error) {
+	opts = opts.Defaults()
+	idx, err := BuildIndex(q, opts.NeighborThreshold)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return SearchWithIndex(idx, ref, opts)
+}
+
+// SearchWithIndex runs the scan phase with a prebuilt query index
+// (amortizing index construction over many references).
+func SearchWithIndex(idx *Index, ref bio.NucSeq, opts Options) ([]HSP, Stats, error) {
+	opts = opts.Defaults()
+	if opts.Frames < 1 || opts.Frames > NumFrames {
+		return nil, Stats{}, fmt.Errorf("tblastn: frames must be 1..6, got %d", opts.Frames)
+	}
+	var frames []TranslatedFrame
+	if opts.Frames <= 3 {
+		frames = Translate3(ref)[:opts.Frames]
+	} else {
+		frames = Translate6(ref)[:opts.Frames]
+	}
+
+	stats := Stats{IndexEntries: idx.Entries()}
+	var mu sync.Mutex
+	var all []HSP
+
+	type job struct {
+		frame  *TranslatedFrame
+		lo, hi int // protein-position range to scan
+	}
+	var jobs []job
+	// Split each frame into Threads chunks with WordSize-1 overlap so no
+	// word is lost at boundaries. HSP dedup handles the overlap region.
+	for fi := range frames {
+		tf := &frames[fi]
+		n := len(tf.Prot)
+		if n < WordSize {
+			continue
+		}
+		chunks := opts.Threads
+		if chunks > n/256+1 {
+			chunks = n/256 + 1
+		}
+		size := (n + chunks - 1) / chunks
+		for lo := 0; lo < n; lo += size {
+			hi := lo + size + WordSize - 1
+			if hi > n {
+				hi = n
+			}
+			jobs = append(jobs, job{frame: tf, lo: lo, hi: hi})
+		}
+	}
+
+	sem := make(chan struct{}, opts.Threads)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			hsps, st := scanFrame(idx, j.frame, j.lo, j.hi, opts)
+			mu.Lock()
+			all = append(all, hsps...)
+			stats.WordLookups += st.WordLookups
+			stats.WordHits += st.WordHits
+			stats.Extensions += st.Extensions
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+
+	all = dedupe(all)
+
+	// Karlin-Altschul statistics over the translated search space (every
+	// frame's residues), then the optional E-value filter and gapped
+	// refinement pass.
+	params := kastats.UngappedBLOSUM62()
+	dbResidues := 0
+	for i := range frames {
+		dbResidues += len(frames[i].Prot)
+	}
+	kept := all[:0]
+	for _, h := range all {
+		h.BitScore = params.BitScore(h.Score)
+		h.EValue = params.EValue(h.Score, len(idx.Query), dbResidues)
+		if opts.MaxEValue > 0 && h.EValue > opts.MaxEValue {
+			continue
+		}
+		if opts.GappedRefine {
+			h.GappedScore = refineGapped(idx.Query, &frames[int(h.Frame)], h, opts.RefineMargin)
+		}
+		kept = append(kept, h)
+	}
+	all = kept
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		if all[i].Frame != all[j].Frame {
+			return all[i].Frame < all[j].Frame
+		}
+		return all[i].SStart < all[j].SStart
+	})
+	if !opts.KeepContained {
+		all = cullContained(all)
+	}
+	stats.HSPs = len(all)
+	return all, stats, nil
+}
+
+// cullContained removes HSPs whose query and subject ranges both lie
+// inside a higher-scoring HSP of the same frame (input sorted best-first).
+func cullContained(hsps []HSP) []HSP {
+	kept := hsps[:0]
+	for _, h := range hsps {
+		contained := false
+		for _, k := range kept {
+			if k.Frame == h.Frame &&
+				k.QStart <= h.QStart && h.QEnd <= k.QEnd &&
+				k.SStart <= h.SStart && h.SEnd <= k.SEnd {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, h)
+		}
+	}
+	return kept
+}
+
+// scanFrame runs seeding + extension over subject positions [lo, hi).
+func scanFrame(idx *Index, tf *TranslatedFrame, lo, hi int, opts Options) ([]HSP, Stats) {
+	var st Stats
+	var hsps []HSP
+	q := idx.Query
+	s := tf.Prot
+	// lastHit[diag] is the subject position of the most recent word hit on
+	// the diagonal; extended[diag] the subject end of the last HSP there.
+	lastHit := map[int]int{}
+	extended := map[int]int{}
+
+	for j := lo; j+WordSize <= hi; j++ {
+		st.WordLookups++
+		positions := idx.Lookup(s[j], s[j+1], s[j+2])
+		for _, qi := range positions {
+			i := int(qi)
+			st.WordHits++
+			diag := j - i
+			if end, done := extended[diag]; done && j < end {
+				continue // already inside an HSP on this diagonal
+			}
+			trigger := !opts.TwoHit
+			if opts.TwoHit {
+				prev, ok := lastHit[diag]
+				switch {
+				case !ok || j-prev > opts.HitWindow:
+					lastHit[diag] = j // first hit, or stale: restart the pair
+				case j-prev < WordSize:
+					// Overlapping the remembered hit: keep the earlier one.
+				default:
+					trigger = true
+					delete(lastHit, diag)
+				}
+			}
+			if !trigger {
+				continue
+			}
+			st.Extensions++
+			h, ok := extend(q, s, i, j, opts.XDrop)
+			if ok && h.Score >= opts.MinScore {
+				h.Frame = tf.Frame
+				h.NucPos = tf.NucStart(h.SStart)
+				hsps = append(hsps, h)
+				extended[diag] = h.SEnd
+			}
+		}
+	}
+	return hsps, st
+}
+
+// extend performs ungapped X-drop extension around the seed word at query
+// position i / subject position j.
+func extend(q, s bio.ProtSeq, i, j, xdrop int) (HSP, bool) {
+	// Seed score.
+	score := 0
+	for k := 0; k < WordSize; k++ {
+		score += bio.Blosum62(q[i+k], s[j+k])
+	}
+	best := score
+	qs, ss := i, j
+	qe, se := i+WordSize, j+WordSize
+
+	// Extend right.
+	cur := best
+	bi, bj := qe, se
+	for x, y := qe, se; x < len(q) && y < len(s); x, y = x+1, y+1 {
+		cur += bio.Blosum62(q[x], s[y])
+		if cur > best {
+			best = cur
+			bi, bj = x+1, y+1
+		}
+		if best-cur > xdrop {
+			break
+		}
+	}
+	qe, se = bi, bj
+
+	// Extend left.
+	cur = best
+	bi, bj = qs, ss
+	for x, y := qs-1, ss-1; x >= 0 && y >= 0; x, y = x-1, y-1 {
+		cur += bio.Blosum62(q[x], s[y])
+		if cur > best {
+			best = cur
+			bi, bj = x, y
+		}
+		if best-cur > xdrop {
+			break
+		}
+	}
+	qs, ss = bi, bj
+
+	if best <= 0 {
+		return HSP{}, false
+	}
+	return HSP{QStart: qs, QEnd: qe, SStart: ss, SEnd: se, Score: best}, true
+}
+
+// refineGapped re-aligns the query against the HSP's subject neighbourhood
+// with banded Smith-Waterman (the gapped extension stage of BLAST): the
+// seed fixes the diagonal, so a corridor of ±margin diagonals suffices to
+// recover alignments the ungapped pass truncated at indels.
+func refineGapped(q bio.ProtSeq, tf *TranslatedFrame, h HSP, margin int) int {
+	lo := h.SStart - len(q) - margin
+	if lo < 0 {
+		lo = 0
+	}
+	hi := h.SEnd + len(q) + margin
+	if hi > len(tf.Prot) {
+		hi = len(tf.Prot)
+	}
+	if lo >= hi {
+		return 0
+	}
+	// The HSP pairs query position QStart with subject position SStart, so
+	// within the window the alignment sits near diagonal (SStart-lo)-QStart.
+	diag := (h.SStart - lo) - h.QStart
+	return swalign.ScoreBanded(q, tf.Prot[lo:hi], swalign.DefaultScoring(), diag, margin)
+}
+
+// dedupe removes duplicate HSPs produced by chunk overlap (same frame,
+// coordinates and score).
+func dedupe(hsps []HSP) []HSP {
+	seen := map[HSP]bool{}
+	out := hsps[:0]
+	for _, h := range hsps {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}

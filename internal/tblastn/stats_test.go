@@ -1,0 +1,116 @@
+package tblastn
+
+import (
+	"math/rand"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+func TestHSPStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	q, ref := plantQuery(rng, 20000, 50, 9000)
+	hsps, _, err := Search(q, ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hsps) == 0 {
+		t.Fatal("no HSPs")
+	}
+	top := hsps[0]
+	if top.BitScore <= 0 {
+		t.Errorf("top bit score %.1f", top.BitScore)
+	}
+	// A planted 50-residue exact gene is overwhelmingly significant.
+	if top.EValue > 1e-10 {
+		t.Errorf("top E-value %g too large for a planted gene", top.EValue)
+	}
+	// Bit scores must order like raw scores.
+	for i := 1; i < len(hsps); i++ {
+		if hsps[i-1].Score >= hsps[i].Score && hsps[i-1].BitScore < hsps[i].BitScore {
+			t.Fatal("bit score ordering inconsistent")
+		}
+	}
+}
+
+func TestEValueFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q, ref := plantQuery(rng, 20000, 50, 4000)
+	loose, _, err := Search(q, ref, Options{MinScore: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, _, err := Search(q, ref, Options{MinScore: 30, MaxEValue: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) > len(loose) {
+		t.Error("E-value filter added HSPs?")
+	}
+	for _, h := range strict {
+		if h.EValue > 1e-12 {
+			t.Errorf("HSP with E=%g survived the filter", h.EValue)
+		}
+	}
+	// The planted gene must survive a strict filter.
+	if len(strict) == 0 {
+		t.Error("planted gene filtered out")
+	}
+}
+
+func TestCullContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	q, ref := plantQuery(rng, 15000, 50, 6000)
+	culled, _, err := Search(q, ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _, err := Search(q, ref, Options{KeepContained: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(culled) > len(kept) {
+		t.Error("culling added HSPs?")
+	}
+	// No surviving HSP may be contained in a better same-frame one.
+	for i, h := range culled {
+		for _, k := range culled[:i] {
+			if k.Frame == h.Frame && k.Score >= h.Score &&
+				k.QStart <= h.QStart && h.QEnd <= k.QEnd &&
+				k.SStart <= h.SStart && h.SEnd <= k.SEnd &&
+				k != h {
+				t.Fatalf("contained HSP survived: %+v inside %+v", h, k)
+			}
+		}
+	}
+}
+
+func TestGappedRefinement(t *testing.T) {
+	// Plant a gene whose protein has a deletion relative to the query: the
+	// ungapped HSP covers one side; gapped refinement must bridge it.
+	rng := rand.New(rand.NewSource(22))
+	orig := bio.RandomProtSeq(rng, 60)
+	deleted := append(append(bio.ProtSeq{}, orig[:30]...), orig[33:]...) // drop 3 residues
+	ref := bio.RandomNucSeq(rng, 10000)
+	copy(ref[3000:], bio.EncodeGene(rng, deleted))
+
+	hsps, _, err := Search(orig, ref, Options{GappedRefine: true, MinScore: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hsps) == 0 {
+		t.Fatal("no HSPs")
+	}
+	found := false
+	for _, h := range hsps {
+		if h.GappedScore > h.Score {
+			found = true
+		}
+		if h.GappedScore == 0 {
+			t.Errorf("refinement left GappedScore empty: %+v", h)
+		}
+	}
+	if !found {
+		t.Error("gapped refinement should beat the ungapped score across the indel")
+	}
+}

@@ -1,0 +1,335 @@
+package tblastn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+func TestFrameBasics(t *testing.T) {
+	if Frame(0).IsReverse() || !Frame(3).IsReverse() {
+		t.Error("IsReverse wrong")
+	}
+	if Frame(4).Offset() != 1 || Frame(2).Offset() != 2 {
+		t.Error("Offset wrong")
+	}
+	if Frame(0).String() != "+1" || Frame(5).String() != "-3" {
+		t.Error("String wrong")
+	}
+}
+
+func TestTranslate6Geometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := bio.RandomNucSeq(rng, 100)
+	frames := Translate6(ref)
+	if len(frames) != 6 {
+		t.Fatal("expected 6 frames")
+	}
+	for _, tf := range frames {
+		for i := range tf.Prot {
+			pos := tf.NucStart(i)
+			if pos < 0 || pos+3 > len(ref) {
+				t.Fatalf("frame %v pos %d: nuc start %d out of range", tf.Frame, i, pos)
+			}
+			// Re-derive the residue from the original reference.
+			var codon bio.Codon
+			if tf.Frame.IsReverse() {
+				codon = bio.Codon{
+					ref[pos+2].Complement(),
+					ref[pos+1].Complement(),
+					ref[pos].Complement(),
+				}
+			} else {
+				codon = bio.Codon{ref[pos], ref[pos+1], ref[pos+2]}
+			}
+			if codon.Translate() != tf.Prot[i] {
+				t.Fatalf("frame %v pos %d: geometry mismatch", tf.Frame, i)
+			}
+		}
+	}
+}
+
+func TestTranslate3IsForwardPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := bio.RandomNucSeq(rng, 60)
+	f3 := Translate3(ref)
+	f6 := Translate6(ref)
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(f3[i].Prot, f6[i].Prot) {
+			t.Errorf("frame %d differs", i)
+		}
+	}
+}
+
+func TestWordIDRoundTrip(t *testing.T) {
+	for w := 0; w < numWords; w += 7 {
+		a, b, c := wordResidues(w)
+		if wordID(a, b, c) != w {
+			t.Fatalf("round trip failed at %d", w)
+		}
+	}
+	if wordID(bio.Stop, bio.Ala, bio.Ala) != -1 {
+		t.Error("Stop words must be rejected")
+	}
+}
+
+func TestWordScore(t *testing.T) {
+	w := wordID(bio.Trp, bio.Trp, bio.Trp)
+	if got := wordScore(w, w); got != 33 {
+		t.Errorf("WWW self score %d, want 33", got)
+	}
+}
+
+func TestBuildIndexSelfWords(t *testing.T) {
+	q, _ := bio.ParseProtSeq("MKWVTFISLLFLFSSAYSRGVFRR")
+	idx, err := BuildIndex(q, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every query word scoring >= T against itself must be in its own
+	// bucket.
+	for i := 0; i+WordSize <= len(q); i++ {
+		w := wordID(q[i], q[i+1], q[i+2])
+		if w < 0 || wordScore(w, w) < 11 {
+			continue
+		}
+		found := false
+		for _, p := range idx.Lookup(q[i], q[i+1], q[i+2]) {
+			if int(p) == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("position %d missing from its own word bucket", i)
+		}
+	}
+	if idx.Entries() == 0 {
+		t.Error("index must have entries")
+	}
+}
+
+func TestBuildIndexThresholdMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := bio.RandomProtSeq(rng, 60)
+	lo, err := BuildIndex(q, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := BuildIndex(q, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Entries() >= lo.Entries() {
+		t.Errorf("higher T must shrink the index: %d vs %d", hi.Entries(), lo.Entries())
+	}
+}
+
+func TestBuildIndexErrors(t *testing.T) {
+	if _, err := BuildIndex(bio.ProtSeq{bio.Met}, 11); err == nil {
+		t.Error("short query must fail")
+	}
+	q, _ := bio.ParseProtSeq("MKWVTF")
+	if _, err := BuildIndex(q, 10000); err == nil {
+		t.Error("absurd threshold must fail")
+	}
+}
+
+func TestNeighborhoodCorrectness(t *testing.T) {
+	// Brute-force check one word's neighborhood.
+	q, _ := bio.ParseProtSeq("WKH")
+	idx, err := BuildIndex(q, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wordID(bio.Trp, bio.Lys, bio.His)
+	for v := 0; v < numWords; v++ {
+		a, b, c := wordResidues(v)
+		want := wordScore(w, v) >= 11
+		got := false
+		for _, p := range idx.Lookup(a, b, c) {
+			if p == 0 {
+				got = true
+			}
+		}
+		if got != want {
+			t.Fatalf("word %d: in-neighborhood=%v, want %v", v, got, want)
+		}
+	}
+}
+
+// plantQuery embeds a protein's gene in random DNA and returns both.
+func plantQuery(rng *rand.Rand, refLen, qLen, pos int) (bio.ProtSeq, bio.NucSeq) {
+	q := bio.RandomProtSeq(rng, qLen)
+	ref := bio.RandomNucSeq(rng, refLen)
+	copy(ref[pos:], bio.EncodeGene(rng, q))
+	return q, ref
+}
+
+func TestSearchFindsPlantedGene(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q, ref := plantQuery(rng, 6000, 40, 1503)
+	hsps, stats, err := Search(q, ref, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hsps) == 0 {
+		t.Fatal("no HSPs found")
+	}
+	top := hsps[0]
+	if top.Frame != Frame(0) {
+		t.Errorf("top HSP frame %v, want +1", top.Frame)
+	}
+	// The top HSP must overlap the planted locus.
+	if top.NucPos < 1503-30 || top.NucPos > 1503+3*40 {
+		t.Errorf("top HSP at nuc %d, planted at 1503", top.NucPos)
+	}
+	if stats.WordLookups == 0 || stats.Extensions == 0 {
+		t.Errorf("stats look empty: %+v", stats)
+	}
+}
+
+func TestSearchFindsReverseStrandGene(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := bio.RandomProtSeq(rng, 40)
+	gene := bio.EncodeGene(rng, q)
+	ref := bio.RandomNucSeq(rng, 5000)
+	pos := 2001
+	rc := gene.ReverseComplement()
+	copy(ref[pos:], rc)
+	hsps, _, err := Search(q, ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hsps) == 0 {
+		t.Fatal("no HSPs")
+	}
+	if !hsps[0].Frame.IsReverse() {
+		t.Errorf("top HSP frame %v, want reverse", hsps[0].Frame)
+	}
+	if hsps[0].NucPos < pos-3 || hsps[0].NucPos > pos+len(rc) {
+		t.Errorf("top HSP at %d, planted at %d..%d", hsps[0].NucPos, pos, pos+len(rc))
+	}
+}
+
+func TestSearchForwardOnlyMissesReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := bio.RandomProtSeq(rng, 40)
+	ref := bio.RandomNucSeq(rng, 4000)
+	copy(ref[1000:], bio.EncodeGene(rng, q).ReverseComplement())
+	fwd, _, err := Search(q, ref, Options{Frames: 3, MinScore: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := Search(q, ref, Options{Frames: 6, MinScore: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwd) >= len(full) {
+		t.Errorf("forward-only should find fewer HSPs: %d vs %d", len(fwd), len(full))
+	}
+}
+
+func TestSearchThreadInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q, ref := plantQuery(rng, 20000, 50, 9000)
+	h1, _, err := Search(q, ref, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h12, _, err := Search(q, ref, Options{Threads: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h1, h12) {
+		t.Errorf("thread count changed results: %d vs %d HSPs", len(h1), len(h12))
+	}
+}
+
+func TestTwoHitReducesExtensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q, ref := plantQuery(rng, 30000, 60, 12000)
+	_, one, err := Search(q, ref, Options{TwoHit: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, twoStats, err := Search(q, ref, Options{TwoHit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoStats.Extensions >= one.Extensions {
+		t.Errorf("two-hit should cut extensions: %d vs %d", twoStats.Extensions, one.Extensions)
+	}
+	// The planted gene must still be found.
+	found := false
+	for _, h := range two {
+		if h.Frame == 0 && h.NucPos >= 12000-60 && h.NucPos <= 12000+180 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("two-hit search lost the planted gene")
+	}
+}
+
+func TestSearchMutatedQueryStillFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	orig := bio.RandomProtSeq(rng, 80)
+	ref := bio.RandomNucSeq(rng, 30000)
+	copy(ref[21000:], bio.EncodeGene(rng, orig))
+	model := bio.DefaultMutationModel()
+	query, _ := model.Mutate(rng, orig)
+	hsps, _, err := Search(query, ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hsps {
+		if h.Frame == 0 && h.NucPos >= 21000-90 && h.NucPos < 21000+240 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("diverged query not recovered")
+	}
+}
+
+func TestSearchOptionsValidation(t *testing.T) {
+	q, _ := bio.ParseProtSeq("MKWVTFISLL")
+	if _, _, err := Search(q, make(bio.NucSeq, 100), Options{Frames: 7}); err == nil {
+		t.Error("frames > 6 must fail")
+	}
+	// Tiny reference: no frames scannable, no error.
+	hsps, _, err := Search(q, bio.NucSeq{bio.A, bio.C}, Options{})
+	if err != nil || hsps != nil {
+		t.Errorf("tiny reference: %v %v", hsps, err)
+	}
+}
+
+func TestHSPScoresArePlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	q, ref := plantQuery(rng, 10000, 45, 4002)
+	hsps, _, err := Search(q, ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfScore := 0
+	for _, a := range q {
+		selfScore += bio.Blosum62(a, a)
+	}
+	if hsps[0].Score > selfScore {
+		t.Errorf("HSP score %d exceeds query self-score %d", hsps[0].Score, selfScore)
+	}
+	if hsps[0].Score < selfScore/2 {
+		t.Errorf("planted gene HSP score %d suspiciously low (self %d)", hsps[0].Score, selfScore)
+	}
+	for _, h := range hsps {
+		if h.QStart < 0 || h.QEnd > len(q) || h.QStart >= h.QEnd {
+			t.Errorf("bad query range %+v", h)
+		}
+		if h.SEnd-h.SStart != h.QEnd-h.QStart {
+			t.Errorf("ungapped HSP ranges must have equal length: %+v", h)
+		}
+	}
+}
