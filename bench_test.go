@@ -206,6 +206,71 @@ func BenchmarkBatchAlign(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiQueryScan compares the seed serial batch path (one query
+// at a time, planes repacked per call) against the sharded scheduler with
+// the shared plane cache. The "sharded" case is the acceptance target:
+// ≥2× over "serial" on ≥4 cores.
+func BenchmarkMultiQueryScan(b *testing.B) {
+	ref, genes := SyntheticReference(11, 2_000_000, 8, 50)
+	var queries []*Query
+	for _, g := range genes {
+		q, err := NewQuery(g.Protein)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hits, err := alignBatchBitparSerial(queries, ref, 0.9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(hits) != len(queries) {
+				b.Fatal("batch shape")
+			}
+		}
+		b.SetBytes(int64(len(queries)) * int64(ref.Len()) / 4)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hits, err := AlignBatch(queries, ref, 0.9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(hits) != len(queries) {
+				b.Fatal("batch shape")
+			}
+		}
+		b.SetBytes(int64(len(queries)) * int64(ref.Len()) / 4)
+	})
+}
+
+// BenchmarkDatabaseScan measures repeated whole-database scans against a
+// resident database — the case the plane cache exists for.
+func BenchmarkDatabaseScan(b *testing.B) {
+	ref, genes := SyntheticReference(12, 2_000_000, 4, 50)
+	d, err := BuildDatabase(strings.NewReader(">chr1\n" + ref.String() + "\n"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := NewQuery(genes[0].Protein)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := NewAligner(q, WithThresholdFraction(0.9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := a.AlignDatabase(d); len(hits) == 0 {
+			b.Fatal("planted gene lost")
+		}
+	}
+	b.SetBytes(int64(d.Len()) / 4)
+}
+
 // BenchmarkAlignStreamReader measures the bounded-memory chunked scan.
 func BenchmarkAlignStreamReader(b *testing.B) {
 	ref, genes := SyntheticReference(9, 2_000_000, 2, 50)

@@ -30,10 +30,12 @@ func main() {
 	runTBLASTN := flag.Bool("tblastn", false, "also run the TBLASTN baseline for comparison")
 	top := flag.Int("top", 5, "hits to print per query")
 	demo := flag.Bool("demo", false, "run on a built-in synthetic workload")
+	kernel := flag.String("kernel", "auto", "alignment kernel: auto, scalar or bitparallel")
+	workers := flag.Int("workers", 0, "bound scan worker goroutines (0 = all cores)")
 	flag.Parse()
 
 	opts := alignOpts{frac: *thresholdFrac, auto: *autoThreshold, maxFP: *maxFP,
-		tblastn: *runTBLASTN, top: *top}
+		tblastn: *runTBLASTN, top: *top, kernel: *kernel, workers: *workers}
 	if *demo {
 		runDemo(opts)
 		return
@@ -70,6 +72,8 @@ type alignOpts struct {
 	maxFP   float64
 	tblastn bool
 	top     int
+	kernel  string
+	workers int
 }
 
 type protRecord struct {
@@ -113,18 +117,21 @@ func alignOne(id, prot string, ref *fabp.Reference, opts alignOpts) {
 		log.Printf("query %s: %v", id, err)
 		return
 	}
-	var aOpt fabp.AlignerOption
+	aOpts := []fabp.AlignerOption{fabp.WithKernel(opts.kernel)}
+	if opts.workers > 0 {
+		aOpts = append(aOpts, fabp.WithParallelism(opts.workers))
+	}
 	if opts.auto {
 		thr, err := q.SuggestThreshold(ref.Len(), opts.maxFP)
 		if err != nil {
 			log.Printf("query %s: %v", id, err)
 			return
 		}
-		aOpt = fabp.WithThreshold(thr)
+		aOpts = append(aOpts, fabp.WithThreshold(thr))
 	} else {
-		aOpt = fabp.WithThresholdFraction(opts.frac)
+		aOpts = append(aOpts, fabp.WithThresholdFraction(opts.frac))
 	}
-	a, err := fabp.NewAligner(q, aOpt)
+	a, err := fabp.NewAligner(q, aOpts...)
 	if err != nil {
 		log.Printf("query %s: %v", id, err)
 		return

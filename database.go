@@ -3,6 +3,8 @@ package fabp
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"fabp/internal/bio"
 	"fabp/internal/bitpar"
@@ -11,6 +13,7 @@ import (
 	"fabp/internal/experiments"
 	"fabp/internal/host"
 	"fabp/internal/isa"
+	"fabp/internal/sched"
 )
 
 // Database is an indexed, 2-bit packed reference database — the DRAM image
@@ -87,11 +90,108 @@ type RecordHit struct {
 	Score int
 }
 
+// planes returns the database's packed bit-planes through the process-wide
+// cache: the first scan packs once, every later query, batch or session
+// call against the same database reuses the resident planes — the software
+// analogue of the card-DRAM-resident database of the paper's protocol.
+func (d *Database) planes() *bitpar.Planes {
+	return bitpar.SharedPlanes().Get(d.d, func() *bitpar.Planes {
+		return bitpar.PackReference(d.d.Seq())
+	})
+}
+
+// planesForReference caches a standalone reference's bit-planes the same
+// way (keyed on the Reference, which is immutable once built).
+func planesForReference(ref *Reference) *bitpar.Planes {
+	return bitpar.SharedPlanes().Get(ref, func() *bitpar.Planes {
+		return bitpar.PackReference(ref.seq)
+	})
+}
+
+// bitparToCore converts kernel hits to the engine's hit type.
+func bitparToCore(raw []bitpar.Hit) []core.Hit {
+	if len(raw) == 0 {
+		return nil
+	}
+	hits := make([]core.Hit, len(raw))
+	for i, h := range raw {
+		hits[i] = core.Hit{Pos: h.Pos, Score: h.Score}
+	}
+	return hits
+}
+
+// databaseScan builds the shard-scan function for this aligner over the
+// database — the closure scans window starts [lo, hi) under the selected
+// kernel, reading a shared packed representation (cached bit-planes for
+// the bit-parallel kernel, one context array for the scalar engine) so
+// every shard gets its shardLen + Lq−1 overlap for free. starts is 0 when
+// the database is shorter than the query.
+func (a *Aligner) databaseScan(d *Database) (scan func(lo, hi int) []core.Hit, starts int) {
+	starts = d.Len() - a.query.Elements() + 1
+	if starts <= 0 {
+		return nil, 0
+	}
+	if a.useBitpar(d.Len()) {
+		planes := d.planes()
+		return func(lo, hi int) []core.Hit {
+			return bitparToCore(a.kernel.AlignPlanesRange(planes, lo, hi))
+		}, starts
+	}
+	ctxs := core.Contexts(d.d.Seq())
+	return func(lo, hi int) []core.Hit {
+		return a.engine.AlignContexts(ctxs, lo, hi)
+	}, starts
+}
+
+// scanShards executes a scan function over the shard plan on the aligner's
+// pool and returns the concatenated, position-ordered hits.
+func (a *Aligner) scanShards(starts int, scan func(lo, hi int) []core.Hit) []core.Hit {
+	shards := sched.Plan(starts, a.shardLen)
+	return sched.Gather(a.pool, len(shards), func(i int) []core.Hit {
+		return scan(shards[i].Lo, shards[i].Hi)
+	})
+}
+
 // AlignDatabase scans the whole database and attributes hits to records,
 // dropping windows that span record boundaries (concatenation artifacts).
+// The scan is tiled into shards executed on the aligner's worker pool and
+// is bit-exact with a serial scan.
 func (a *Aligner) AlignDatabase(d *Database) []RecordHit {
-	raw := a.alignSeq(d.d.Seq())
-	attributed := d.d.Attribute(raw, a.query.Elements())
+	scan, starts := a.databaseScan(d)
+	var raw []core.Hit
+	if scan != nil {
+		raw = a.scanShards(starts, scan)
+	}
+	return toRecordHits(d.d.Attribute(raw, a.query.Elements()))
+}
+
+// AlignDatabaseStream scans the database shard by shard and delivers
+// attributed hits to emit in position order while holding only a bounded
+// number of shard results in memory — the way to scan a database whose hit
+// list would not fit (or should not wait) in one slice. Return an error
+// from emit to stop early.
+func (a *Aligner) AlignDatabaseStream(d *Database, emit func(RecordHit) error) error {
+	scan, starts := a.databaseScan(d)
+	if scan == nil {
+		return nil
+	}
+	shards := sched.Plan(starts, a.shardLen)
+	m := a.query.Elements()
+	return sched.StreamOrdered(a.pool, len(shards),
+		func(i int) ([]db.RecordHit, error) {
+			return d.d.Attribute(scan(shards[i].Lo, shards[i].Hi), m), nil
+		},
+		func(h db.RecordHit) error {
+			return emit(RecordHit{
+				RecordID:    h.RecordID,
+				RecordIndex: h.RecordIndex,
+				Offset:      h.Offset,
+				Score:       h.Score,
+			})
+		})
+}
+
+func toRecordHits(attributed []db.RecordHit) []RecordHit {
 	out := make([]RecordHit, len(attributed))
 	for i, h := range attributed {
 		out[i] = RecordHit{
@@ -114,13 +214,48 @@ type Session struct {
 }
 
 // NewSession creates a session on the paper's default platform (Kintex-7
-// card, PCIe Gen3 x8, 8 GB card DRAM) with the database loaded.
+// card, PCIe Gen3 x8, 8 GB card DRAM) with the database loaded. Hit
+// computation runs on the sharded scan path with the shared plane cache,
+// so the database is packed once and reused across queries and RunBatch
+// calls; timing follows the paper's protocol unchanged.
 func NewSession(d *Database) (*Session, error) {
 	s := host.NewSession(host.DefaultPlatform())
 	if _, err := s.LoadDatabase(d.d.Seq()); err != nil {
 		return nil, err
 	}
-	return &Session{s: s, d: d}, nil
+	sess := &Session{s: s, d: d}
+	s.SetAlignFunc(sess.scan)
+	return sess, nil
+}
+
+// scan computes one query's hits against the resident database: sharded
+// bit-parallel scan over the cached planes for large databases, sharded
+// scalar scan below the crossover — the same auto rule as the Aligner, and
+// bit-exact with the host's built-in engine.
+func (s *Session) scan(prog isa.Program, threshold int) ([]core.Hit, error) {
+	starts := s.d.Len() - len(prog) + 1
+	if starts <= 0 {
+		return nil, nil
+	}
+	shards := sched.Plan(starts, 0)
+	if s.d.Len() >= bitParThresholdLen {
+		k, err := bitpar.NewKernel(prog, threshold)
+		if err != nil {
+			return nil, err
+		}
+		planes := s.d.planes()
+		return sched.Gather(sched.Shared(), len(shards), func(i int) []core.Hit {
+			return bitparToCore(k.AlignPlanesRange(planes, shards[i].Lo, shards[i].Hi))
+		}), nil
+	}
+	e, err := core.NewEngine(prog, threshold)
+	if err != nil {
+		return nil, err
+	}
+	ctxs := core.Contexts(s.d.d.Seq())
+	return sched.Gather(sched.Shared(), len(shards), func(i int) []core.Hit {
+		return e.AlignContexts(ctxs, shards[i].Lo, shards[i].Hi)
+	}), nil
 }
 
 // QueryTiming decomposes one query's projected end-to-end time in seconds.
@@ -131,10 +266,10 @@ type QueryTiming struct {
 // Run executes one query end-to-end and returns attributed hits plus the
 // timing decomposition.
 func (s *Session) Run(q *Query, thresholdFrac float64) ([]RecordHit, QueryTiming, error) {
-	if thresholdFrac <= 0 || thresholdFrac > 1 {
-		return nil, QueryTiming{}, fmt.Errorf("fabp: threshold fraction must be in (0,1]")
+	threshold, err := core.ThresholdFromFraction(thresholdFrac, q.MaxScore())
+	if err != nil {
+		return nil, QueryTiming{}, err
 	}
-	threshold := int(thresholdFrac * float64(q.MaxScore()))
 	res, err := s.s.RunQuery(isaProgram(q), threshold)
 	if err != nil {
 		return nil, QueryTiming{}, err
@@ -155,10 +290,12 @@ func (s *Session) Run(q *Query, thresholdFrac float64) ([]RecordHit, QueryTiming
 // pass, returning per-query attributed hits and the projected end-to-end
 // batch seconds.
 func (s *Session) RunBatch(queries []*Query, thresholdFrac float64) ([][]RecordHit, float64, error) {
-	progs := make([]isa.Program, len(queries))
+	progs, err := batchPrograms(queries)
+	if err != nil {
+		return nil, 0, err
+	}
 	elems := make([]int, len(queries))
 	for i, q := range queries {
-		progs[i] = isaProgram(q)
 		elems[i] = q.Elements()
 	}
 	res, err := s.s.RunBatch(progs, thresholdFrac)
@@ -178,21 +315,42 @@ func (s *Session) RunBatch(queries []*Query, thresholdFrac float64) ([][]RecordH
 
 func isaProgram(q *Query) isa.Program { return q.program }
 
+// batchPrograms validates every query of a batch up front — a batch either
+// starts fully or fails with every offending index named, never mid-scan.
+func batchPrograms(queries []*Query) ([]isa.Program, error) {
+	progs := make([]isa.Program, len(queries))
+	var bad []string
+	for i, q := range queries {
+		if q == nil || q.Elements() == 0 {
+			bad = append(bad, strconv.Itoa(i))
+			continue
+		}
+		progs[i] = q.program
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("fabp: invalid batch queries at index %s (nil or empty)",
+			strings.Join(bad, ", "))
+	}
+	return progs, nil
+}
+
 // AlignBatch scans one reference with many queries in a single pass,
 // returning per-query hit lists. Thresholds are the given fraction of each
-// query's own maximum score. Large references pack into bit-planes once
-// and run the bit-parallel kernel per query; small ones share the scalar
-// engine's context array — both are bit-exact.
+// query's own maximum score (rounded, not truncated). Every query is
+// validated before any scanning starts. Large references pack into
+// bit-planes once — cached across calls — and all queries' shards execute
+// on one bounded worker pool; small ones share the scalar engine's context
+// array. Both paths are bit-exact with a serial per-query scan.
 func AlignBatch(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hit, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("fabp: empty batch")
 	}
+	progs, err := batchPrograms(queries)
+	if err != nil {
+		return nil, err
+	}
 	if ref.Len() >= bitParThresholdLen {
 		return alignBatchBitpar(queries, ref, thresholdFrac)
-	}
-	progs := make([]isa.Program, len(queries))
-	for i, q := range queries {
-		progs[i] = q.program
 	}
 	batch, err := core.NewBatchUniform(progs, thresholdFrac)
 	if err != nil {
@@ -209,13 +367,73 @@ func AlignBatch(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hi
 	return out, nil
 }
 
-// alignBatchBitpar is the large-reference batch path: pack once, scan with
-// every query's compiled kernel.
+// alignBatchBitpar is the large-reference batch path: compile and validate
+// every kernel up front, fetch the reference's cached bit-planes, then run
+// every (query, shard) tile on the shared worker pool and stitch per-query
+// hits back together in position order.
 func alignBatchBitpar(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hit, error) {
+	kernels := make([]*bitpar.Kernel, len(queries))
+	var bad []string
+	for i, q := range queries {
+		threshold, err := core.ThresholdFromFraction(thresholdFrac, q.MaxScore())
+		if err != nil {
+			return nil, err // fraction errors are batch-wide, not per query
+		}
+		k, err := bitpar.NewKernel(q.program, threshold)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%d (%v)", i, err))
+			continue
+		}
+		kernels[i] = k
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("fabp: invalid batch queries at index %s", strings.Join(bad, ", "))
+	}
+
+	planes := planesForReference(ref)
+	type task struct{ qi, lo, hi int }
+	var tasks []task
+	for qi, k := range kernels {
+		for _, s := range sched.Plan(ref.Len()-k.QueryElems()+1, 0) {
+			tasks = append(tasks, task{qi, s.Lo, s.Hi})
+		}
+	}
+	parts := make([][]bitpar.Hit, len(tasks))
+	sched.Shared().Each(len(tasks), func(i int) {
+		t := tasks[i]
+		parts[i] = kernels[t.qi].AlignPlanesRange(planes, t.lo, t.hi)
+	})
+
+	out := make([][]Hit, len(queries))
+	counts := make([]int, len(queries))
+	for i, t := range tasks {
+		counts[t.qi] += len(parts[i])
+	}
+	for qi := range out {
+		out[qi] = make([]Hit, 0, counts[qi])
+	}
+	// Tasks were appended per query in ascending shard order, so appending
+	// in task order preserves position order within each query.
+	for i, t := range tasks {
+		for _, h := range parts[i] {
+			out[t.qi] = append(out[t.qi], Hit{Pos: h.Pos, Score: h.Score})
+		}
+	}
+	return out, nil
+}
+
+// alignBatchBitparSerial is the pre-scheduler batch path (pack per call,
+// queries strictly one after another). It is retained as the golden
+// reference the sharded path is proven bit-exact against in tests and as
+// the benchmark baseline.
+func alignBatchBitparSerial(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hit, error) {
 	planes := bitpar.PackReference(ref.seq)
 	out := make([][]Hit, len(queries))
 	for i, q := range queries {
-		threshold := int(thresholdFrac * float64(q.MaxScore()))
+		threshold, err := core.ThresholdFromFraction(thresholdFrac, q.MaxScore())
+		if err != nil {
+			return nil, err
+		}
 		k, err := bitpar.NewKernel(q.program, threshold)
 		if err != nil {
 			return nil, fmt.Errorf("fabp: batch query %d: %w", i, err)

@@ -36,6 +36,7 @@ import (
 	"fabp/internal/core"
 	"fabp/internal/experiments"
 	"fabp/internal/isa"
+	"fabp/internal/sched"
 )
 
 // Hit is one alignment position whose score reached the threshold.
@@ -188,6 +189,11 @@ type Aligner struct {
 	engine *core.Engine
 	kernel *bitpar.Kernel
 	mode   string // "auto", "scalar", "bitparallel"
+	// pool executes database-scan shards; shared process-wide unless
+	// WithParallelism built a private one.
+	pool *sched.Pool
+	// shardLen is the shard size in window starts (0 = sched default).
+	shardLen int
 }
 
 // AlignerOption customizes NewAligner.
@@ -199,6 +205,8 @@ type alignerConfig struct {
 	fraction    float64
 	parallelism int
 	kernel      string
+	shardLen    int
+	err         error
 }
 
 // WithThreshold sets the absolute hit threshold (0..MaxScore).
@@ -206,15 +214,38 @@ func WithThreshold(t int) AlignerOption {
 	return func(c *alignerConfig) { c.threshold = t; c.thresholdOK = true }
 }
 
-// WithThresholdFraction sets the threshold as a fraction of MaxScore;
-// the paper's experiments use 0.8-0.9.
+// WithThresholdFraction sets the threshold as a fraction of MaxScore; the
+// paper's experiments use 0.8-0.9. The fraction must lie in (0, 1] and the
+// resulting threshold rounds to the nearest score (so 0.9 of a 10-element
+// query is 9, not the truncated 8.999… → 8).
 func WithThresholdFraction(f float64) AlignerOption {
-	return func(c *alignerConfig) { c.thresholdOK = false; c.fraction = f }
+	return func(c *alignerConfig) {
+		if f <= 0 || f > 1 || f != f {
+			c.err = fmt.Errorf("fabp: threshold fraction %v outside (0,1]", f)
+			return
+		}
+		c.thresholdOK = false
+		c.fraction = f
+	}
 }
 
-// WithParallelism bounds the worker goroutines (default: GOMAXPROCS).
+// WithParallelism bounds the worker goroutines (default: GOMAXPROCS), for
+// both in-kernel fan-out and the database shard pool.
 func WithParallelism(p int) AlignerOption {
 	return func(c *alignerConfig) { c.parallelism = p }
+}
+
+// WithShardLen overrides the shard size, in window starts, used by
+// database scans (0 = the scheduler default; rounded up to the 64-position
+// block granularity).
+func WithShardLen(n int) AlignerOption {
+	return func(c *alignerConfig) {
+		if n < 0 {
+			c.err = fmt.Errorf("fabp: negative shard length %d", n)
+			return
+		}
+		c.shardLen = n
+	}
 }
 
 // WithKernel selects the alignment implementation: "auto" (default — the
@@ -232,6 +263,9 @@ func NewAligner(q *Query, opts ...AlignerOption) (*Aligner, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
 	switch cfg.kernel {
 	case "auto", "scalar", "bitparallel":
 	default:
@@ -239,20 +273,30 @@ func NewAligner(q *Query, opts ...AlignerOption) (*Aligner, error) {
 	}
 	threshold := cfg.threshold
 	if !cfg.thresholdOK {
-		threshold = int(cfg.fraction * float64(q.MaxScore()))
+		t, err := core.ThresholdFromFraction(cfg.fraction, q.MaxScore())
+		if err != nil {
+			return nil, err
+		}
+		threshold = t
 	}
 	engine, err := core.NewEngine(q.program, threshold)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.parallelism > 0 {
-		engine.SetParallelism(cfg.parallelism)
-	}
 	kernel, err := bitpar.NewKernel(q.program, threshold)
 	if err != nil {
 		return nil, err
 	}
-	return &Aligner{query: q, engine: engine, kernel: kernel, mode: cfg.kernel}, nil
+	pool := sched.Shared()
+	if cfg.parallelism > 0 {
+		engine.SetParallelism(cfg.parallelism)
+		kernel.SetParallelism(cfg.parallelism)
+		pool = sched.NewPool(cfg.parallelism)
+	}
+	return &Aligner{
+		query: q, engine: engine, kernel: kernel, mode: cfg.kernel,
+		pool: pool, shardLen: cfg.shardLen,
+	}, nil
 }
 
 // bitParThresholdLen is the reference size above which "auto" switches to
@@ -300,9 +344,25 @@ func (a *Aligner) Align(ref *Reference) []Hit {
 // whitespace tolerated) in bounded memory, carrying windows across chunk
 // boundaries, and delivers hits to emit in position order. Return an error
 // from emit to stop early.
+//
+// The scan honors the configured kernel: "scalar" runs the engine's
+// chunked reader, "bitparallel" packs each chunk into bit-planes and runs
+// the SIMD-within-register kernel, and "auto" picks the bit-parallel
+// kernel (a stream's length is unknown up front, and streams are
+// typically large). All modes produce identical hits.
 func (a *Aligner) AlignStream(r io.Reader, emit func(Hit) error) error {
-	return a.engine.AlignReader(r, func(h core.Hit) error {
-		return emit(Hit{Pos: h.Pos, Score: h.Score})
+	if a.mode == "scalar" {
+		return a.engine.AlignReader(r, func(h core.Hit) error {
+			return emit(Hit{Pos: h.Pos, Score: h.Score})
+		})
+	}
+	return scanChunks(r, a.query.Elements(), func(seq bio.NucSeq, lo, hi, base int) error {
+		for _, h := range a.kernel.AlignRange(seq, lo, hi) {
+			if err := emit(Hit{Pos: base + h.Pos, Score: h.Score}); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 }
 

@@ -196,6 +196,46 @@ func (k *Kernel) AlignPlanes(pp *Planes) []Hit {
 	return k.alignPacked(pp.p)
 }
 
+// AlignPlanesRange scans only the windows starting in [lo, hi) of a
+// pre-packed reference — the shard primitive: a scheduler tiles the window
+// starts, every shard reads the shared planes (including the Lq−1 overlap
+// past its end and the dependent-bit context before its start), and
+// per-shard hit lists concatenate into exactly AlignPlanes' output.
+func (k *Kernel) AlignPlanesRange(pp *Planes, lo, hi int) []Hit {
+	return k.alignPackedRange(pp.p, lo, hi)
+}
+
+// AlignRange packs the reference and scans windows starting in [lo, hi) —
+// the chunked-streaming primitive (positions are chunk-local).
+func (k *Kernel) AlignRange(ref bio.NucSeq, lo, hi int) []Hit {
+	return k.alignPackedRange(packPlanes(ref), lo, hi)
+}
+
+func (k *Kernel) alignPackedRange(p *planes, lo, hi int) []Hit {
+	n := p.n - len(k.elems) + 1
+	if hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil
+	}
+	// Blocks are 64-position aligned: scan from the aligned start and drop
+	// the lanes below lo.
+	aligned := lo &^ 63
+	hits := k.alignBlocks(p, aligned, hi)
+	if aligned == lo {
+		return hits
+	}
+	trim := 0
+	for trim < len(hits) && hits[trim].Pos < lo {
+		trim++
+	}
+	return hits[trim:]
+}
+
 // Align scans the reference and returns every window position whose score
 // reaches the threshold, in position order. Large references parallelize
 // across blocks (set Parallelism to bound workers).

@@ -1,0 +1,105 @@
+package bitpar
+
+import "sync"
+
+// PlaneCache memoizes packed bit-plane references so a database or
+// reference packed once is reused across queries, batches and sessions —
+// the software analogue of the accelerator's DRAM-resident database, which
+// transfers once and is then scanned by every streamed query. Keys are any
+// comparable value that identifies the sequence (callers use the owning
+// object's pointer); entries evict least-recently-used beyond the
+// capacity. All methods are safe for concurrent use, and concurrent Gets
+// for one key pack at most once.
+type PlaneCache struct {
+	mu      sync.Mutex
+	cap     int
+	tick    uint64
+	entries map[any]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	once    sync.Once
+	planes  *Planes
+	lastUse uint64
+}
+
+// NewPlaneCache builds a cache holding at most capacity packed references
+// (minimum 1).
+func NewPlaneCache(capacity int) *PlaneCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlaneCache{cap: capacity, entries: make(map[any]*cacheEntry)}
+}
+
+var sharedPlanes = NewPlaneCache(4)
+
+// SharedPlanes returns the process-wide cache used by the public database
+// and batch scan paths.
+func SharedPlanes() *PlaneCache { return sharedPlanes }
+
+// Get returns the packed planes for key, invoking pack on the first use
+// (or after eviction). pack runs outside the cache lock; concurrent
+// callers of the same key block until the one packing finishes.
+func (c *PlaneCache) Get(key any, pack func() *Planes) *Planes {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+		c.evictLocked(e)
+	} else {
+		c.hits++
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	e.once.Do(func() { e.planes = pack() })
+	return e.planes
+}
+
+// evictLocked drops least-recently-used entries (never `keep`) until the
+// cache fits its capacity.
+func (c *PlaneCache) evictLocked(keep *cacheEntry) {
+	for len(c.entries) > c.cap {
+		var victim any
+		var oldest uint64
+		found := false
+		for k, e := range c.entries {
+			if e == keep {
+				continue
+			}
+			if !found || e.lastUse < oldest {
+				victim, oldest, found = k, e.lastUse, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(c.entries, victim)
+	}
+}
+
+// Invalidate drops one key (no-op when absent).
+func (c *PlaneCache) Invalidate(key any) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
+// Len returns the resident entry count.
+func (c *PlaneCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *PlaneCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,162 @@
+package bitpar
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/isa"
+)
+
+func TestPlaneCachePacksOncePerKey(t *testing.T) {
+	c := NewPlaneCache(4)
+	rng := rand.New(rand.NewSource(1))
+	ref := bio.RandomNucSeq(rng, 1000)
+	var packs atomic.Int64
+	pack := func() *Planes { packs.Add(1); return PackReference(ref) }
+
+	key := "db-a"
+	p1 := c.Get(key, pack)
+	p2 := c.Get(key, pack)
+	if p1 != p2 || packs.Load() != 1 {
+		t.Fatalf("same key repacked: %d packs", packs.Load())
+	}
+	if p1.Len() != 1000 {
+		t.Fatalf("planes len %d", p1.Len())
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Errorf("stats %d/%d, want 1 hit 1 miss", h, m)
+	}
+	c.Invalidate(key)
+	c.Get(key, pack)
+	if packs.Load() != 2 {
+		t.Error("invalidate must force a repack")
+	}
+}
+
+func TestPlaneCacheEvictsLRU(t *testing.T) {
+	c := NewPlaneCache(2)
+	ref := bio.NucSeq{bio.A, bio.C, bio.G, bio.U}
+	pack := func() *Planes { return PackReference(ref) }
+	c.Get("a", pack)
+	c.Get("b", pack)
+	c.Get("a", pack) // refresh a
+	c.Get("c", pack) // must evict b
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+	var packs atomic.Int64
+	counting := func() *Planes { packs.Add(1); return PackReference(ref) }
+	c.Get("a", counting)
+	if packs.Load() != 0 {
+		t.Error("a was evicted but b was older")
+	}
+	c.Get("b", counting)
+	if packs.Load() != 1 {
+		t.Error("b must have been evicted")
+	}
+}
+
+// TestPlaneCacheConcurrent hammers one cache from many goroutines; run
+// with -race. Concurrent first Gets of a key must pack exactly once.
+func TestPlaneCacheConcurrent(t *testing.T) {
+	c := NewPlaneCache(3)
+	rng := rand.New(rand.NewSource(2))
+	refs := make([]bio.NucSeq, 5)
+	for i := range refs {
+		refs[i] = bio.RandomNucSeq(rng, 500+i)
+	}
+	var packs atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := (g + i) % len(refs)
+				p := c.Get(key, func() *Planes {
+					packs.Add(1)
+					return PackReference(refs[key])
+				})
+				if p.Len() != 500+key {
+					t.Errorf("key %d: planes len %d", key, p.Len())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 3 {
+		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+	if packs.Load() < 5 {
+		t.Errorf("only %d packs for 5 keys", packs.Load())
+	}
+}
+
+// TestAlignPlanesRangeMatchesFull: shard-range scans concatenated in order
+// must reproduce the full scan exactly, for ragged and aligned boundaries.
+func TestAlignPlanesRangeMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		p := bio.RandomProtSeq(rng, 2+rng.Intn(15))
+		prog := isa.MustEncodeProtein(p)
+		ref := bio.RandomNucSeq(rng, len(prog)+rng.Intn(3000))
+		k, err := NewKernel(prog, rng.Intn(len(prog)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes := PackReference(ref)
+		full := k.AlignPlanes(planes)
+		n := len(ref) - len(prog) + 1
+
+		// 64-aligned shards.
+		var sharded []Hit
+		for lo := 0; lo < n; lo += 128 {
+			hi := lo + 128
+			if hi > n {
+				hi = n
+			}
+			sharded = append(sharded, k.AlignPlanesRange(planes, lo, hi)...)
+		}
+		assertSameHits(t, trial, full, sharded)
+
+		// Ragged (unaligned) split point: trimming must still be exact.
+		cut := rng.Intn(n + 1)
+		ragged := append(k.AlignPlanesRange(planes, 0, cut),
+			k.AlignPlanesRange(planes, cut, n)...)
+		assertSameHits(t, trial, full, ragged)
+
+		// Out-of-range requests are clamped, not panics.
+		assertSameHits(t, trial, k.AlignPlanesRange(planes, 0, 3), k.AlignPlanesRange(planes, -5, 3))
+		if got := k.AlignPlanesRange(planes, n+100, n+200); got != nil {
+			t.Fatalf("trial %d: beyond-end range returned %v", trial, got)
+		}
+	}
+}
+
+func TestAlignRangeMatchesAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := bio.RandomProtSeq(rng, 6)
+	prog := isa.MustEncodeProtein(p)
+	ref := bio.RandomNucSeq(rng, 700)
+	k, _ := NewKernel(prog, len(prog)/3)
+	n := len(ref) - len(prog) + 1
+	full := k.Align(ref)
+	got := append(k.AlignRange(ref, 0, 100), k.AlignRange(ref, 100, n)...)
+	assertSameHits(t, 0, full, got)
+}
+
+func assertSameHits(t *testing.T, trial int, want, got []Hit) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("trial %d: %d hits vs %d", trial, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("trial %d hit %d: %+v vs %+v", trial, i, got[i], want[i])
+		}
+	}
+}

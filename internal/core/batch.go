@@ -40,11 +40,16 @@ func NewBatch(progs []isa.Program, thresholds []int) (*Batch, error) {
 }
 
 // NewBatchUniform prepares a batch where every query uses the same
-// threshold fraction of its own maximum score.
+// threshold fraction of its own maximum score (validated and rounded by
+// ThresholdFromFraction).
 func NewBatchUniform(progs []isa.Program, thresholdFrac float64) (*Batch, error) {
 	thresholds := make([]int, len(progs))
 	for i, p := range progs {
-		thresholds[i] = int(thresholdFrac * float64(len(p)))
+		t, err := ThresholdFromFraction(thresholdFrac, len(p))
+		if err != nil {
+			return nil, err
+		}
+		thresholds[i] = t
 	}
 	return NewBatch(progs, thresholds)
 }

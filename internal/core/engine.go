@@ -152,6 +152,28 @@ func (e *Engine) Align(ref bio.NucSeq) []Hit {
 	return hits
 }
 
+// Contexts precomputes the per-position comparison contexts of a
+// reference for repeated AlignContexts calls — the shared read-only input
+// a shard scheduler fans scan ranges over.
+func Contexts(ref bio.NucSeq) []uint8 { return contexts(ref) }
+
+// AlignContexts scores the windows starting in [lo, hi) over a shared
+// context array (see Contexts), in position order. Out-of-range bounds are
+// clamped. Concatenating adjacent ranges reproduces Align exactly.
+func (e *Engine) AlignContexts(ctxs []uint8, lo, hi int) []Hit {
+	n := len(ctxs) - len(e.prog) + 1
+	if hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil
+	}
+	return e.alignRange(ctxs, lo, hi)
+}
+
 // alignRange scores window starts in [lo, hi).
 func (e *Engine) alignRange(ctxs []uint8, lo, hi int) []Hit {
 	var hits []Hit

@@ -2,7 +2,25 @@ package core
 
 import (
 	"fmt"
+	"math"
 )
+
+// ThresholdFromFraction converts a threshold fraction of the maximum score
+// into an absolute score threshold. The fraction must lie in (0, 1]; the
+// product rounds to the nearest integer so float artifacts cannot shift
+// the threshold (naive truncation turns 0.9 × 10 = 8.999… into 8, a full
+// point below the intended 9). Every fraction-threshold path in the
+// repository routes through this one helper.
+func ThresholdFromFraction(frac float64, maxScore int) (int, error) {
+	if frac <= 0 || frac > 1 || math.IsNaN(frac) {
+		return 0, fmt.Errorf("core: threshold fraction %v outside (0,1]", frac)
+	}
+	t := int(math.Round(frac * float64(maxScore)))
+	if t > maxScore {
+		t = maxScore
+	}
+	return t, nil
+}
 
 // This file provides threshold statistics for the "user-defined threshold"
 // the paper leaves unspecified: the exact null distribution of a window's

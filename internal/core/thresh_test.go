@@ -153,3 +153,57 @@ func TestExpectedRandomHits(t *testing.T) {
 		t.Error("short reference must expect 0")
 	}
 }
+
+// TestThresholdFromFractionExact pins the rounding behaviour at exact
+// boundary values, including fractions whose float product lands a hair
+// below the intended integer (the truncation bug this helper fixes).
+func TestThresholdFromFractionExact(t *testing.T) {
+	for _, tc := range []struct {
+		frac     float64
+		maxScore int
+		want     int
+	}{
+		{0.9, 10, 9},   // 0.9*10 = 8.999999999999998 — int() gave 8
+		{0.8, 10, 8},   // 8.000000000000002 — stays 8
+		{0.7, 30, 21},  // 20.999999999999996 — int() gave 20
+		{1.0, 7, 7},    // full score must stay in range
+		{0.5, 30, 15},  // exact product
+		{0.95, 30, 29}, // 28.5 rounds half away from zero
+		{0.001, 300, 0},
+		{1.0, 0, 0},
+	} {
+		got, err := ThresholdFromFraction(tc.frac, tc.maxScore)
+		if err != nil {
+			t.Fatalf("ThresholdFromFraction(%v, %d): %v", tc.frac, tc.maxScore, err)
+		}
+		if got != tc.want {
+			t.Errorf("ThresholdFromFraction(%v, %d) = %d, want %d", tc.frac, tc.maxScore, got, tc.want)
+		}
+	}
+}
+
+// TestThresholdFromFractionRejects: anything outside (0,1] is an error,
+// never a silently clamped threshold.
+func TestThresholdFromFractionRejects(t *testing.T) {
+	for _, bad := range []float64{0, -0.1, -1, 1.0000001, 2, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := ThresholdFromFraction(bad, 30); err == nil {
+			t.Errorf("ThresholdFromFraction(%v, 30): want error, got nil", bad)
+		}
+	}
+}
+
+// TestThresholdFromFractionNeverExceedsMax: rounding can push the value to
+// maxScore but never beyond it.
+func TestThresholdFromFractionNeverExceedsMax(t *testing.T) {
+	for maxScore := 0; maxScore <= 64; maxScore++ {
+		for _, frac := range []float64{0.1, 0.3, 1.0 / 3.0, 0.5, 0.7, 0.9, 0.99, 0.999999999999, 1.0} {
+			got, err := ThresholdFromFraction(frac, maxScore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < 0 || got > maxScore {
+				t.Fatalf("ThresholdFromFraction(%v, %d) = %d out of [0,%d]", frac, maxScore, got, maxScore)
+			}
+		}
+	}
+}

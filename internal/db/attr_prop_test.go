@@ -1,0 +1,150 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+
+	"fabp/internal/bio"
+	"fabp/internal/core"
+	"fabp/internal/isa"
+)
+
+// nucLetters renders a sequence for a synthetic FASTA record body.
+func nucLetters(s bio.NucSeq) string { return s.String() }
+
+// buildRandomDB assembles a database from explicit record lengths.
+func buildRandomDB(t *testing.T, rng *rand.Rand, lengths []int) (*Database, []bio.NucSeq) {
+	t.Helper()
+	recs := make([]*bio.FastaRecord, len(lengths))
+	seqs := make([]bio.NucSeq, len(lengths))
+	for i, n := range lengths {
+		seqs[i] = bio.RandomNucSeq(rng, n)
+		recs[i] = &bio.FastaRecord{ID: "r" + string(rune('a'+i%26)) + "x", Data: nucLetters(seqs[i])}
+	}
+	d, err := Build(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, seqs
+}
+
+// attributeGolden computes what Attribute must return: align each record's
+// own sequence independently, which by construction can never produce a
+// window spanning a record boundary.
+func attributeGolden(d *Database, seqs []bio.NucSeq, e *core.Engine, m int) []RecordHit {
+	var want []RecordHit
+	for i, seq := range seqs {
+		for _, h := range e.Align(seq) {
+			want = append(want, RecordHit{
+				RecordIndex: i,
+				RecordID:    d.Record(i).ID,
+				Offset:      h.Pos,
+				Score:       h.Score,
+			})
+		}
+	}
+	return want
+}
+
+// TestAttributePropertyPerRecord is the property test of the boundary
+// filter: attributing a full concatenated scan must equal aligning every
+// record independently — Attribute drops exactly the windows that span
+// record boundaries, no more, no fewer. Covers single-nucleotide records
+// and queries longer than whole records.
+func TestAttributePropertyPerRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		p := bio.RandomProtSeq(rng, 1+rng.Intn(6))
+		prog := isa.MustEncodeProtein(p)
+		m := len(prog)
+
+		numRecs := 1 + rng.Intn(6)
+		lengths := make([]int, numRecs)
+		for i := range lengths {
+			switch rng.Intn(4) {
+			case 0:
+				lengths[i] = 1 // single-nucleotide record
+			case 1:
+				lengths[i] = 1 + rng.Intn(m) // shorter than the query
+			default:
+				lengths[i] = m + rng.Intn(200)
+			}
+		}
+		d, seqs := buildRandomDB(t, rng, lengths)
+
+		threshold := rng.Intn(m + 1)
+		e, err := core.NewEngine(prog, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := d.Attribute(e.Align(d.Seq()), m)
+		want := attributeGolden(d, seqs, e, m)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (m=%d thr=%d lens=%v): %d attributed hits, want %d",
+				trial, m, threshold, lengths, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d hit %d: %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAttributeQueryLongerThanEveryRecord: a query longer than any record
+// must attribute zero hits even at threshold 0 (every window spans a
+// boundary or falls off the end).
+func TestAttributeQueryLongerThanEveryRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := bio.RandomProtSeq(rng, 4) // 12 elements
+	prog := isa.MustEncodeProtein(p)
+	d, _ := buildRandomDB(t, rng, []int{1, 5, 11, 3})
+	e, err := core.NewEngine(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := e.Align(d.Seq())
+	if len(raw) == 0 {
+		t.Fatal("concatenated scan should produce windows (total length 20 >= 12)")
+	}
+	if got := d.Attribute(raw, len(prog)); len(got) != 0 {
+		t.Fatalf("attributed %d hits across boundaries: %+v", len(got), got)
+	}
+}
+
+// FuzzAttributeBoundaries drives the same property from fuzzed record
+// geometry: bytes become record lengths, the fuzzer hunts for a split
+// where the boundary filter and the per-record golden model disagree.
+func FuzzAttributeBoundaries(f *testing.F) {
+	f.Add([]byte{1, 7, 30}, uint8(2))
+	f.Add([]byte{1, 1, 1, 1}, uint8(1))
+	f.Add([]byte{60, 1, 60}, uint8(5))
+	f.Fuzz(func(t *testing.T, lens []byte, residues uint8) {
+		if len(lens) == 0 || len(lens) > 8 {
+			return
+		}
+		r := 1 + int(residues)%6
+		rng := rand.New(rand.NewSource(7))
+		prog := isa.MustEncodeProtein(bio.RandomProtSeq(rng, r))
+		lengths := make([]int, len(lens))
+		for i, b := range lens {
+			lengths[i] = 1 + int(b)%120
+		}
+		d, seqs := buildRandomDB(t, rng, lengths)
+		e, err := core.NewEngine(prog, len(prog)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := d.Attribute(e.Align(d.Seq()), len(prog))
+		want := attributeGolden(d, seqs, e, len(prog))
+		if len(got) != len(want) {
+			t.Fatalf("lens=%v m=%d: %d hits vs golden %d", lengths, len(prog), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("hit %d: %+v vs golden %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -103,7 +103,19 @@ type Session struct {
 	packed   *bio.PackedNucSeq
 	ref      bio.NucSeq
 	loadCost TransferStats
+	alignFn  AlignFunc
 }
+
+// AlignFunc computes one encoded query's hits against the resident
+// database at an absolute threshold. Installing one (SetAlignFunc) lets
+// the facade substitute its sharded, plane-cached scan for the session's
+// built-in scalar engine; results must stay bit-exact, and only the hit
+// computation is replaced — the timing protocol is unchanged.
+type AlignFunc func(prog isa.Program, threshold int) ([]core.Hit, error)
+
+// SetAlignFunc installs the hit-computation hook (nil restores the
+// built-in engine).
+func (s *Session) SetAlignFunc(f AlignFunc) { s.alignFn = f }
 
 // NewSession prepares an empty card.
 func NewSession(p Platform) *Session { return &Session{platform: p} }
@@ -148,11 +160,19 @@ func (s *Session) RunQuery(prog isa.Program, threshold int) (*QueryResult, error
 		return nil, fmt.Errorf("host: query of %d elements does not fit %s",
 			len(prog), s.platform.Device.Name)
 	}
-	engine, err := core.NewEngine(prog, threshold)
-	if err != nil {
-		return nil, err
+	var hits []core.Hit
+	if s.alignFn != nil {
+		var err error
+		if hits, err = s.alignFn(prog, threshold); err != nil {
+			return nil, err
+		}
+	} else {
+		engine, err := core.NewEngine(prog, threshold)
+		if err != nil {
+			return nil, err
+		}
+		hits = engine.Align(s.ref)
 	}
-	hits := engine.Align(s.ref)
 
 	kernel := fpga.Time(est, len(s.ref), nil)
 	encode := float64(len(prog)) * s.platform.EncodeNsPerElement * 1e-9
@@ -201,11 +221,27 @@ func (s *Session) RunBatch(progs []isa.Program, thresholdFrac float64) (*BatchRe
 		return nil, fmt.Errorf("host: batch sizing (%d elements) does not fit %s",
 			maxElems, s.platform.Device.Name)
 	}
-	batch, err := core.NewBatchUniform(progs, thresholdFrac)
-	if err != nil {
-		return nil, err
+	var perQuery [][]core.Hit
+	if s.alignFn != nil {
+		perQuery = make([][]core.Hit, len(progs))
+		for i, p := range progs {
+			threshold, err := core.ThresholdFromFraction(thresholdFrac, len(p))
+			if err != nil {
+				return nil, err
+			}
+			hits, err := s.alignFn(p, threshold)
+			if err != nil {
+				return nil, err
+			}
+			perQuery[i] = hits
+		}
+	} else {
+		batch, err := core.NewBatchUniform(progs, thresholdFrac)
+		if err != nil {
+			return nil, err
+		}
+		perQuery = batch.Align(s.ref)
 	}
-	perQuery := batch.Align(s.ref)
 
 	kernelOne := fpga.Time(est, len(s.ref), nil).Seconds
 	var total float64

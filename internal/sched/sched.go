@@ -1,0 +1,188 @@
+// Package sched is the shard scheduler behind FabP's database scans: it
+// tiles a scan range into independent shards and executes them on a
+// bounded worker pool shared by every query of a batch — the software
+// rendering of the paper's decomposition into parallel alignment lanes
+// (256 instances per 512-bit beat), and the same tiling GeneTEK-style
+// designs use across compute lanes.
+//
+// Shards are expressed in *window starts*: a shard [Lo, Hi) scores the
+// alignment windows starting in that range, which means the underlying
+// kernel reads reference elements [Lo, Hi+Lq−1) — the shardLen + Lq−1
+// overlap carry mirrors the cross-beat carry of the hardware reference
+// buffer. Because every shard reads from one shared packed reference
+// (context array or bit-planes), the carry costs no copying.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultShardLen is the default shard size in window starts. It is large
+// enough to amortize goroutine dispatch and small enough to load-balance a
+// multi-query batch across cores.
+const DefaultShardLen = 1 << 18
+
+// Shard is one tile of a scan: window starts [Lo, Hi).
+type Shard struct {
+	// Index is the shard's position in the plan (shards are emitted in
+	// ascending position order).
+	Index int
+	// Lo and Hi bound the window starts, Lo inclusive, Hi exclusive. Lo is
+	// 64-aligned so bit-parallel kernels scan whole blocks.
+	Lo, Hi int
+}
+
+// Plan tiles `starts` window starts into shards of at most shardLen starts
+// each (0 or negative = DefaultShardLen). Shard boundaries are 64-aligned
+// for the bit-parallel kernel's block layout; the scalar engine is
+// indifferent to alignment.
+func Plan(starts, shardLen int) []Shard {
+	if starts <= 0 {
+		return nil
+	}
+	if shardLen <= 0 {
+		shardLen = DefaultShardLen
+	}
+	// Round up to the 64-position block granularity.
+	shardLen = (shardLen + 63) &^ 63
+	shards := make([]Shard, 0, (starts+shardLen-1)/shardLen)
+	for lo := 0; lo < starts; lo += shardLen {
+		hi := lo + shardLen
+		if hi > starts {
+			hi = starts
+		}
+		shards = append(shards, Shard{Index: len(shards), Lo: lo, Hi: hi})
+	}
+	return shards
+}
+
+// Pool is a bounded worker pool. All shards of all queries in a batch run
+// on one pool, so total concurrency stays bounded no matter how many
+// queries or shards are in flight.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool builds a pool allowing `workers` concurrent tasks (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool (sized to GOMAXPROCS at first use),
+// the default executor for database scans.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(runtime.GOMAXPROCS(0)) })
+	return sharedPool
+}
+
+// Each runs run(0..n-1) on the pool and waits for all of them. Submission
+// blocks while the pool is saturated, bounding in-flight work.
+func (p *Pool) Each(n int, run func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.Workers() == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Gather runs produce(0..n-1) on the pool and concatenates the results in
+// index order — shards planned in position order come back as one
+// position-ordered hit list.
+func Gather[T any](p *Pool, n int, produce func(i int) []T) []T {
+	if n == 1 {
+		return produce(0)
+	}
+	parts := make([][]T, n)
+	p.Each(n, func(i int) { parts[i] = produce(i) })
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]T, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// StreamOrdered runs produce(0..n-1) on the pool and delivers every
+// produced item to emit in index order, holding at most Workers()+1
+// produced-but-unemitted batches in memory — the bounded-memory engine
+// under streaming database scans. The first error from produce or emit
+// stops the run (already-launched producers finish, their output is
+// dropped) and is returned.
+func StreamOrdered[T any](p *Pool, n int, produce func(i int) ([]T, error), emit func(T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	type result struct {
+		items []T
+		err   error
+	}
+	results := make([]chan result, n)
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	// tickets bounds dispatch: one per produced-but-unconsumed shard.
+	tickets := make(chan struct{}, p.Workers()+1)
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			select {
+			case tickets <- struct{}{}:
+			case <-stop:
+				return
+			}
+			go func(i int) {
+				p.sem <- struct{}{}
+				items, err := produce(i)
+				<-p.sem
+				results[i] <- result{items, err}
+			}(i)
+		}
+	}()
+	defer close(stop)
+	for i := 0; i < n; i++ {
+		r := <-results[i]
+		<-tickets
+		if r.err != nil {
+			return r.err
+		}
+		for _, item := range r.items {
+			if err := emit(item); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

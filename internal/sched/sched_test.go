@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPlanCoversEveryStartOnce(t *testing.T) {
+	for _, tc := range []struct{ starts, shardLen int }{
+		{0, 0}, {-5, 0}, {1, 0}, {63, 64}, {64, 64}, {65, 64},
+		{1000, 128}, {1 << 20, 0}, {12345, 100}, // 100 rounds up to 128
+	} {
+		shards := Plan(tc.starts, tc.shardLen)
+		if tc.starts <= 0 {
+			if shards != nil {
+				t.Errorf("Plan(%d,%d) = %v, want nil", tc.starts, tc.shardLen, shards)
+			}
+			continue
+		}
+		pos := 0
+		for i, s := range shards {
+			if s.Index != i {
+				t.Fatalf("shard %d has Index %d", i, s.Index)
+			}
+			if s.Lo != pos || s.Hi <= s.Lo {
+				t.Fatalf("Plan(%d,%d): shard %d = [%d,%d), want Lo=%d",
+					tc.starts, tc.shardLen, i, s.Lo, s.Hi, pos)
+			}
+			if s.Lo%64 != 0 {
+				t.Fatalf("shard %d Lo %d not 64-aligned", i, s.Lo)
+			}
+			pos = s.Hi
+		}
+		if pos != tc.starts {
+			t.Errorf("Plan(%d,%d) covers %d starts", tc.starts, tc.shardLen, pos)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	if p.Workers() != 3 {
+		t.Fatalf("workers %d", p.Workers())
+	}
+	var cur, max atomic.Int64
+	p.Each(50, func(int) {
+		if c := cur.Add(1); c > max.Load() {
+			max.Store(c)
+		}
+		defer cur.Add(-1)
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+	})
+	if m := max.Load(); m > 3 {
+		t.Errorf("observed %d concurrent tasks, bound is 3", m)
+	}
+}
+
+func TestGatherPreservesIndexOrder(t *testing.T) {
+	p := NewPool(8)
+	got := Gather(p, 40, func(i int) []int {
+		return []int{i * 2, i*2 + 1}
+	})
+	if len(got) != 80 {
+		t.Fatalf("len %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	if out := Gather(p, 5, func(int) []int { return nil }); out != nil {
+		t.Errorf("all-empty gather = %v, want nil", out)
+	}
+}
+
+func TestStreamOrderedDeliversInOrder(t *testing.T) {
+	p := NewPool(4)
+	var got []int
+	err := StreamOrdered(p, 30, func(i int) ([]int, error) {
+		return []int{i * 10, i*10 + 1}, nil
+	}, func(v int) error {
+		got = append(got, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out of order at %d: %v", i, got[i-3:i+1])
+		}
+	}
+}
+
+func TestStreamOrderedStopsOnError(t *testing.T) {
+	p := NewPool(4)
+	produceErr := errors.New("shard exploded")
+	err := StreamOrdered(p, 100, func(i int) ([]int, error) {
+		if i == 7 {
+			return nil, produceErr
+		}
+		return []int{i}, nil
+	}, func(int) error { return nil })
+	if !errors.Is(err, produceErr) {
+		t.Errorf("produce error lost: %v", err)
+	}
+
+	emitErr := errors.New("consumer full")
+	var seen int
+	err = StreamOrdered(p, 100, func(i int) ([]int, error) {
+		return []int{i}, nil
+	}, func(v int) error {
+		seen++
+		if v == 5 {
+			return emitErr
+		}
+		return nil
+	})
+	if !errors.Is(err, emitErr) {
+		t.Errorf("emit error lost: %v", err)
+	}
+	if seen != 6 {
+		t.Errorf("emitted %d items after early stop, want 6", seen)
+	}
+}
+
+// TestPoolSharedAcrossGoroutines exercises the shared pool from many
+// concurrent batch-like callers; run with -race.
+func TestPoolSharedAcrossGoroutines(t *testing.T) {
+	p := Shared()
+	if p != Shared() {
+		t.Fatal("Shared must return one pool")
+	}
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits := Gather(p, 20, func(i int) []int { return []int{i} })
+			total.Add(int64(len(hits)))
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 120 {
+		t.Errorf("total %d", total.Load())
+	}
+}
+
+func ExamplePlan() {
+	for _, s := range Plan(300, 128) {
+		fmt.Printf("[%d,%d) ", s.Lo, s.Hi)
+	}
+	// Output: [0,128) [128,256) [256,300)
+}

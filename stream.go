@@ -1,0 +1,81 @@
+package fabp
+
+import (
+	"fmt"
+	"io"
+
+	"fabp/internal/bio"
+)
+
+// streamChunkLetters is the chunk size of the bounded-memory stream scan;
+// a variable so tests can exercise the chunk-boundary carry cheaply.
+var streamChunkLetters = 1 << 20
+
+// scanChunks reads a nucleotide stream (raw letters, whitespace tolerated)
+// in fixed-size chunks, carrying the last Lq−1 elements plus two elements
+// of comparison context between chunks — the same cross-beat carry the
+// hardware reference buffer implements and core.Engine.AlignReader mirrors
+// — and invokes scan once per chunk with the chunk-local window-start
+// range [lo, hi) that is new in this chunk. Global position = base + local
+// position. scan returning an error stops the scan.
+func scanChunks(r io.Reader, m int, scan func(seq bio.NucSeq, lo, hi, base int) error) error {
+	chunkLetters := streamChunkLetters
+	if chunkLetters < m+2 {
+		chunkLetters = m + 2
+	}
+
+	carry := make(bio.NucSeq, 0, m+1)
+	buf := make([]byte, chunkLetters)
+	seq := make(bio.NucSeq, 0, chunkLetters+m+2)
+	base := 0 // global position of seq[0]
+	skip := 0 // window starts below this are re-carried context, already scanned
+
+	flush := func(final bool) error {
+		n := len(seq) - m + 1
+		if !final {
+			// Only scan windows whose full extent is present; the last m-1
+			// elements carry to the next chunk.
+			n = len(seq) - (m - 1)
+		}
+		if n <= skip {
+			return nil
+		}
+		return scan(seq, skip, n, base)
+	}
+
+	for {
+		nRead, readErr := r.Read(buf)
+		for _, b := range buf[:nRead] {
+			switch b {
+			case ' ', '\t', '\n', '\r':
+				continue
+			}
+			nt, err := bio.ParseNucleotide(b)
+			if err != nil {
+				return fmt.Errorf("fabp: position %d: %w", base+len(seq), err)
+			}
+			seq = append(seq, nt)
+		}
+		if len(seq) >= chunkLetters {
+			if err := flush(false); err != nil {
+				return err
+			}
+			// Carry the unscanned tail (m-1 elements) plus 2 elements of
+			// comparison context for the first carried window.
+			keep := m + 1
+			if keep > len(seq) {
+				keep = len(seq)
+			}
+			carry = append(carry[:0], seq[len(seq)-keep:]...)
+			base += len(seq) - keep
+			seq = append(seq[:0], carry...)
+			skip = keep - (m - 1) // the context prefix, already scanned
+		}
+		if readErr == io.EOF {
+			return flush(true)
+		}
+		if readErr != nil {
+			return readErr
+		}
+	}
+}
