@@ -4,6 +4,7 @@ package fabp_test
 // its primary flows end-to-end through real files.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -126,6 +127,79 @@ func TestCLIAlignDemo(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in demo output", want)
 		}
+	}
+}
+
+// TestCLIAlignMetrics checks the -metrics dump: valid JSON whose counters
+// reconcile — shards run == shards planned, and the plane cache saw exactly
+// the lookups the scans issued.
+func TestCLIAlignMetrics(t *testing.T) {
+	bin := buildCLI(t, "fabp-align")
+	out := run(t, bin, "-demo", "-metrics")
+	_, jsonPart, found := strings.Cut(out, "=== metrics\n")
+	if !found {
+		t.Fatalf("no metrics section in output:\n%s", out)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(jsonPart), &snap); err != nil {
+		t.Fatalf("metrics are not valid JSON: %v\n%s", err, jsonPart)
+	}
+	c := snap.Counters
+	if c["align.queries.started"] == 0 {
+		t.Error("no queries recorded")
+	}
+	if c["scan.shards.run"] != c["scan.shards.planned"] || c["scan.shards.run"] == 0 {
+		t.Errorf("shards run %d != planned %d", c["scan.shards.run"], c["scan.shards.planned"])
+	}
+	if got := c["cache.hits"] + c["cache.misses"]; got != c["scan.plane.lookups"] {
+		t.Errorf("cache lookups %d != plane lookups %d", got, c["scan.plane.lookups"])
+	}
+	if c["cache.hits"] == 0 {
+		t.Error("demo queries share one database; expected plane-cache hits")
+	}
+}
+
+// TestCLIBenchPerf checks the bench-trajectory point: a BENCH_<date>.json
+// with throughput numbers and the telemetry-derived cache hit rate.
+func TestCLIBenchPerf(t *testing.T) {
+	bin := buildCLI(t, "fabp-bench")
+	dir := t.TempDir()
+	out := run(t, bin, "-perf", "-perf-out", dir)
+	if !strings.Contains(out, "ns/op") || !strings.Contains(out, "cache hit rate") {
+		t.Errorf("perf output: %s", out)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("bench report files %v (err %v), want exactly one", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Date         string  `json:"date"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+		Runs         []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+			Hits    int     `json:"hits"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Date == "" || len(report.Runs) < 2 {
+		t.Fatalf("report incomplete: %+v", report)
+	}
+	for _, r := range report.Runs {
+		if r.NsPerOp <= 0 || r.Hits == 0 {
+			t.Errorf("run %s: ns/op %v hits %d", r.Name, r.NsPerOp, r.Hits)
+		}
+	}
+	if report.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate %v, want > 0 (planes reused across queries)", report.CacheHitRate)
 	}
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,12 +33,16 @@ func main() {
 	demo := flag.Bool("demo", false, "run on a built-in synthetic workload")
 	kernel := flag.String("kernel", "auto", "alignment kernel: auto, scalar or bitparallel")
 	workers := flag.Int("workers", 0, "bound scan worker goroutines (0 = all cores)")
+	metrics := flag.Bool("metrics", false, "dump a telemetry snapshot as JSON after aligning")
 	flag.Parse()
 
 	opts := alignOpts{frac: *thresholdFrac, auto: *autoThreshold, maxFP: *maxFP,
 		tblastn: *runTBLASTN, top: *top, kernel: *kernel, workers: *workers}
 	if *demo {
 		runDemo(opts)
+		if *metrics {
+			dumpMetrics()
+		}
 		return
 	}
 	if *queryPath == "" || *refPath == "" {
@@ -61,9 +66,27 @@ func main() {
 		log.Fatalf("reading queries: %v", err)
 	}
 
-	for _, qr := range queries {
-		alignOne(qr.id, qr.prot, ref, opts)
+	// One shared database so the packed planes are built once and every
+	// query after the first is a plane-cache hit.
+	dbase, err := fabp.DatabaseFromReference("ref", ref)
+	if err != nil {
+		log.Fatalf("indexing reference: %v", err)
 	}
+	for _, qr := range queries {
+		alignOne(qr.id, qr.prot, ref, dbase, opts)
+	}
+	if *metrics {
+		dumpMetrics()
+	}
+}
+
+// dumpMetrics prints the process-wide telemetry snapshot as indented JSON.
+func dumpMetrics() {
+	b, err := json.MarshalIndent(fabp.DefaultMetrics(), "", "  ")
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	fmt.Printf("\n=== metrics\n%s\n", b)
 }
 
 type alignOpts struct {
@@ -111,7 +134,7 @@ func readProteinFasta(path string) ([]protRecord, error) {
 	return out, nil
 }
 
-func alignOne(id, prot string, ref *fabp.Reference, opts alignOpts) {
+func alignOne(id, prot string, ref *fabp.Reference, dbase *fabp.Database, opts alignOpts) {
 	q, err := fabp.NewQuery(prot)
 	if err != nil {
 		log.Printf("query %s: %v", id, err)
@@ -136,7 +159,9 @@ func alignOne(id, prot string, ref *fabp.Reference, opts alignOpts) {
 		log.Printf("query %s: %v", id, err)
 		return
 	}
-	hits := a.Align(ref)
+	// Scan through the database path: sharded across the worker pool, with
+	// the packed planes served from the shared cache.
+	hits := a.AlignDatabase(dbase)
 	fmt.Printf("\nquery %s (%d aa, %d elements, threshold %d/%d): %d hits\n",
 		id, q.Residues(), q.Elements(), a.Threshold(), q.MaxScore(), len(hits))
 	shown := 0
@@ -145,7 +170,7 @@ func alignOne(id, prot string, ref *fabp.Reference, opts alignOpts) {
 			fmt.Printf("  ... %d more\n", len(hits)-shown)
 			break
 		}
-		fmt.Printf("  pos %-10d score %d/%d  E=%.2g\n", h.Pos, h.Score, q.MaxScore(),
+		fmt.Printf("  pos %-10d score %d/%d  E=%.2g\n", h.Offset, h.Score, q.MaxScore(),
 			a.EValueOf(h.Score, ref.Len()))
 		shown++
 	}
@@ -171,6 +196,10 @@ func alignOne(id, prot string, ref *fabp.Reference, opts alignOpts) {
 func runDemo(opts alignOpts) {
 	fmt.Println("demo: 200 kb synthetic reference with 8 planted genes")
 	ref, genes := fabp.SyntheticReference(2021, 200_000, 8, 80)
+	dbase, err := fabp.DatabaseFromReference("demo", ref)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, g := range genes[:3] {
 		// Diverge the query like a real homology search.
 		mut, hadIndel, err := fabp.MutateProtein(int64(i)+1, g.Protein, 0.05, 0.09)
@@ -178,6 +207,6 @@ func runDemo(opts alignOpts) {
 			log.Fatal(err)
 		}
 		fmt.Printf("\n=== planted gene %d at nucleotide %d (indel during divergence: %v)\n", i, g.Pos, hadIndel)
-		alignOne(fmt.Sprintf("demo-%d", i), mut, ref, opts)
+		alignOne(fmt.Sprintf("demo-%d", i), mut, ref, dbase, opts)
 	}
 }

@@ -6,9 +6,11 @@
 //	fabp-bench            # run everything
 //	fabp-bench -exp fig6a # one experiment
 //	fabp-bench -list      # list experiment ids
+//	fabp-bench -perf      # measured throughput point, written to BENCH_<date>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,8 +26,25 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (default: all)")
 	format := flag.String("format", "text", "output format: text, markdown, csv")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	perf := flag.Bool("perf", false, "measure scan throughput and write BENCH_<date>.json")
+	perfOut := flag.String("perf-out", ".", "directory for the -perf JSON report")
+	perfScale := flag.Int("perf-scale", 1, "reference size multiplier for -perf (1 = 100 kb)")
+	metrics := flag.Bool("metrics", false, "dump a telemetry snapshot as JSON after running")
 	flag.Parse()
 
+	if *metrics {
+		defer func() {
+			b, err := json.MarshalIndent(fabp.DefaultMetrics(), "", "  ")
+			if err != nil {
+				log.Fatalf("metrics: %v", err)
+			}
+			fmt.Printf("\n=== metrics\n%s\n", b)
+		}()
+	}
+	if *perf {
+		runPerf(*perfOut, *perfScale)
+		return
+	}
 	if *list {
 		fmt.Println(strings.Join(fabp.ExperimentNames(), "\n"))
 		return

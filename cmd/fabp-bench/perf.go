@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"fabp"
+)
+
+// perfReport is one point on the bench trajectory: BENCH_<date>.json files
+// accumulate in a checkout (or an artifact store) so throughput regressions
+// show up as a broken time series rather than a vibe.
+type perfReport struct {
+	Date         string            `json:"date"`
+	GoVersion    string            `json:"go_version"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	RefLen       int               `json:"ref_len"`
+	Queries      int               `json:"queries"`
+	Reps         int               `json:"reps"`
+	Runs         []perfRun         `json:"runs"`
+	CacheHitRate float64           `json:"cache_hit_rate"`
+	Counters     map[string]uint64 `json:"counters"`
+}
+
+// perfRun is one measured configuration.
+type perfRun struct {
+	Name       string  `json:"name"`
+	Ops        int     `json:"ops"`
+	Hits       int     `json:"hits"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	HitsPerSec float64 `json:"hits_per_sec"`
+}
+
+// runPerf measures database-scan throughput on a synthetic workload and
+// writes BENCH_<date>.json into outDir. scale multiplies the 100 kb base
+// reference; scale 1 keeps the run CI-cheap (a few seconds).
+func runPerf(outDir string, scale int) {
+	if scale < 1 {
+		scale = 1
+	}
+	refLen := 100_000 * scale
+	const nQueries, reps = 4, 3
+
+	ref, genes := fabp.SyntheticReference(42, refLen, nQueries, 60)
+	dbase, err := fabp.DatabaseFromReference("perf", ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aligners := make([]*fabp.Aligner, nQueries)
+	for i, g := range genes[:nQueries] {
+		q, err := fabp.NewQuery(g.Protein)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aligners[i], err = fabp.NewAligner(q, fabp.WithThresholdFraction(0.85))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m := fabp.DefaultMetrics()
+	m.Reset()
+	aligners[0].AlignDatabase(dbase) // warm the plane cache outside the clock
+
+	report := perfReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RefLen:     refLen,
+		Queries:    nQueries,
+		Reps:       reps,
+	}
+	for _, cfg := range []struct {
+		name string
+		scan func() int
+	}{
+		{"align_database", func() int {
+			hits := 0
+			for _, a := range aligners {
+				hits += len(a.AlignDatabase(dbase))
+			}
+			return hits
+		}},
+		{"align_database_stream", func() int {
+			hits := 0
+			for _, a := range aligners {
+				if err := a.AlignDatabaseStream(dbase, func(fabp.RecordHit) error {
+					hits++
+					return nil
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return hits
+		}},
+	} {
+		hits := 0
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			hits += cfg.scan()
+		}
+		elapsed := time.Since(t0)
+		ops := nQueries * reps
+		run := perfRun{
+			Name:    cfg.name,
+			Ops:     ops,
+			Hits:    hits,
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			run.HitsPerSec = float64(hits) / secs
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Printf("%-22s %8d ops  %12.0f ns/op  %10.0f hits/s\n",
+			cfg.name, run.Ops, run.NsPerOp, run.HitsPerSec)
+	}
+
+	snap := m.Snapshot()
+	report.CacheHitRate = snap.CacheHitRate()
+	report.Counters = snap.Counters
+
+	path := filepath.Join(outDir, "BENCH_"+report.Date+".json")
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache hit rate %.2f; wrote %s\n", report.CacheHitRate, path)
+}

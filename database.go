@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"fabp/internal/bio"
 	"fabp/internal/bitpar"
@@ -131,7 +132,9 @@ func (a *Aligner) databaseScan(d *Database) (scan func(lo, hi int) []core.Hit, s
 	if starts <= 0 {
 		return nil, 0
 	}
+	a.tm.kernelChosen(a.useBitpar(d.Len()))
 	if a.useBitpar(d.Len()) {
+		a.tm.planeLookups.Inc()
 		planes := d.planes()
 		return func(lo, hi int) []core.Hit {
 			return bitparToCore(a.kernel.AlignPlanesRange(planes, lo, hi))
@@ -143,10 +146,24 @@ func (a *Aligner) databaseScan(d *Database) (scan func(lo, hi int) []core.Hit, s
 	}, starts
 }
 
+// instrumentShard wraps a shard-scan function so each execution records
+// latency and the shards-run counter on tm.
+func instrumentShard(tm *alignerMetrics, scan func(lo, hi int) []core.Hit) func(lo, hi int) []core.Hit {
+	return func(lo, hi int) []core.Hit {
+		t0 := time.Now()
+		hits := scan(lo, hi)
+		observeSince(tm.shardLatency, t0)
+		tm.shardsRun.Inc()
+		return hits
+	}
+}
+
 // scanShards executes a scan function over the shard plan on the aligner's
 // pool and returns the concatenated, position-ordered hits.
 func (a *Aligner) scanShards(starts int, scan func(lo, hi int) []core.Hit) []core.Hit {
 	shards := sched.Plan(starts, a.shardLen)
+	a.tm.shardsPlanned.Add(uint64(len(shards)))
+	scan = instrumentShard(&a.tm, scan)
 	return sched.Gather(a.pool, len(shards), func(i int) []core.Hit {
 		return scan(shards[i].Lo, shards[i].Hi)
 	})
@@ -157,12 +174,17 @@ func (a *Aligner) scanShards(starts int, scan func(lo, hi int) []core.Hit) []cor
 // The scan is tiled into shards executed on the aligner's worker pool and
 // is bit-exact with a serial scan.
 func (a *Aligner) AlignDatabase(d *Database) []RecordHit {
+	a.tm.queries.Inc()
+	t0 := time.Now()
 	scan, starts := a.databaseScan(d)
 	var raw []core.Hit
 	if scan != nil {
 		raw = a.scanShards(starts, scan)
 	}
-	return toRecordHits(d.d.Attribute(raw, a.query.Elements()))
+	hits := toRecordHits(d.d.Attribute(raw, a.query.Elements()))
+	observeSince(a.tm.alignLatency, t0)
+	a.tm.hits.Add(uint64(len(hits)))
+	return hits
 }
 
 // AlignDatabaseStream scans the database shard by shard and delivers
@@ -171,17 +193,23 @@ func (a *Aligner) AlignDatabase(d *Database) []RecordHit {
 // list would not fit (or should not wait) in one slice. Return an error
 // from emit to stop early.
 func (a *Aligner) AlignDatabaseStream(d *Database, emit func(RecordHit) error) error {
+	a.tm.queries.Inc()
+	t0 := time.Now()
+	defer func() { observeSince(a.tm.alignLatency, t0) }()
 	scan, starts := a.databaseScan(d)
 	if scan == nil {
 		return nil
 	}
 	shards := sched.Plan(starts, a.shardLen)
+	a.tm.shardsPlanned.Add(uint64(len(shards)))
+	scan = instrumentShard(&a.tm, scan)
 	m := a.query.Elements()
 	return sched.StreamOrdered(a.pool, len(shards),
 		func(i int) ([]db.RecordHit, error) {
 			return d.d.Attribute(scan(shards[i].Lo, shards[i].Hi), m), nil
 		},
 		func(h db.RecordHit) error {
+			a.tm.hits.Inc()
 			return emit(RecordHit{
 				RecordID:    h.RecordID,
 				RecordIndex: h.RecordIndex,
@@ -237,25 +265,38 @@ func (s *Session) scan(prog isa.Program, threshold int) ([]core.Hit, error) {
 	if starts <= 0 {
 		return nil, nil
 	}
+	tm := &defaultAlignerTM
+	tm.queries.Inc()
 	shards := sched.Plan(starts, 0)
+	tm.shardsPlanned.Add(uint64(len(shards)))
+	var scan func(lo, hi int) []core.Hit
+	tm.kernelChosen(s.d.Len() >= bitParThresholdLen)
 	if s.d.Len() >= bitParThresholdLen {
 		k, err := bitpar.NewKernel(prog, threshold)
 		if err != nil {
 			return nil, err
 		}
+		tm.planeLookups.Inc()
 		planes := s.d.planes()
-		return sched.Gather(sched.Shared(), len(shards), func(i int) []core.Hit {
-			return bitparToCore(k.AlignPlanesRange(planes, shards[i].Lo, shards[i].Hi))
-		}), nil
+		scan = func(lo, hi int) []core.Hit {
+			return bitparToCore(k.AlignPlanesRange(planes, lo, hi))
+		}
+	} else {
+		e, err := core.NewEngine(prog, threshold)
+		if err != nil {
+			return nil, err
+		}
+		ctxs := core.Contexts(s.d.d.Seq())
+		scan = func(lo, hi int) []core.Hit {
+			return e.AlignContexts(ctxs, lo, hi)
+		}
 	}
-	e, err := core.NewEngine(prog, threshold)
-	if err != nil {
-		return nil, err
-	}
-	ctxs := core.Contexts(s.d.d.Seq())
-	return sched.Gather(sched.Shared(), len(shards), func(i int) []core.Hit {
-		return e.AlignContexts(ctxs, shards[i].Lo, shards[i].Hi)
-	}), nil
+	scan = instrumentShard(tm, scan)
+	hits := sched.Gather(sched.Shared(), len(shards), func(i int) []core.Hit {
+		return scan(shards[i].Lo, shards[i].Hi)
+	})
+	tm.hits.Add(uint64(len(hits)))
+	return hits, nil
 }
 
 // QueryTiming decomposes one query's projected end-to-end time in seconds.
@@ -356,6 +397,9 @@ func AlignBatch(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hi
 	if err != nil {
 		return nil, err
 	}
+	tm := &defaultAlignerTM
+	tm.queries.Add(uint64(len(queries)))
+	tm.kernelScalar.Add(uint64(len(queries)))
 	raw := batch.Align(ref.seq)
 	out := make([][]Hit, len(raw))
 	for i, hits := range raw {
@@ -363,6 +407,7 @@ func AlignBatch(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hi
 		for j, h := range hits {
 			out[i][j] = Hit{Pos: h.Pos, Score: h.Score}
 		}
+		tm.hits.Add(uint64(len(hits)))
 	}
 	return out, nil
 }
@@ -390,6 +435,10 @@ func alignBatchBitpar(queries []*Query, ref *Reference, thresholdFrac float64) (
 		return nil, fmt.Errorf("fabp: invalid batch queries at index %s", strings.Join(bad, ", "))
 	}
 
+	tm := &defaultAlignerTM
+	tm.queries.Add(uint64(len(queries)))
+	tm.kernelBitpar.Add(uint64(len(queries)))
+	tm.planeLookups.Inc()
 	planes := planesForReference(ref)
 	type task struct{ qi, lo, hi int }
 	var tasks []task
@@ -398,10 +447,14 @@ func alignBatchBitpar(queries []*Query, ref *Reference, thresholdFrac float64) (
 			tasks = append(tasks, task{qi, s.Lo, s.Hi})
 		}
 	}
+	tm.shardsPlanned.Add(uint64(len(tasks)))
 	parts := make([][]bitpar.Hit, len(tasks))
 	sched.Shared().Each(len(tasks), func(i int) {
 		t := tasks[i]
+		t0 := time.Now()
 		parts[i] = kernels[t.qi].AlignPlanesRange(planes, t.lo, t.hi)
+		observeSince(tm.shardLatency, t0)
+		tm.shardsRun.Inc()
 	})
 
 	out := make([][]Hit, len(queries))
@@ -411,6 +464,7 @@ func alignBatchBitpar(queries []*Query, ref *Reference, thresholdFrac float64) (
 	}
 	for qi := range out {
 		out[qi] = make([]Hit, 0, counts[qi])
+		tm.hits.Add(uint64(counts[qi]))
 	}
 	// Tasks were appended per query in ascending shard order, so appending
 	// in task order preserves position order within each query.

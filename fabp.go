@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"fabp/internal/backtrans"
 	"fabp/internal/bio"
@@ -194,6 +195,11 @@ type Aligner struct {
 	pool *sched.Pool
 	// shardLen is the shard size in window starts (0 = sched default).
 	shardLen int
+	// metrics is where this aligner reports (DefaultMetrics unless
+	// WithTelemetry supplied a private collector); tm holds the resolved
+	// per-metric handles the scan paths write through.
+	metrics *Metrics
+	tm      alignerMetrics
 }
 
 // AlignerOption customizes NewAligner.
@@ -206,6 +212,7 @@ type alignerConfig struct {
 	parallelism int
 	kernel      string
 	shardLen    int
+	metrics     *Metrics
 	err         error
 }
 
@@ -229,10 +236,33 @@ func WithThresholdFraction(f float64) AlignerOption {
 	}
 }
 
-// WithParallelism bounds the worker goroutines (default: GOMAXPROCS), for
-// both in-kernel fan-out and the database shard pool.
+// WithParallelism bounds the worker goroutines, for both in-kernel
+// fan-out and the database shard pool. Zero is the documented default
+// (GOMAXPROCS on the shared process-wide pool); negative values are an
+// error.
 func WithParallelism(p int) AlignerOption {
-	return func(c *alignerConfig) { c.parallelism = p }
+	return func(c *alignerConfig) {
+		if p < 0 {
+			c.err = fmt.Errorf("fabp: negative parallelism %d (0 = all cores)", p)
+			return
+		}
+		c.parallelism = p
+	}
+}
+
+// WithTelemetry directs the aligner's metrics to a private collector
+// (see NewMetrics) instead of the process-wide DefaultMetrics. The shared
+// shard pool and plane cache remain process-wide reporters; an aligner
+// that also sets WithParallelism gets a private pool whose pool.* metrics
+// follow the private collector.
+func WithTelemetry(m *Metrics) AlignerOption {
+	return func(c *alignerConfig) {
+		if m == nil {
+			c.err = fmt.Errorf("fabp: nil Metrics (use NewMetrics or DefaultMetrics)")
+			return
+		}
+		c.metrics = m
+	}
 }
 
 // WithShardLen overrides the shard size, in window starts, used by
@@ -257,9 +287,10 @@ func WithKernel(kernel string) AlignerOption {
 }
 
 // NewAligner builds an aligner for the query. Without options the
-// threshold defaults to 80 % of the maximum score.
+// threshold defaults to 80 % of the maximum score and telemetry reports
+// to DefaultMetrics.
 func NewAligner(q *Query, opts ...AlignerOption) (*Aligner, error) {
-	cfg := alignerConfig{fraction: 0.8, kernel: "auto"}
+	cfg := alignerConfig{fraction: 0.8, kernel: "auto", metrics: DefaultMetrics()}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -292,12 +323,18 @@ func NewAligner(q *Query, opts ...AlignerOption) (*Aligner, error) {
 		engine.SetParallelism(cfg.parallelism)
 		kernel.SetParallelism(cfg.parallelism)
 		pool = sched.NewPool(cfg.parallelism)
+		pool.SetMetrics(cfg.metrics.reg)
 	}
 	return &Aligner{
 		query: q, engine: engine, kernel: kernel, mode: cfg.kernel,
 		pool: pool, shardLen: cfg.shardLen,
+		metrics: cfg.metrics, tm: newAlignerMetrics(cfg.metrics.reg),
 	}, nil
 }
+
+// Metrics returns the collector this aligner reports to (DefaultMetrics
+// unless WithTelemetry supplied a private one).
+func (a *Aligner) Metrics() *Metrics { return a.metrics }
 
 // bitParThresholdLen is the reference size above which "auto" switches to
 // the bit-parallel kernel.
@@ -319,6 +356,7 @@ func (a *Aligner) Threshold() int { return a.engine.Threshold() }
 
 // alignSeq dispatches to the selected kernel and normalizes the hit type.
 func (a *Aligner) alignSeq(seq bio.NucSeq) []core.Hit {
+	a.tm.kernelChosen(a.useBitpar(len(seq)))
 	if a.useBitpar(len(seq)) {
 		raw := a.kernel.Align(seq)
 		hits := make([]core.Hit, len(raw))
@@ -332,11 +370,15 @@ func (a *Aligner) alignSeq(seq bio.NucSeq) []core.Hit {
 
 // Align scans the reference and returns every hit in position order.
 func (a *Aligner) Align(ref *Reference) []Hit {
+	a.tm.queries.Inc()
+	t0 := time.Now()
 	raw := a.alignSeq(ref.seq)
 	hits := make([]Hit, len(raw))
 	for i, h := range raw {
 		hits[i] = Hit{Pos: h.Pos, Score: h.Score}
 	}
+	observeSince(a.tm.alignLatency, t0)
+	a.tm.hits.Add(uint64(len(hits)))
 	return hits
 }
 
@@ -351,13 +393,20 @@ func (a *Aligner) Align(ref *Reference) []Hit {
 // kernel (a stream's length is unknown up front, and streams are
 // typically large). All modes produce identical hits.
 func (a *Aligner) AlignStream(r io.Reader, emit func(Hit) error) error {
+	a.tm.queries.Inc()
+	t0 := time.Now()
+	defer func() { observeSince(a.tm.alignLatency, t0) }()
 	if a.mode == "scalar" {
+		a.tm.kernelChosen(false)
 		return a.engine.AlignReader(r, func(h core.Hit) error {
+			a.tm.hits.Inc()
 			return emit(Hit{Pos: h.Pos, Score: h.Score})
 		})
 	}
-	return scanChunks(r, a.query.Elements(), func(seq bio.NucSeq, lo, hi, base int) error {
+	a.tm.kernelChosen(true)
+	return scanChunks(r, a.query.Elements(), &a.tm, func(seq bio.NucSeq, lo, hi, base int) error {
 		for _, h := range a.kernel.AlignRange(seq, lo, hi) {
+			a.tm.hits.Inc()
 			if err := emit(Hit{Pos: base + h.Pos, Score: h.Score}); err != nil {
 				return err
 			}

@@ -1,0 +1,148 @@
+package fabp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+// mustConformAligner builds an aligner or fails the test.
+func mustConformAligner(t *testing.T, q *Query, opts ...AlignerOption) *Aligner {
+	t.Helper()
+	a, err := NewAligner(q, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func assertHitsEqual(t *testing.T, label string, want, got []Hit) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d hits, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: hit %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// checkAlignConformance is the differential oracle: the scalar whole-
+// reference scan defines the truth, and every other execution strategy —
+// bit-parallel kernel, sharded database scans under both kernels, and the
+// chunked stream scan at chunk sizes straddling the L_q-element carry
+// boundary — must reproduce it hit for hit, in order.
+func checkAlignConformance(t *testing.T, protein, refStr string, thr int) {
+	t.Helper()
+	q, err := NewQuery(protein)
+	if err != nil {
+		t.Skip(err) // fuzzer found an invalid protein; not a conformance bug
+	}
+	ref, err := NewReference(refStr)
+	if err != nil {
+		t.Skip(err)
+	}
+	if ref.Len() < q.Elements() {
+		t.Skip("reference shorter than query")
+	}
+
+	scalar := mustConformAligner(t, q, WithKernel("scalar"), WithThreshold(thr))
+	want := scalar.Align(ref)
+
+	bitp := mustConformAligner(t, q, WithKernel("bitparallel"), WithThreshold(thr))
+	assertHitsEqual(t, "bitparallel Align", want, bitp.Align(ref))
+
+	// Sharded database scans: small shards so even short references tile
+	// into several, under both kernels and bounded parallelism.
+	dbase, err := DatabaseFromReference("conf", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []string{"scalar", "bitparallel"} {
+		a := mustConformAligner(t, q, WithKernel(kernel), WithThreshold(thr),
+			WithShardLen(64), WithParallelism(2))
+		rh := a.AlignDatabase(dbase)
+		got := make([]Hit, len(rh))
+		for i, h := range rh {
+			got[i] = Hit{Pos: h.Offset, Score: h.Score}
+		}
+		assertHitsEqual(t, "sharded AlignDatabase/"+kernel, want, got)
+	}
+
+	// Chunked stream scans. scanChunks clamps the chunk to at least m+2
+	// letters, so m+2 is the smallest (carry-heaviest) chunking; the last
+	// value is large enough that no carry happens at all.
+	m := q.Elements()
+	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
+	for _, chunk := range []int{m + 2, m + 3, 2*m + 1, 5*m + 7, len(refStr) + 1} {
+		streamChunkLetters = chunk
+		for _, kernel := range []string{"scalar", "bitparallel"} {
+			a := mustConformAligner(t, q, WithKernel(kernel), WithThreshold(thr))
+			var got []Hit
+			err := a.AlignStream(strings.NewReader(refStr), func(h Hit) error {
+				got = append(got, h)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("chunk %d AlignStream/%s: %v", chunk, kernel, err)
+			}
+			assertHitsEqual(t, "chunked AlignStream/"+kernel, want, got)
+		}
+	}
+}
+
+// conformanceCase derives a bounded random workload from fuzz inputs.
+func conformanceCase(protSeed, refSeed int64, protLen uint8, refLen uint16, thrPct uint8) (protein, ref string, thr int) {
+	n := 2 + int(protLen)%19 // 2..20 residues
+	prot := bio.RandomProtSeq(rand.New(rand.NewSource(protSeed)), n)
+	m := 3 * n
+	nuc := bio.RandomNucSeq(rand.New(rand.NewSource(refSeed)), m+int(refLen)%4096)
+	// Threshold between 20% and 60% of max score: low enough that random
+	// references produce hits, high enough that they stay sparse.
+	thr = m * (2 + int(thrPct)%5) / 10
+	if thr < 1 {
+		thr = 1
+	}
+	return prot.String(), nuc.String(), thr
+}
+
+// FuzzAlignConformance fuzzes the differential oracle; run with
+//
+//	go test -fuzz FuzzAlignConformance .
+func FuzzAlignConformance(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(6), uint16(900), uint8(0))
+	f.Add(int64(3), int64(4), uint8(2), uint16(64), uint8(1))
+	f.Add(int64(5), int64(6), uint8(20), uint16(4000), uint8(2))
+	f.Add(int64(7), int64(8), uint8(11), uint16(130), uint8(4))
+	f.Fuzz(func(t *testing.T, protSeed, refSeed int64, protLen uint8, refLen uint16, thrPct uint8) {
+		protein, ref, thr := conformanceCase(protSeed, refSeed, protLen, refLen, thrPct)
+		checkAlignConformance(t, protein, ref, thr)
+	})
+}
+
+// TestAlignConformanceRandomTrials runs the same oracle over random trials
+// in a plain `go test`, plus planted-gene workloads whose hits are real
+// homologies rather than chance threshold crossings.
+func TestAlignConformanceRandomTrials(t *testing.T) {
+	for trial := int64(0); trial < 12; trial++ {
+		protein, ref, thr := conformanceCase(trial, trial+100, uint8(3*trial), uint16(211*trial), uint8(trial))
+		checkAlignConformance(t, protein, ref, thr)
+	}
+
+	ref, genes := SyntheticReference(77, 30_000, 4, 25)
+	refStr := ref.String()
+	for i, g := range genes {
+		mut, _, err := MutateProtein(int64(i), g.Protein, 0.05, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := NewQuery(mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAlignConformance(t, mut, refStr, q.MaxScore()*4/5)
+	}
+}

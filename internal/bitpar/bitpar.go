@@ -191,6 +191,12 @@ func PackReference(ref bio.NucSeq) *Planes {
 // Len returns the packed reference length in nucleotides.
 func (pp *Planes) Len() int { return pp.p.n }
 
+// SizeBytes returns the packed footprint (both bit-planes, including
+// their padding words) — what a resident cache entry costs.
+func (pp *Planes) SizeBytes() int64 {
+	return int64(len(pp.p.b0)+len(pp.p.b1)) * 8
+}
+
 // AlignPlanes scans a pre-packed reference (see PackReference).
 func (k *Kernel) AlignPlanes(pp *Planes) []Hit {
 	return k.alignPacked(pp.p)

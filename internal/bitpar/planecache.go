@@ -1,6 +1,9 @@
 package bitpar
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // PlaneCache memoizes packed bit-plane references so a database or
 // reference packed once is reused across queries, batches and sessions —
@@ -11,22 +14,27 @@ import "sync"
 // capacity. All methods are safe for concurrent use, and concurrent Gets
 // for one key pack at most once.
 type PlaneCache struct {
-	mu      sync.Mutex
-	cap     int
-	tick    uint64
-	entries map[any]*cacheEntry
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	cap       int
+	tick      uint64
+	entries   map[any]*cacheEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheEntry struct {
-	once    sync.Once
-	planes  *Planes
+	once sync.Once
+	// planes is set exactly once, outside the cache lock (atomic so
+	// Stats can size resident entries while a packer is running).
+	planes  atomic.Pointer[Planes]
 	lastUse uint64
 }
 
-// NewPlaneCache builds a cache holding at most capacity packed references
-// (minimum 1).
+// NewPlaneCache builds a cache holding at most capacity packed
+// references. Non-positive capacities clamp to 1 (the documented rule: a
+// cache always holds at least the entry being fetched, so Get can never
+// thrash itself out).
 func NewPlaneCache(capacity int) *PlaneCache {
 	if capacity < 1 {
 		capacity = 1
@@ -39,6 +47,9 @@ var sharedPlanes = NewPlaneCache(4)
 // SharedPlanes returns the process-wide cache used by the public database
 // and batch scan paths.
 func SharedPlanes() *PlaneCache { return sharedPlanes }
+
+// Cap returns the cache's entry capacity.
+func (c *PlaneCache) Cap() int { return c.cap }
 
 // Get returns the packed planes for key, invoking pack on the first use
 // (or after eviction). pack runs outside the cache lock; concurrent
@@ -57,8 +68,8 @@ func (c *PlaneCache) Get(key any, pack func() *Planes) *Planes {
 	c.tick++
 	e.lastUse = c.tick
 	c.mu.Unlock()
-	e.once.Do(func() { e.planes = pack() })
-	return e.planes
+	e.once.Do(func() { e.planes.Store(pack()) })
+	return e.planes.Load()
 }
 
 // evictLocked drops least-recently-used entries (never `keep`) until the
@@ -80,6 +91,7 @@ func (c *PlaneCache) evictLocked(keep *cacheEntry) {
 			return
 		}
 		delete(c.entries, victim)
+		c.evictions++
 	}
 }
 
@@ -97,9 +109,47 @@ func (c *PlaneCache) Len() int {
 	return len(c.entries)
 }
 
-// Stats returns cumulative hit/miss counts.
-func (c *PlaneCache) Stats() (hits, misses uint64) {
+// CacheStats is a point-in-time view of the cache: cumulative hit/miss/
+// eviction counts (monotone between ResetStats calls) and the resident
+// footprint. An entry whose packer is still running counts toward Entries
+// but contributes 0 to ResidentBytes until the pack finishes.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+	ResidentBytes           int64
+}
+
+// Lookups returns Hits + Misses — every Get ever made.
+func (s CacheStats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits / Lookups (0 when the cache is untouched).
+func (s CacheStats) HitRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Hits) / float64(l)
+	}
+	return 0
+}
+
+// Stats returns the cache's cumulative counters and resident footprint.
+func (c *PlaneCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	s := CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.entries),
+	}
+	for _, e := range c.entries {
+		if p := e.planes.Load(); p != nil {
+			s.ResidentBytes += p.SizeBytes()
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes the cumulative hit/miss/eviction counters (resident
+// entries are untouched).
+func (c *PlaneCache) ResetStats() {
+	c.mu.Lock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.mu.Unlock()
 }

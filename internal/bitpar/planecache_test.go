@@ -26,8 +26,8 @@ func TestPlaneCachePacksOncePerKey(t *testing.T) {
 	if p1.Len() != 1000 {
 		t.Fatalf("planes len %d", p1.Len())
 	}
-	if h, m := c.Stats(); h != 1 || m != 1 {
-		t.Errorf("stats %d/%d, want 1 hit 1 miss", h, m)
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats %d/%d, want 1 hit 1 miss", s.Hits, s.Misses)
 	}
 	c.Invalidate(key)
 	c.Get(key, pack)
@@ -158,5 +158,173 @@ func assertSameHits(t *testing.T, trial int, want, got []Hit) {
 		if want[i] != got[i] {
 			t.Fatalf("trial %d hit %d: %+v vs %+v", trial, i, got[i], want[i])
 		}
+	}
+}
+
+// TestPlaneCacheBoundaryCapacities: non-positive capacities clamp to 1
+// (the documented rule), and a capacity-1 cache still serves repeated
+// Gets of one key from residence.
+func TestPlaneCacheBoundaryCapacities(t *testing.T) {
+	for _, capacity := range []int{-3, 0, 1} {
+		c := NewPlaneCache(capacity)
+		if c.Cap() != 1 {
+			t.Fatalf("NewPlaneCache(%d).Cap() = %d, want 1", capacity, c.Cap())
+		}
+		ref := bio.NucSeq{bio.A, bio.C, bio.G, bio.U}
+		var packs atomic.Int64
+		pack := func() *Planes { packs.Add(1); return PackReference(ref) }
+		c.Get("k", pack)
+		c.Get("k", pack)
+		if packs.Load() != 1 {
+			t.Fatalf("capacity %d: %d packs for one key", capacity, packs.Load())
+		}
+		if c.Len() != 1 {
+			t.Fatalf("capacity %d: len %d", capacity, c.Len())
+		}
+	}
+}
+
+// TestPlaneCacheStatsConsistency: Stats must reconcile with usage —
+// lookups = hits + misses = total Gets, resident bytes match the resident
+// planes, and Invalidate brings the footprint (but not the cumulative
+// counters) down.
+func TestPlaneCacheStatsConsistency(t *testing.T) {
+	c := NewPlaneCache(4)
+	rng := rand.New(rand.NewSource(9))
+	refs := map[string]bio.NucSeq{
+		"a": bio.RandomNucSeq(rng, 100),
+		"b": bio.RandomNucSeq(rng, 1000),
+		"c": bio.RandomNucSeq(rng, 64),
+	}
+	var want int64
+	gets := 0
+	for key, ref := range refs {
+		ref := ref
+		p := c.Get(key, func() *Planes { return PackReference(ref) })
+		p2 := c.Get(key, func() *Planes { return PackReference(ref) })
+		if p != p2 {
+			t.Fatalf("key %s repacked", key)
+		}
+		want += p.SizeBytes()
+		gets += 2
+	}
+	s := c.Stats()
+	if s.Lookups() != uint64(gets) || s.Hits != 3 || s.Misses != 3 {
+		t.Fatalf("stats %+v, want 3 hits 3 misses over %d gets", s, gets)
+	}
+	if s.ResidentBytes != want {
+		t.Fatalf("resident %d bytes, want %d", s.ResidentBytes, want)
+	}
+	if s.Entries != 3 || s.Evictions != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	if hr := s.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", hr)
+	}
+
+	c.Invalidate("b")
+	s = c.Stats()
+	if s.Entries != 2 {
+		t.Fatalf("entries %d after invalidate", s.Entries)
+	}
+	if s.ResidentBytes >= want {
+		t.Fatalf("resident bytes %d did not shrink from %d", s.ResidentBytes, want)
+	}
+	if s.Hits != 3 || s.Misses != 3 {
+		t.Fatalf("cumulative counters changed by Invalidate: %+v", s)
+	}
+
+	c.Invalidate("a")
+	c.Invalidate("c")
+	c.Invalidate("missing") // no-op
+	s = c.Stats()
+	if s.Entries != 0 || s.ResidentBytes != 0 {
+		t.Fatalf("stats %+v after full invalidation", s)
+	}
+
+	c.ResetStats()
+	s = c.Stats()
+	if s.Lookups() != 0 || s.Evictions != 0 {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+}
+
+// TestPlaneCacheEvictionCounter: pushing past capacity must count one
+// eviction per dropped entry.
+func TestPlaneCacheEvictionCounter(t *testing.T) {
+	c := NewPlaneCache(2)
+	ref := bio.NucSeq{bio.A, bio.C}
+	pack := func() *Planes { return PackReference(ref) }
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Get(k, pack)
+	}
+	s := c.Stats()
+	if s.Evictions != 2 {
+		t.Fatalf("evictions %d, want 2", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Fatalf("entries %d", s.Entries)
+	}
+}
+
+// TestPlaneCacheGetInvalidateRaces hammers Get/Invalidate/Stats from many
+// goroutines under eviction pressure (capacity far below the key set);
+// run with -race. Afterwards the books must balance: lookups == total
+// Gets, entries within capacity, resident bytes matching a fresh count.
+func TestPlaneCacheGetInvalidateRaces(t *testing.T) {
+	c := NewPlaneCache(2)
+	rng := rand.New(rand.NewSource(10))
+	refs := make([]bio.NucSeq, 8)
+	for i := range refs {
+		refs[i] = bio.RandomNucSeq(rng, 200+17*i)
+	}
+	var gets atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines, iters = 12, 150
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := (g*7 + i) % len(refs)
+				switch {
+				case i%13 == 12:
+					c.Invalidate(key)
+				case i%29 == 28:
+					s := c.Stats()
+					if s.Entries > 2 || s.ResidentBytes < 0 {
+						t.Errorf("mid-run stats out of bounds: %+v", s)
+						return
+					}
+				default:
+					p := c.Get(key, func() *Planes { return PackReference(refs[key]) })
+					gets.Add(1)
+					if p.Len() != 200+17*key {
+						t.Errorf("key %d: wrong planes (len %d)", key, p.Len())
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Lookups() != uint64(gets.Load()) {
+		t.Errorf("lookups %d != %d gets", s.Lookups(), gets.Load())
+	}
+	if s.Entries > 2 {
+		t.Errorf("capacity exceeded: %d entries", s.Entries)
+	}
+	// Invalidate everything: the footprint must be fully released while
+	// the cumulative counters survive.
+	for i := range refs {
+		c.Invalidate(i)
+	}
+	s = c.Stats()
+	if s.Entries != 0 || s.ResidentBytes != 0 {
+		t.Errorf("footprint left after full invalidation: %+v", s)
+	}
+	if s.Lookups() != uint64(gets.Load()) {
+		t.Errorf("counters lost by Invalidate: %+v", s)
 	}
 }

@@ -16,6 +16,10 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"fabp/internal/telemetry"
 )
 
 // DefaultShardLen is the default shard size in window starts. It is large
@@ -62,14 +66,72 @@ func Plan(starts, shardLen int) []Shard {
 // queries or shards are in flight.
 type Pool struct {
 	sem chan struct{}
+	m   poolMetrics
 }
 
-// NewPool builds a pool allowing `workers` concurrent tasks (minimum 1).
+// poolMetrics holds the pool's telemetry handles, resolved once at
+// construction so the task path pays only atomic updates. Every field is
+// nil-safe: a pool built over a nil registry records nothing.
+type poolMetrics struct {
+	// queued counts tasks submitted but not yet running (queue pressure);
+	// running counts tasks currently executing.
+	queued, running *telemetry.Gauge
+	// completed counts finished tasks.
+	completed *telemetry.Counter
+	// wait is submit-to-start latency (time blocked on the semaphore);
+	// run is task execution time.
+	wait, run *telemetry.Histogram
+	// backlog is the ordered-merge depth: StreamOrdered results produced
+	// but not yet emitted.
+	backlog *telemetry.Gauge
+}
+
+func newPoolMetrics(reg *telemetry.Registry) poolMetrics {
+	return poolMetrics{
+		queued:    reg.Gauge("pool.tasks.queued"),
+		running:   reg.Gauge("pool.tasks.running"),
+		completed: reg.Counter("pool.tasks.completed"),
+		wait:      reg.Histogram("pool.task.wait"),
+		run:       reg.Histogram("pool.task.run"),
+		backlog:   reg.Gauge("pool.merge.backlog"),
+	}
+}
+
+// NewPool builds a pool allowing `workers` concurrent tasks (minimum 1),
+// reporting telemetry to the process-default registry (see SetMetrics).
 func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Pool{sem: make(chan struct{}, workers)}
+	return &Pool{
+		sem: make(chan struct{}, workers),
+		m:   newPoolMetrics(telemetry.Default()),
+	}
+}
+
+// SetMetrics redirects the pool's telemetry to reg (nil disables it).
+// Call before submitting work; it is not synchronized with running tasks.
+func (p *Pool) SetMetrics(reg *telemetry.Registry) { p.m = newPoolMetrics(reg) }
+
+// acquire blocks until a worker slot is free, recording queue pressure
+// and wait latency.
+func (p *Pool) acquire() {
+	p.m.queued.Add(1)
+	t0 := time.Now()
+	p.sem <- struct{}{}
+	p.m.wait.Observe(time.Since(t0))
+	p.m.queued.Add(-1)
+}
+
+// runTask executes one task under the running gauge, run-latency
+// histogram and a pprof label attributing profile samples to pool work.
+func (p *Pool) runTask(stage string, task func()) {
+	p.m.running.Add(1)
+	t0 := time.Now()
+	telemetry.Labeled("fabp_pool", stage, task)
+	p.m.run.Observe(time.Since(t0))
+	p.m.running.Add(-1)
+	p.m.completed.Inc()
 }
 
 // Workers returns the pool's concurrency bound.
@@ -95,18 +157,18 @@ func (p *Pool) Each(n int, run func(i int)) {
 	}
 	if p.Workers() == 1 {
 		for i := 0; i < n; i++ {
-			run(i)
+			p.runTask("each", func() { run(i) })
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		p.sem <- struct{}{}
+		p.acquire()
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-p.sem }()
-			run(i)
+			p.runTask("each", func() { run(i) })
 		}(i)
 	}
 	wg.Wait()
@@ -156,24 +218,41 @@ func StreamOrdered[T any](p *Pool, n int, produce func(i int) ([]T, error), emit
 	// tickets bounds dispatch: one per produced-but-unconsumed shard.
 	tickets := make(chan struct{}, p.Workers()+1)
 	stop := make(chan struct{})
+	// consumed tracks how many results the ordered merge has taken; on an
+	// early stop the dispatcher drains the rest so the backlog gauge
+	// returns to its pre-call level.
+	var consumed atomic.Int64
 	go func() {
+		launched := 0
+	dispatch:
 		for i := 0; i < n; i++ {
 			select {
 			case tickets <- struct{}{}:
 			case <-stop:
-				return
+				break dispatch
 			}
 			go func(i int) {
-				p.sem <- struct{}{}
-				items, err := produce(i)
+				p.acquire()
+				var items []T
+				var err error
+				p.runTask("stream", func() { items, err = produce(i) })
 				<-p.sem
+				p.m.backlog.Add(1)
 				results[i] <- result{items, err}
 			}(i)
+			launched++
+		}
+		<-stop // the consumer is done; consumed is final
+		for j := int(consumed.Load()); j < launched; j++ {
+			<-results[j]
+			p.m.backlog.Add(-1)
 		}
 	}()
 	defer close(stop)
 	for i := 0; i < n; i++ {
 		r := <-results[i]
+		consumed.Store(int64(i + 1))
+		p.m.backlog.Add(-1)
 		<-tickets
 		if r.err != nil {
 			return r.err

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("align.queries")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	if r.Counter("align.queries") != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+	g := r.Gauge("pool.depth")
+	g.Add(3)
+	g.Add(-1)
+	if g.Load() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Load())
+	}
+	g.Set(7)
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Load())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	r.Reset()
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBucketsAndTotals(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	obs := []time.Duration{500 * time.Nanosecond, 3 * time.Microsecond,
+		500 * time.Microsecond, 100 * time.Millisecond, 10 * time.Second}
+	var sum int64
+	for _, d := range obs {
+		h.Observe(d)
+		sum += d.Nanoseconds()
+	}
+	if h.Count() != uint64(len(obs)) || h.Sum() != sum {
+		t.Fatalf("count/sum %d/%d, want %d/%d", h.Count(), h.Sum(), len(obs), sum)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	var bucketTotal uint64
+	overflow := false
+	for _, b := range hs.Buckets {
+		bucketTotal += b.Count
+		if b.UpperNs < 0 {
+			overflow = true
+			if b.Count != 1 {
+				t.Errorf("overflow bucket = %d, want 1 (the 10 s observation)", b.Count)
+			}
+		}
+	}
+	if bucketTotal != hs.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketTotal, hs.Count)
+	}
+	if !overflow {
+		t.Fatal("10 s observation must land in the overflow bucket")
+	}
+	if m := hs.MeanNs(); m <= 0 {
+		t.Fatalf("mean %v", m)
+	}
+}
+
+func TestSnapshotResetAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(-3)
+	r.Histogram("c").Observe(time.Millisecond)
+
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &decoded); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if decoded.Counters["a"] != 2 || decoded.Gauges["b"] != -3 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	if decoded.Histograms["c"].Count != 1 {
+		t.Fatalf("decoded histogram %+v", decoded.Histograms["c"])
+	}
+
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters["a"] != 0 || s.Gauges["b"] != 0 || s.Histograms["c"].Count != 0 {
+		t.Fatalf("reset left values: %+v", s)
+	}
+	// Metric pointers registered before Reset stay live.
+	r.Counter("a").Inc()
+	if r.Snapshot().Counters["a"] != 1 {
+		t.Fatal("post-reset writes lost")
+	}
+}
+
+// TestRegistryConcurrent hammers registration and writes from many
+// goroutines; run under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"m0", "m1", "m2", "m3"}
+	var wg sync.WaitGroup
+	const goroutines, iters = 16, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := names[(g+i)%len(names)]
+				r.Counter(name).Inc()
+				r.Gauge(name).Add(1)
+				r.Histogram(name).Observe(time.Duration(i) * time.Microsecond)
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total uint64
+	for _, name := range names {
+		total += s.Counters[name]
+		if s.Histograms[name].Count == 0 {
+			t.Errorf("%s histogram empty", name)
+		}
+	}
+	if total != goroutines*iters {
+		t.Fatalf("counter total %d, want %d", total, goroutines*iters)
+	}
+}
+
+func TestLabeledRunsOnCallingGoroutine(t *testing.T) {
+	ran := false
+	Labeled("fabp_stage", "test", func() { ran = true })
+	if !ran {
+		t.Fatal("Labeled did not run fn")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}

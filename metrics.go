@@ -1,0 +1,183 @@
+package fabp
+
+import (
+	"encoding/json"
+	"time"
+
+	"fabp/internal/bitpar"
+	"fabp/internal/telemetry"
+)
+
+// Metrics is a handle on a telemetry registry — the instrument panel of
+// the alignment pipeline. Aligners report into the process-wide
+// DefaultMetrics unless NewAligner was given a private collector with
+// WithTelemetry; the shared shard pool and the shared plane cache always
+// report process-wide (they are process-wide resources).
+//
+// Counter names (see README "Observability" for the full catalogue):
+//
+//	align.queries.started    scans begun (Align/AlignStream/AlignDatabase*)
+//	align.hits.emitted       hits returned or streamed to emit
+//	align.kernel.scalar      scans dispatched to the scalar engine
+//	align.kernel.bitparallel scans dispatched to the bit-parallel kernel
+//	scan.shards.planned      shards the scheduler tiled
+//	scan.shards.run          shards that executed (== planned when quiet)
+//	scan.plane.lookups       packed-plane cache lookups issued by scans
+//	stream.chunks.processed  chunks (beats) scanned by AlignStream
+//	stream.carry.restarts    chunk-boundary carries of the streaming scan
+//	pool.tasks.*             worker-pool counters/gauges (process-wide pool)
+//	cache.*                  plane-cache stats, merged from the shared cache
+//
+// Latency histograms: align.latency (whole calls), scan.shard.latency
+// (per shard), pool.task.wait and pool.task.run (scheduler).
+//
+// All hot-path updates are single atomic operations; see DESIGN.md for
+// the atomicity/overhead contract.
+type Metrics struct {
+	reg *telemetry.Registry
+}
+
+// NewMetrics builds a private collector to pass to WithTelemetry, for
+// callers that want per-workload rather than process-wide numbers.
+func NewMetrics() *Metrics { return &Metrics{reg: telemetry.NewRegistry()} }
+
+var defaultMetrics = &Metrics{reg: telemetry.Default()}
+
+// DefaultMetrics returns the process-wide collector: every aligner
+// without a private WithTelemetry collector, the shared shard pool, and
+// the package-level batch/session paths report here.
+func DefaultMetrics() *Metrics { return defaultMetrics }
+
+// LatencyBucket is one histogram bucket; UpperNs < 0 marks the overflow
+// bucket (observations above every configured bound).
+type LatencyBucket struct {
+	UpperNs int64  `json:"le_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// LatencySnapshot is a latency histogram's state at snapshot time.
+type LatencySnapshot struct {
+	Count   uint64          `json:"count"`
+	SumNs   int64           `json:"sum_ns"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// MeanNs returns the mean observed latency in nanoseconds (0 when empty).
+func (l LatencySnapshot) MeanNs() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.SumNs) / float64(l.Count)
+}
+
+// MetricsSnapshot is a point-in-time view of a collector. It is
+// eventually consistent under concurrent scans (each value is atomically
+// read, but the set is not one cut); every counter is monotone between
+// Resets.
+type MetricsSnapshot struct {
+	Counters  map[string]uint64          `json:"counters"`
+	Gauges    map[string]int64           `json:"gauges"`
+	Latencies map[string]LatencySnapshot `json:"latencies"`
+}
+
+// CacheHitRate returns cache.hits / (cache.hits + cache.misses), the
+// plane-cache efficiency (0 when the cache is untouched).
+func (s MetricsSnapshot) CacheHitRate() float64 {
+	h, m := s.Counters["cache.hits"], s.Counters["cache.misses"]
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Snapshot captures every metric, merging the shared plane cache's stats
+// under cache.* (the cache is process-wide, so those numbers are global
+// even on a private collector).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := m.reg.Snapshot()
+	out := MetricsSnapshot{
+		Counters:  s.Counters,
+		Gauges:    s.Gauges,
+		Latencies: make(map[string]LatencySnapshot, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		ls := LatencySnapshot{Count: h.Count, SumNs: h.SumNs}
+		for _, b := range h.Buckets {
+			ls.Buckets = append(ls.Buckets, LatencyBucket{UpperNs: b.UpperNs, Count: b.Count})
+		}
+		out.Latencies[name] = ls
+	}
+	cs := bitpar.SharedPlanes().Stats()
+	out.Counters["cache.hits"] = cs.Hits
+	out.Counters["cache.misses"] = cs.Misses
+	out.Counters["cache.evictions"] = cs.Evictions
+	out.Gauges["cache.entries"] = int64(cs.Entries)
+	out.Gauges["cache.resident.bytes"] = cs.ResidentBytes
+	return out
+}
+
+// Reset zeroes the collector's metrics and the shared plane cache's
+// cumulative counters (resident cache entries stay resident). Metric
+// identities survive, so concurrent scans keep reporting.
+func (m *Metrics) Reset() {
+	m.reg.Reset()
+	bitpar.SharedPlanes().ResetStats()
+}
+
+// String renders the snapshot as JSON — the expvar.Var contract, so a
+// collector can be served on /debug/vars via expvar.Publish("fabp", m).
+func (m *Metrics) String() string {
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// MarshalJSON marshals the current snapshot.
+func (m *Metrics) MarshalJSON() ([]byte, error) { return json.Marshal(m.Snapshot()) }
+
+// alignerMetrics holds an aligner's pre-resolved metric handles so the
+// scan paths pay only atomic updates (every field is nil-safe; the zero
+// value records nothing).
+type alignerMetrics struct {
+	queries, hits              *telemetry.Counter
+	kernelScalar, kernelBitpar *telemetry.Counter
+	shardsPlanned, shardsRun   *telemetry.Counter
+	planeLookups               *telemetry.Counter
+	chunks, carries            *telemetry.Counter
+	alignLatency, shardLatency *telemetry.Histogram
+}
+
+func newAlignerMetrics(reg *telemetry.Registry) alignerMetrics {
+	return alignerMetrics{
+		queries:       reg.Counter("align.queries.started"),
+		hits:          reg.Counter("align.hits.emitted"),
+		kernelScalar:  reg.Counter("align.kernel.scalar"),
+		kernelBitpar:  reg.Counter("align.kernel.bitparallel"),
+		shardsPlanned: reg.Counter("scan.shards.planned"),
+		shardsRun:     reg.Counter("scan.shards.run"),
+		planeLookups:  reg.Counter("scan.plane.lookups"),
+		chunks:        reg.Counter("stream.chunks.processed"),
+		carries:       reg.Counter("stream.carry.restarts"),
+		alignLatency:  reg.Histogram("align.latency"),
+		shardLatency:  reg.Histogram("scan.shard.latency"),
+	}
+}
+
+// kernelChosen records one dispatch decision.
+func (tm *alignerMetrics) kernelChosen(bitparallel bool) {
+	if bitparallel {
+		tm.kernelBitpar.Inc()
+	} else {
+		tm.kernelScalar.Inc()
+	}
+}
+
+// observeSince records d = now - t0 on h; a helper so call sites stay one
+// line.
+func observeSince(h *telemetry.Histogram, t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// defaultAlignerTM instruments the package-level paths (AlignBatch,
+// Session) that have no per-aligner collector.
+var defaultAlignerTM = newAlignerMetrics(telemetry.Default())

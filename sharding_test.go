@@ -295,7 +295,7 @@ func TestSessionReusesCachedPlanes(t *testing.T) {
 		}
 		queries = append(queries, q)
 	}
-	h0, m0 := bitpar.SharedPlanes().Stats()
+	s0 := bitpar.SharedPlanes().Stats()
 	for round := 0; round < 3; round++ {
 		perQuery, _, err := s.RunBatch(queries, 0.9)
 		if err != nil {
@@ -305,11 +305,11 @@ func TestSessionReusesCachedPlanes(t *testing.T) {
 			t.Fatal("batch shape")
 		}
 	}
-	h1, m1 := bitpar.SharedPlanes().Stats()
-	if m1-m0 > 1 {
-		t.Errorf("database repacked %d times across 3 batches", m1-m0)
+	s1 := bitpar.SharedPlanes().Stats()
+	if s1.Misses-s0.Misses > 1 {
+		t.Errorf("database repacked %d times across 3 batches", s1.Misses-s0.Misses)
 	}
-	if h1-h0 < 8 {
-		t.Errorf("expected ≥8 cache hits (9 query scans, ≤1 pack), got %d", h1-h0)
+	if s1.Hits-s0.Hits < 8 {
+		t.Errorf("expected ≥8 cache hits (9 query scans, ≤1 pack), got %d", s1.Hits-s0.Hits)
 	}
 }

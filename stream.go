@@ -17,8 +17,9 @@ var streamChunkLetters = 1 << 20
 // hardware reference buffer implements and core.Engine.AlignReader mirrors
 // — and invokes scan once per chunk with the chunk-local window-start
 // range [lo, hi) that is new in this chunk. Global position = base + local
-// position. scan returning an error stops the scan.
-func scanChunks(r io.Reader, m int, scan func(seq bio.NucSeq, lo, hi, base int) error) error {
+// position. scan returning an error stops the scan. tm records beats
+// (chunks) processed and carry-boundary restarts.
+func scanChunks(r io.Reader, m int, tm *alignerMetrics, scan func(seq bio.NucSeq, lo, hi, base int) error) error {
 	chunkLetters := streamChunkLetters
 	if chunkLetters < m+2 {
 		chunkLetters = m + 2
@@ -40,6 +41,7 @@ func scanChunks(r io.Reader, m int, scan func(seq bio.NucSeq, lo, hi, base int) 
 		if n <= skip {
 			return nil
 		}
+		tm.chunks.Inc()
 		return scan(seq, skip, n, base)
 	}
 
@@ -62,6 +64,7 @@ func scanChunks(r io.Reader, m int, scan func(seq bio.NucSeq, lo, hi, base int) 
 			}
 			// Carry the unscanned tail (m-1 elements) plus 2 elements of
 			// comparison context for the first carried window.
+			tm.carries.Inc()
 			keep := m + 1
 			if keep > len(seq) {
 				keep = len(seq)
