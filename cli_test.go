@@ -4,12 +4,19 @@ package fabp_test
 // its primary flows end-to-end through real files.
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"fabp"
 )
 
 // buildCLIs compiles every cmd/ binary into a shared temp dir once per
@@ -200,6 +207,102 @@ func TestCLIBenchPerf(t *testing.T) {
 	}
 	if report.CacheHitRate <= 0 {
 		t.Errorf("cache hit rate %v, want > 0 (planes reused across queries)", report.CacheHitRate)
+	}
+}
+
+// TestCLIServeSmoke drives fabp-serve as a real process: preload a FASTA,
+// answer /healthz and one /align query over HTTP, then exit cleanly on
+// SIGTERM after draining.
+func TestCLIServeSmoke(t *testing.T) {
+	bin := buildCLI(t, "fabp-serve")
+	dir := t.TempDir()
+
+	ref, genes := fabp.SyntheticReference(31, 20_000, 2, 30)
+	fasta := filepath.Join(dir, "ref.fasta")
+	if err := os.WriteFile(fasta, []byte(">synt\n"+ref.String()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-ref", fasta, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // backstop; the SIGTERM path below is the real exit
+
+	// The server logs its bound address once the listener is up.
+	var logTail bytes.Buffer
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logTail.WriteString(line + "\n")
+			if _, a, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never reported its address:\n%s", logTail.String())
+	}
+
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		LengthNt int    `json:"length_nt"`
+	}
+	err = json.NewDecoder(hz.Body).Decode(&health)
+	hz.Body.Close()
+	if err != nil || health.Status != "ok" || health.LengthNt != 20_000 {
+		t.Fatalf("healthz = %+v (%v)", health, err)
+	}
+
+	reqBody := []byte(`{"query":"` + genes[0].Protein + `"}`)
+	resp, err := http.Post(base+"/align", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	var res struct {
+		Hits []struct {
+			Score int `json:"score"`
+		} `json:"hits"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(res.Hits) == 0 {
+		t.Fatalf("align status %d, hits %d (%v)", resp.StatusCode, len(res.Hits), err)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fabp-serve exited %v after SIGTERM:\n%s", err, logTail.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("fabp-serve did not exit after SIGTERM:\n%s", logTail.String())
+	}
+	if !strings.Contains(logTail.String(), "drained; bye") {
+		t.Errorf("missing drain farewell in log:\n%s", logTail.String())
 	}
 }
 

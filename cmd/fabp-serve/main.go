@@ -1,0 +1,151 @@
+// Command fabp-serve is the FabP alignment query service: it preloads a
+// nucleotide database (the software analogue of the paper's card-resident
+// DRAM image), then serves protein align queries over HTTP JSON with
+// per-request deadlines, bounded in-flight admission control, and a
+// graceful drain on shutdown.
+//
+// Usage:
+//
+//	fabp-serve -ref db.fasta [-addr :8080] [-max-inflight 64] [-timeout 10s]
+//	fabp-serve -db db.fdb                  # a database saved by fabp-db build
+//
+// Endpoints:
+//
+//	POST /align    {"query":"MKWVTF...", "threshold_frac":0.85,
+//	                "kernel":"auto", "max_hits":100, "timeout_ms":500}
+//	GET  /healthz  liveness + resident-database shape
+//	GET  /metrics  telemetry snapshot (expvar-style JSON)
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes, running
+// scans drain (bounded by -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fabp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fabp-serve: ")
+
+	refPath := flag.String("ref", "", "nucleotide FASTA file to preload")
+	dbPath := flag.String("db", "", "packed database file (fabp-db build) to preload")
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	maxInflight := flag.Int("max-inflight", 64, "concurrently executing align requests before 429")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request scan deadline")
+	maxTimeout := flag.Duration("max-timeout", time.Minute, "ceiling on client-requested timeouts")
+	maxHits := flag.Int("max-hits", 1000, "ceiling on hits returned per request")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running scans")
+	flag.Parse()
+
+	db, err := loadDatabase(*refPath, *dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logf("database resident: %d records, %d nt", db.NumRecords(), db.Len())
+
+	s := newServer(serverConfig{
+		db:             db,
+		maxInflight:    *maxInflight,
+		defaultTimeout: *timeout,
+		maxTimeout:     *maxTimeout,
+		maxHits:        *maxHits,
+	})
+	if err := serve(s, *addr, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadDatabase builds the resident database from exactly one of a FASTA
+// file or a packed database file.
+func loadDatabase(refPath, dbPath string) (*fabp.Database, error) {
+	switch {
+	case refPath != "" && dbPath != "":
+		return nil, fmt.Errorf("set -ref or -db, not both")
+	case refPath != "":
+		f, err := os.Open(refPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		db, err := fabp.BuildDatabase(f)
+		if err != nil {
+			return nil, fmt.Errorf("building database from %s: %w", refPath, err)
+		}
+		return db, nil
+	case dbPath != "":
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		db, err := fabp.LoadDatabase(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading database %s: %w", dbPath, err)
+		}
+		return db, nil
+	}
+	return nil, fmt.Errorf("a database is required: -ref db.fasta or -db db.fdb")
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains: the
+// listener closes immediately, in-flight scans get drainTimeout to finish
+// (their request contexts are canceled past that), and the call returns
+// once the last handler exits.
+func serve(s *server, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// baseCtx parents every request context; canceling it past the drain
+	// window aborts scans that outstayed the grace period at their next
+	// shard checkpoint.
+	baseCtx, abortScans := context.WithCancel(context.Background())
+	defer abortScans()
+	srv := &http.Server{
+		Handler:     s.handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan error, 1)
+	go func() {
+		<-sigCtx.Done()
+		logf("shutdown: draining running scans (up to %s)", drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// Drain window expired: cancel the stragglers' contexts and
+			// give their handlers a moment to observe it.
+			abortScans()
+			ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel2()
+			err = srv.Shutdown(ctx2)
+		}
+		shutdownDone <- err
+	}()
+
+	logf("listening on %s", ln.Addr())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-shutdownDone; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logf("drained; bye")
+	return nil
+}

@@ -1,0 +1,313 @@
+// server.go holds the fabp-serve HTTP layer, separated from main so the
+// handler stack is testable with httptest: a preloaded database, an align
+// endpoint with per-request deadlines, bounded in-flight admission
+// control, and the observability endpoints.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"context"
+
+	"fabp"
+	"fabp/internal/telemetry"
+)
+
+// serverConfig sizes a server.
+type serverConfig struct {
+	// db is the preloaded database every query scans.
+	db *fabp.Database
+	// maxInflight bounds concurrently executing align requests; requests
+	// beyond it are rejected with 429 immediately (admission control, not
+	// queueing — shedding beats buffering under overload).
+	maxInflight int
+	// defaultTimeout applies when a request names no timeout_ms;
+	// maxTimeout caps what a request may ask for.
+	defaultTimeout, maxTimeout time.Duration
+	// maxHits caps hits returned per request when the request does not
+	// set max_hits lower (0 = serverDefaultMaxHits).
+	maxHits int
+}
+
+const (
+	serverDefaultTimeout = 10 * time.Second
+	serverDefaultMaxHits = 1000
+)
+
+// server is the fabp-serve handler state.
+type server struct {
+	cfg      serverConfig
+	inflight chan struct{}
+	// scan executes one prepared query against the database under the
+	// request context, streaming attributed hits to emit. Overridable in
+	// tests to model slow or stuck scans deterministically.
+	scan func(ctx context.Context, a *fabp.Aligner, d *fabp.Database, emit func(fabp.RecordHit) error) error
+	// m holds the serve-layer counters, registered beside the alignment
+	// pipeline's metrics in the process-wide registry so /metrics is one
+	// coherent snapshot.
+	m serveMetrics
+}
+
+type serveMetrics struct {
+	requests, rejected, timeouts, clientGone, failed *telemetry.Counter
+	inflight                                         *telemetry.Gauge
+	latency                                          *telemetry.Histogram
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.maxInflight < 1 {
+		cfg.maxInflight = 1
+	}
+	if cfg.defaultTimeout <= 0 {
+		cfg.defaultTimeout = serverDefaultTimeout
+	}
+	if cfg.maxTimeout <= 0 {
+		cfg.maxTimeout = cfg.defaultTimeout
+	}
+	if cfg.maxHits <= 0 {
+		cfg.maxHits = serverDefaultMaxHits
+	}
+	reg := telemetry.Default()
+	return &server{
+		cfg:      cfg,
+		inflight: make(chan struct{}, cfg.maxInflight),
+		scan: func(ctx context.Context, a *fabp.Aligner, d *fabp.Database, emit func(fabp.RecordHit) error) error {
+			return a.AlignDatabaseStreamContext(ctx, d, emit)
+		},
+		m: serveMetrics{
+			requests:   reg.Counter("serve.requests"),
+			rejected:   reg.Counter("serve.rejected.overload"),
+			timeouts:   reg.Counter("serve.timeouts"),
+			clientGone: reg.Counter("serve.client.gone"),
+			failed:     reg.Counter("serve.failed"),
+			inflight:   reg.Gauge("serve.inflight"),
+			latency:    reg.Histogram("serve.latency"),
+		},
+	}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /align", s.handleAlign)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// alignRequest is the /align request body.
+type alignRequest struct {
+	// Query is the protein in one-letter codes (required).
+	Query string `json:"query"`
+	// ThresholdFrac is the hit threshold as a fraction of the maximum
+	// score (default 0.8). Threshold, when set, overrides it with an
+	// absolute score.
+	ThresholdFrac *float64 `json:"threshold_frac,omitempty"`
+	Threshold     *int     `json:"threshold,omitempty"`
+	// Kernel names the alignment implementation: auto (default), scalar
+	// or bitparallel.
+	Kernel string `json:"kernel,omitempty"`
+	// MaxHits caps the hits returned (default and ceiling: the server's
+	// -max-hits). The scan stops early once the cap is reached.
+	MaxHits int `json:"max_hits,omitempty"`
+	// TimeoutMs bounds this request's scan (default: the server's
+	// -timeout, capped at -max-timeout).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// alignHit is one hit in the /align response.
+type alignHit struct {
+	Record      string `json:"record"`
+	RecordIndex int    `json:"record_index"`
+	Offset      int    `json:"offset"`
+	Score       int    `json:"score"`
+}
+
+// alignResponse is the /align response body.
+type alignResponse struct {
+	Residues  int        `json:"residues"`
+	Elements  int        `json:"elements"`
+	Threshold int        `json:"threshold"`
+	MaxScore  int        `json:"max_score"`
+	Hits      []alignHit `json:"hits"`
+	Truncated bool       `json:"truncated"`
+	ElapsedMs float64    `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errHitCap stops a scan early once the hit cap is reached; it never
+// reaches the client.
+var errHitCap = errors.New("hit cap reached")
+
+func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	// Admission control: take an in-flight slot or shed the request now.
+	// Rejected requests cost no scan work and tell the client when to
+	// retry, which is what keeps tail latency bounded under overload.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.m.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"server at capacity (%d in-flight scans); retry later", cap(s.inflight))
+		return
+	}
+	defer func() { <-s.inflight }()
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+	t0 := time.Now()
+	defer func() { s.m.latency.Observe(time.Since(t0)) }()
+
+	var req alignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "missing query")
+		return
+	}
+
+	q, err := fabp.NewQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
+		return
+	}
+	opts := []fabp.AlignerOption{}
+	if req.Kernel != "" {
+		k, err := fabp.ParseKernel(req.Kernel)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts = append(opts, fabp.WithKernelType(k))
+	}
+	switch {
+	case req.Threshold != nil:
+		opts = append(opts, fabp.WithThreshold(*req.Threshold))
+	case req.ThresholdFrac != nil:
+		opts = append(opts, fabp.WithThresholdFraction(*req.ThresholdFrac))
+	}
+	a, err := fabp.NewAligner(q, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	maxHits := s.cfg.maxHits
+	if req.MaxHits > 0 && req.MaxHits < maxHits {
+		maxHits = req.MaxHits
+	}
+	timeout := s.cfg.defaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.maxTimeout {
+		timeout = s.cfg.maxTimeout
+	}
+	// The request context roots the scan: a client disconnect cancels it,
+	// the per-request deadline bounds it, and a server drain (see main)
+	// lets it finish before the listener closes.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var hits []alignHit
+	truncated := false
+	err = s.scan(ctx, a, s.cfg.db, func(h fabp.RecordHit) error {
+		if len(hits) >= maxHits {
+			truncated = true
+			return errHitCap
+		}
+		hits = append(hits, alignHit{
+			Record:      h.RecordID,
+			RecordIndex: h.RecordIndex,
+			Offset:      h.Offset,
+			Score:       h.Score,
+		})
+		return nil
+	})
+	switch {
+	case err == nil || errors.Is(err, errHitCap):
+		// Full result, or the complete prefix up to the hit cap.
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout,
+			"scan exceeded its %s deadline", timeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody is reading the response.
+		s.m.clientGone.Inc()
+		return
+	default:
+		s.m.failed.Inc()
+		writeError(w, http.StatusInternalServerError, "scan failed: %v", err)
+		return
+	}
+
+	writeJSON(w, http.StatusOK, alignResponse{
+		Residues:  q.Residues(),
+		Elements:  q.Elements(),
+		Threshold: a.Threshold(),
+		MaxScore:  q.MaxScore(),
+		Hits:      hits,
+		Truncated: truncated,
+		ElapsedMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+	})
+}
+
+// healthzResponse is the /healthz body: liveness plus the shape of the
+// resident database.
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Records  int    `json:"records"`
+	LengthNt int    `json:"length_nt"`
+	Inflight int    `json:"inflight"`
+	Capacity int    `json:"capacity"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:   "ok",
+		Records:  s.cfg.db.NumRecords(),
+		LengthNt: s.cfg.db.Len(),
+		Inflight: len(s.inflight),
+		Capacity: cap(s.inflight),
+	})
+}
+
+// handleMetrics serves the process-wide telemetry snapshot as expvar-style
+// JSON: the alignment pipeline's counters (align.*, scan.*, pool.*,
+// cache.*) plus the serve.* layer registered here.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := json.MarshalIndent(fabp.DefaultMetrics(), "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+	_, _ = w.Write([]byte("\n"))
+}
+
+// logf is the server's log hook (swappable in tests to keep output quiet).
+var logf = log.Printf

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fabp"
+)
+
+// testServer builds a server over a small synthetic database with a
+// planted gene, so align requests have real hits to find.
+func testServer(t *testing.T, cfg serverConfig) (*server, string) {
+	t.Helper()
+	ref, genes := fabp.SyntheticReference(7, 20_000, 2, 30)
+	db, err := fabp.DatabaseFromReference("synt", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.db = db
+	return newServer(cfg), genes[0].Protein
+}
+
+func postAlign(t *testing.T, url string, req alignRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/align", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestAlignEndpoint(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 4})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, body := postAlign(t, ts.URL, alignRequest{Query: protein})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("align status %d: %s", resp.StatusCode, body)
+	}
+	var res alignResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("planted gene not found")
+	}
+	if res.MaxScore != res.Elements || res.Threshold <= 0 {
+		t.Errorf("implausible response: %+v", res)
+	}
+	for _, h := range res.Hits {
+		if h.Record != "synt" || h.Score < res.Threshold {
+			t.Errorf("bad hit %+v", h)
+		}
+	}
+
+	// healthz reports the resident database.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(hr.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Records != 1 || hz.LengthNt != 20_000 {
+		t.Errorf("healthz = %+v", hz)
+	}
+
+	// metrics is valid JSON and carries both the serve layer and the
+	// alignment pipeline.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(mr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["serve.requests"] == 0 {
+		t.Error("metrics missing serve.requests")
+	}
+	if snap.Counters["align.queries.started"] == 0 {
+		t.Error("metrics missing align.queries.started")
+	}
+}
+
+func TestAlignValidation(t *testing.T) {
+	s, _ := testServer(t, serverConfig{maxInflight: 2})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  alignRequest
+	}{
+		{"empty query", alignRequest{}},
+		{"bad residues", alignRequest{Query: "MK123"}},
+		{"bad kernel", alignRequest{Query: "MKWVTF", Kernel: "quantum"}},
+		{"bad fraction", alignRequest{Query: "MKWVTF", ThresholdFrac: ptr(1.5)}},
+	}
+	for _, tc := range cases {
+		resp, body := postAlign(t, ts.URL, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.name, body)
+		}
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// TestConcurrentQueries drives many parallel align requests through the
+// real scan path; with capacity for all of them every request must
+// succeed and find the planted gene (exercised under -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 16})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	const n = 12
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(kernel string) {
+			defer wg.Done()
+			body, _ := json.Marshal(alignRequest{Query: protein, Kernel: kernel})
+			resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var res alignResponse
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Hits) == 0 {
+				errs <- fmt.Errorf("no hits")
+			}
+		}([]string{"auto", "scalar", "bitparallel"}[i%3])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// blockScan replaces the server's scan with one that parks until released
+// (or the request context fires), making overload and drain deterministic.
+func blockScan(s *server) (release func()) {
+	ch := make(chan struct{})
+	s.scan = func(ctx context.Context, a *fabp.Aligner, d *fabp.Database, emit func(fabp.RecordHit) error) error {
+		select {
+		case <-ch:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+func TestAdmissionControl429(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 1})
+	release := blockScan(s)
+	defer release()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Occupy the only slot.
+	first := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(alignRequest{Query: protein})
+		resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			first <- -1
+			return
+		}
+		defer resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+
+	// Wait until the first request holds its slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.inflight) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never took a slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The second request must be shed immediately, not queued.
+	t1 := time.Now()
+	resp, body := postAlign(t, ts.URL, alignRequest{Query: protein})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if d := time.Since(t1); d > 2*time.Second {
+		t.Errorf("shed request took %v, want immediate rejection", d)
+	}
+
+	release()
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("first request finished %d, want 200", code)
+	}
+}
+
+func TestPerRequestTimeout(t *testing.T) {
+	s, protein := testServer(t, serverConfig{
+		maxInflight:    2,
+		defaultTimeout: 10 * time.Second,
+		maxTimeout:     10 * time.Second,
+	})
+	_ = blockScan(s) // never released: the deadline must cut the scan loose
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	before := fabp.DefaultMetrics().Snapshot().Counters["serve.timeouts"]
+	t0 := time.Now()
+	resp, body := postAlign(t, ts.URL, alignRequest{Query: protein, TimeoutMs: 50})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Errorf("timeout took %v, want ~50ms", d)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("timeout body: %s", body)
+	}
+	after := fabp.DefaultMetrics().Snapshot().Counters["serve.timeouts"]
+	if after <= before {
+		t.Error("serve.timeouts not incremented")
+	}
+}
+
+// TestGracefulShutdownDrain pins the drain contract: Shutdown does not
+// return while a scan is running, the scan's response still reaches the
+// client, and new connections are refused after the drain.
+func TestGracefulShutdownDrain(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 2})
+	release := blockScan(s)
+	defer release()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	inFlight := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(alignRequest{Query: protein})
+		resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inFlight <- -1
+			return
+		}
+		defer resp.Body.Close()
+		inFlight <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.inflight) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- ts.Config.Shutdown(ctx)
+	}()
+
+	// The drain must wait for the running scan.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a scan was running", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	release()
+	if code := <-inFlight; code != http.StatusOK {
+		t.Errorf("draining request finished %d, want 200", code)
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung after the last scan finished")
+	}
+}

@@ -1,6 +1,7 @@
 package fabp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -146,6 +147,30 @@ func (a *Aligner) databaseScan(d *Database) (scan func(lo, hi int) []core.Hit, s
 	}, starts
 }
 
+// referenceScan builds the shard-scan function for this aligner over a
+// standalone reference — the same shape as databaseScan, used by
+// AlignContext when the scan must be cancelable shard by shard. The
+// bit-parallel path reads the reference's cached planes; the scalar path
+// shares one context array.
+func (a *Aligner) referenceScan(ref *Reference) (scan func(lo, hi int) []core.Hit, starts int) {
+	starts = ref.Len() - a.query.Elements() + 1
+	if starts <= 0 {
+		return nil, 0
+	}
+	a.tm.kernelChosen(a.useBitpar(ref.Len()))
+	if a.useBitpar(ref.Len()) {
+		a.tm.planeLookups.Inc()
+		planes := planesForReference(ref)
+		return func(lo, hi int) []core.Hit {
+			return bitparToCore(a.kernel.AlignPlanesRange(planes, lo, hi))
+		}, starts
+	}
+	ctxs := core.Contexts(ref.seq)
+	return func(lo, hi int) []core.Hit {
+		return a.engine.AlignContexts(ctxs, lo, hi)
+	}, starts
+}
+
 // instrumentShard wraps a shard-scan function so each execution records
 // latency and the shards-run counter on tm.
 func instrumentShard(tm *alignerMetrics, scan func(lo, hi int) []core.Hit) func(lo, hi int) []core.Hit {
@@ -158,13 +183,16 @@ func instrumentShard(tm *alignerMetrics, scan func(lo, hi int) []core.Hit) func(
 	}
 }
 
-// scanShards executes a scan function over the shard plan on the aligner's
-// pool and returns the concatenated, position-ordered hits.
-func (a *Aligner) scanShards(starts int, scan func(lo, hi int) []core.Hit) []core.Hit {
+// scanShardsCtx executes a scan function over the shard plan on the
+// aligner's pool and returns the concatenated, position-ordered hits.
+// Cancellation is checked between shards (see sched.GatherCtx): on a
+// canceled or deadlined context the call returns ctx.Err() after at most
+// the shards already executing finish.
+func (a *Aligner) scanShardsCtx(ctx context.Context, starts int, scan func(lo, hi int) []core.Hit) ([]core.Hit, error) {
 	shards := sched.Plan(starts, a.shardLen)
 	a.tm.shardsPlanned.Add(uint64(len(shards)))
 	scan = instrumentShard(&a.tm, scan)
-	return sched.Gather(a.pool, len(shards), func(i int) []core.Hit {
+	return sched.GatherCtx(ctx, a.pool, len(shards), func(i int) []core.Hit {
 		return scan(shards[i].Lo, shards[i].Hi)
 	})
 }
@@ -172,19 +200,41 @@ func (a *Aligner) scanShards(starts int, scan func(lo, hi int) []core.Hit) []cor
 // AlignDatabase scans the whole database and attributes hits to records,
 // dropping windows that span record boundaries (concatenation artifacts).
 // The scan is tiled into shards executed on the aligner's worker pool and
-// is bit-exact with a serial scan.
+// is bit-exact with a serial scan. It is AlignDatabaseContext under
+// context.Background() — uncancellable, never errs.
 func (a *Aligner) AlignDatabase(d *Database) []RecordHit {
+	hits, _ := a.AlignDatabaseContext(context.Background(), d)
+	return hits
+}
+
+// AlignDatabaseContext is AlignDatabase under a context. Cancellation and
+// deadlines are honored at shard boundaries: undispatched shards are shed,
+// shards already executing finish, and the call returns ctx.Err() within
+// one shard of the cancel — recorded on align.canceled /
+// align.deadline.exceeded. The shared plane cache is untouched by an
+// abort (packing is atomic within the cache), so a later retry scans the
+// same resident planes.
+func (a *Aligner) AlignDatabaseContext(ctx context.Context, d *Database) ([]RecordHit, error) {
 	a.tm.queries.Inc()
 	t0 := time.Now()
+	defer func() { observeSince(a.tm.alignLatency, t0) }()
+	if err := ctx.Err(); err != nil {
+		a.tm.recordCtxErr(err)
+		return nil, err
+	}
 	scan, starts := a.databaseScan(d)
 	var raw []core.Hit
 	if scan != nil {
-		raw = a.scanShards(starts, scan)
+		var err error
+		raw, err = a.scanShardsCtx(ctx, starts, scan)
+		if err != nil {
+			a.tm.recordCtxErr(err)
+			return nil, err
+		}
 	}
 	hits := toRecordHits(d.d.Attribute(raw, a.query.Elements()))
-	observeSince(a.tm.alignLatency, t0)
 	a.tm.hits.Add(uint64(len(hits)))
-	return hits
+	return hits, nil
 }
 
 // AlignDatabaseStream scans the database shard by shard and delivers
@@ -193,9 +243,26 @@ func (a *Aligner) AlignDatabase(d *Database) []RecordHit {
 // list would not fit (or should not wait) in one slice. Return an error
 // from emit to stop early.
 func (a *Aligner) AlignDatabaseStream(d *Database, emit func(RecordHit) error) error {
+	return a.AlignDatabaseStreamContext(context.Background(), d, emit)
+}
+
+// AlignDatabaseStreamContext is AlignDatabaseStream under a context.
+// Cancellation checkpoints sit at every stage of the pipeline — shard
+// dispatch, shard execution start, and the ordered merge before each
+// emit — so the call returns ctx.Err() within one shard of the cancel,
+// drains the in-flight shards it launched (no goroutine outlives the
+// call), and records the abort on align.canceled /
+// align.deadline.exceeded. Hits already emitted are valid: they are the
+// complete, position-ordered prefix of the full scan up to the last
+// merged shard.
+func (a *Aligner) AlignDatabaseStreamContext(ctx context.Context, d *Database, emit func(RecordHit) error) error {
 	a.tm.queries.Inc()
 	t0 := time.Now()
 	defer func() { observeSince(a.tm.alignLatency, t0) }()
+	if err := ctx.Err(); err != nil {
+		a.tm.recordCtxErr(err)
+		return err
+	}
 	scan, starts := a.databaseScan(d)
 	if scan == nil {
 		return nil
@@ -204,7 +271,7 @@ func (a *Aligner) AlignDatabaseStream(d *Database, emit func(RecordHit) error) e
 	a.tm.shardsPlanned.Add(uint64(len(shards)))
 	scan = instrumentShard(&a.tm, scan)
 	m := a.query.Elements()
-	return sched.StreamOrdered(a.pool, len(shards),
+	err := sched.StreamOrderedCtx(ctx, a.pool, len(shards),
 		func(i int) ([]db.RecordHit, error) {
 			return d.d.Attribute(scan(shards[i].Lo, shards[i].Hi), m), nil
 		},
@@ -217,6 +284,10 @@ func (a *Aligner) AlignDatabaseStream(d *Database, emit func(RecordHit) error) e
 				Score:       h.Score,
 			})
 		})
+	if err != nil {
+		a.tm.recordCtxErr(err)
+	}
+	return err
 }
 
 func toRecordHits(attributed []db.RecordHit) []RecordHit {
@@ -259,8 +330,10 @@ func NewSession(d *Database) (*Session, error) {
 // scan computes one query's hits against the resident database: sharded
 // bit-parallel scan over the cached planes for large databases, sharded
 // scalar scan below the crossover — the same auto rule as the Aligner, and
-// bit-exact with the host's built-in engine.
-func (s *Session) scan(prog isa.Program, threshold int) ([]core.Hit, error) {
+// bit-exact with the host's built-in engine. Cancellation is checked
+// between shards; an abort returns ctx.Err() and is recorded on the
+// process-wide align.canceled / align.deadline.exceeded counters.
+func (s *Session) scan(ctx context.Context, prog isa.Program, threshold int) ([]core.Hit, error) {
 	starts := s.d.Len() - len(prog) + 1
 	if starts <= 0 {
 		return nil, nil
@@ -292,9 +365,13 @@ func (s *Session) scan(prog isa.Program, threshold int) ([]core.Hit, error) {
 		}
 	}
 	scan = instrumentShard(tm, scan)
-	hits := sched.Gather(sched.Shared(), len(shards), func(i int) []core.Hit {
+	hits, err := sched.GatherCtx(ctx, sched.Shared(), len(shards), func(i int) []core.Hit {
 		return scan(shards[i].Lo, shards[i].Hi)
 	})
+	if err != nil {
+		tm.recordCtxErr(err)
+		return nil, err
+	}
 	tm.hits.Add(uint64(len(hits)))
 	return hits, nil
 }
@@ -305,13 +382,20 @@ type QueryTiming struct {
 }
 
 // Run executes one query end-to-end and returns attributed hits plus the
-// timing decomposition.
+// timing decomposition. It is RunContext under context.Background().
 func (s *Session) Run(q *Query, thresholdFrac float64) ([]RecordHit, QueryTiming, error) {
+	return s.RunContext(context.Background(), q, thresholdFrac)
+}
+
+// RunContext is Run under a context: the resident-database scan honors
+// cancellation and deadlines at shard boundaries and returns ctx.Err()
+// without waiting for the remaining shards.
+func (s *Session) RunContext(ctx context.Context, q *Query, thresholdFrac float64) ([]RecordHit, QueryTiming, error) {
 	threshold, err := core.ThresholdFromFraction(thresholdFrac, q.MaxScore())
 	if err != nil {
 		return nil, QueryTiming{}, err
 	}
-	res, err := s.s.RunQuery(isaProgram(q), threshold)
+	res, err := s.s.RunQueryContext(ctx, isaProgram(q), threshold)
 	if err != nil {
 		return nil, QueryTiming{}, err
 	}
@@ -329,8 +413,15 @@ func (s *Session) Run(q *Query, thresholdFrac float64) ([]RecordHit, QueryTiming
 
 // RunBatch executes many queries against the resident database in one
 // pass, returning per-query attributed hits and the projected end-to-end
-// batch seconds.
+// batch seconds. It is RunBatchContext under context.Background().
 func (s *Session) RunBatch(queries []*Query, thresholdFrac float64) ([][]RecordHit, float64, error) {
+	return s.RunBatchContext(context.Background(), queries, thresholdFrac)
+}
+
+// RunBatchContext is RunBatch under a context: cancellation is checked
+// between queries and between shards within each query's scan, so an
+// aborted batch returns ctx.Err() without scanning the remaining queries.
+func (s *Session) RunBatchContext(ctx context.Context, queries []*Query, thresholdFrac float64) ([][]RecordHit, float64, error) {
 	progs, err := batchPrograms(queries)
 	if err != nil {
 		return nil, 0, err
@@ -339,7 +430,7 @@ func (s *Session) RunBatch(queries []*Query, thresholdFrac float64) ([][]RecordH
 	for i, q := range queries {
 		elems[i] = q.Elements()
 	}
-	res, err := s.s.RunBatch(progs, thresholdFrac)
+	res, err := s.s.RunBatchContext(ctx, progs, thresholdFrac)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -26,6 +26,7 @@
 package fabp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -182,6 +183,50 @@ func (r *Reference) Len() int { return len(r.seq) }
 // references).
 func (r *Reference) String() string { return r.seq.String() }
 
+// Kernel selects an alignment implementation. All kernels are bit-exact
+// with each other and with the generated netlist; they differ only in
+// speed and memory traffic.
+type Kernel int
+
+const (
+	// KernelAuto picks per scan: the bit-parallel kernel for references
+	// above ~64 knt, the scalar engine below. The default.
+	KernelAuto Kernel = iota
+	// KernelScalar always runs the scalar table-lookup engine.
+	KernelScalar
+	// KernelBitParallel always runs the SIMD-within-register kernel (the
+	// algorithm of the paper's GPU implementation).
+	KernelBitParallel
+)
+
+// String renders the kernel in the stringly form WithKernel accepts.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelScalar:
+		return "scalar"
+	case KernelBitParallel:
+		return "bitparallel"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// ParseKernel converts the stringly kernel name ("auto", "scalar",
+// "bitparallel") to the typed enum — the bridge from flags and config
+// files to WithKernelType.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "auto":
+		return KernelAuto, nil
+	case "scalar":
+		return KernelScalar, nil
+	case "bitparallel":
+		return KernelBitParallel, nil
+	}
+	return 0, fmt.Errorf("fabp: unknown kernel %q (auto, scalar, bitparallel)", s)
+}
+
 // Aligner runs the FabP alignment on a prepared query. It is the bit-exact
 // software model of the accelerator (proven equivalent to the generated
 // netlist in the test suite) and safe for concurrent use once built.
@@ -189,7 +234,7 @@ type Aligner struct {
 	query  *Query
 	engine *core.Engine
 	kernel *bitpar.Kernel
-	mode   string // "auto", "scalar", "bitparallel"
+	mode   Kernel
 	// pool executes database-scan shards; shared process-wide unless
 	// WithParallelism built a private one.
 	pool *sched.Pool
@@ -210,7 +255,7 @@ type alignerConfig struct {
 	thresholdOK bool
 	fraction    float64
 	parallelism int
-	kernel      string
+	kernel      Kernel
 	shardLen    int
 	metrics     *Metrics
 	err         error
@@ -278,29 +323,45 @@ func WithShardLen(n int) AlignerOption {
 	}
 }
 
-// WithKernel selects the alignment implementation: "auto" (default — the
-// bit-parallel kernel for references above ~64 knt, the scalar engine
-// below), "scalar", or "bitparallel" (the SIMD-within-register algorithm
-// of the paper's GPU implementation). All kernels are bit-exact.
+// WithKernelType selects the alignment implementation by typed enum:
+// KernelAuto (default), KernelScalar or KernelBitParallel. Out-of-range
+// values are an error at NewAligner.
+func WithKernelType(k Kernel) AlignerOption {
+	return func(c *alignerConfig) {
+		switch k {
+		case KernelAuto, KernelScalar, KernelBitParallel:
+			c.kernel = k
+		default:
+			c.err = fmt.Errorf("fabp: unknown kernel %v", k)
+		}
+	}
+}
+
+// WithKernel selects the alignment implementation by name: "auto",
+// "scalar" or "bitparallel". It is the stringly wrapper kept for
+// compatibility; new code should prefer WithKernelType with the typed
+// Kernel enum (see ParseKernel for converting flag values).
 func WithKernel(kernel string) AlignerOption {
-	return func(c *alignerConfig) { c.kernel = kernel }
+	return func(c *alignerConfig) {
+		k, err := ParseKernel(kernel)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.kernel = k
+	}
 }
 
 // NewAligner builds an aligner for the query. Without options the
 // threshold defaults to 80 % of the maximum score and telemetry reports
 // to DefaultMetrics.
 func NewAligner(q *Query, opts ...AlignerOption) (*Aligner, error) {
-	cfg := alignerConfig{fraction: 0.8, kernel: "auto", metrics: DefaultMetrics()}
+	cfg := alignerConfig{fraction: 0.8, kernel: KernelAuto, metrics: DefaultMetrics()}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.err != nil {
 		return nil, cfg.err
-	}
-	switch cfg.kernel {
-	case "auto", "scalar", "bitparallel":
-	default:
-		return nil, fmt.Errorf("fabp: unknown kernel %q (auto, scalar, bitparallel)", cfg.kernel)
 	}
 	threshold := cfg.threshold
 	if !cfg.thresholdOK {
@@ -343,13 +404,16 @@ const bitParThresholdLen = 64 << 10
 // useBitpar decides the implementation for a reference length.
 func (a *Aligner) useBitpar(refLen int) bool {
 	switch a.mode {
-	case "bitparallel":
+	case KernelBitParallel:
 		return true
-	case "scalar":
+	case KernelScalar:
 		return false
 	}
 	return refLen >= bitParThresholdLen
 }
+
+// Kernel returns the configured kernel selection.
+func (a *Aligner) Kernel() Kernel { return a.mode }
 
 // Threshold returns the configured hit threshold.
 func (a *Aligner) Threshold() int { return a.engine.Threshold() }
@@ -368,18 +432,49 @@ func (a *Aligner) alignSeq(seq bio.NucSeq) []core.Hit {
 	return a.engine.Align(seq)
 }
 
-// Align scans the reference and returns every hit in position order.
+// Align scans the reference and returns every hit in position order. It
+// is AlignContext under context.Background() — uncancellable, never errs.
 func (a *Aligner) Align(ref *Reference) []Hit {
+	hits, _ := a.AlignContext(context.Background(), ref)
+	return hits
+}
+
+// AlignContext scans the reference under a context and returns every hit
+// in position order. Cancellation and deadlines are honored at shard
+// boundaries: a cancelable context routes the scan through the shard
+// scheduler (checkpoints between shards, running shards finish), so the
+// call returns ctx.Err() within one shard of the cancel and records the
+// abort on align.canceled / align.deadline.exceeded. A context that can
+// never be canceled (context.Background, context.TODO) takes the
+// single-pass kernel, identical to the historical Align path.
+func (a *Aligner) AlignContext(ctx context.Context, ref *Reference) ([]Hit, error) {
 	a.tm.queries.Inc()
 	t0 := time.Now()
-	raw := a.alignSeq(ref.seq)
+	defer func() { observeSince(a.tm.alignLatency, t0) }()
+	if err := ctx.Err(); err != nil {
+		a.tm.recordCtxErr(err)
+		return nil, err
+	}
+	var raw []core.Hit
+	if ctx.Done() == nil {
+		raw = a.alignSeq(ref.seq)
+	} else {
+		scan, starts := a.referenceScan(ref)
+		if scan != nil {
+			var err error
+			raw, err = a.scanShardsCtx(ctx, starts, scan)
+			if err != nil {
+				a.tm.recordCtxErr(err)
+				return nil, err
+			}
+		}
+	}
 	hits := make([]Hit, len(raw))
 	for i, h := range raw {
 		hits[i] = Hit{Pos: h.Pos, Score: h.Score}
 	}
-	observeSince(a.tm.alignLatency, t0)
 	a.tm.hits.Add(uint64(len(hits)))
-	return hits
+	return hits, nil
 }
 
 // AlignStream scans a nucleotide stream of arbitrary size (raw letters,
@@ -393,26 +488,43 @@ func (a *Aligner) Align(ref *Reference) []Hit {
 // kernel (a stream's length is unknown up front, and streams are
 // typically large). All modes produce identical hits.
 func (a *Aligner) AlignStream(r io.Reader, emit func(Hit) error) error {
+	return a.AlignStreamContext(context.Background(), r, emit)
+}
+
+// AlignStreamContext is AlignStream with cooperative cancellation: the
+// context is checked before every chunk read, so a slow or unbounded
+// reader cannot pin the scan past its deadline — the call returns
+// ctx.Err() at the next chunk boundary (a Read already blocked in the
+// reader is not interrupted; wrap the reader if its source needs
+// unblocking). Aborts are recorded on align.canceled /
+// align.deadline.exceeded.
+func (a *Aligner) AlignStreamContext(ctx context.Context, r io.Reader, emit func(Hit) error) error {
 	a.tm.queries.Inc()
 	t0 := time.Now()
 	defer func() { observeSince(a.tm.alignLatency, t0) }()
-	if a.mode == "scalar" {
+	var err error
+	if a.mode == KernelScalar {
 		a.tm.kernelChosen(false)
-		return a.engine.AlignReader(r, func(h core.Hit) error {
+		err = a.engine.AlignReaderContext(ctx, r, func(h core.Hit) error {
 			a.tm.hits.Inc()
 			return emit(Hit{Pos: h.Pos, Score: h.Score})
 		})
-	}
-	a.tm.kernelChosen(true)
-	return scanChunks(r, a.query.Elements(), &a.tm, func(seq bio.NucSeq, lo, hi, base int) error {
-		for _, h := range a.kernel.AlignRange(seq, lo, hi) {
-			a.tm.hits.Inc()
-			if err := emit(Hit{Pos: base + h.Pos, Score: h.Score}); err != nil {
-				return err
+	} else {
+		a.tm.kernelChosen(true)
+		err = scanChunks(ctx, r, a.query.Elements(), &a.tm, func(seq bio.NucSeq, lo, hi, base int) error {
+			for _, h := range a.kernel.AlignRange(seq, lo, hi) {
+				a.tm.hits.Inc()
+				if err := emit(Hit{Pos: base + h.Pos, Score: h.Score}); err != nil {
+					return err
+				}
 			}
-		}
-		return nil
-	})
+			return nil
+		})
+	}
+	if err != nil {
+		a.tm.recordCtxErr(err)
+	}
+	return err
 }
 
 // EValueOf returns the expected number of random windows reaching score in
@@ -423,18 +535,35 @@ func (a *Aligner) EValueOf(score, refLen int) float64 {
 }
 
 // Best returns the single highest-scoring position regardless of the
-// threshold (ok=false when the reference is shorter than the query).
+// threshold (ok=false when the reference is shorter than the query). It
+// dispatches through the same kernel rule as Align — the bit-parallel
+// best-hit scan under WithKernelType(KernelBitParallel) or a large "auto"
+// reference, the scalar engine otherwise — and is instrumented like every
+// other scan (align.queries.started, align.latency, kernel counters).
 func (a *Aligner) Best(ref *Reference) (Hit, bool) {
+	a.tm.queries.Inc()
+	t0 := time.Now()
+	defer func() { observeSince(a.tm.alignLatency, t0) }()
+	a.tm.kernelChosen(a.useBitpar(ref.Len()))
+	if a.useBitpar(ref.Len()) {
+		h, ok := a.kernel.BestHit(ref.seq)
+		return Hit{Pos: h.Pos, Score: h.Score}, ok
+	}
 	h, ok := a.engine.BestHit(ref.seq)
 	return Hit{Pos: h.Pos, Score: h.Score}, ok
 }
 
-// ScoreAt returns the alignment score at one reference position.
+// ScoreAt returns the alignment score at one reference position,
+// instrumented like a (single-window) scan.
 func (a *Aligner) ScoreAt(ref *Reference, pos int) (int, error) {
 	if pos < 0 || pos+a.query.Elements() > ref.Len() {
 		return 0, fmt.Errorf("fabp: position %d out of range for window of %d elements", pos, a.query.Elements())
 	}
-	return a.engine.Score(ref.seq, pos), nil
+	a.tm.queries.Inc()
+	t0 := time.Now()
+	score := a.engine.Score(ref.seq, pos)
+	observeSince(a.tm.alignLatency, t0)
+	return score, nil
 }
 
 // ExperimentNames lists the reproducible tables/figures for RunExperiment.

@@ -296,36 +296,52 @@ func (k *Kernel) alignPacked(p *planes) []Hit {
 // SetParallelism bounds Align's worker goroutines (0 = GOMAXPROCS).
 func (k *Kernel) SetParallelism(p int) { k.parallelism = p }
 
+// blockCounters fills the vertical score counters for the 64-lane block
+// starting at p0 — the shared scoring core of the threshold scan and the
+// best-hit scan.
+func (k *Kernel) blockCounters(p *planes, p0 int, counters []uint64) {
+	for i := range counters {
+		counters[i] = 0
+	}
+	for i, e := range k.elems {
+		c0 := fetch(p.b0, p0+i)
+		c1 := fetch(p.b1, p0+i)
+		var m uint64
+		if e.mask0 == e.mask1 {
+			m = maskEval(e.mask0, c0, c1)
+		} else {
+			// Dependent comparison: mux the two accept functions on
+			// the selected earlier-reference bit-plane, exactly like
+			// the hardware's multiplexer LUT.
+			s := k.depPlane(p, e.dep, p0, i)
+			m = s&maskEval(e.mask1, c0, c1) | ^s&maskEval(e.mask0, c0, c1)
+		}
+		// Vertical counter += m (carry-save; the carry chain is short
+		// in practice).
+		carry := m
+		for b := 0; b < k.scoreBits && carry != 0; b++ {
+			old := counters[b]
+			counters[b] = old ^ carry
+			carry = old & carry
+		}
+	}
+}
+
+// laneScore extracts lane j's score from the vertical counters.
+func laneScore(counters []uint64, j int) int {
+	score := 0
+	for b := range counters {
+		score |= int(counters[b]>>uint(j)&1) << uint(b)
+	}
+	return score
+}
+
 // alignBlocks scans window starts [lo, hi) where lo is 64-aligned.
 func (k *Kernel) alignBlocks(p *planes, lo, n int) []Hit {
 	var hits []Hit
 	counters := make([]uint64, k.scoreBits)
 	for p0 := lo; p0 < n; p0 += 64 {
-		for i := range counters {
-			counters[i] = 0
-		}
-		for i, e := range k.elems {
-			c0 := fetch(p.b0, p0+i)
-			c1 := fetch(p.b1, p0+i)
-			var m uint64
-			if e.mask0 == e.mask1 {
-				m = maskEval(e.mask0, c0, c1)
-			} else {
-				// Dependent comparison: mux the two accept functions on
-				// the selected earlier-reference bit-plane, exactly like
-				// the hardware's multiplexer LUT.
-				s := k.depPlane(p, e.dep, p0, i)
-				m = s&maskEval(e.mask1, c0, c1) | ^s&maskEval(e.mask0, c0, c1)
-			}
-			// Vertical counter += m (carry-save; the carry chain is short
-			// in practice).
-			carry := m
-			for b := 0; b < k.scoreBits && carry != 0; b++ {
-				old := counters[b]
-				counters[b] = old ^ carry
-				carry = old & carry
-			}
-		}
+		k.blockCounters(p, p0, counters)
 
 		// Extract scores above threshold.
 		limit := n - p0
@@ -337,14 +353,48 @@ func (k *Kernel) alignBlocks(p *planes, lo, n int) []Hit {
 		for ge != 0 {
 			j := bits.TrailingZeros64(ge)
 			ge &= ge - 1
-			score := 0
-			for b := 0; b < k.scoreBits; b++ {
-				score |= int(counters[b]>>uint(j)&1) << uint(b)
-			}
-			hits = append(hits, Hit{Pos: p0 + j, Score: score})
+			hits = append(hits, Hit{Pos: p0 + j, Score: laneScore(counters, j)})
 		}
 	}
 	return hits
+}
+
+// BestHit returns the highest-scoring window position (ties broken by
+// lower position) regardless of the configured threshold, or ok=false
+// when the reference is shorter than the query — the bit-parallel
+// counterpart of core.Engine.BestHit, bit-exact by construction (same
+// blockCounters as the threshold scan).
+func (k *Kernel) BestHit(ref bio.NucSeq) (Hit, bool) {
+	return k.bestPacked(packPlanes(ref))
+}
+
+// BestHitPlanes is BestHit over a pre-packed reference (see
+// PackReference), so session-resident databases find their best
+// sub-threshold position without repacking.
+func (k *Kernel) BestHitPlanes(pp *Planes) (Hit, bool) {
+	return k.bestPacked(pp.p)
+}
+
+func (k *Kernel) bestPacked(p *planes) (Hit, bool) {
+	n := p.n - len(k.elems) + 1
+	if n <= 0 {
+		return Hit{}, false
+	}
+	best := Hit{Pos: 0, Score: -1}
+	counters := make([]uint64, k.scoreBits)
+	for p0 := 0; p0 < n; p0 += 64 {
+		k.blockCounters(p, p0, counters)
+		limit := n - p0
+		if limit > 64 {
+			limit = 64
+		}
+		for j := 0; j < limit; j++ {
+			if s := laneScore(counters, j); s > best.Score {
+				best = Hit{Pos: p0 + j, Score: s}
+			}
+		}
+	}
+	return best, true
 }
 
 // depPlane fetches the dependent-bit plane for element i of the block at

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,6 +18,15 @@ import (
 // whitespace is skipped, anything else is an error. Hits stream to the
 // callback in position order; returning a non-nil error stops the scan.
 func (e *Engine) AlignReader(r io.Reader, emit func(Hit) error) error {
+	return e.AlignReaderContext(context.Background(), r, emit)
+}
+
+// AlignReaderContext is AlignReader with cooperative cancellation: the
+// context is checked before every read — the chunk boundary is the
+// cancellation granularity — and the scan returns ctx.Err() without
+// waiting for the rest of the stream. It cannot interrupt a Read already
+// blocked in the reader; wrap the reader if its source needs unblocking.
+func (e *Engine) AlignReaderContext(ctx context.Context, r io.Reader, emit func(Hit) error) error {
 	const chunkLetters = 1 << 20
 	m := len(e.prog)
 
@@ -46,6 +56,9 @@ func (e *Engine) AlignReader(r io.Reader, emit func(Hit) error) error {
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		nRead, readErr := r.Read(buf)
 		for _, b := range buf[:nRead] {
 			switch b {

@@ -8,6 +8,7 @@
 package host
 
 import (
+	"context"
 	"fmt"
 
 	"fabp/internal/bio"
@@ -110,8 +111,10 @@ type Session struct {
 // database at an absolute threshold. Installing one (SetAlignFunc) lets
 // the facade substitute its sharded, plane-cached scan for the session's
 // built-in scalar engine; results must stay bit-exact, and only the hit
-// computation is replaced — the timing protocol is unchanged.
-type AlignFunc func(prog isa.Program, threshold int) ([]core.Hit, error)
+// computation is replaced — the timing protocol is unchanged. The
+// function must honor the context's cancellation (return ctx.Err()
+// promptly); the built-in engine checks it before scanning.
+type AlignFunc func(ctx context.Context, prog isa.Program, threshold int) ([]core.Hit, error)
 
 // SetAlignFunc installs the hit-computation hook (nil restores the
 // built-in engine).
@@ -152,6 +155,13 @@ func (s *Session) LoadCost() TransferStats { return s.loadCost }
 // RunQuery executes one encoded query end-to-end: size the build, scan the
 // resident database (bit-exact), and account every protocol leg.
 func (s *Session) RunQuery(prog isa.Program, threshold int) (*QueryResult, error) {
+	return s.RunQueryContext(context.Background(), prog, threshold)
+}
+
+// RunQueryContext is RunQuery under a context: the scan aborts with
+// ctx.Err() on cancellation or deadline (through the installed AlignFunc's
+// shard checkpoints, or before the built-in engine's scan starts).
+func (s *Session) RunQueryContext(ctx context.Context, prog isa.Program, threshold int) (*QueryResult, error) {
 	if s.packed == nil {
 		return nil, fmt.Errorf("host: no database loaded")
 	}
@@ -163,10 +173,13 @@ func (s *Session) RunQuery(prog isa.Program, threshold int) (*QueryResult, error
 	var hits []core.Hit
 	if s.alignFn != nil {
 		var err error
-		if hits, err = s.alignFn(prog, threshold); err != nil {
+		if hits, err = s.alignFn(ctx, prog, threshold); err != nil {
 			return nil, err
 		}
 	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		engine, err := core.NewEngine(prog, threshold)
 		if err != nil {
 			return nil, err
@@ -204,6 +217,14 @@ type BatchResult struct {
 // streamed). All queries must share one length class so a single bitstream
 // sizing applies; mixed lengths size per the longest.
 func (s *Session) RunBatch(progs []isa.Program, thresholdFrac float64) (*BatchResult, error) {
+	return s.RunBatchContext(context.Background(), progs, thresholdFrac)
+}
+
+// RunBatchContext is RunBatch under a context: cancellation is checked
+// between queries (and within each query's scan when an AlignFunc with
+// shard checkpoints is installed), so an aborted batch returns ctx.Err()
+// without scanning the remaining queries.
+func (s *Session) RunBatchContext(ctx context.Context, progs []isa.Program, thresholdFrac float64) (*BatchResult, error) {
 	if s.packed == nil {
 		return nil, fmt.Errorf("host: no database loaded")
 	}
@@ -225,17 +246,23 @@ func (s *Session) RunBatch(progs []isa.Program, thresholdFrac float64) (*BatchRe
 	if s.alignFn != nil {
 		perQuery = make([][]core.Hit, len(progs))
 		for i, p := range progs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			threshold, err := core.ThresholdFromFraction(thresholdFrac, len(p))
 			if err != nil {
 				return nil, err
 			}
-			hits, err := s.alignFn(p, threshold)
+			hits, err := s.alignFn(ctx, p, threshold)
 			if err != nil {
 				return nil, err
 			}
 			perQuery[i] = hits
 		}
 	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		batch, err := core.NewBatchUniform(progs, thresholdFrac)
 		if err != nil {
 			return nil, err

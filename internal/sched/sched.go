@@ -14,6 +14,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -84,6 +85,9 @@ type poolMetrics struct {
 	// backlog is the ordered-merge depth: StreamOrdered results produced
 	// but not yet emitted.
 	backlog *telemetry.Gauge
+	// canceled counts tasks never dispatched because their run's context
+	// was canceled first — shards shed by cooperative cancellation.
+	canceled *telemetry.Counter
 }
 
 func newPoolMetrics(reg *telemetry.Registry) poolMetrics {
@@ -94,6 +98,7 @@ func newPoolMetrics(reg *telemetry.Registry) poolMetrics {
 		wait:      reg.Histogram("pool.task.wait"),
 		run:       reg.Histogram("pool.task.run"),
 		backlog:   reg.Gauge("pool.merge.backlog"),
+		canceled:  reg.Counter("pool.tasks.canceled"),
 	}
 }
 
@@ -121,6 +126,24 @@ func (p *Pool) acquire() {
 	p.sem <- struct{}{}
 	p.m.wait.Observe(time.Since(t0))
 	p.m.queued.Add(-1)
+}
+
+// acquireCtx is acquire with a cancellation escape: it returns ctx.Err()
+// instead of a slot once the context is done, so a canceled scan stops
+// queueing behind a saturated pool.
+func (p *Pool) acquireCtx(ctx context.Context) error {
+	p.m.queued.Add(1)
+	t0 := time.Now()
+	defer func() {
+		p.m.wait.Observe(time.Since(t0))
+		p.m.queued.Add(-1)
+	}()
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // runTask executes one task under the running gauge, run-latency
@@ -174,27 +197,100 @@ func (p *Pool) Each(n int, run func(i int)) {
 	wg.Wait()
 }
 
+// EachCtx is Each with cooperative cancellation: the context is checked
+// before each task is dispatched (the inter-shard checkpoint), and a slot
+// wait aborts when the context fires. Tasks already dispatched run to
+// completion — a shard is the cancellation granularity — and EachCtx
+// always waits for them before returning, so no goroutine outlives the
+// call. The first context error observed is returned; undispatched tasks
+// count on pool.tasks.canceled.
+//
+// A context that can never be canceled (Done() == nil, e.g.
+// context.Background) takes the exact Each path.
+func (p *Pool) EachCtx(ctx context.Context, n int, run func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx.Done() == nil {
+		p.Each(n, run)
+		return nil
+	}
+	if p.Workers() == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				p.m.canceled.Add(uint64(n - i))
+				return err
+			}
+			p.runTask("each", func() { run(i) })
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var err error
+	for i := 0; i < n; i++ {
+		if err = p.acquireCtx(ctx); err != nil {
+			p.m.canceled.Add(uint64(n - i))
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			p.runTask("each", func() { run(i) })
+		}(i)
+	}
+	wg.Wait()
+	return err
+}
+
 // Gather runs produce(0..n-1) on the pool and concatenates the results in
 // index order — shards planned in position order come back as one
 // position-ordered hit list.
 func Gather[T any](p *Pool, n int, produce func(i int) []T) []T {
+	out, _ := GatherCtx(context.Background(), p, n, produce)
+	return out
+}
+
+// GatherCtx is Gather under a context: cancellation is checked between
+// shard dispatches (see EachCtx) and inside each dispatched task before
+// its scan starts, so a cancel mid-plan returns ctx.Err() after at most
+// the shards already executing finish. On error the partial results are
+// discarded and nil is returned.
+func GatherCtx[T any](ctx context.Context, p *Pool, n int, produce func(i int) []T) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
 	if n == 1 {
-		return produce(0)
+		if err := ctx.Err(); err != nil {
+			p.m.canceled.Inc()
+			return nil, err
+		}
+		return produce(0), nil
 	}
 	parts := make([][]T, n)
-	p.Each(n, func(i int) { parts[i] = produce(i) })
+	err := p.EachCtx(ctx, n, func(i int) {
+		// A task dispatched just before the cancel skips its scan; the
+		// call returns the context error either way.
+		if ctx.Err() != nil {
+			return
+		}
+		parts[i] = produce(i)
+	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, part := range parts {
 		total += len(part)
 	}
 	if total == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]T, 0, total)
 	for _, part := range parts {
 		out = append(out, part...)
 	}
-	return out
+	return out, nil
 }
 
 // StreamOrdered runs produce(0..n-1) on the pool and delivers every
@@ -204,8 +300,20 @@ func Gather[T any](p *Pool, n int, produce func(i int) []T) []T {
 // stops the run (already-launched producers finish, their output is
 // dropped) and is returned.
 func StreamOrdered[T any](p *Pool, n int, produce func(i int) ([]T, error), emit func(T) error) error {
+	return StreamOrderedCtx(context.Background(), p, n, produce, emit)
+}
+
+// StreamOrderedCtx is StreamOrdered under a context. Cancellation
+// checkpoints sit at every stage boundary: the dispatcher stops launching
+// producers, a producer waiting for a pool slot aborts, a dispatched
+// producer skips its scan, and the ordered merge stops emitting — so the
+// call returns ctx.Err() after at most the shards already executing
+// finish. Producers launched before the cancel are always drained before
+// any later use of the pool can observe their backlog, and no goroutine
+// outlives the shards it was scanning.
+func StreamOrderedCtx[T any](ctx context.Context, p *Pool, n int, produce func(i int) ([]T, error), emit func(T) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	type result struct {
 		items []T
@@ -218,6 +326,7 @@ func StreamOrdered[T any](p *Pool, n int, produce func(i int) ([]T, error), emit
 	// tickets bounds dispatch: one per produced-but-unconsumed shard.
 	tickets := make(chan struct{}, p.Workers()+1)
 	stop := make(chan struct{})
+	done := ctx.Done()
 	// consumed tracks how many results the ordered merge has taken; on an
 	// early stop the dispatcher drains the rest so the backlog gauge
 	// returns to its pre-call level.
@@ -230,13 +339,21 @@ func StreamOrdered[T any](p *Pool, n int, produce func(i int) ([]T, error), emit
 			case tickets <- struct{}{}:
 			case <-stop:
 				break dispatch
+			case <-done:
+				p.m.canceled.Add(uint64(n - i))
+				break dispatch
 			}
 			go func(i int) {
-				p.acquire()
 				var items []T
-				var err error
-				p.runTask("stream", func() { items, err = produce(i) })
-				<-p.sem
+				err := p.acquireCtx(ctx)
+				if err == nil {
+					p.runTask("stream", func() {
+						if err = ctx.Err(); err == nil {
+							items, err = produce(i)
+						}
+					})
+					<-p.sem
+				}
 				p.m.backlog.Add(1)
 				results[i] <- result{items, err}
 			}(i)
@@ -250,6 +367,9 @@ func StreamOrdered[T any](p *Pool, n int, produce func(i int) ([]T, error), emit
 	}()
 	defer close(stop)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r := <-results[i]
 		consumed.Store(int64(i + 1))
 		p.m.backlog.Add(-1)

@@ -1,7 +1,9 @@
 package fabp
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"time"
 
 	"fabp/internal/bitpar"
@@ -20,6 +22,8 @@ import (
 //	align.hits.emitted       hits returned or streamed to emit
 //	align.kernel.scalar      scans dispatched to the scalar engine
 //	align.kernel.bitparallel scans dispatched to the bit-parallel kernel
+//	align.canceled           scans aborted by context cancellation
+//	align.deadline.exceeded  scans aborted by a context deadline
 //	scan.shards.planned      shards the scheduler tiled
 //	scan.shards.run          shards that executed (== planned when quiet)
 //	scan.plane.lookups       packed-plane cache lookups issued by scans
@@ -146,6 +150,7 @@ type alignerMetrics struct {
 	shardsPlanned, shardsRun   *telemetry.Counter
 	planeLookups               *telemetry.Counter
 	chunks, carries            *telemetry.Counter
+	canceled, deadline         *telemetry.Counter
 	alignLatency, shardLatency *telemetry.Histogram
 }
 
@@ -160,8 +165,23 @@ func newAlignerMetrics(reg *telemetry.Registry) alignerMetrics {
 		planeLookups:  reg.Counter("scan.plane.lookups"),
 		chunks:        reg.Counter("stream.chunks.processed"),
 		carries:       reg.Counter("stream.carry.restarts"),
+		canceled:      reg.Counter("align.canceled"),
+		deadline:      reg.Counter("align.deadline.exceeded"),
 		alignLatency:  reg.Histogram("align.latency"),
 		shardLatency:  reg.Histogram("scan.shard.latency"),
+	}
+}
+
+// recordCtxErr classifies a scan's terminal error: cancellations and
+// deadline expiries each count on their own counter (other errors are the
+// caller's to observe). Called once per aborted scan, at the public API
+// boundary.
+func (tm *alignerMetrics) recordCtxErr(err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		tm.canceled.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		tm.deadline.Inc()
 	}
 }
 

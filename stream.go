@@ -1,6 +1,7 @@
 package fabp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,7 +20,12 @@ var streamChunkLetters = 1 << 20
 // range [lo, hi) that is new in this chunk. Global position = base + local
 // position. scan returning an error stops the scan. tm records beats
 // (chunks) processed and carry-boundary restarts.
-func scanChunks(r io.Reader, m int, tm *alignerMetrics, scan func(seq bio.NucSeq, lo, hi, base int) error) error {
+//
+// The context is checked before every read — the chunk boundary is the
+// cancellation checkpoint — so a canceled or deadlined scan stops without
+// waiting for the rest of the stream (a Read already blocked in the
+// reader is not interrupted).
+func scanChunks(ctx context.Context, r io.Reader, m int, tm *alignerMetrics, scan func(seq bio.NucSeq, lo, hi, base int) error) error {
 	chunkLetters := streamChunkLetters
 	if chunkLetters < m+2 {
 		chunkLetters = m + 2
@@ -46,6 +52,9 @@ func scanChunks(r io.Reader, m int, tm *alignerMetrics, scan func(seq bio.NucSeq
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		nRead, readErr := r.Read(buf)
 		for _, b := range buf[:nRead] {
 			switch b {
