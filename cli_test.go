@@ -233,10 +233,14 @@ func TestCLIServeSmoke(t *testing.T) {
 	}
 	defer cmd.Process.Kill() // backstop; the SIGTERM path below is the real exit
 
-	// The server logs its bound address once the listener is up.
+	// The server logs its bound address once the listener is up. logDone
+	// closes once the scanner drains the pipe; readers of logTail after
+	// process exit must wait on it, or they race the final log lines.
 	var logTail bytes.Buffer
 	addrCh := make(chan string, 1)
+	logDone := make(chan struct{})
 	go func() {
+		defer close(logDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
@@ -300,6 +304,11 @@ func TestCLIServeSmoke(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatalf("fabp-serve did not exit after SIGTERM:\n%s", logTail.String())
+	}
+	select {
+	case <-logDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stderr scanner never finished after process exit")
 	}
 	if !strings.Contains(logTail.String(), "drained; bye") {
 		t.Errorf("missing drain farewell in log:\n%s", logTail.String())

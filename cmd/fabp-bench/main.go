@@ -7,6 +7,8 @@
 //	fabp-bench -exp fig6a # one experiment
 //	fabp-bench -list      # list experiment ids
 //	fabp-bench -perf      # measured throughput point, written to BENCH_<date>.json
+//	fabp-bench -perf -batch 16        # add fused vs per-query batch runs
+//	fabp-bench -compare old.json new.json  # warn-only regression check
 package main
 
 import (
@@ -29,8 +31,18 @@ func main() {
 	perf := flag.Bool("perf", false, "measure scan throughput and write BENCH_<date>.json")
 	perfOut := flag.String("perf-out", ".", "directory for the -perf JSON report")
 	perfScale := flag.Int("perf-scale", 1, "reference size multiplier for -perf (1 = 100 kb)")
+	batch := flag.Int("batch", 0, "with -perf: also bench an N-query batch, fused vs per-query")
+	compare := flag.Bool("compare", false, "compare two -perf reports (old.json new.json), warn-only")
 	metrics := flag.Bool("metrics", false, "dump a telemetry snapshot as JSON after running")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("-compare needs exactly two arguments: old.json new.json")
+		}
+		comparePerf(flag.Arg(0), flag.Arg(1))
+		return
+	}
 
 	if *metrics {
 		defer func() {
@@ -42,7 +54,7 @@ func main() {
 		}()
 	}
 	if *perf {
-		runPerf(*perfOut, *perfScale)
+		runPerf(*perfOut, *perfScale, *batch)
 		return
 	}
 	if *list {

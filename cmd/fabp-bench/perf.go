@@ -16,13 +16,19 @@ import (
 // accumulate in a checkout (or an artifact store) so throughput regressions
 // show up as a broken time series rather than a vibe.
 type perfReport struct {
-	Date         string            `json:"date"`
-	GoVersion    string            `json:"go_version"`
-	GOMAXPROCS   int               `json:"gomaxprocs"`
-	RefLen       int               `json:"ref_len"`
-	Queries      int               `json:"queries"`
-	Reps         int               `json:"reps"`
-	Runs         []perfRun         `json:"runs"`
+	Date       string    `json:"date"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	RefLen     int       `json:"ref_len"`
+	Queries    int       `json:"queries"`
+	Reps       int       `json:"reps"`
+	Runs       []perfRun `json:"runs"`
+	// Batch is the -batch width (0 when the batch runs were skipped);
+	// BatchSpeedup is batch_per_query ns/op over batch_fused ns/op — the
+	// fused kernel's measured gain from scanning each reference tile once
+	// for the whole batch.
+	Batch        int               `json:"batch,omitempty"`
+	BatchSpeedup float64           `json:"batch_speedup,omitempty"`
 	CacheHitRate float64           `json:"cache_hit_rate"`
 	Counters     map[string]uint64 `json:"counters"`
 }
@@ -38,15 +44,22 @@ type perfRun struct {
 
 // runPerf measures database-scan throughput on a synthetic workload and
 // writes BENCH_<date>.json into outDir. scale multiplies the 100 kb base
-// reference; scale 1 keeps the run CI-cheap (a few seconds).
-func runPerf(outDir string, scale int) {
+// reference; scale 1 keeps the run CI-cheap (a few seconds). batchN > 0
+// adds the batch_fused / batch_per_query pair: the same batchN queries
+// scanned through the fused batch kernel versus the per-query loop, with
+// the speedup recorded in the report.
+func runPerf(outDir string, scale, batchN int) {
 	if scale < 1 {
 		scale = 1
 	}
 	refLen := 100_000 * scale
 	const nQueries, reps = 4, 3
 
-	ref, genes := fabp.SyntheticReference(42, refLen, nQueries, 60)
+	nGenes := nQueries
+	if batchN > nGenes {
+		nGenes = batchN
+	}
+	ref, genes := fabp.SyntheticReference(42, refLen, nGenes, 60)
 	dbase, err := fabp.DatabaseFromReference("perf", ref)
 	if err != nil {
 		log.Fatal(err)
@@ -74,19 +87,22 @@ func runPerf(outDir string, scale int) {
 		RefLen:     refLen,
 		Queries:    nQueries,
 		Reps:       reps,
+		Batch:      batchN,
 	}
-	for _, cfg := range []struct {
+	type benchCfg struct {
 		name string
+		ops  int
 		scan func() int
-	}{
-		{"align_database", func() int {
+	}
+	configs := []benchCfg{
+		{"align_database", nQueries * reps, func() int {
 			hits := 0
 			for _, a := range aligners {
 				hits += len(a.AlignDatabase(dbase))
 			}
 			return hits
 		}},
-		{"align_database_stream", func() int {
+		{"align_database_stream", nQueries * reps, func() int {
 			hits := 0
 			for _, a := range aligners {
 				if err := a.AlignDatabaseStream(dbase, func(fabp.RecordHit) error {
@@ -98,26 +114,64 @@ func runPerf(outDir string, scale int) {
 			}
 			return hits
 		}},
-	} {
+	}
+	if batchN > 0 {
+		batchQs := make([]*fabp.Query, batchN)
+		for i, g := range genes[:batchN] {
+			q, err := fabp.NewQuery(g.Protein)
+			if err != nil {
+				log.Fatal(err)
+			}
+			batchQs[i] = q
+		}
+		countBatch := func(res [][]fabp.Hit, err error) int {
+			if err != nil {
+				log.Fatal(err)
+			}
+			hits := 0
+			for _, h := range res {
+				hits += len(h)
+			}
+			return hits
+		}
+		// Warm the reference's plane-cache entry outside the clock (the
+		// database warm-up above keyed on the database, not the reference).
+		countBatch(fabp.AlignBatch(batchQs, ref, 0.85))
+		configs = append(configs,
+			benchCfg{"batch_per_query", batchN * reps, func() int {
+				return countBatch(fabp.AlignBatchPerQuery(batchQs, ref, 0.85))
+			}},
+			benchCfg{"batch_fused", batchN * reps, func() int {
+				return countBatch(fabp.AlignBatch(batchQs, ref, 0.85))
+			}},
+		)
+	}
+
+	nsPerOp := map[string]float64{}
+	for _, cfg := range configs {
 		hits := 0
 		t0 := time.Now()
 		for r := 0; r < reps; r++ {
 			hits += cfg.scan()
 		}
 		elapsed := time.Since(t0)
-		ops := nQueries * reps
 		run := perfRun{
 			Name:    cfg.name,
-			Ops:     ops,
+			Ops:     cfg.ops,
 			Hits:    hits,
-			NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(cfg.ops),
 		}
 		if secs := elapsed.Seconds(); secs > 0 {
 			run.HitsPerSec = float64(hits) / secs
 		}
+		nsPerOp[cfg.name] = run.NsPerOp
 		report.Runs = append(report.Runs, run)
 		fmt.Printf("%-22s %8d ops  %12.0f ns/op  %10.0f hits/s\n",
 			cfg.name, run.Ops, run.NsPerOp, run.HitsPerSec)
+	}
+	if batchN > 0 && nsPerOp["batch_fused"] > 0 {
+		report.BatchSpeedup = nsPerOp["batch_per_query"] / nsPerOp["batch_fused"]
+		fmt.Printf("batch %d fused speedup ×%.2f over per-query\n", batchN, report.BatchSpeedup)
 	}
 
 	snap := m.Snapshot()
@@ -133,4 +187,54 @@ func runPerf(outDir string, scale int) {
 		log.Fatal(err)
 	}
 	fmt.Printf("cache hit rate %.2f; wrote %s\n", report.CacheHitRate, path)
+}
+
+// regressionWarnFrac is the warn-only slowdown threshold for comparePerf:
+// a run more than this fraction slower than the baseline gets a WARN line.
+const regressionWarnFrac = 0.25
+
+// comparePerf prints a benchstat-style table of two -perf reports matched
+// by run name and warns on regressions past regressionWarnFrac. It never
+// fails the process — bench numbers on shared CI runners are advisory, so
+// the contract is warn-only; a real regression shows up as a WARN line in
+// the log, not a red build.
+func comparePerf(oldPath, newPath string) {
+	readReport := func(path string) perfReport {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var r perfReport
+		if err := json.Unmarshal(b, &r); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		return r
+	}
+	oldR, newR := readReport(oldPath), readReport(newPath)
+	oldRuns := map[string]perfRun{}
+	for _, r := range oldR.Runs {
+		oldRuns[r.Name] = r
+	}
+	fmt.Printf("%-22s %14s %14s %9s\n", "name", "old ns/op", "new ns/op", "delta")
+	warns := 0
+	for _, nr := range newR.Runs {
+		or, ok := oldRuns[nr.Name]
+		if !ok || or.NsPerOp <= 0 {
+			fmt.Printf("%-22s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := nr.NsPerOp/or.NsPerOp - 1
+		fmt.Printf("%-22s %14.0f %14.0f %+8.1f%%\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta*100)
+		if delta > regressionWarnFrac {
+			warns++
+			fmt.Printf("WARN: %s regressed %.1f%% (ns/op %0.f → %0.f, threshold %.0f%%)\n",
+				nr.Name, delta*100, or.NsPerOp, nr.NsPerOp, regressionWarnFrac*100)
+		}
+	}
+	if oldR.BatchSpeedup > 0 && newR.BatchSpeedup > 0 {
+		fmt.Printf("batch speedup: ×%.2f → ×%.2f\n", oldR.BatchSpeedup, newR.BatchSpeedup)
+	}
+	if warns == 0 {
+		fmt.Println("no regressions past the warn threshold")
+	}
 }

@@ -11,10 +11,14 @@
 //
 // Endpoints:
 //
-//	POST /align    {"query":"MKWVTF...", "threshold_frac":0.85,
-//	                "kernel":"auto", "max_hits":100, "timeout_ms":500}
-//	GET  /healthz  liveness + resident-database shape
-//	GET  /metrics  telemetry snapshot (expvar-style JSON)
+//	POST /align        {"query":"MKWVTF...", "threshold_frac":0.85,
+//	                    "kernel":"auto", "max_hits":100, "timeout_ms":500}
+//	POST /align/batch  {"queries":["MKWVTF...", ...], "threshold_frac":0.85,
+//	                    "max_hits":100, "timeout_ms":500} — one fused scan
+//	                    for the whole batch; a K-query batch takes K
+//	                    in-flight slots (admission weighs scan work)
+//	GET  /healthz      liveness + resident-database shape
+//	GET  /metrics      telemetry snapshot (expvar-style JSON)
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, running
 // scans drain (bounded by -drain-timeout), then the process exits 0.
@@ -47,6 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request scan deadline")
 	maxTimeout := flag.Duration("max-timeout", time.Minute, "ceiling on client-requested timeouts")
 	maxHits := flag.Int("max-hits", 1000, "ceiling on hits returned per request")
+	maxBatch := flag.Int("max-batch", 64, "ceiling on queries per /align/batch request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running scans")
 	flag.Parse()
 
@@ -62,6 +67,7 @@ func main() {
 		defaultTimeout: *timeout,
 		maxTimeout:     *maxTimeout,
 		maxHits:        *maxHits,
+		maxBatch:       *maxBatch,
 	})
 	if err := serve(s, *addr, *drainTimeout); err != nil {
 		log.Fatal(err)

@@ -33,11 +33,15 @@ type serverConfig struct {
 	// maxHits caps hits returned per request when the request does not
 	// set max_hits lower (0 = serverDefaultMaxHits).
 	maxHits int
+	// maxBatch caps the queries one /align/batch request may carry
+	// (0 = serverDefaultMaxBatch).
+	maxBatch int
 }
 
 const (
-	serverDefaultTimeout = 10 * time.Second
-	serverDefaultMaxHits = 1000
+	serverDefaultTimeout  = 10 * time.Second
+	serverDefaultMaxHits  = 1000
+	serverDefaultMaxBatch = 64
 )
 
 // server is the fabp-serve handler state.
@@ -48,6 +52,9 @@ type server struct {
 	// request context, streaming attributed hits to emit. Overridable in
 	// tests to model slow or stuck scans deterministically.
 	scan func(ctx context.Context, a *fabp.Aligner, d *fabp.Database, emit func(fabp.RecordHit) error) error
+	// scanBatch executes a whole batch in one fused pass under the request
+	// context, returning per-query attributed hits. Overridable in tests.
+	scanBatch func(ctx context.Context, d *fabp.Database, queries []*fabp.Query, thresholdFrac float64) ([][]fabp.RecordHit, error)
 	// m holds the serve-layer counters, registered beside the alignment
 	// pipeline's metrics in the process-wide registry so /metrics is one
 	// coherent snapshot.
@@ -56,6 +63,7 @@ type server struct {
 
 type serveMetrics struct {
 	requests, rejected, timeouts, clientGone, failed *telemetry.Counter
+	batchRequests, batchQueries                      *telemetry.Counter
 	inflight                                         *telemetry.Gauge
 	latency                                          *telemetry.Histogram
 }
@@ -73,6 +81,9 @@ func newServer(cfg serverConfig) *server {
 	if cfg.maxHits <= 0 {
 		cfg.maxHits = serverDefaultMaxHits
 	}
+	if cfg.maxBatch <= 0 {
+		cfg.maxBatch = serverDefaultMaxBatch
+	}
 	reg := telemetry.Default()
 	return &server{
 		cfg:      cfg,
@@ -80,14 +91,19 @@ func newServer(cfg serverConfig) *server {
 		scan: func(ctx context.Context, a *fabp.Aligner, d *fabp.Database, emit func(fabp.RecordHit) error) error {
 			return a.AlignDatabaseStreamContext(ctx, d, emit)
 		},
+		scanBatch: func(ctx context.Context, d *fabp.Database, queries []*fabp.Query, thresholdFrac float64) ([][]fabp.RecordHit, error) {
+			return fabp.AlignDatabaseBatchContext(ctx, d, queries, thresholdFrac)
+		},
 		m: serveMetrics{
-			requests:   reg.Counter("serve.requests"),
-			rejected:   reg.Counter("serve.rejected.overload"),
-			timeouts:   reg.Counter("serve.timeouts"),
-			clientGone: reg.Counter("serve.client.gone"),
-			failed:     reg.Counter("serve.failed"),
-			inflight:   reg.Gauge("serve.inflight"),
-			latency:    reg.Histogram("serve.latency"),
+			requests:      reg.Counter("serve.requests"),
+			rejected:      reg.Counter("serve.rejected.overload"),
+			timeouts:      reg.Counter("serve.timeouts"),
+			clientGone:    reg.Counter("serve.client.gone"),
+			failed:        reg.Counter("serve.failed"),
+			batchRequests: reg.Counter("serve.batch.requests"),
+			batchQueries:  reg.Counter("serve.batch.queries"),
+			inflight:      reg.Gauge("serve.inflight"),
+			latency:       reg.Histogram("serve.latency"),
 		},
 	}
 }
@@ -96,6 +112,7 @@ func newServer(cfg serverConfig) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /align", s.handleAlign)
+	mux.HandleFunc("POST /align/batch", s.handleAlignBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -273,6 +290,173 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		Truncated: truncated,
 		ElapsedMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
 	})
+}
+
+// batchAlignRequest is the /align/batch request body: one fused scan of
+// the resident database for every query, all sharing one threshold
+// fraction.
+type batchAlignRequest struct {
+	// Queries are proteins in one-letter codes (required, at most the
+	// server's -max-batch).
+	Queries []string `json:"queries"`
+	// ThresholdFrac is every query's hit threshold as a fraction of its
+	// own maximum score (default 0.8).
+	ThresholdFrac *float64 `json:"threshold_frac,omitempty"`
+	// MaxHits caps the hits returned per query (default and ceiling: the
+	// server's -max-hits).
+	MaxHits int `json:"max_hits,omitempty"`
+	// TimeoutMs bounds the whole batch scan (default: the server's
+	// -timeout, capped at -max-timeout).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// batchQueryResult is one query's slice of the /align/batch response.
+type batchQueryResult struct {
+	Residues  int        `json:"residues"`
+	Elements  int        `json:"elements"`
+	MaxScore  int        `json:"max_score"`
+	Hits      []alignHit `json:"hits"`
+	Truncated bool       `json:"truncated"`
+}
+
+// batchAlignResponse is the /align/batch response body; Queries is
+// index-aligned with the request's queries.
+type batchAlignResponse struct {
+	Queries   []batchQueryResult `json:"queries"`
+	ElapsedMs float64            `json:"elapsed_ms"`
+}
+
+// handleAlignBatch serves POST /align/batch: the whole batch scans the
+// resident database in one fused pass (each reference tile read once for
+// every query). The body is parsed before admission so the request's
+// weight is known up front: a K-query batch takes K in-flight slots
+// (capped at the server's full capacity) — the admission currency is scan
+// work, not request count, so a batch can't slip K queries' worth of load
+// past a limit tuned for single scans. All K slots must be free right
+// now; otherwise the batch is shed with 429 and every acquired slot is
+// released.
+func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	s.m.batchRequests.Inc()
+
+	var req batchAlignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: queries is required")
+		return
+	}
+	if len(req.Queries) > s.cfg.maxBatch {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d queries exceeds the server's limit of %d", len(req.Queries), s.cfg.maxBatch)
+		return
+	}
+	queries := make([]*fabp.Query, len(req.Queries))
+	for i, qs := range req.Queries {
+		if strings.TrimSpace(qs) == "" {
+			writeError(w, http.StatusBadRequest, "query %d is empty", i)
+			return
+		}
+		q, err := fabp.NewQuery(qs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid query %d: %v", i, err)
+			return
+		}
+		queries[i] = q
+	}
+	frac := 0.8
+	if req.ThresholdFrac != nil {
+		frac = *req.ThresholdFrac
+	}
+	s.m.batchQueries.Add(uint64(len(queries)))
+
+	weight := len(queries)
+	if weight > cap(s.inflight) {
+		weight = cap(s.inflight)
+	}
+	for acquired := 0; acquired < weight; acquired++ {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			for ; acquired > 0; acquired-- {
+				<-s.inflight
+			}
+			s.m.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"server at capacity (batch needs %d of %d slots); retry later",
+				weight, cap(s.inflight))
+			return
+		}
+	}
+	defer func() {
+		for i := 0; i < weight; i++ {
+			<-s.inflight
+		}
+	}()
+	s.m.inflight.Add(int64(weight))
+	defer s.m.inflight.Add(-int64(weight))
+	t0 := time.Now()
+	defer func() { s.m.latency.Observe(time.Since(t0)) }()
+
+	maxHits := s.cfg.maxHits
+	if req.MaxHits > 0 && req.MaxHits < maxHits {
+		maxHits = req.MaxHits
+	}
+	timeout := s.cfg.defaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.maxTimeout {
+		timeout = s.cfg.maxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	perQuery, err := s.scanBatch(ctx, s.cfg.db, queries, frac)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout,
+			"batch scan exceeded its %s deadline", timeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody is reading the response.
+		s.m.clientGone.Inc()
+		return
+	default:
+		// The batch API validates the threshold fraction and query shapes
+		// together, so what surfaces here is the client's to fix.
+		s.m.failed.Inc()
+		writeError(w, http.StatusBadRequest, "batch scan failed: %v", err)
+		return
+	}
+
+	resp := batchAlignResponse{Queries: make([]batchQueryResult, len(queries))}
+	for i, hits := range perQuery {
+		qr := &resp.Queries[i]
+		qr.Residues = queries[i].Residues()
+		qr.Elements = queries[i].Elements()
+		qr.MaxScore = queries[i].MaxScore()
+		if len(hits) > maxHits {
+			hits = hits[:maxHits]
+			qr.Truncated = true
+		}
+		qr.Hits = make([]alignHit, len(hits))
+		for j, h := range hits {
+			qr.Hits[j] = alignHit{
+				Record:      h.RecordID,
+				RecordIndex: h.RecordIndex,
+				Offset:      h.Offset,
+				Score:       h.Score,
+			}
+		}
+	}
+	resp.ElapsedMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // healthzResponse is the /healthz body: liveness plus the shape of the

@@ -134,6 +134,192 @@ func TestAlignValidation(t *testing.T) {
 
 func ptr[T any](v T) *T { return &v }
 
+func postBatch(t *testing.T, url string, req batchAlignRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/align/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestAlignBatchEndpoint drives the fused batch endpoint through the real
+// scan path and cross-checks every query's hits against the single-query
+// endpoint (the fused path must be bit-exact with per-query scans).
+func TestAlignBatchEndpoint(t *testing.T) {
+	ref, genes := fabp.SyntheticReference(7, 20_000, 3, 30)
+	db, err := fabp.DatabaseFromReference("synt", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(serverConfig{db: db, maxInflight: 8})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	var proteins []string
+	for _, g := range genes {
+		proteins = append(proteins, g.Protein)
+	}
+	resp, body := postBatch(t, ts.URL, batchAlignRequest{
+		Queries: proteins, ThresholdFrac: ptr(0.9),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var res batchAlignResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if len(res.Queries) != len(proteins) {
+		t.Fatalf("%d query results, want %d", len(res.Queries), len(proteins))
+	}
+	for i, p := range proteins {
+		qr := res.Queries[i]
+		if len(qr.Hits) == 0 {
+			t.Errorf("query %d found no hits", i)
+		}
+		// Bit-exactness: the single-query endpoint must agree.
+		sr, sbody := postAlign(t, ts.URL, alignRequest{Query: p, ThresholdFrac: ptr(0.9)})
+		if sr.StatusCode != http.StatusOK {
+			t.Fatalf("single status %d: %s", sr.StatusCode, sbody)
+		}
+		var single alignResponse
+		if err := json.Unmarshal(sbody, &single); err != nil {
+			t.Fatal(err)
+		}
+		if len(single.Hits) != len(qr.Hits) {
+			t.Fatalf("query %d: batch %d hits, single %d", i, len(qr.Hits), len(single.Hits))
+		}
+		for j := range single.Hits {
+			if single.Hits[j] != qr.Hits[j] {
+				t.Errorf("query %d hit %d: batch %+v, single %+v", i, j, qr.Hits[j], single.Hits[j])
+			}
+		}
+	}
+
+	// Per-query truncation honors max_hits.
+	resp, body = postBatch(t, ts.URL, batchAlignRequest{
+		Queries: proteins, ThresholdFrac: ptr(0.5), MaxHits: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("truncated batch status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	for i, qr := range res.Queries {
+		if len(qr.Hits) > 1 {
+			t.Errorf("query %d returned %d hits over the cap", i, len(qr.Hits))
+		}
+		if len(qr.Hits) == 1 && !qr.Truncated {
+			t.Errorf("query %d capped but not flagged truncated", i)
+		}
+	}
+
+	// The serve layer accounted the batch.
+	snap := fabp.DefaultMetrics().Snapshot()
+	if snap.Counters["serve.batch.requests"] == 0 || snap.Counters["serve.batch.queries"] == 0 {
+		t.Error("serve.batch.* counters missing")
+	}
+}
+
+func TestAlignBatchValidation(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 2, maxBatch: 2})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  batchAlignRequest
+	}{
+		{"empty batch", batchAlignRequest{}},
+		{"blank query", batchAlignRequest{Queries: []string{protein, "  "}}},
+		{"bad residues", batchAlignRequest{Queries: []string{"MK123"}}},
+		{"bad fraction", batchAlignRequest{Queries: []string{protein}, ThresholdFrac: ptr(1.5)}},
+		{"over max-batch", batchAlignRequest{Queries: []string{protein, protein, protein}}},
+	}
+	for _, tc := range cases {
+		resp, body := postBatch(t, ts.URL, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.name, body)
+		}
+	}
+}
+
+// TestAlignBatchAdmissionWeight pins the weighted admission contract: a
+// K-query batch needs K free slots, is shed when they are not all free,
+// and releases every slot on completion.
+func TestAlignBatchAdmissionWeight(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 3, maxBatch: 8})
+	blocked := make(chan struct{})
+	s.scanBatch = func(ctx context.Context, d *fabp.Database, queries []*fabp.Query, frac float64) ([][]fabp.RecordHit, error) {
+		select {
+		case <-blocked:
+			return make([][]fabp.RecordHit, len(queries)), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// A 2-query batch takes 2 of the 3 slots.
+	first := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(batchAlignRequest{Queries: []string{protein, protein}})
+		resp, err := http.Post(ts.URL+"/align/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			first <- -1
+			return
+		}
+		defer resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.inflight) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never took its slots")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Another 2-query batch needs 2 slots but only 1 is free: shed, and the
+	// one slot it probed is released (inflight stays at 2).
+	resp, body := postBatch(t, ts.URL, batchAlignRequest{Queries: []string{protein, protein}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overweight batch status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if len(s.inflight) != 2 {
+		t.Errorf("shed batch leaked slots: %d in flight, want 2", len(s.inflight))
+	}
+
+	close(blocked)
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("first batch finished %d, want 200", code)
+	}
+	// The handler releases its slots after the response is written; poll.
+	deadline = time.Now().Add(5 * time.Second)
+	for len(s.inflight) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slots not released after batch: %d", len(s.inflight))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestConcurrentQueries drives many parallel align requests through the
 // real scan path; with capacity for all of them every request must
 // succeed and find the planted gene (exercised under -race in CI).

@@ -345,6 +345,92 @@ func TestSessionRunContextLive(t *testing.T) {
 	}
 }
 
+// TestAlignDatabaseBatchContextCancelMidScan cancels a fused batch scan
+// mid-flight and pins the batch cancellation contract: the call returns
+// context.Canceled promptly, the remaining shards are shed for every
+// query of the batch at once (one shard is the whole batch's unit of
+// work), no pool goroutines leak, and a full rescan afterwards is
+// bit-exact — the shared plane cache survives the abort.
+func TestAlignDatabaseBatchContextCancelMidScan(t *testing.T) {
+	// 8 Mnt at the default shard size → ~32 fused shards, each scanning
+	// all six queries, so the watcher cancels well before the plan drains.
+	ref, genes := fabp.SyntheticReference(31, 8<<20, 6, 60)
+	dbase, err := fabp.DatabaseFromReference("batchcancel", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []*fabp.Query
+	for _, g := range genes {
+		q, err := fabp.NewQuery(g.Protein)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	golden, err := fabp.AlignDatabaseBatch(dbase, queries, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, hits := range golden {
+		if len(hits) == 0 {
+			t.Fatalf("query %d: planted gene not found", qi)
+		}
+	}
+
+	// The batch paths report on the process-wide collector; measure deltas
+	// around the canceled call.
+	m := fabp.DefaultMetrics()
+	s0 := m.Snapshot().Counters
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel as soon as the first fused shard has completed.
+	canceledAt := make(chan time.Time, 1)
+	go func() {
+		for m.Snapshot().Counters["scan.shards.run"] == s0["scan.shards.run"] {
+			time.Sleep(200 * time.Microsecond)
+		}
+		cancel()
+		canceledAt <- time.Now()
+	}()
+
+	out, err := fabp.AlignDatabaseBatchContext(ctx, dbase, queries, 0.85)
+	returned := time.Now()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AlignDatabaseBatchContext = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Errorf("canceled batch returned %d hit lists, want nil", len(out))
+	}
+	if d := returned.Sub(<-canceledAt); d > 2*time.Second {
+		t.Errorf("cancel-to-return latency %v, want one shard boundary", d)
+	}
+	s1 := m.Snapshot().Counters
+	planned := s1["scan.shards.planned"] - s0["scan.shards.planned"]
+	run := s1["scan.shards.run"] - s0["scan.shards.run"]
+	if run >= planned {
+		t.Errorf("shards run %d of %d planned: cancel shed nothing", run, planned)
+	}
+	if got := s1["align.canceled"] - s0["align.canceled"]; got != 1 {
+		t.Errorf("align.canceled delta = %d, want 1", got)
+	}
+	if got := s1["batch.queries"] - s0["batch.queries"]; got != uint64(len(queries)) {
+		t.Errorf("batch.queries delta = %d, want %d", got, len(queries))
+	}
+	waitQuiesce(t, baseline)
+
+	// The aborted batch must not have corrupted the shared plane cache or
+	// pooled kernel scratch: a fresh batch rescans bit-exact.
+	again, err := fabp.AlignDatabaseBatch(dbase, queries, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range golden {
+		assertRecordHitsEqual(t, golden[qi], again[qi])
+	}
+}
+
 func assertRecordHitsEqual(t *testing.T, want, got []fabp.RecordHit) {
 	t.Helper()
 	if len(want) != len(got) {

@@ -316,7 +316,8 @@ type Session struct {
 // card, PCIe Gen3 x8, 8 GB card DRAM) with the database loaded. Hit
 // computation runs on the sharded scan path with the shared plane cache,
 // so the database is packed once and reused across queries and RunBatch
-// calls; timing follows the paper's protocol unchanged.
+// calls; batches take the fused path (every reference tile scanned once
+// for the whole batch); timing follows the paper's protocol unchanged.
 func NewSession(d *Database) (*Session, error) {
 	s := host.NewSession(host.DefaultPlatform())
 	if _, err := s.LoadDatabase(d.d.Seq()); err != nil {
@@ -324,6 +325,7 @@ func NewSession(d *Database) (*Session, error) {
 	}
 	sess := &Session{s: s, d: d}
 	s.SetAlignFunc(sess.scan)
+	s.SetBatchAlignFunc(sess.scanBatch)
 	return sess, nil
 }
 
@@ -374,6 +376,50 @@ func (s *Session) scan(ctx context.Context, prog isa.Program, threshold int) ([]
 	}
 	tm.hits.Add(uint64(len(hits)))
 	return hits, nil
+}
+
+// scanBatch computes a whole batch's hits against the resident database
+// in one fused pass — the host.BatchAlignFunc hook installed by
+// NewSession, replacing the per-query rescan loop. Large databases run
+// the fused bit-parallel batch kernel over the cached planes; below the
+// crossover the scalar batch engine shares one context array. Bit-exact
+// with the per-query scan either way.
+func (s *Session) scanBatch(ctx context.Context, progs []isa.Program, thresholds []int) ([][]core.Hit, error) {
+	return scanBatchDatabase(ctx, s.d, progs, thresholds)
+}
+
+// scanBatchDatabase is the database-level fused batch scan shared by
+// Session.scanBatch and AlignDatabaseBatchContext.
+func scanBatchDatabase(ctx context.Context, d *Database, progs []isa.Program, thresholds []int) ([][]core.Hit, error) {
+	tm := &defaultAlignerTM
+	if d.Len() >= bitParThresholdLen {
+		tm.planeLookups.Inc()
+		raw, err := alignBatchFused(ctx, progs, thresholds, d.planes(), 0)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]core.Hit, len(raw))
+		for i, hits := range raw {
+			out[i] = bitparToCore(hits)
+		}
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		tm.recordCtxErr(err)
+		return nil, err
+	}
+	batch, err := core.NewBatch(progs, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	tm.queries.Add(uint64(len(progs)))
+	tm.batchQueries.Add(uint64(len(progs)))
+	tm.kernelScalar.Add(uint64(len(progs)))
+	perQuery := batch.Align(d.d.Seq())
+	for _, hits := range perQuery {
+		tm.hits.Add(uint64(len(hits)))
+	}
+	return perQuery, nil
 }
 
 // QueryTiming decomposes one query's projected end-to-end time in seconds.
@@ -466,14 +512,149 @@ func batchPrograms(queries []*Query) ([]isa.Program, error) {
 	return progs, nil
 }
 
-// AlignBatch scans one reference with many queries in a single pass,
+// batchKernelInputs validates a batch and resolves every query's absolute
+// threshold from the shared fraction — the inputs the fused kernel wants.
+// Query errors name every offending index; fraction errors are batch-wide.
+func batchKernelInputs(queries []*Query, thresholdFrac float64) ([]isa.Program, []int, error) {
+	progs, err := batchPrograms(queries)
+	if err != nil {
+		return nil, nil, err
+	}
+	thresholds := make([]int, len(queries))
+	for i, q := range queries {
+		t, err := core.ThresholdFromFraction(thresholdFrac, q.MaxScore())
+		if err != nil {
+			return nil, nil, err
+		}
+		thresholds[i] = t
+	}
+	return progs, thresholds, nil
+}
+
+// alignBatchFused is the fused large-reference batch scan: all K queries
+// compile into one bitpar.BatchKernel, the union of valid window starts is
+// tiled into shards, and each shard's reference plane words are fetched
+// ONCE for the whole batch — one pass per tile instead of K. Shards run
+// on the shared pool with per-query hit streams merged in position order
+// (sched.GatherBatchCtx); cancellation sheds undispatched shards for every
+// query at once. shardLen 0 takes the scheduler's default; tests pass
+// small values to force carry-straddling shard boundaries.
+func alignBatchFused(ctx context.Context, progs []isa.Program, thresholds []int, planes *bitpar.Planes, shardLen int) ([][]bitpar.Hit, error) {
+	bk, err := bitpar.NewBatchKernel(progs, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	tm := &defaultAlignerTM
+	k := uint64(bk.NumQueries())
+	tm.queries.Add(k)
+	tm.batchQueries.Add(k)
+	tm.kernelBitpar.Add(k)
+	starts := bk.Starts(planes.Len())
+	if starts <= 0 {
+		return make([][]bitpar.Hit, len(progs)), ctx.Err()
+	}
+	shards := sched.Plan(starts, shardLen)
+	tm.shardsPlanned.Add(uint64(len(shards)))
+	t0 := time.Now()
+	perQuery, err := sched.GatherBatchCtx(ctx, sched.Shared(), len(shards), len(progs),
+		func(i int) [][]bitpar.Hit {
+			ts := time.Now()
+			dst := bk.AlignPlanesRange(planes, shards[i].Lo, shards[i].Hi, nil)
+			observeSince(tm.shardLatency, ts)
+			tm.shardsRun.Inc()
+			return dst
+		})
+	if err != nil {
+		tm.recordCtxErr(err)
+		return nil, err
+	}
+	observeSince(tm.batchKernelLatency, t0)
+	tm.batchFusedPasses.Add(uint64(len(shards)))
+	tm.batchPlaneBytesSaved.Add(uint64(len(progs)-1) * uint64(planes.SizeBytes()))
+	for _, hits := range perQuery {
+		tm.hits.Add(uint64(len(hits)))
+	}
+	return perQuery, nil
+}
+
+// bitparBatchToHits converts per-query kernel hit lists to the public type.
+func bitparBatchToHits(raw [][]bitpar.Hit) [][]Hit {
+	out := make([][]Hit, len(raw))
+	for i, hits := range raw {
+		out[i] = make([]Hit, len(hits))
+		for j, h := range hits {
+			out[i][j] = Hit{Pos: h.Pos, Score: h.Score}
+		}
+	}
+	return out
+}
+
+// AlignBatch scans one reference with many queries in a single fused pass,
 // returning per-query hit lists. Thresholds are the given fraction of each
 // query's own maximum score (rounded, not truncated). Every query is
 // validated before any scanning starts. Large references pack into
-// bit-planes once — cached across calls — and all queries' shards execute
-// on one bounded worker pool; small ones share the scalar engine's context
-// array. Both paths are bit-exact with a serial per-query scan.
+// bit-planes once — cached across calls — and the fused batch kernel reads
+// each reference tile once for the whole batch; small ones share the
+// scalar batch engine's context array. Both paths are bit-exact with a
+// serial per-query scan (see AlignBatchPerQuery). It is AlignBatchContext
+// under context.Background().
 func AlignBatch(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hit, error) {
+	return AlignBatchContext(context.Background(), queries, ref, thresholdFrac)
+}
+
+// AlignBatchContext is AlignBatch under a context: cancellation and
+// deadlines are honored at shard boundaries for the whole batch at once —
+// undispatched shards are shed for every query, shards already executing
+// finish, and the call returns ctx.Err() recorded on align.canceled /
+// align.deadline.exceeded. The shared plane cache is untouched by an
+// abort, so a retry scans the same resident planes.
+func AlignBatchContext(ctx context.Context, queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hit, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("fabp: empty batch")
+	}
+	progs, thresholds, err := batchKernelInputs(queries, thresholdFrac)
+	if err != nil {
+		return nil, err
+	}
+	tm := &defaultAlignerTM
+	if ref.Len() >= bitParThresholdLen {
+		tm.planeLookups.Inc()
+		raw, err := alignBatchFused(ctx, progs, thresholds, planesForReference(ref), 0)
+		if err != nil {
+			return nil, err
+		}
+		return bitparBatchToHits(raw), nil
+	}
+	if err := ctx.Err(); err != nil {
+		tm.recordCtxErr(err)
+		return nil, err
+	}
+	batch, err := core.NewBatch(progs, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	tm.queries.Add(uint64(len(queries)))
+	tm.batchQueries.Add(uint64(len(queries)))
+	tm.kernelScalar.Add(uint64(len(queries)))
+	raw := batch.Align(ref.seq)
+	out := make([][]Hit, len(raw))
+	for i, hits := range raw {
+		out[i] = make([]Hit, len(hits))
+		for j, h := range hits {
+			out[i][j] = Hit{Pos: h.Pos, Score: h.Score}
+		}
+		tm.hits.Add(uint64(len(hits)))
+	}
+	return out, nil
+}
+
+// AlignBatchPerQuery is the pre-fusion batch path: every query rescans the
+// reference independently — the scalar batch engine below the crossover,
+// per-(query, shard) bit-parallel tiles above, so a K-query batch reads
+// the reference planes K times. Retained as the baseline the fused path is
+// proven bit-exact against in the conformance suite and benchmarked over
+// (fabp-bench -batch).
+func AlignBatchPerQuery(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hit, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("fabp: empty batch")
 	}
@@ -499,6 +680,36 @@ func AlignBatch(queries []*Query, ref *Reference, thresholdFrac float64) ([][]Hi
 			out[i][j] = Hit{Pos: h.Pos, Score: h.Score}
 		}
 		tm.hits.Add(uint64(len(hits)))
+	}
+	return out, nil
+}
+
+// AlignDatabaseBatch scans the whole database once for every query of a
+// batch and attributes each query's hits to records, dropping windows that
+// span record boundaries. It is AlignDatabaseBatchContext under
+// context.Background().
+func AlignDatabaseBatch(d *Database, queries []*Query, thresholdFrac float64) ([][]RecordHit, error) {
+	return AlignDatabaseBatchContext(context.Background(), d, queries, thresholdFrac)
+}
+
+// AlignDatabaseBatchContext is AlignDatabaseBatch under a context: the
+// fused scan honors cancellation at shard boundaries (for the whole batch
+// at once) and returns ctx.Err() without scanning the remaining shards.
+func AlignDatabaseBatchContext(ctx context.Context, d *Database, queries []*Query, thresholdFrac float64) ([][]RecordHit, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("fabp: empty batch")
+	}
+	progs, thresholds, err := batchKernelInputs(queries, thresholdFrac)
+	if err != nil {
+		return nil, err
+	}
+	perQuery, err := scanBatchDatabase(ctx, d, progs, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]RecordHit, len(queries))
+	for i, hits := range perQuery {
+		out[i] = toRecordHits(d.d.Attribute(hits, queries[i].Elements()))
 	}
 	return out, nil
 }

@@ -1,11 +1,14 @@
 package fabp
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"fabp/internal/bio"
+	"fabp/internal/core"
 )
 
 // mustConformAligner builds an aligner or fails the test.
@@ -94,6 +97,87 @@ func checkAlignConformance(t *testing.T, protein, refStr string, thr int) {
 	}
 }
 
+// checkBatchConformance is the batch arm of the differential oracle: the
+// scalar batch engine defines the truth, and the fused batch kernel —
+// whole-scan and under shard sizes straddling the longest query's carry
+// overlap — plus the per-query bit-parallel tiling must reproduce it per
+// query, hit for hit, in order. Queries deliberately mix lengths so the
+// fused scan's per-query window clamping is exercised.
+func checkBatchConformance(t *testing.T, proteins []string, refStr string, frac float64) {
+	t.Helper()
+	queries := make([]*Query, 0, len(proteins))
+	maxElems := 0
+	for _, p := range proteins {
+		q, err := NewQuery(p)
+		if err != nil {
+			t.Skip(err) // fuzzer found an invalid protein; not a conformance bug
+		}
+		queries = append(queries, q)
+		if q.Elements() > maxElems {
+			maxElems = q.Elements()
+		}
+	}
+	ref, err := NewReference(refStr)
+	if err != nil {
+		t.Skip(err)
+	}
+	progs, thresholds, err := batchKernelInputs(queries, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scalar truth: one batch engine over the whole reference.
+	oracle, err := core.NewBatchUniform(progs, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]Hit, len(queries))
+	for i, hits := range oracle.Align(ref.seq) {
+		want[i] = make([]Hit, len(hits))
+		for j, h := range hits {
+			want[i][j] = Hit{Pos: h.Pos, Score: h.Score}
+		}
+	}
+
+	assertBatch := func(label string, got [][]Hit) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d queries, want %d", label, len(got), len(want))
+		}
+		for qi := range want {
+			assertHitsEqual(t, fmt.Sprintf("%s query %d", label, qi), want[qi], got[qi])
+		}
+	}
+
+	// The per-query bit-parallel tiling (the pre-fusion baseline).
+	perQuery, err := alignBatchBitpar(queries, ref, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatch("per-query bitpar", perQuery)
+
+	// The routed per-query path (scalar below the crossover).
+	routed, err := AlignBatchPerQuery(queries, ref, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatch("AlignBatchPerQuery", routed)
+
+	// The fused batch kernel: whole scan, then shard sizes straddling the
+	// longest query's carry overlap (64 is the smallest legal tile; the
+	// aligned sizes around maxElems force shards whose overlap reads cross
+	// into the next shard's block).
+	planes := planesForReference(ref)
+	shardLens := []int{0, 64, 128, (maxElems + 63) &^ 63, (maxElems + 127) &^ 63}
+	for _, shardLen := range shardLens {
+		raw, err := alignBatchFused(context.Background(), progs, thresholds, planes, shardLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBatch(fmt.Sprintf("fused shardLen=%d", shardLen), bitparBatchToHits(raw))
+	}
+}
+
 // conformanceCase derives a bounded random workload from fuzz inputs.
 func conformanceCase(protSeed, refSeed int64, protLen uint8, refLen uint16, thrPct uint8) (protein, ref string, thr int) {
 	n := 2 + int(protLen)%19 // 2..20 residues
@@ -109,6 +193,22 @@ func conformanceCase(protSeed, refSeed int64, protLen uint8, refLen uint16, thrP
 	return prot.String(), nuc.String(), thr
 }
 
+// batchConformanceCase derives a mixed-length batch workload from fuzz
+// inputs: three proteins of staggered lengths over one reference, plus a
+// shared threshold fraction. Low fractions widen the mismatch budget past
+// four counter planes, exercising the fused kernel's generic spill arm as
+// well as the register-resident ones.
+func batchConformanceCase(protSeed, refSeed int64, protLen uint8, refLen uint16, thrPct uint8) (proteins []string, ref string, frac float64) {
+	rng := rand.New(rand.NewSource(protSeed))
+	for k := 0; k < 3; k++ {
+		n := 2 + (int(protLen)+5*k)%19 // 2..20 residues, staggered per query
+		proteins = append(proteins, bio.RandomProtSeq(rng, n).String())
+	}
+	nuc := bio.RandomNucSeq(rand.New(rand.NewSource(refSeed)), 60+int(refLen)%4096)
+	frac = float64(5+int(thrPct)%5) / 10 // 0.5..0.9
+	return proteins, nuc.String(), frac
+}
+
 // FuzzAlignConformance fuzzes the differential oracle; run with
 //
 //	go test -fuzz FuzzAlignConformance .
@@ -120,6 +220,8 @@ func FuzzAlignConformance(f *testing.F) {
 	f.Fuzz(func(t *testing.T, protSeed, refSeed int64, protLen uint8, refLen uint16, thrPct uint8) {
 		protein, ref, thr := conformanceCase(protSeed, refSeed, protLen, refLen, thrPct)
 		checkAlignConformance(t, protein, ref, thr)
+		proteins, bref, frac := batchConformanceCase(protSeed, refSeed, protLen, refLen, thrPct)
+		checkBatchConformance(t, proteins, bref, frac)
 	})
 }
 
@@ -145,4 +247,16 @@ func TestAlignConformanceRandomTrials(t *testing.T) {
 		}
 		checkAlignConformance(t, mut, refStr, q.MaxScore()*4/5)
 	}
+
+	// The batch arm over random mixed-length workloads, then the planted
+	// genes as one batch whose hits are real homologies.
+	for trial := int64(0); trial < 8; trial++ {
+		proteins, bref, frac := batchConformanceCase(trial, trial+200, uint8(5*trial), uint16(301*trial), uint8(trial))
+		checkBatchConformance(t, proteins, bref, frac)
+	}
+	var planted []string
+	for _, g := range genes {
+		planted = append(planted, g.Protein)
+	}
+	checkBatchConformance(t, planted, refStr, 0.8)
 }

@@ -150,6 +150,22 @@ type Kernel struct {
 	scoreBits int
 	// parallelism bounds Align's workers (0 = GOMAXPROCS).
 	parallelism int
+	// scratch pools per-call scan state (vertical counters + hit staging)
+	// so small-shard scans allocate nothing per shard beyond their result.
+	scratch sync.Pool
+}
+
+// kernelScratch is one scan call's reusable state. Hits accumulate here
+// (growth amortized across reuses) and are copied out exactly sized.
+type kernelScratch struct {
+	counters []uint64
+	hits     []Hit
+}
+
+func (k *Kernel) getScratch() *kernelScratch {
+	s := k.scratch.Get().(*kernelScratch)
+	s.hits = s.hits[:0]
+	return s
 }
 
 // NewKernel compiles an encoded query for the given hit threshold.
@@ -166,6 +182,9 @@ func NewKernel(prog isa.Program, threshold int) (*Kernel, error) {
 	}
 	for _, ins := range prog {
 		k.elems = append(k.elems, compile(ins))
+	}
+	k.scratch.New = func() any {
+		return &kernelScratch{counters: make([]uint64, k.scoreBits)}
 	}
 	return k, nil
 }
@@ -230,16 +249,26 @@ func (k *Kernel) alignPackedRange(p *planes, lo, hi int) []Hit {
 	}
 	// Blocks are 64-position aligned: scan from the aligned start and drop
 	// the lanes below lo.
-	aligned := lo &^ 63
-	hits := k.alignBlocks(p, aligned, hi)
-	if aligned == lo {
-		return hits
-	}
+	s := k.getScratch()
+	k.alignBlocks(p, lo&^63, hi, s)
 	trim := 0
-	for trim < len(hits) && hits[trim].Pos < lo {
+	for trim < len(s.hits) && s.hits[trim].Pos < lo {
 		trim++
 	}
-	return hits[trim:]
+	hits := copyHits(s.hits[trim:])
+	k.scratch.Put(s)
+	return hits
+}
+
+// copyHits copies a scratch hit list into an exact-size result (nil when
+// empty), so the pooled buffer can be reused.
+func copyHits(src []Hit) []Hit {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]Hit, len(src))
+	copy(out, src)
+	return out
 }
 
 // Align scans the reference and returns every window position whose score
@@ -263,12 +292,18 @@ func (k *Kernel) alignPacked(p *planes) []Hit {
 		workers = w
 	}
 	if workers <= 1 {
-		return k.alignBlocks(p, 0, n)
+		s := k.getScratch()
+		k.alignBlocks(p, 0, n, s)
+		hits := copyHits(s.hits)
+		k.scratch.Put(s)
+		return hits
 	}
-	// Split into worker ranges aligned to 64-position blocks.
+	// Split into worker ranges aligned to 64-position blocks. Each worker
+	// scans into pooled scratch; the merge is one exact-size allocation
+	// (no copy-append growth) and the scratch returns to the pool.
 	blocks := (n + 63) / 64
 	per := (blocks + workers - 1) / workers
-	results := make([][]Hit, workers)
+	results := make([]*kernelScratch, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * per * 64
@@ -282,13 +317,27 @@ func (k *Kernel) alignPacked(p *planes) []Hit {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			results[w] = k.alignBlocks(p, lo, hi)
+			s := k.getScratch()
+			k.alignBlocks(p, lo, hi, s)
+			results[w] = s
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	total := 0
+	for _, s := range results {
+		if s != nil {
+			total += len(s.hits)
+		}
+	}
 	var hits []Hit
-	for _, r := range results {
-		hits = append(hits, r...)
+	if total > 0 {
+		hits = make([]Hit, 0, total)
+	}
+	for _, s := range results {
+		if s != nil {
+			hits = append(hits, s.hits...)
+			k.scratch.Put(s)
+		}
 	}
 	return hits
 }
@@ -336,10 +385,10 @@ func laneScore(counters []uint64, j int) int {
 	return score
 }
 
-// alignBlocks scans window starts [lo, hi) where lo is 64-aligned.
-func (k *Kernel) alignBlocks(p *planes, lo, n int) []Hit {
-	var hits []Hit
-	counters := make([]uint64, k.scoreBits)
+// alignBlocks scans window starts [lo, hi) where lo is 64-aligned,
+// appending hits to s.hits (pooled; see getScratch).
+func (k *Kernel) alignBlocks(p *planes, lo, n int, s *kernelScratch) {
+	counters := s.counters
 	for p0 := lo; p0 < n; p0 += 64 {
 		k.blockCounters(p, p0, counters)
 
@@ -348,15 +397,14 @@ func (k *Kernel) alignBlocks(p *planes, lo, n int) []Hit {
 		if limit > 64 {
 			limit = 64
 		}
-		ge := k.geThreshold(counters)
+		ge := geThresh(counters, k.threshold)
 		ge &= lowMask(limit)
 		for ge != 0 {
 			j := bits.TrailingZeros64(ge)
 			ge &= ge - 1
-			hits = append(hits, Hit{Pos: p0 + j, Score: laneScore(counters, j)})
+			s.hits = append(s.hits, Hit{Pos: p0 + j, Score: laneScore(counters, j)})
 		}
 	}
-	return hits
 }
 
 // BestHit returns the highest-scoring window position (ties broken by
@@ -381,7 +429,8 @@ func (k *Kernel) bestPacked(p *planes) (Hit, bool) {
 		return Hit{}, false
 	}
 	best := Hit{Pos: 0, Score: -1}
-	counters := make([]uint64, k.scoreBits)
+	s := k.getScratch()
+	counters := s.counters
 	for p0 := 0; p0 < n; p0 += 64 {
 		k.blockCounters(p, p0, counters)
 		limit := n - p0
@@ -389,11 +438,12 @@ func (k *Kernel) bestPacked(p *planes) (Hit, bool) {
 			limit = 64
 		}
 		for j := 0; j < limit; j++ {
-			if s := laneScore(counters, j); s > best.Score {
-				best = Hit{Pos: p0 + j, Score: s}
+			if sc := laneScore(counters, j); sc > best.Score {
+				best = Hit{Pos: p0 + j, Score: sc}
 			}
 		}
 	}
+	k.scratch.Put(s)
 	return best, true
 }
 
@@ -412,16 +462,16 @@ func (k *Kernel) depPlane(p *planes, dep backtrans.DepSource, p0, i int) uint64 
 	return 0
 }
 
-// geThreshold returns a bitmask of lanes whose vertical counter is >= the
+// geThresh returns a bitmask of lanes whose vertical counter is >= the
 // threshold, using the same LSB-first comparison as the hardware's
-// CompareGEConst.
-func (k *Kernel) geThreshold(counters []uint64) uint64 {
-	if k.threshold == 0 {
+// CompareGEConst. Shared by the single-query and fused batch kernels.
+func geThresh(counters []uint64, threshold int) uint64 {
+	if threshold == 0 {
 		return ^uint64(0)
 	}
 	ge := ^uint64(0)
-	for b := 0; b < k.scoreBits; b++ {
-		if k.threshold>>uint(b)&1 == 1 {
+	for b := range counters {
+		if threshold>>uint(b)&1 == 1 {
 			ge = counters[b] & ge
 		} else {
 			ge = counters[b] | ge

@@ -105,6 +105,7 @@ type Session struct {
 	ref      bio.NucSeq
 	loadCost TransferStats
 	alignFn  AlignFunc
+	batchFn  BatchAlignFunc
 }
 
 // AlignFunc computes one encoded query's hits against the resident
@@ -119,6 +120,19 @@ type AlignFunc func(ctx context.Context, prog isa.Program, threshold int) ([]cor
 // SetAlignFunc installs the hit-computation hook (nil restores the
 // built-in engine).
 func (s *Session) SetAlignFunc(f AlignFunc) { s.alignFn = f }
+
+// BatchAlignFunc computes a whole batch's hits against the resident
+// database in one fused pass — every reference tile is scanned once for
+// all queries instead of once per query. Thresholds are absolute
+// per-query scores, index-aligned with progs; the result has one hit
+// list per query, bit-exact with running AlignFunc per query. Like
+// AlignFunc, only the hit computation is replaced — the timing protocol
+// is unchanged — and the function must honor cancellation.
+type BatchAlignFunc func(ctx context.Context, progs []isa.Program, thresholds []int) ([][]core.Hit, error)
+
+// SetBatchAlignFunc installs the fused batch hook (nil falls back to the
+// per-query AlignFunc loop, or the built-in scalar batch).
+func (s *Session) SetBatchAlignFunc(f BatchAlignFunc) { s.batchFn = f }
 
 // NewSession prepares an empty card.
 func NewSession(p Platform) *Session { return &Session{platform: p} }
@@ -243,7 +257,26 @@ func (s *Session) RunBatchContext(ctx context.Context, progs []isa.Program, thre
 			maxElems, s.platform.Device.Name)
 	}
 	var perQuery [][]core.Hit
-	if s.alignFn != nil {
+	if s.batchFn != nil {
+		// The fused path: one reference pass for the whole batch. Resolve
+		// every query's absolute threshold first so a bad fraction fails
+		// before any scanning starts (matching the per-query loop).
+		thresholds := make([]int, len(progs))
+		for i, p := range progs {
+			threshold, err := core.ThresholdFromFraction(thresholdFrac, len(p))
+			if err != nil {
+				return nil, err
+			}
+			thresholds[i] = threshold
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		if perQuery, err = s.batchFn(ctx, progs, thresholds); err != nil {
+			return nil, err
+		}
+	} else if s.alignFn != nil {
 		perQuery = make([][]core.Hit, len(progs))
 		for i, p := range progs {
 			if err := ctx.Err(); err != nil {

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -124,6 +125,87 @@ func TestRunQueryOversized(t *testing.T) {
 	}
 	if _, err := s.RunBatch([]isa.Program{prog}, 0.5); err == nil {
 		t.Error("non-fitting batch must fail")
+	}
+}
+
+// TestRunBatchPrefersBatchAlignFunc: an installed BatchAlignFunc replaces
+// the per-query loop (one call, resolved thresholds), its results flow
+// into PerQuery unchanged, and clearing it falls back to the AlignFunc
+// loop.
+func TestRunBatchPrefersBatchAlignFunc(t *testing.T) {
+	s := NewSession(DefaultPlatform())
+	rng := rand.New(rand.NewSource(4))
+	ref, genes := bio.SyntheticReference(rng, 40_000, 3, 30)
+	if _, err := s.LoadDatabase(ref); err != nil {
+		t.Fatal(err)
+	}
+	var progs []isa.Program
+	for _, g := range genes {
+		progs = append(progs, isa.MustEncodeProtein(g.Protein))
+	}
+
+	batchCalls, loopCalls := 0, 0
+	s.SetAlignFunc(func(ctx context.Context, prog isa.Program, threshold int) ([]core.Hit, error) {
+		loopCalls++
+		e, err := core.NewEngine(prog, threshold)
+		if err != nil {
+			return nil, err
+		}
+		return e.Align(ref), nil
+	})
+	s.SetBatchAlignFunc(func(ctx context.Context, bprogs []isa.Program, thresholds []int) ([][]core.Hit, error) {
+		batchCalls++
+		if len(bprogs) != len(progs) || len(thresholds) != len(progs) {
+			t.Errorf("batch hook got %d progs / %d thresholds", len(bprogs), len(thresholds))
+		}
+		for i, p := range bprogs {
+			want, err := core.ThresholdFromFraction(0.9, len(p))
+			if err != nil || thresholds[i] != want {
+				t.Errorf("threshold[%d] = %d, want %d", i, thresholds[i], want)
+			}
+		}
+		out := make([][]core.Hit, len(bprogs))
+		for i, p := range bprogs {
+			e, err := core.NewEngine(p, thresholds[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = e.Align(ref)
+		}
+		return out, nil
+	})
+
+	res, err := s.RunBatch(progs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchCalls != 1 || loopCalls != 0 {
+		t.Errorf("batch hook called %d times, per-query loop %d times", batchCalls, loopCalls)
+	}
+	for i, g := range genes {
+		found := false
+		for _, h := range res.PerQuery[i] {
+			if h.Pos == g.Pos {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("batch query %d missed its gene", i)
+		}
+	}
+
+	// Bad threshold fractions fail before the hook runs.
+	if _, err := s.RunBatch(progs, 1.5); err == nil || batchCalls != 1 {
+		t.Errorf("bad fraction: err=%v batchCalls=%d", err, batchCalls)
+	}
+
+	// Clearing the batch hook falls back to the per-query loop.
+	s.SetBatchAlignFunc(nil)
+	if _, err := s.RunBatch(progs, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if loopCalls != len(progs) {
+		t.Errorf("fallback loop ran %d times, want %d", loopCalls, len(progs))
 	}
 }
 

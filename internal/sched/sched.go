@@ -293,6 +293,74 @@ func GatherCtx[T any](ctx context.Context, p *Pool, n int, produce func(i int) [
 	return out, nil
 }
 
+// GatherBatch runs produce(0..n-1) on the pool — each call scanning one
+// shard for a whole batch and returning `streams` per-query hit lists —
+// and concatenates the results stream-wise in shard order: the fused
+// counterpart of Gather, one task per tile instead of one per
+// (query, tile) pair. See GatherBatchCtx for the contract.
+func GatherBatch[T any](p *Pool, n, streams int, produce func(i int) [][]T) [][]T {
+	out, _ := GatherBatchCtx(context.Background(), p, n, streams, produce)
+	return out
+}
+
+// GatherBatchCtx is GatherBatch under a context: cancellation is checked
+// between shard dispatches and inside each dispatched task before its
+// scan starts (see EachCtx), so a cancel mid-plan sheds the remaining
+// shards of every query at once and returns ctx.Err() after at most the
+// shards already executing finish. On error the partial results are
+// discarded and nil is returned. produce must return exactly `streams`
+// slices (shorter returns simply contribute nothing to the missing
+// streams); the result always has len == streams, with nil entries for
+// streams that produced no items.
+func GatherBatchCtx[T any](ctx context.Context, p *Pool, n, streams int, produce func(i int) [][]T) ([][]T, error) {
+	if n <= 0 || streams <= 0 {
+		return make([][]T, max(streams, 0)), ctx.Err()
+	}
+	if n == 1 {
+		if err := ctx.Err(); err != nil {
+			p.m.canceled.Inc()
+			return nil, err
+		}
+		out := produce(0)
+		for len(out) < streams {
+			out = append(out, nil)
+		}
+		return out, nil
+	}
+	parts := make([][][]T, n)
+	err := p.EachCtx(ctx, n, func(i int) {
+		// A task dispatched just before the cancel skips its scan; the
+		// call returns the context error either way.
+		if ctx.Err() != nil {
+			return
+		}
+		parts[i] = produce(i)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, streams)
+	for s := 0; s < streams; s++ {
+		total := 0
+		for _, part := range parts {
+			if s < len(part) {
+				total += len(part[s])
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		stream := make([]T, 0, total)
+		for _, part := range parts {
+			if s < len(part) {
+				stream = append(stream, part[s]...)
+			}
+		}
+		out[s] = stream
+	}
+	return out, nil
+}
+
 // StreamOrdered runs produce(0..n-1) on the pool and delivers every
 // produced item to emit in index order, holding at most Workers()+1
 // produced-but-unemitted batches in memory — the bounded-memory engine

@@ -75,6 +75,32 @@ func TestGatherCtxCancelSheds(t *testing.T) {
 	}
 }
 
+// TestGatherBatchCtxCancelSheds: a cancel mid-batch-gather sheds the
+// remaining shards for every stream at once, discards partials, and
+// counts the shed shards.
+func TestGatherBatchCtxCancelSheds(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := NewPool(2)
+	p.SetMetrics(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	out, err := GatherBatchCtx(ctx, p, 500, 4, func(i int) [][]int {
+		if started.Add(1) == 1 {
+			cancel()
+		}
+		return [][]int{{i}, {i}, {i}, {i}}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("GatherBatchCtx = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Errorf("canceled batch gather returned %v, want nil", out)
+	}
+	if shed := reg.Snapshot().Counters["pool.tasks.canceled"]; shed == 0 {
+		t.Error("pool.tasks.canceled not recorded")
+	}
+}
+
 // TestStreamOrderedCtxCancel checks the streaming merge: a cancel stops
 // emission with context.Canceled, already-launched producers are drained
 // (backlog gauge returns to zero), and no goroutine outlives the call.

@@ -78,6 +78,60 @@ func TestGatherPreservesIndexOrder(t *testing.T) {
 	}
 }
 
+func TestGatherBatchPreservesOrderPerStream(t *testing.T) {
+	p := NewPool(8)
+	const shards, streams = 40, 3
+	got := GatherBatch(p, shards, streams, func(i int) [][]int {
+		// Stream s gets s+1 items from each shard, tagged by shard order.
+		out := make([][]int, streams)
+		for s := range out {
+			for k := 0; k <= s; k++ {
+				out[s] = append(out[s], i*(s+1)+k)
+			}
+		}
+		return out
+	})
+	if len(got) != streams {
+		t.Fatalf("streams %d, want %d", len(got), streams)
+	}
+	for s, stream := range got {
+		if len(stream) != shards*(s+1) {
+			t.Fatalf("stream %d len %d, want %d", s, len(stream), shards*(s+1))
+		}
+		for i, v := range stream {
+			if v != i {
+				t.Fatalf("stream %d item %d = %d (shard order broken)", s, i, v)
+			}
+		}
+	}
+}
+
+func TestGatherBatchRaggedAndEmpty(t *testing.T) {
+	p := NewPool(4)
+	// Producers may return fewer slices than streams; missing streams get
+	// nothing, untouched streams stay nil.
+	got := GatherBatch(p, 10, 3, func(i int) [][]int {
+		if i%2 == 0 {
+			return [][]int{{i}}
+		}
+		return nil
+	})
+	if len(got) != 3 {
+		t.Fatalf("streams %d", len(got))
+	}
+	if len(got[0]) != 5 || got[1] != nil || got[2] != nil {
+		t.Fatalf("ragged gather: %v", got)
+	}
+	// Zero shards still yields one (nil) entry per stream.
+	if got := GatherBatch[int](p, 0, 2, nil); len(got) != 2 || got[0] != nil {
+		t.Fatalf("empty plan gather: %v", got)
+	}
+	// The single-shard fast path pads short returns to len == streams.
+	if got := GatherBatch(p, 1, 3, func(int) [][]int { return [][]int{{7}} }); len(got) != 3 || got[0][0] != 7 {
+		t.Fatalf("single-shard gather: %v", got)
+	}
+}
+
 func TestStreamOrderedDeliversInOrder(t *testing.T) {
 	p := NewPool(4)
 	var got []int

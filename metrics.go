@@ -29,11 +29,16 @@ import (
 //	scan.plane.lookups       packed-plane cache lookups issued by scans
 //	stream.chunks.processed  chunks (beats) scanned by AlignStream
 //	stream.carry.restarts    chunk-boundary carries of the streaming scan
+//	batch.queries            queries scanned through the fused batch path
+//	batch.fused_passes       fused tile passes (each replacing K per-query passes)
+//	batch.plane_bytes_saved  plane bytes NOT re-read thanks to fusion: (K−1)×planes
 //	pool.tasks.*             worker-pool counters/gauges (process-wide pool)
 //	cache.*                  plane-cache stats, merged from the shared cache
 //
 // Latency histograms: align.latency (whole calls), scan.shard.latency
-// (per shard), pool.task.wait and pool.task.run (scheduler).
+// (per shard), batch.kernel.latency (whole fused batch scans — its SumNs
+// is the batch path's kernel-seconds attribution), pool.task.wait and
+// pool.task.run (scheduler).
 //
 // All hot-path updates are single atomic operations; see DESIGN.md for
 // the atomicity/overhead contract.
@@ -152,6 +157,10 @@ type alignerMetrics struct {
 	chunks, carries            *telemetry.Counter
 	canceled, deadline         *telemetry.Counter
 	alignLatency, shardLatency *telemetry.Histogram
+
+	batchQueries, batchFusedPasses *telemetry.Counter
+	batchPlaneBytesSaved           *telemetry.Counter
+	batchKernelLatency             *telemetry.Histogram
 }
 
 func newAlignerMetrics(reg *telemetry.Registry) alignerMetrics {
@@ -169,6 +178,11 @@ func newAlignerMetrics(reg *telemetry.Registry) alignerMetrics {
 		deadline:      reg.Counter("align.deadline.exceeded"),
 		alignLatency:  reg.Histogram("align.latency"),
 		shardLatency:  reg.Histogram("scan.shard.latency"),
+
+		batchQueries:         reg.Counter("batch.queries"),
+		batchFusedPasses:     reg.Counter("batch.fused_passes"),
+		batchPlaneBytesSaved: reg.Counter("batch.plane_bytes_saved"),
+		batchKernelLatency:   reg.Histogram("batch.kernel.latency"),
 	}
 }
 
