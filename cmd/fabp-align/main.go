@@ -5,6 +5,7 @@
 // Usage:
 //
 //	fabp-align -query query.fasta -ref db.fasta [-threshold-frac 0.8] [-tblastn] [-top 5]
+//	fabp-align -query query.fasta -db db.fabp   # packed database built by fabp-db (warm start)
 //	fabp-align -demo            # synthetic demo workload, no files needed
 package main
 
@@ -25,6 +26,7 @@ func main() {
 
 	queryPath := flag.String("query", "", "FASTA file with protein queries")
 	refPath := flag.String("ref", "", "FASTA file with the nucleotide database")
+	dbPath := flag.String("db", "", "packed database file built by fabp-db (alternative to -ref)")
 	thresholdFrac := flag.Float64("threshold-frac", 0.8, "hit threshold as a fraction of the maximum score")
 	autoThreshold := flag.Bool("auto-threshold", false, "derive the threshold from the null score distribution")
 	maxFP := flag.Float64("fp", 0.1, "expected chance hits per scan when -auto-threshold is set")
@@ -45,32 +47,52 @@ func main() {
 		}
 		return
 	}
-	if *queryPath == "" || *refPath == "" {
+	if *queryPath == "" || (*refPath == "" && *dbPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *refPath != "" && *dbPath != "" {
+		log.Fatal("-ref and -db are mutually exclusive")
+	}
 
-	refFile, err := os.Open(*refPath)
-	if err != nil {
-		log.Fatal(err)
+	// One shared database so the packed planes are built once and every
+	// query after the first is a plane-cache hit. -db loads a packed file
+	// (a v2 file's persisted planes make this a zero-packing warm start);
+	// -ref indexes a FASTA reference in-process.
+	var dbase *fabp.Database
+	var ref *fabp.Reference
+	if *dbPath != "" {
+		dbFile, err := os.Open(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dbase, err = fabp.LoadDatabase(dbFile)
+		dbFile.Close()
+		if err != nil {
+			log.Fatalf("loading database: %v", err)
+		}
+		ref = dbase.AsReference()
+		fmt.Printf("database: %d records, %d nt\n", dbase.NumRecords(), dbase.Len())
+	} else {
+		refFile, err := os.Open(*refPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer refFile.Close()
+		ref, _, err = fabp.ReadReferenceFasta(refFile)
+		if err != nil {
+			log.Fatalf("reading reference: %v", err)
+		}
+		fmt.Printf("reference: %d nt\n", ref.Len())
+		dbase, err = fabp.DatabaseFromReference("ref", ref)
+		if err != nil {
+			log.Fatalf("indexing reference: %v", err)
+		}
 	}
-	defer refFile.Close()
-	ref, _, err := fabp.ReadReferenceFasta(refFile)
-	if err != nil {
-		log.Fatalf("reading reference: %v", err)
-	}
-	fmt.Printf("reference: %d nt\n", ref.Len())
 
 	queries, err := readProteinFasta(*queryPath)
 	if err != nil {
 		log.Fatalf("reading queries: %v", err)
-	}
-
-	// One shared database so the packed planes are built once and every
-	// query after the first is a plane-cache hit.
-	dbase, err := fabp.DatabaseFromReference("ref", ref)
-	if err != nil {
-		log.Fatalf("indexing reference: %v", err)
 	}
 	for _, qr := range queries {
 		alignOne(qr.id, qr.prot, ref, dbase, opts)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -27,10 +28,17 @@ type perfReport struct {
 	// BatchSpeedup is batch_per_query ns/op over batch_fused ns/op — the
 	// fused kernel's measured gain from scanning each reference tile once
 	// for the whole batch.
-	Batch        int               `json:"batch,omitempty"`
-	BatchSpeedup float64           `json:"batch_speedup,omitempty"`
-	CacheHitRate float64           `json:"cache_hit_rate"`
-	Counters     map[string]uint64 `json:"counters"`
+	Batch        int     `json:"batch,omitempty"`
+	BatchSpeedup float64 `json:"batch_speedup,omitempty"`
+	// LoadColdNs/LoadWarmNs time one full database load to scan-ready
+	// planes: cold from a v1 file (packs in-process), warm from a v2 file
+	// (persisted planes, zero packing). LoadWarmSpeedup is their ratio —
+	// the measured value of the v2 plane section.
+	LoadColdNs      float64           `json:"load_cold_ns,omitempty"`
+	LoadWarmNs      float64           `json:"load_warm_ns,omitempty"`
+	LoadWarmSpeedup float64           `json:"load_warm_speedup,omitempty"`
+	CacheHitRate    float64           `json:"cache_hit_rate"`
+	Counters        map[string]uint64 `json:"counters"`
 }
 
 // perfRun is one measured configuration.
@@ -147,6 +155,32 @@ func runPerf(outDir string, scale, batchN int) {
 		)
 	}
 
+	// Cold vs warm load: identical content through the legacy (v1) format,
+	// which forces in-process packing, versus the v2 format whose
+	// persisted plane section loads straight into the cache. Each rep
+	// evicts first so both paths start from nothing resident; the timed
+	// region is load → scan-ready planes. These run last so the eviction
+	// churn cannot disturb the scan configurations above.
+	var v1bytes, v2bytes bytes.Buffer
+	if err := dbase.SaveDatabaseLegacy(&v1bytes); err != nil {
+		log.Fatal(err)
+	}
+	if err := dbase.SaveDatabase(&v2bytes); err != nil {
+		log.Fatal(err)
+	}
+	loadAndWarm := func(data []byte) {
+		dbase.EvictPlanes() // same digest: drops residency for any load of this content
+		d, err := fabp.LoadDatabase(bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.WarmPlanes()
+	}
+	configs = append(configs,
+		benchCfg{"load_cold_v1", reps, func() int { loadAndWarm(v1bytes.Bytes()); return 0 }},
+		benchCfg{"load_warm_v2", reps, func() int { loadAndWarm(v2bytes.Bytes()); return 0 }},
+	)
+
 	nsPerOp := map[string]float64{}
 	for _, cfg := range configs {
 		hits := 0
@@ -172,6 +206,11 @@ func runPerf(outDir string, scale, batchN int) {
 	if batchN > 0 && nsPerOp["batch_fused"] > 0 {
 		report.BatchSpeedup = nsPerOp["batch_per_query"] / nsPerOp["batch_fused"]
 		fmt.Printf("batch %d fused speedup ×%.2f over per-query\n", batchN, report.BatchSpeedup)
+	}
+	if c, w := nsPerOp["load_cold_v1"], nsPerOp["load_warm_v2"]; c > 0 && w > 0 {
+		report.LoadColdNs, report.LoadWarmNs = c, w
+		report.LoadWarmSpeedup = c / w
+		fmt.Printf("warm (v2) load speedup ×%.2f over cold (v1) load\n", report.LoadWarmSpeedup)
 	}
 
 	snap := m.Snapshot()

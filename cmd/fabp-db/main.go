@@ -1,15 +1,19 @@
 // Command fabp-db manages packed FabP reference databases: build one from
-// FASTA, inspect it, or search it with a protein query.
+// FASTA (v2 format: payload + bit-planes + checksums), verify or inspect
+// it, or search it with a protein query.
 //
 // Usage:
 //
-//	fabp-db build -in db.fasta -out db.fabp
+//	fabp-db build -in db.fasta -out db.fabp [-v1]
+//	fabp-db verify -db db.fabp              # checksums + digest; exit 1 on damage
+//	fabp-db inspect -db db.fabp [-json]     # file format, sections, digest
 //	fabp-db info -db db.fabp
 //	fabp-db search -db db.fabp -query MKWVTF... [-threshold-frac 0.85]
 //	fabp-db demo -out demo.fabp     # write a synthetic demo database
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +31,10 @@ func main() {
 	switch os.Args[1] {
 	case "build":
 		cmdBuild(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
 	case "info":
 		cmdInfo(os.Args[2:])
 	case "search":
@@ -39,7 +47,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fabp-db {build|info|search|demo} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fabp-db {build|verify|inspect|info|search|demo} [flags]")
 	os.Exit(2)
 }
 
@@ -47,6 +55,7 @@ func cmdBuild(args []string) {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	in := fs.String("in", "", "input nucleotide FASTA")
 	out := fs.String("out", "", "output database file")
+	legacy := fs.Bool("v1", false, "write the legacy v1 format (no checksums, no planes)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		fs.Usage()
@@ -61,8 +70,79 @@ func cmdBuild(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	writeDB(d, *out)
-	fmt.Printf("built %s: %d records, %d nt\n", *out, d.NumRecords(), d.Len())
+	writeDB(d, *out, *legacy)
+	format := "v2"
+	if *legacy {
+		format = "v1"
+	}
+	fmt.Printf("built %s (%s): %d records, %d nt\n", *out, format, d.NumRecords(), d.Len())
+}
+
+// cmdVerify runs the full structural validation — magic, section
+// checksums, content digest, plane section — and exits non-zero on any
+// damage. A rejected plane section is reported but is not a failure (the
+// file still loads, scans fall back to packing).
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(args)
+	info := inspectFile(fs, *path)
+	if info.PlaneError != "" {
+		fmt.Printf("%s: OK (degraded) — v%d, %d records, %d nt, digest %s\n",
+			*path, info.Version, info.Records, info.TotalNt, info.Digest)
+		fmt.Printf("  plane section rejected (loads will re-pack): %s\n", info.PlaneError)
+		return
+	}
+	fmt.Printf("%s: OK — v%d, %d records, %d nt, digest %s\n",
+		*path, info.Version, info.Records, info.TotalNt, info.Digest)
+}
+
+// cmdInspect prints the file's on-disk shape, optionally as JSON.
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	fs.Parse(args)
+	info := inspectFile(fs, *path)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(info); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("format:   v%d\n", info.Version)
+	fmt.Printf("records:  %d\n", info.Records)
+	fmt.Printf("total:    %d nt\n", info.TotalNt)
+	fmt.Printf("digest:   %s\n", info.Digest)
+	fmt.Printf("sections: index %d B, payload %d B, planes %d B\n",
+		info.IndexBytes, info.PayloadBytes, info.PlaneBytes)
+	switch {
+	case info.HasPlanes:
+		fmt.Println("planes:   present (warm start: loads skip packing)")
+	case info.PlaneError != "":
+		fmt.Printf("planes:   REJECTED — %s\n", info.PlaneError)
+	default:
+		fmt.Println("planes:   absent (loads pack in-process)")
+	}
+}
+
+func inspectFile(fs *flag.FlagSet, path string) fabp.DatabaseFileInfo {
+	if path == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	info, err := fabp.InspectDatabase(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return info
 }
 
 func cmdInfo(args []string) {
@@ -123,7 +203,7 @@ func cmdDemo(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	writeDB(d, *out)
+	writeDB(d, *out, false)
 	fmt.Printf("wrote %s (%d nt); try searching for a planted gene:\n", *out, d.Len())
 	fmt.Printf("  fabp-db search -db %s -query %s\n", *out, genes[0].Protein)
 }
@@ -144,13 +224,18 @@ func openDB(path string) *fabp.Database {
 	return d
 }
 
-func writeDB(d *fabp.Database, path string) {
+func writeDB(d *fabp.Database, path string, legacy bool) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := d.SaveDatabase(f); err != nil {
+	if legacy {
+		err = d.SaveDatabaseLegacy(f)
+	} else {
+		err = d.SaveDatabase(f)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

@@ -61,6 +61,17 @@ func main() {
 	}
 	logf("database resident: %d records, %d nt", db.NumRecords(), db.Len())
 
+	// Warm up before accepting traffic so the first query never pays
+	// packing latency. A v2 file's persisted planes make this free; a
+	// FASTA build, a v1 file, or a rejected plane section packs here, once.
+	t0 := time.Now()
+	planeSource := "packed"
+	if db.PlanesResident() {
+		planeSource = "persisted"
+	}
+	db.WarmPlanes()
+	logf("planes resident (%s) in %s", planeSource, time.Since(t0).Round(time.Microsecond))
+
 	s := newServer(serverConfig{
 		db:             db,
 		maxInflight:    *maxInflight,
@@ -68,6 +79,7 @@ func main() {
 		maxTimeout:     *maxTimeout,
 		maxHits:        *maxHits,
 		maxBatch:       *maxBatch,
+		planeSource:    planeSource,
 	})
 	if err := serve(s, *addr, *drainTimeout); err != nil {
 		log.Fatal(err)

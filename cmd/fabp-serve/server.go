@@ -36,6 +36,10 @@ type serverConfig struct {
 	// maxBatch caps the queries one /align/batch request may carry
 	// (0 = serverDefaultMaxBatch).
 	maxBatch int
+	// planeSource records where the database's bit-planes came from at
+	// startup ("persisted" for a v2 file's plane section, "packed" when
+	// the server packed them itself) — surfaced on /healthz.
+	planeSource string
 }
 
 const (
@@ -83,6 +87,9 @@ func newServer(cfg serverConfig) *server {
 	}
 	if cfg.maxBatch <= 0 {
 		cfg.maxBatch = serverDefaultMaxBatch
+	}
+	if cfg.planeSource == "" {
+		cfg.planeSource = "packed"
 	}
 	reg := telemetry.Default()
 	return &server{
@@ -460,22 +467,30 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthzResponse is the /healthz body: liveness plus the shape of the
-// resident database.
+// resident database and its warm-start state.
 type healthzResponse struct {
 	Status   string `json:"status"`
 	Records  int    `json:"records"`
 	LengthNt int    `json:"length_nt"`
 	Inflight int    `json:"inflight"`
 	Capacity int    `json:"capacity"`
+	// Planes names where the bit-planes came from at startup ("persisted"
+	// from a v2 file, "packed" by this process); PlanesResident reports
+	// whether they are in the shared cache right now — the readiness
+	// signal that the first query will not pay packing latency.
+	Planes         string `json:"planes"`
+	PlanesResident bool   `json:"planes_resident"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:   "ok",
-		Records:  s.cfg.db.NumRecords(),
-		LengthNt: s.cfg.db.Len(),
-		Inflight: len(s.inflight),
-		Capacity: cap(s.inflight),
+		Status:         "ok",
+		Records:        s.cfg.db.NumRecords(),
+		LengthNt:       s.cfg.db.Len(),
+		Inflight:       len(s.inflight),
+		Capacity:       cap(s.inflight),
+		Planes:         s.cfg.planeSource,
+		PlanesResident: s.cfg.db.PlanesResident(),
 	})
 }
 

@@ -511,3 +511,139 @@ func TestGracefulShutdownDrain(t *testing.T) {
 		t.Fatal("Shutdown hung after the last scan finished")
 	}
 }
+
+// TestBatchAdmissionShedStorm hammers the weighted batch admission with
+// concurrent requests while most slots are held: every shed request must
+// release ALL the slots it partially acquired (no leak — the in-flight
+// count never exceeds capacity and returns exactly to the blocker's
+// weight), and every 429 must carry Retry-After.
+func TestBatchAdmissionShedStorm(t *testing.T) {
+	const capacity = 4
+	s, protein := testServer(t, serverConfig{maxInflight: capacity, maxBatch: capacity})
+	blocked := make(chan struct{})
+	s.scanBatch = func(ctx context.Context, d *fabp.Database, queries []*fabp.Query, frac float64) ([][]fabp.RecordHit, error) {
+		select {
+		case <-blocked:
+			return make([][]fabp.RecordHit, len(queries)), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// A 3-query batch parks on 3 of the 4 slots.
+	blocker := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(batchAlignRequest{Queries: []string{protein, protein, protein}})
+		resp, err := http.Post(ts.URL+"/align/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			blocker <- -1
+			return
+		}
+		defer resp.Body.Close()
+		blocker <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.inflight) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker batch never took its slots")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Storm: concurrent 2-query batches all need 2 slots with only 1
+	// free. Every one must probe, fail, roll its partial acquisition
+	// back, and answer 429 with Retry-After.
+	const stormers = 32
+	var wg sync.WaitGroup
+	type verdict struct {
+		status     int
+		retryAfter string
+	}
+	verdicts := make(chan verdict, stormers)
+	for i := 0; i < stormers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(batchAlignRequest{Queries: []string{protein, protein}})
+			resp, err := http.Post(ts.URL+"/align/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				verdicts <- verdict{status: -1}
+				return
+			}
+			defer resp.Body.Close()
+			verdicts <- verdict{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+		}()
+	}
+	wg.Wait()
+	close(verdicts)
+	for v := range verdicts {
+		if v.status != http.StatusTooManyRequests {
+			t.Fatalf("storm request status %d, want 429", v.status)
+		}
+		if v.retryAfter == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+	// No storm request may have leaked a probed slot: exactly the
+	// blocker's 3 remain held.
+	if got := len(s.inflight); got != 3 {
+		t.Fatalf("after shed storm %d slots held, want the blocker's 3 (leak)", got)
+	}
+
+	// Release the blocker: its batch completes and every slot frees.
+	close(blocked)
+	if code := <-blocker; code != http.StatusOK {
+		t.Fatalf("blocker batch finished %d, want 200", code)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for len(s.inflight) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slots not released after storm: %d", len(s.inflight))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Aftershock: with scans now instant, a mixed-weight storm must end
+	// with every slot back and only 200s or well-formed 429s.
+	verdicts2 := make(chan verdict, stormers)
+	for i := 0; i < stormers; i++ {
+		wg.Add(1)
+		go func(weight int) {
+			defer wg.Done()
+			qs := make([]string, weight)
+			for j := range qs {
+				qs[j] = protein
+			}
+			body, _ := json.Marshal(batchAlignRequest{Queries: qs})
+			resp, err := http.Post(ts.URL+"/align/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				verdicts2 <- verdict{status: -1}
+				return
+			}
+			defer resp.Body.Close()
+			verdicts2 <- verdict{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+		}(1 + i%capacity)
+	}
+	wg.Wait()
+	close(verdicts2)
+	for v := range verdicts2 {
+		switch v.status {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			if v.retryAfter == "" {
+				t.Fatal("aftershock 429 without Retry-After")
+			}
+		default:
+			t.Fatalf("aftershock status %d, want 200 or 429", v.status)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for len(s.inflight) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slots leaked after aftershock: %d", len(s.inflight))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"fabp/internal/bio"
@@ -22,6 +24,30 @@ import (
 // the accelerator scans, with a record index so hits map back to sequences.
 type Database struct {
 	d *db.Database
+}
+
+// warnLogger receives non-fatal load diagnostics (a rejected plane
+// section degrading a warm start). Guarded by warnMu; nil silences.
+var (
+	warnMu     sync.Mutex
+	warnLogger func(format string, args ...any) = log.Printf
+)
+
+// SetWarnLogger redirects the package's non-fatal warnings (default
+// log.Printf). Pass nil to silence them. Safe for concurrent use.
+func SetWarnLogger(f func(format string, args ...any)) {
+	warnMu.Lock()
+	warnLogger = f
+	warnMu.Unlock()
+}
+
+func warnf(format string, args ...any) {
+	warnMu.Lock()
+	f := warnLogger
+	warnMu.Unlock()
+	if f != nil {
+		f(format, args...)
+	}
 }
 
 // BuildDatabase packs a nucleotide FASTA stream into a database.
@@ -47,19 +73,115 @@ func DatabaseFromReference(id string, ref *Reference) (*Database, error) {
 	return &Database{d: d}, nil
 }
 
-// SaveDatabase serializes the database to its binary file format.
+// SaveDatabase serializes the database in the current (v2) file format:
+// packed payload, record index, the packed bit-planes, a SHA-256 content
+// digest and per-section CRC32 checksums. Writing packs the planes if no
+// copy is resident yet — the one-time preprocessing cost every later
+// LoadDatabase of the file skips entirely.
 func (d *Database) SaveDatabase(w io.Writer) error {
 	_, err := d.d.WriteTo(w)
 	return err
 }
 
-// LoadDatabase reads a database saved with SaveDatabase.
+// SaveDatabaseLegacy serializes in the v1 layout — no checksums, no plane
+// section — for rollback to readers that predate the v2 format. v1 files
+// load fine (LoadDatabase reads both) but pay a full plane packing before
+// the first bit-parallel scan.
+func (d *Database) SaveDatabaseLegacy(w io.Writer) error {
+	_, err := d.d.WriteV1To(w)
+	return err
+}
+
+// ErrCorruptDatabase matches (via errors.Is) every structural load
+// failure LoadDatabase and InspectDatabase return: bad magic, truncation,
+// checksum or content-digest mismatch. A damaged plane section alone is
+// NOT this error — the load succeeds and degrades to in-process packing.
+var ErrCorruptDatabase = db.ErrCorrupt
+
+// LoadDatabase reads a database saved with SaveDatabase (v2) or
+// SaveDatabaseLegacy (v1). A v2 file's persisted bit-planes are installed
+// into the shared plane cache keyed by content digest, so the first
+// bit-parallel scan — and every scan after it, from any Database loaded
+// from the same content — runs with zero packing work (counted on
+// db.load.planes_reused). A v1 file, or a v2 file whose plane section
+// fails its checksum or version check, still loads: scans fall back to
+// packing in-process (db.load.planes_packed), and the fallback is logged
+// through SetWarnLogger's sink. Structural damage anywhere else returns
+// ErrCorruptDatabase; malformed input never panics.
 func LoadDatabase(r io.Reader) (*Database, error) {
 	inner, err := db.Read(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Database{d: inner}, nil
+	d := &Database{d: inner}
+	d.installPersistedPlanes()
+	return d, nil
+}
+
+// installPersistedPlanes is LoadDatabase's warm-start step: persisted
+// planes become cache-resident under the content digest, and the
+// reused/packed telemetry records how this load will scan.
+func (d *Database) installPersistedPlanes() {
+	cache := bitpar.SharedPlanes()
+	key := planeKey{d.d.Digest()}
+	if pp := d.d.PersistedPlanes(); pp != nil {
+		cache.Install(key, pp)
+		dbLoadPlanesReused.Inc()
+		return
+	}
+	if cache.Contains(key) {
+		// No planes in this file, but an earlier load of the same content
+		// already made them resident — still a warm start.
+		dbLoadPlanesReused.Inc()
+		return
+	}
+	if err := d.d.PlaneSectionError(); err != nil {
+		warnf("fabp: database %s: plane section rejected, falling back to in-process packing: %v",
+			d.d.Digest(), err)
+	}
+	dbLoadPlanesPacked.Inc()
+}
+
+// DatabaseFileInfo describes a database file's on-disk shape, as
+// InspectDatabase reports it without retaining the payload.
+type DatabaseFileInfo struct {
+	// Version is the file format version (1 or 2).
+	Version int `json:"version"`
+	// Records and TotalNt are the database geometry.
+	Records int `json:"records"`
+	TotalNt int `json:"total_nt"`
+	// Digest is the hex SHA-256 content digest (computed for v1 files,
+	// which do not store one).
+	Digest string `json:"digest"`
+	// HasPlanes reports a valid persisted plane section; PlaneError is
+	// the rejection reason when a declared section failed validation.
+	HasPlanes  bool   `json:"has_planes"`
+	PlaneError string `json:"plane_error,omitempty"`
+	// Per-section byte counts, checksums included.
+	IndexBytes   int64 `json:"index_bytes"`
+	PayloadBytes int64 `json:"payload_bytes"`
+	PlaneBytes   int64 `json:"plane_bytes"`
+}
+
+// InspectDatabase fully validates a database file — magic, geometry,
+// section checksums, content digest, plane section — and reports its
+// shape. Structural damage returns ErrCorruptDatabase; a rejected plane
+// section is reported in PlaneError (the file still loads).
+func InspectDatabase(r io.Reader) (DatabaseFileInfo, error) {
+	info, err := db.Inspect(r)
+	if err != nil {
+		return DatabaseFileInfo{}, err
+	}
+	out := DatabaseFileInfo{
+		Version: info.Version, Records: info.Records, TotalNt: info.TotalNt,
+		Digest: info.Digest.String(), HasPlanes: info.HasPlanes,
+		IndexBytes: info.IndexBytes, PayloadBytes: info.PayloadBytes,
+		PlaneBytes: info.PlaneBytes,
+	}
+	if info.PlaneErr != nil {
+		out.PlaneError = info.PlaneErr.Error()
+	}
+	return out, nil
 }
 
 // Len returns the total nucleotide count.
@@ -92,14 +214,47 @@ type RecordHit struct {
 	Score int
 }
 
+// planeKey keys the shared plane cache by content digest: two Database
+// objects holding identical concatenated sequences — two loads of one
+// file, or a load and a fresh build — share one resident plane set.
+// (Pointer identity, the old key, packed once per object and let reloads
+// of the same file masquerade as distinct databases.)
+type planeKey struct{ d db.Digest }
+
 // planes returns the database's packed bit-planes through the process-wide
-// cache: the first scan packs once, every later query, batch or session
-// call against the same database reuses the resident planes — the software
-// analogue of the card-DRAM-resident database of the paper's protocol.
+// cache: the first scan packs once (or reuses planes a v2 load
+// installed), every later query, batch or session call against the same
+// content reuses the resident planes — the software analogue of the
+// card-DRAM-resident database of the paper's protocol.
 func (d *Database) planes() *bitpar.Planes {
-	return bitpar.SharedPlanes().Get(d.d, func() *bitpar.Planes {
-		return bitpar.PackReference(d.d.Seq())
-	})
+	return bitpar.SharedPlanes().Get(planeKey{d.d.Digest()}, d.d.EnsurePlanes)
+}
+
+// WarmPlanes makes the database's bit-planes cache-resident now — the
+// deliberate warm-up servers run at startup so the first query never pays
+// packing latency. After a v2 LoadDatabase this is free (the persisted
+// planes are already installed); otherwise it packs once.
+func (d *Database) WarmPlanes() { d.planes() }
+
+// PlanesResident reports whether the shared cache currently holds this
+// database's planes (installed, packed, or still packing).
+func (d *Database) PlanesResident() bool {
+	return bitpar.SharedPlanes().Contains(planeKey{d.d.Digest()})
+}
+
+// EvictPlanes drops this database's planes from the shared cache AND the
+// database's own memoized copy, so the next scan packs from scratch — the
+// cold-start control for benchmarks and memory-pressure handling.
+func (d *Database) EvictPlanes() {
+	bitpar.SharedPlanes().Invalidate(planeKey{d.d.Digest()})
+	d.d.DropPlanes()
+}
+
+// AsReference exposes the database's concatenated sequence as a Reference
+// for the single-reference APIs (AlignContext, AlignBatch) — hits carry
+// global positions, without record attribution.
+func (d *Database) AsReference() *Reference {
+	return &Reference{seq: d.d.Seq()}
 }
 
 // planesForReference caches a standalone reference's bit-planes the same

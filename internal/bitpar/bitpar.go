@@ -16,6 +16,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fabp/internal/backtrans"
 	"fabp/internal/bio"
@@ -202,10 +203,19 @@ type Planes struct {
 	p *planes
 }
 
+// packsTotal counts PackReference calls process-wide; warm-start tests
+// assert it stays flat across a load-and-scan of a plane-carrying file.
+var packsTotal atomic.Uint64
+
 // PackReference packs a reference for repeated AlignPlanes calls.
 func PackReference(ref bio.NucSeq) *Planes {
+	packsTotal.Add(1)
 	return &Planes{p: packPlanes(ref)}
 }
+
+// PackCount returns the cumulative PackReference calls this process has
+// made — the "did we recompute?" probe of the warm-start contract.
+func PackCount() uint64 { return packsTotal.Load() }
 
 // Len returns the packed reference length in nucleotides.
 func (pp *Planes) Len() int { return pp.p.n }

@@ -21,6 +21,7 @@ type PlaneCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	installs  uint64
 }
 
 type cacheEntry struct {
@@ -72,6 +73,48 @@ func (c *PlaneCache) Get(key any, pack func() *Planes) *Planes {
 	return e.planes.Load()
 }
 
+// Install stores pre-packed planes under key without running a packer —
+// the warm-start path: planes deserialized from a database file become
+// resident exactly as if Get had packed them, so the first scan is a
+// cache hit. An existing entry for key wins (Install never replaces);
+// the return value reports whether these planes were installed. Installs
+// count on their own stat, not as hits or misses.
+func (c *PlaneCache) Install(key any, pp *Planes) bool {
+	if pp == nil {
+		return false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.evictLocked(e)
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	installed := false
+	e.once.Do(func() {
+		e.planes.Store(pp)
+		installed = true
+	})
+	if installed {
+		c.mu.Lock()
+		c.installs++
+		c.mu.Unlock()
+	}
+	return installed
+}
+
+// Contains reports whether key has a resident (or currently packing)
+// entry. It does not touch the LRU clock or the hit/miss counters.
+func (c *PlaneCache) Contains(key any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // evictLocked drops least-recently-used entries (never `keep`) until the
 // cache fits its capacity.
 func (c *PlaneCache) evictLocked(keep *cacheEntry) {
@@ -115,8 +158,11 @@ func (c *PlaneCache) Len() int {
 // but contributes 0 to ResidentBytes until the pack finishes.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
-	Entries                 int
-	ResidentBytes           int64
+	// Installs counts entries seeded by Install (persisted planes from a
+	// database file) rather than packed by a Get miss.
+	Installs      uint64
+	Entries       int
+	ResidentBytes int64
 }
 
 // Lookups returns Hits + Misses — every Get ever made.
@@ -136,7 +182,7 @@ func (c *PlaneCache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	s := CacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Entries: len(c.entries),
+		Installs: c.installs, Entries: len(c.entries),
 	}
 	for _, e := range c.entries {
 		if p := e.planes.Load(); p != nil {
@@ -146,10 +192,10 @@ func (c *PlaneCache) Stats() CacheStats {
 	return s
 }
 
-// ResetStats zeroes the cumulative hit/miss/eviction counters (resident
-// entries are untouched).
+// ResetStats zeroes the cumulative hit/miss/eviction/install counters
+// (resident entries are untouched).
 func (c *PlaneCache) ResetStats() {
 	c.mu.Lock()
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits, c.misses, c.evictions, c.installs = 0, 0, 0, 0
 	c.mu.Unlock()
 }

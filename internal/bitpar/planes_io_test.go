@@ -1,0 +1,145 @@
+package bitpar
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fabp/internal/bio"
+)
+
+func TestPlanesSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 63, 64, 65, 1000, 4096} {
+		ref := bio.RandomNucSeq(rng, n)
+		pp := PackReference(ref)
+		var buf bytes.Buffer
+		written, err := pp.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if written != int64(buf.Len()) {
+			t.Fatalf("n=%d: reported %d bytes, wrote %d", n, written, buf.Len())
+		}
+		got, err := ReadPlanes(&buf, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(pp) {
+			t.Fatalf("n=%d: round-trip lost bits", n)
+		}
+	}
+}
+
+func TestReadPlanesRejectsBadGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pp := PackReference(bio.RandomNucSeq(rng, 200))
+	var buf bytes.Buffer
+	if _, err := pp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Caller expectation disagrees with the stream's declared length.
+	if _, err := ReadPlanes(bytes.NewReader(good), 201); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	// Negative expectation can never match.
+	if _, err := ReadPlanes(bytes.NewReader(good), -1); err == nil {
+		t.Error("negative length must fail")
+	}
+	// Word count inconsistent with the packed layout.
+	mangled := append([]byte(nil), good...)
+	mangled[8]++ // low byte of the u64 word count
+	if _, err := ReadPlanes(bytes.NewReader(mangled), 200); err == nil {
+		t.Error("word count mismatch must fail")
+	}
+	// Truncations anywhere must error, never return partial planes.
+	for cut := 0; cut < len(good); cut += 7 {
+		if got, err := ReadPlanes(bytes.NewReader(good[:cut]), 200); err == nil {
+			t.Fatalf("cut=%d: accepted truncated stream (planes=%v)", cut, got != nil)
+		}
+	}
+}
+
+func TestPlanesEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref := bio.RandomNucSeq(rng, 300)
+	a, b := PackReference(ref), PackReference(ref)
+	if !a.Equal(b) || !a.Equal(a) {
+		t.Error("identical content must be Equal")
+	}
+	other := PackReference(bio.RandomNucSeq(rng, 300))
+	if a.Equal(other) {
+		t.Error("different content must not be Equal")
+	}
+	var nilPlanes *Planes
+	if a.Equal(nil) || nilPlanes.Equal(a) {
+		t.Error("nil equals only nil")
+	}
+	if !nilPlanes.Equal(nil) {
+		t.Error("nil must equal nil")
+	}
+}
+
+func TestPlaneCacheInstall(t *testing.T) {
+	c := NewPlaneCache(4)
+	rng := rand.New(rand.NewSource(10))
+	ref := bio.RandomNucSeq(rng, 500)
+	pp := PackReference(ref)
+
+	if c.Install("k", nil) {
+		t.Error("nil planes must not install")
+	}
+	if c.Contains("k") {
+		t.Error("failed install must not create an entry")
+	}
+	if !c.Install("k", pp) {
+		t.Error("first install must succeed")
+	}
+	if !c.Contains("k") {
+		t.Error("installed key must be resident")
+	}
+	// A later Get must reuse the installed planes without packing.
+	got := c.Get("k", func() *Planes {
+		t.Fatal("Get after Install must not pack")
+		return nil
+	})
+	if got != pp {
+		t.Error("Get returned different planes than installed")
+	}
+	// Existing entries win: a second install is a no-op.
+	other := PackReference(ref)
+	if c.Install("k", other) {
+		t.Error("install over resident entry must report false")
+	}
+	if c.Get("k", func() *Planes { return nil }) != pp {
+		t.Error("second install replaced resident planes")
+	}
+	s := c.Stats()
+	if s.Installs != 1 {
+		t.Errorf("installs stat %d, want 1", s.Installs)
+	}
+	if s.Hits != 2 || s.Misses != 0 {
+		t.Errorf("stats %d/%d, want 2 hits 0 misses", s.Hits, s.Misses)
+	}
+	c.ResetStats()
+	if s := c.Stats(); s.Installs != 0 {
+		t.Error("ResetStats must zero installs")
+	}
+}
+
+func TestPlaneCacheInstallEvicts(t *testing.T) {
+	c := NewPlaneCache(1)
+	rng := rand.New(rand.NewSource(11))
+	a := PackReference(bio.RandomNucSeq(rng, 100))
+	b := PackReference(bio.RandomNucSeq(rng, 100))
+	c.Install("a", a)
+	c.Install("b", b)
+	if c.Len() != 1 {
+		t.Fatalf("capacity-1 cache holds %d entries", c.Len())
+	}
+	if c.Contains("a") || !c.Contains("b") {
+		t.Error("install must evict LRU, keeping the newcomer")
+	}
+}

@@ -90,7 +90,14 @@ func (e *Engine) AlignReaderContext(ctx context.Context, r io.Reader, emit func(
 			return flush(true)
 		}
 		if readErr != nil {
-			return readErr
+			// Emit every window already complete in seq before surfacing
+			// the failure — the prefix scanned so far is valid work, exactly
+			// as on EOF — and wrap the error with the global stream position
+			// the way the parse path does, so the caller can resume.
+			if err := flush(true); err != nil {
+				return err
+			}
+			return fmt.Errorf("core: position %d: %w", base+len(seq), readErr)
 		}
 	}
 }

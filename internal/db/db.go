@@ -2,22 +2,21 @@
 // multiple FASTA records concatenated into one 2-bit packed stream (the
 // exact DRAM image the accelerator scans) plus a record index, so hits can
 // be attributed back to sequences and hits spanning record boundaries can
-// be rejected. The format is a single self-contained binary file.
+// be rejected. The format is a single self-contained binary file; the
+// current version (v2, see format.go) additionally carries the packed
+// bit-planes, a content digest and per-section checksums so a reload is a
+// warm start that never re-packs.
 package db
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
-	"io"
 	"sort"
+	"sync"
 
 	"fabp/internal/bio"
+	"fabp/internal/bitpar"
 	"fabp/internal/core"
 )
-
-// magic identifies the file format; the trailing digit is the version.
-var magic = [8]byte{'F', 'A', 'B', 'P', 'D', 'B', '0', '1'}
 
 // Record is one database sequence's index entry.
 type Record struct {
@@ -33,6 +32,27 @@ type Record struct {
 type Database struct {
 	records []Record
 	packed  *bio.PackedNucSeq
+	// digest identifies the packed content (see Digest); computed at
+	// construction so it can key caches without re-hashing.
+	digest Digest
+
+	// planesMu guards the memoized bit-planes: either deserialized from a
+	// v2 file's plane section (planesPersisted) or packed once by
+	// EnsurePlanes. planeErr records why a declared plane section was
+	// rejected — the load still succeeds, packing happens in-process.
+	planesMu        sync.Mutex
+	planes          *bitpar.Planes
+	planesPersisted bool
+	planeErr        error
+}
+
+// newDatabase wires up a database over validated records and payload.
+func newDatabase(records []Record, packed *bio.PackedNucSeq) *Database {
+	return &Database{
+		records: records,
+		packed:  packed,
+		digest:  computeDigest(packed.Len(), packed.Words()),
+	}
 }
 
 // Build concatenates nucleotide FASTA records into a database.
@@ -56,7 +76,7 @@ func Build(records []*bio.FastaRecord) (*Database, error) {
 		})
 		seq = append(seq, s...)
 	}
-	return &Database{records: idx, packed: bio.Pack(seq)}, nil
+	return newDatabase(idx, bio.Pack(seq)), nil
 }
 
 // FromSeq builds a single-record database from a raw sequence.
@@ -64,10 +84,10 @@ func FromSeq(id string, seq bio.NucSeq) (*Database, error) {
 	if len(seq) == 0 {
 		return nil, fmt.Errorf("db: empty sequence")
 	}
-	return &Database{
-		records: []Record{{ID: id, Start: 0, Length: len(seq)}},
-		packed:  bio.Pack(seq),
-	}, nil
+	return newDatabase(
+		[]Record{{ID: id, Start: 0, Length: len(seq)}},
+		bio.Pack(seq),
+	), nil
 }
 
 // Len returns the total element count.
@@ -85,6 +105,53 @@ func (d *Database) Seq() bio.NucSeq { return d.packed.Unpack() }
 
 // Packed exposes the DRAM image.
 func (d *Database) Packed() *bio.PackedNucSeq { return d.packed }
+
+// Digest returns the SHA-256 content digest of the packed payload (length
+// plus words). Two databases with identical concatenated sequences share
+// a digest regardless of how they were built or loaded — it is the
+// identity the shared plane cache keys on.
+func (d *Database) Digest() Digest { return d.digest }
+
+// EnsurePlanes returns the database's packed bit-planes: the planes
+// deserialized from a v2 file when present, otherwise packed on first use
+// and memoized, so save-after-load and repeated scans share one packing.
+func (d *Database) EnsurePlanes() *bitpar.Planes {
+	d.planesMu.Lock()
+	defer d.planesMu.Unlock()
+	if d.planes == nil {
+		d.planes = bitpar.PackReference(d.packed.Unpack())
+	}
+	return d.planes
+}
+
+// PersistedPlanes returns the bit-planes carried by the file this
+// database was loaded from, or nil when the file had none (v1 files, or
+// a plane section rejected by its checksum — see PlaneSectionError).
+func (d *Database) PersistedPlanes() *bitpar.Planes {
+	d.planesMu.Lock()
+	defer d.planesMu.Unlock()
+	if !d.planesPersisted {
+		return nil
+	}
+	return d.planes
+}
+
+// DropPlanes discards the memoized bit-planes (persisted or packed), so
+// the next EnsurePlanes packs from scratch — the cold-start control for
+// benchmarks and cache-pressure tests. The plane section error, which
+// describes the file rather than the memoization, survives.
+func (d *Database) DropPlanes() {
+	d.planesMu.Lock()
+	d.planes = nil
+	d.planesPersisted = false
+	d.planesMu.Unlock()
+}
+
+// PlaneSectionError reports why a declared plane section was rejected at
+// load time (checksum mismatch, truncation, unsupported version), or nil
+// when the planes loaded cleanly or the file never carried any. A
+// non-nil value means scans will fall back to in-process packing.
+func (d *Database) PlaneSectionError() error { return d.planeErr }
 
 // Locate maps a global element position to (record index, in-record
 // offset); ok is false for out-of-range positions.
@@ -130,136 +197,4 @@ func (d *Database) Attribute(hits []core.Hit, queryElems int) []RecordHit {
 		})
 	}
 	return out
-}
-
-// WriteTo serializes the database (io.WriterTo).
-func (d *Database) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var n int64
-	write := func(v interface{}) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		n += int64(binary.Size(v))
-		return nil
-	}
-	if err := write(magic); err != nil {
-		return n, err
-	}
-	if err := write(uint32(len(d.records))); err != nil {
-		return n, err
-	}
-	if err := write(uint64(d.packed.Len())); err != nil {
-		return n, err
-	}
-	for _, r := range d.records {
-		if err := writeString(bw, &n, r.ID); err != nil {
-			return n, err
-		}
-		if err := writeString(bw, &n, r.Description); err != nil {
-			return n, err
-		}
-		if err := write(uint64(r.Start)); err != nil {
-			return n, err
-		}
-		if err := write(uint64(r.Length)); err != nil {
-			return n, err
-		}
-	}
-	for _, word := range d.packed.Words() {
-		if err := write(word); err != nil {
-			return n, err
-		}
-	}
-	return n, bw.Flush()
-}
-
-func writeString(w io.Writer, n *int64, s string) error {
-	if len(s) > 0xFFFF {
-		return fmt.Errorf("db: string exceeds 64 KiB")
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
-		return err
-	}
-	*n += 2
-	m, err := io.WriteString(w, s)
-	*n += int64(m)
-	return err
-}
-
-// Read deserializes a database written by WriteTo.
-func Read(r io.Reader) (*Database, error) {
-	br := bufio.NewReader(r)
-	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("db: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, fmt.Errorf("db: bad magic %q", m[:])
-	}
-	var count uint32
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, err
-	}
-	var total uint64
-	if err := binary.Read(br, binary.LittleEndian, &total); err != nil {
-		return nil, err
-	}
-	if count == 0 || total == 0 {
-		return nil, fmt.Errorf("db: empty database file")
-	}
-	const maxReasonable = 1 << 40
-	if total > maxReasonable || count > 1<<28 {
-		return nil, fmt.Errorf("db: implausible header (count=%d total=%d)", count, total)
-	}
-	records := make([]Record, count)
-	for i := range records {
-		id, err := readString(br)
-		if err != nil {
-			return nil, err
-		}
-		desc, err := readString(br)
-		if err != nil {
-			return nil, err
-		}
-		var start, length uint64
-		if err := binary.Read(br, binary.LittleEndian, &start); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
-			return nil, err
-		}
-		records[i] = Record{ID: id, Description: desc, Start: int(start), Length: int(length)}
-	}
-	// Structural validation: records must tile [0, total).
-	pos := 0
-	for i, r := range records {
-		if r.Start != pos || r.Length <= 0 {
-			return nil, fmt.Errorf("db: record %d index corrupt", i)
-		}
-		pos += r.Length
-	}
-	if uint64(pos) != total {
-		return nil, fmt.Errorf("db: index covers %d elements, header says %d", pos, total)
-	}
-
-	words := make([]uint64, (total+31)/32)
-	packed := bio.NewPackedNucSeq(int(total))
-	if err := binary.Read(br, binary.LittleEndian, words); err != nil {
-		return nil, fmt.Errorf("db: reading payload: %w", err)
-	}
-	copy(packed.Words(), words)
-	return &Database{records: records, packed: packed}, nil
-}
-
-func readString(r io.Reader) (string, error) {
-	var l uint16
-	if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
-		return "", err
-	}
-	buf := make([]byte, l)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
 }

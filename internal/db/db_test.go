@@ -141,20 +141,22 @@ func TestReadRejectsCorrupt(t *testing.T) {
 	good := buf.Bytes()
 
 	cases := map[string][]byte{
-		"empty":       {},
-		"bad magic":   append([]byte("NOTFABPDB"), good[9:]...),
-		"truncated":   good[:len(good)-9],
-		"short index": good[:20],
+		"empty":     {},
+		"bad magic": append([]byte("NOTFABPDB"), good[9:]...),
+		// Truncation inside the payload (well before the plane trailer,
+		// whose loss degrades gracefully instead of failing).
+		"truncated payload": good[:len(good)/2],
+		"short index":       good[:20],
 	}
 	for name, data := range cases {
 		if _, err := Read(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s must fail", name)
 		}
 	}
-	// Corrupt record index: break the tiling invariant.
+	// Flip a byte inside the record index: the section CRC catches it.
 	mangled := append([]byte(nil), good...)
-	// Record 0 start is right after magic(8)+count(4)+total(8)+idlen(2)+id(4)+desclen(2)+desc(5)=33
-	mangled[33] = 99
+	// First index byte is right after magic(8)+count(4)+total(8)+digest(32)+flags(1)=53.
+	mangled[53] ^= 0xFF
 	if _, err := Read(bytes.NewReader(mangled)); err == nil {
 		t.Error("corrupt index must fail")
 	}

@@ -1,0 +1,277 @@
+package db
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"fabp/internal/bitpar"
+)
+
+// writeGood serializes the test database in v2 form and returns the bytes.
+func writeGood(t *testing.T, d *Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sameContent checks geometry, records and payload match.
+func sameContent(t *testing.T, got, want *Database) {
+	t.Helper()
+	if got.NumRecords() != want.NumRecords() || got.Len() != want.Len() {
+		t.Fatalf("geometry: got %d/%d, want %d/%d",
+			got.NumRecords(), got.Len(), want.NumRecords(), want.Len())
+	}
+	for i := 0; i < want.NumRecords(); i++ {
+		if got.Record(i) != want.Record(i) {
+			t.Fatalf("record %d: %+v != %+v", i, got.Record(i), want.Record(i))
+		}
+	}
+	if got.Seq().String() != want.Seq().String() {
+		t.Fatal("payload differs")
+	}
+	if got.Digest() != want.Digest() {
+		t.Fatal("digest differs for identical content")
+	}
+}
+
+func TestV2RoundTripCarriesPlanes(t *testing.T) {
+	d := buildTestDB(t)
+	data := writeGood(t, d)
+
+	before := bitpar.PackCount()
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bitpar.PackCount() - before; n != 0 {
+		t.Fatalf("v2 load ran %d packs, want 0", n)
+	}
+	sameContent(t, got, d)
+	if got.PlaneSectionError() != nil {
+		t.Fatalf("plane section error on clean file: %v", got.PlaneSectionError())
+	}
+	pp := got.PersistedPlanes()
+	if pp == nil {
+		t.Fatal("v2 load carried no persisted planes")
+	}
+	if !pp.Equal(d.EnsurePlanes()) {
+		t.Fatal("persisted planes differ from freshly packed planes")
+	}
+	// EnsurePlanes on the loaded DB must reuse them, not pack.
+	before = bitpar.PackCount()
+	if got.EnsurePlanes() != pp {
+		t.Fatal("EnsurePlanes ignored persisted planes")
+	}
+	if n := bitpar.PackCount() - before; n != 0 {
+		t.Fatalf("EnsurePlanes after warm load ran %d packs, want 0", n)
+	}
+}
+
+func TestV1CompatRoundTrip(t *testing.T) {
+	d := buildTestDB(t)
+	var buf bytes.Buffer
+	n, err := d.WriteV1To(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Fatalf("WriteV1To reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameContent(t, got, d)
+	if got.PersistedPlanes() != nil {
+		t.Fatal("v1 file cannot carry planes")
+	}
+	if got.PlaneSectionError() != nil {
+		t.Fatal("v1 load must not report a plane section error")
+	}
+}
+
+// TestReadTruncatedAtEveryOffset cuts a valid v2 file at every byte
+// boundary: no truncation may panic, and each must yield either a typed
+// corruption error or (when only plane-section bytes are missing) a
+// degraded-but-correct load.
+func TestReadTruncatedAtEveryOffset(t *testing.T) {
+	d := buildTestDB(t)
+	good := writeGood(t, d)
+	for cut := 0; cut < len(good); cut++ {
+		got, err := Read(bytes.NewReader(good[:cut]))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut=%d: error not typed as ErrCorrupt: %v", cut, err)
+			}
+			continue
+		}
+		// A successful load of a truncated file is only legitimate as the
+		// plane-section fallback: content intact, planes degraded.
+		sameContent(t, got, d)
+		if got.PlaneSectionError() == nil {
+			t.Fatalf("cut=%d: truncated file loaded with no plane section error", cut)
+		}
+		if got.PersistedPlanes() != nil {
+			t.Fatalf("cut=%d: truncated plane section must not yield planes", cut)
+		}
+	}
+}
+
+// TestCorruptPlaneSectionFallsBack flips one byte in the plane section:
+// the load succeeds, reports the rejection, and EnsurePlanes packs.
+func TestCorruptPlaneSectionFallsBack(t *testing.T) {
+	d := buildTestDB(t)
+	good := writeGood(t, d)
+	// The plane section's last byte is part of its CRC.
+	mangled := append([]byte(nil), good...)
+	mangled[len(mangled)-1] ^= 0xFF
+
+	got, err := Read(bytes.NewReader(mangled))
+	if err != nil {
+		t.Fatalf("corrupt plane section must not fail the load: %v", err)
+	}
+	sameContent(t, got, d)
+	perr := got.PlaneSectionError()
+	if perr == nil {
+		t.Fatal("no plane section error reported")
+	}
+	if !errors.Is(perr, ErrCorrupt) {
+		t.Fatalf("plane section error not typed: %v", perr)
+	}
+	var ce *CorruptError
+	if !errors.As(perr, &ce) || ce.Section != "planes" {
+		t.Fatalf("plane section error misattributed: %v", perr)
+	}
+	if got.PersistedPlanes() != nil {
+		t.Fatal("rejected plane section must not expose planes")
+	}
+	// The fallback packs in-process and still matches.
+	before := bitpar.PackCount()
+	if !got.EnsurePlanes().Equal(d.EnsurePlanes()) {
+		t.Fatal("fallback-packed planes differ")
+	}
+	if n := bitpar.PackCount() - before; n == 0 {
+		t.Fatal("fallback path must pack")
+	}
+}
+
+// TestUnsupportedPlaneVersionFallsBack bumps the plane wire version: same
+// graceful degradation as corruption.
+func TestUnsupportedPlaneVersionFallsBack(t *testing.T) {
+	d := buildTestDB(t)
+	good := writeGood(t, d)
+	// Plane section starts right after the payload section; locate it via
+	// Inspect's byte accounting.
+	info, err := Inspect(bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerBytes := int64(8 + 4 + 8 + 32 + 1)
+	off := headerBytes + info.IndexBytes + info.PayloadBytes
+	mangled := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(mangled[off:], bitpar.PlanesWireVersion+1)
+
+	got, err := Read(bytes.NewReader(mangled))
+	if err != nil {
+		t.Fatalf("unsupported plane version must not fail the load: %v", err)
+	}
+	if got.PlaneSectionError() == nil || !strings.Contains(got.PlaneSectionError().Error(), "version") {
+		t.Fatalf("want version error, got %v", got.PlaneSectionError())
+	}
+}
+
+func TestCorruptPayloadAndDigestRejected(t *testing.T) {
+	d := buildTestDB(t)
+	good := writeGood(t, d)
+	info, err := Inspect(bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerBytes := int64(8 + 4 + 8 + 32 + 1)
+
+	// Flip a payload byte: its CRC catches it before the digest is even
+	// consulted.
+	mangled := append([]byte(nil), good...)
+	mangled[headerBytes+info.IndexBytes] ^= 0xFF
+	_, err = Read(bytes.NewReader(mangled))
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Section != "payload" {
+		t.Fatalf("payload corruption: got %v", err)
+	}
+
+	// Flip a digest byte in the header: sections are self-consistent but
+	// the header lies about the content.
+	mangled = append([]byte(nil), good...)
+	mangled[8+4+8] ^= 0xFF
+	_, err = Read(bytes.NewReader(mangled))
+	if !errors.As(err, &ce) || ce.Section != "digest" {
+		t.Fatalf("digest corruption: got %v", err)
+	}
+
+	// Unknown header flags are a hard error (unknowable trailing layout).
+	mangled = append([]byte(nil), good...)
+	mangled[headerBytes-1] |= 0x80
+	_, err = Read(bytes.NewReader(mangled))
+	if !errors.As(err, &ce) || ce.Section != "header" {
+		t.Fatalf("unknown flags: got %v", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	d := buildTestDB(t)
+	good := writeGood(t, d)
+	info, err := Inspect(bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.Records != d.NumRecords() || info.TotalNt != d.Len() {
+		t.Fatalf("v2 info: %+v", info)
+	}
+	if info.Digest != d.Digest() {
+		t.Fatal("inspect digest mismatch")
+	}
+	if !info.HasPlanes || info.PlaneErr != nil {
+		t.Fatalf("v2 plane info: %+v", info)
+	}
+	headerBytes := int64(8 + 4 + 8 + 32 + 1)
+	if total := headerBytes + info.IndexBytes + info.PayloadBytes + info.PlaneBytes; total != int64(len(good)) {
+		t.Fatalf("section bytes sum to %d, file is %d", total, len(good))
+	}
+
+	var legacy bytes.Buffer
+	if _, err := d.WriteV1To(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	info, err = Inspect(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.HasPlanes || info.Digest != d.Digest() {
+		t.Fatalf("v1 info: %+v", info)
+	}
+}
+
+// TestSaveAfterLoadPreservesPlanes: load a v2 file, re-save it, and the
+// new file's planes come from the persisted copy (no repack).
+func TestSaveAfterLoadPreservesPlanes(t *testing.T) {
+	d := buildTestDB(t)
+	good := writeGood(t, d)
+	got, err := Read(bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := bitpar.PackCount()
+	resaved := writeGood(t, got)
+	if n := bitpar.PackCount() - before; n != 0 {
+		t.Fatalf("re-save after warm load ran %d packs, want 0", n)
+	}
+	if !bytes.Equal(resaved, good) {
+		t.Fatal("re-saved file differs from original")
+	}
+}

@@ -18,9 +18,13 @@ func FuzzRead(f *testing.F) {
 	var buf bytes.Buffer
 	d.WriteTo(&buf)
 	good := buf.Bytes()
+	var legacy bytes.Buffer
+	d.WriteV1To(&legacy)
 	f.Add(good)
 	f.Add(good[:10])
+	f.Add(legacy.Bytes())
 	f.Add([]byte("FABPDB01garbage"))
+	f.Add([]byte("FABPDB02garbage"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -32,8 +32,11 @@ import (
 //	batch.queries            queries scanned through the fused batch path
 //	batch.fused_passes       fused tile passes (each replacing K per-query passes)
 //	batch.plane_bytes_saved  plane bytes NOT re-read thanks to fusion: (K−1)×planes
+//	db.load.planes_reused    LoadDatabase calls resolved warm (persisted or resident planes)
+//	db.load.planes_packed    LoadDatabase calls whose scans must pack in-process
 //	pool.tasks.*             worker-pool counters/gauges (process-wide pool)
 //	cache.*                  plane-cache stats, merged from the shared cache
+//	                         (cache.installs counts entries seeded from files)
 //
 // Latency histograms: align.latency (whole calls), scan.shard.latency
 // (per shard), batch.kernel.latency (whole fused batch scans — its SumNs
@@ -120,6 +123,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	out.Counters["cache.hits"] = cs.Hits
 	out.Counters["cache.misses"] = cs.Misses
 	out.Counters["cache.evictions"] = cs.Evictions
+	out.Counters["cache.installs"] = cs.Installs
 	out.Gauges["cache.entries"] = int64(cs.Entries)
 	out.Gauges["cache.resident.bytes"] = cs.ResidentBytes
 	return out
@@ -215,3 +219,12 @@ func observeSince(h *telemetry.Histogram, t0 time.Time) { h.Observe(time.Since(t
 // defaultAlignerTM instruments the package-level paths (AlignBatch,
 // Session) that have no per-aligner collector.
 var defaultAlignerTM = newAlignerMetrics(telemetry.Default())
+
+// Warm-start accounting: how LoadDatabase calls resolved. A "reused" load
+// scans without any PackReference work (persisted planes installed, or
+// already resident from an earlier load of the same content); a "packed"
+// load pays one in-process packing before its first bit-parallel scan.
+var (
+	dbLoadPlanesReused = telemetry.Default().Counter("db.load.planes_reused")
+	dbLoadPlanesPacked = telemetry.Default().Counter("db.load.planes_packed")
+)

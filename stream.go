@@ -87,7 +87,14 @@ func scanChunks(ctx context.Context, r io.Reader, m int, tm *alignerMetrics, sca
 			return flush(true)
 		}
 		if readErr != nil {
-			return readErr
+			// Deliver every window already complete in seq before surfacing
+			// the failure — the prefix scanned so far is valid work, exactly
+			// as on EOF — and wrap the error with the global stream position
+			// the way the parse path does, so the caller can resume.
+			if err := flush(true); err != nil {
+				return err
+			}
+			return fmt.Errorf("fabp: position %d: %w", base+len(seq), readErr)
 		}
 	}
 }

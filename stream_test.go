@@ -1,0 +1,106 @@
+package fabp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// faultReader yields its payload and then errSentinel — on the same Read
+// call as the final bytes, exercising the (n > 0, err != nil) contract.
+type faultReader struct {
+	data string
+	err  error
+	off  int
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, r.err
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	if r.off >= len(r.data) {
+		return n, r.err
+	}
+	return n, nil
+}
+
+// TestAlignStreamReaderErrorFlushesCompleteWindows: a mid-stream reader
+// failure must not discard the windows already complete in the current
+// chunk — the emitted hits are exactly the hits of the prefix read so
+// far, and only then does the wrapped error surface.
+func TestAlignStreamReaderErrorFlushesCompleteWindows(t *testing.T) {
+	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
+	streamChunkLetters = 4096 // several carry boundaries before the fault
+
+	ref, genes := SyntheticReference(21, 30_000, 3, 40)
+	// Query for the first planted gene (slot [0, 10k)), so cutting the
+	// stream at 17k leaves its hit inside the delivered prefix.
+	q, err := NewQuery(genes[0].Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("disk on fire")
+
+	for _, kernel := range []string{"scalar", "bitparallel"} {
+		a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel(kernel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The stream dies partway through: expected hits are the hits of
+		// the delivered prefix.
+		cut := 17_000
+		prefix, err := NewReference(ref.String()[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a.Align(prefix)
+		if len(want) == 0 {
+			t.Fatal("no hits in prefix; test is vacuous")
+		}
+
+		var got []Hit
+		streamErr := a.AlignStream(
+			&faultReader{data: ref.String()[:cut], err: sentinel},
+			func(h Hit) error { got = append(got, h); return nil })
+		if !errors.Is(streamErr, sentinel) {
+			t.Fatalf("kernel %s: error %v does not wrap the reader's", kernel, streamErr)
+		}
+		if wantPos := fmt.Sprintf("position %d", cut); !strings.Contains(streamErr.Error(), wantPos) {
+			t.Errorf("kernel %s: error %q does not carry %q", kernel, streamErr, wantPos)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("kernel %s: %d hits before the fault, want %d (flush lost windows)",
+				kernel, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("kernel %s: hit %d = %+v, want %+v", kernel, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAlignStreamReaderErrorEmitErrorWins: if the pre-error flush's emit
+// callback itself fails, that error surfaces (the reader error would
+// otherwise mask where the consumer stopped).
+func TestAlignStreamReaderErrorEmitErrorWins(t *testing.T) {
+	ref, genes := SyntheticReference(22, 20_000, 2, 40)
+	q, err := NewQuery(genes[0].Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel("bitparallel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitErr := errors.New("consumer full")
+	streamErr := a.AlignStream(
+		&faultReader{data: ref.String(), err: errors.New("read failed")},
+		func(Hit) error { return emitErr })
+	if !errors.Is(streamErr, emitErr) {
+		t.Fatalf("error %v, want the emit callback's", streamErr)
+	}
+}
