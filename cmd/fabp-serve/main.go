@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"fabp"
+	"fabp/internal/faultinject"
 )
 
 func main() {
@@ -53,7 +54,19 @@ func main() {
 	maxHits := flag.Int("max-hits", 1000, "ceiling on hits returned per request")
 	maxBatch := flag.Int("max-batch", 64, "ceiling on queries per /align/batch request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running scans")
+	retries := flag.Int("retries", 0, "per-shard retries of transient scan failures (0 = single attempt)")
+	retryBase := flag.Duration("retry-base", 0, "base retry backoff delay (0 = 1ms default)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "duplicate a shard still running after this long (0 = no hedging)")
+	hedgeBudget := flag.Int("hedge-budget", 0, "hedged duplicates allowed per scan")
 	flag.Parse()
+
+	// Fault injection arms only from the environment (FABP_FAULTS,
+	// FABP_FAULT_SEED) — a chaos-drill knob, never a request parameter.
+	if on, err := faultinject.EnableFromEnv(); err != nil {
+		log.Fatalf("FABP_FAULTS: %v", err)
+	} else if on {
+		logf("fault injection armed from FABP_FAULTS")
+	}
 
 	db, err := loadDatabase(*refPath, *dbPath)
 	if err != nil {
@@ -72,6 +85,16 @@ func main() {
 	db.WarmPlanes()
 	logf("planes resident (%s) in %s", planeSource, time.Since(t0).Round(time.Microsecond))
 
+	rp := fabp.RetryPolicy{
+		MaxRetries:  *retries,
+		Base:        *retryBase,
+		HedgeAfter:  *hedgeAfter,
+		HedgeBudget: *hedgeBudget,
+	}
+	// The fused batch path is package-level (no per-request aligner), so
+	// it takes the server's policy globally.
+	fabp.SetBatchRetryPolicy(rp)
+
 	s := newServer(serverConfig{
 		db:             db,
 		maxInflight:    *maxInflight,
@@ -80,6 +103,7 @@ func main() {
 		maxHits:        *maxHits,
 		maxBatch:       *maxBatch,
 		planeSource:    planeSource,
+		retryPolicy:    rp,
 	})
 	if err := serve(s, *addr, *drainTimeout); err != nil {
 		log.Fatal(err)

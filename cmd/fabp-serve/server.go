@@ -40,12 +40,20 @@ type serverConfig struct {
 	// startup ("persisted" for a v2 file's plane section, "packed" when
 	// the server packed them itself) — surfaced on /healthz.
 	planeSource string
+	// retryPolicy is the server's default scan resilience (retries,
+	// backoff, hedging); a request's retry_budget overrides the retry
+	// count within [0, serverMaxRetryBudget]. The zero policy scans
+	// single-attempt, the historical behavior.
+	retryPolicy fabp.RetryPolicy
 }
 
 const (
 	serverDefaultTimeout  = 10 * time.Second
 	serverDefaultMaxHits  = 1000
 	serverDefaultMaxBatch = 64
+	// serverMaxRetryBudget caps a request's retry_budget: a client cannot
+	// buy more re-execution than this no matter what it asks for.
+	serverMaxRetryBudget = 10
 )
 
 // server is the fabp-serve handler state.
@@ -68,6 +76,7 @@ type server struct {
 type serveMetrics struct {
 	requests, rejected, timeouts, clientGone, failed *telemetry.Counter
 	batchRequests, batchQueries                      *telemetry.Counter
+	degraded                                         *telemetry.Counter
 	inflight                                         *telemetry.Gauge
 	latency                                          *telemetry.Histogram
 }
@@ -109,6 +118,7 @@ func newServer(cfg serverConfig) *server {
 			failed:        reg.Counter("serve.failed"),
 			batchRequests: reg.Counter("serve.batch.requests"),
 			batchQueries:  reg.Counter("serve.batch.queries"),
+			degraded:      reg.Counter("serve.degraded"),
 			inflight:      reg.Gauge("serve.inflight"),
 			latency:       reg.Histogram("serve.latency"),
 		},
@@ -143,6 +153,13 @@ type alignRequest struct {
 	// TimeoutMs bounds this request's scan (default: the server's
 	// -timeout, capped at -max-timeout).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// RetryBudget overrides the server's per-shard retry count for this
+	// request (clamped to [0, 10]); nil inherits the server's -retries.
+	RetryBudget *int `json:"retry_budget,omitempty"`
+	// Partial opts this request into degraded completion: if shards still
+	// fail after retries, respond 200 with the surviving hits,
+	// degraded=true and the uncovered ranges, instead of a 5xx.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // alignHit is one hit in the /align response.
@@ -151,6 +168,13 @@ type alignHit struct {
 	RecordIndex int    `json:"record_index"`
 	Offset      int    `json:"offset"`
 	Score       int    `json:"score"`
+}
+
+// failedRange is one uncovered window-start range of a degraded scan.
+type failedRange struct {
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Error string `json:"error"`
 }
 
 // alignResponse is the /align response body.
@@ -162,6 +186,10 @@ type alignResponse struct {
 	Hits      []alignHit `json:"hits"`
 	Truncated bool       `json:"truncated"`
 	ElapsedMs float64    `json:"elapsed_ms"`
+	// Degraded marks a partial-mode response whose scan lost shards after
+	// retries: Hits covers everything outside FailedRanges.
+	Degraded     bool          `json:"degraded"`
+	FailedRanges []failedRange `json:"failed_ranges,omitempty"`
 }
 
 type errorResponse struct {
@@ -232,6 +260,22 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	case req.ThresholdFrac != nil:
 		opts = append(opts, fabp.WithThresholdFraction(*req.ThresholdFrac))
 	}
+	rp := s.cfg.retryPolicy
+	if req.RetryBudget != nil {
+		budget := *req.RetryBudget
+		if budget < 0 {
+			writeError(w, http.StatusBadRequest, "negative retry_budget %d", budget)
+			return
+		}
+		if budget > serverMaxRetryBudget {
+			budget = serverMaxRetryBudget
+		}
+		rp.MaxRetries = budget
+	}
+	opts = append(opts, fabp.WithRetryPolicy(rp))
+	if req.Partial {
+		opts = append(opts, fabp.WithPartialResults())
+	}
 	a, err := fabp.NewAligner(q, opts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -270,9 +314,15 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		})
 		return nil
 	})
+	var pe *fabp.PartialError
 	switch {
 	case err == nil || errors.Is(err, errHitCap):
 		// Full result, or the complete prefix up to the hit cap.
+	case errors.As(err, &pe):
+		// Degraded completion under partial mode: the hits are real, the
+		// uncovered ranges are declared below. A 200, not a 5xx — the
+		// client asked for exactly this contract.
+		s.m.degraded.Inc()
 	case errors.Is(err, context.DeadlineExceeded):
 		s.m.timeouts.Inc()
 		writeError(w, http.StatusGatewayTimeout,
@@ -288,7 +338,7 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	writeJSON(w, http.StatusOK, alignResponse{
+	resp := alignResponse{
 		Residues:  q.Residues(),
 		Elements:  q.Elements(),
 		Threshold: a.Threshold(),
@@ -296,7 +346,15 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		Hits:      hits,
 		Truncated: truncated,
 		ElapsedMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
-	})
+	}
+	if pe != nil {
+		resp.Degraded = true
+		resp.FailedRanges = make([]failedRange, len(pe.Failed))
+		for i, fr := range pe.Failed {
+			resp.FailedRanges[i] = failedRange{Lo: fr.Lo, Hi: fr.Hi, Error: fr.Err.Error()}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // batchAlignRequest is the /align/batch request body: one fused scan of

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"fabp"
+	"fabp/internal/faultinject"
 )
 
 // testServer builds a server over a small synthetic database with a
@@ -645,5 +646,104 @@ func TestBatchAdmissionShedStorm(t *testing.T) {
 			t.Fatalf("slots leaked after aftershock: %d", len(s.inflight))
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPartialDegradedServeResponse drives the partial-result contract
+// end-to-end through the HTTP surface: with shards failing sticky (beyond
+// any retry budget) and the request opting into partial mode, the service
+// answers 200 with degraded=true and the failed ranges listed — and a
+// negative retry budget is rejected up front.
+func TestPartialDegradedServeResponse(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 4})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// The 20k test database is one shard at the default shard length;
+	// seed 13's sticky selection includes it, so the whole scan degrades:
+	// 200, degraded=true, every range declared, no hits silently lost.
+	faultinject.Enable(13, faultinject.Plan{
+		faultinject.SiteShardDispatch: {Prob: 0.4, Sticky: true, Fail: true},
+	})
+	defer faultinject.Disable()
+
+	budget := 1
+	resp, body := postAlign(t, ts.URL, alignRequest{
+		Query: protein, RetryBudget: &budget, Partial: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial align status %d: %s", resp.StatusCode, body)
+	}
+	var res alignResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if !res.Degraded || len(res.FailedRanges) == 0 {
+		t.Fatalf("degraded=%v failed_ranges=%d; want a degraded response", res.Degraded, len(res.FailedRanges))
+	}
+	for _, fr := range res.FailedRanges {
+		if fr.Hi <= fr.Lo || fr.Error == "" {
+			t.Errorf("implausible failed range %+v", fr)
+		}
+	}
+	if s.m.degraded.Load() == 0 {
+		t.Error("serve.degraded not counted")
+	}
+
+	// The same request without partial mode is a server-side failure, not
+	// silent hit loss.
+	resp, body = postAlign(t, ts.URL, alignRequest{Query: protein, RetryBudget: &budget})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("non-partial sticky faults: status %d (%s), want 500", resp.StatusCode, body)
+	}
+
+	// Negative budgets are a client error.
+	bad := -1
+	resp, body = postAlign(t, ts.URL, alignRequest{Query: protein, RetryBudget: &bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative retry_budget: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
+// TestPartialRetryBudgetAbsorbsTransients: a request-scoped retry budget
+// turns transient (key-limited) injected failures into a full, clean 200
+// — no degradation, hits identical to the fault-free scan.
+func TestPartialRetryBudgetAbsorbsTransients(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 4})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, body := postAlign(t, ts.URL, alignRequest{Query: protein})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault-free align status %d: %s", resp.StatusCode, body)
+	}
+	var want alignResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable(9, faultinject.Plan{
+		faultinject.SiteShardDispatch: {Every: 1, KeyLimit: 2, Fail: true},
+	})
+	defer faultinject.Disable()
+	budget := 3
+	resp, body = postAlign(t, ts.URL, alignRequest{Query: protein, RetryBudget: &budget})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried align status %d: %s", resp.StatusCode, body)
+	}
+	var got alignResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded || len(got.Hits) != len(want.Hits) {
+		t.Fatalf("retried scan: degraded=%v hits=%d, want clean %d", got.Degraded, len(got.Hits), len(want.Hits))
+	}
+	for i := range want.Hits {
+		if got.Hits[i] != want.Hits[i] {
+			t.Fatalf("hit %d = %+v, want %+v", i, got.Hits[i], want.Hits[i])
+		}
+	}
+	if faultinject.Fired(faultinject.SiteShardDispatch) == 0 {
+		t.Fatal("no faults fired; the retry test is vacuous")
 	}
 }

@@ -2,6 +2,7 @@ package fabp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -15,6 +16,7 @@ import (
 	"fabp/internal/core"
 	"fabp/internal/db"
 	"fabp/internal/experiments"
+	"fabp/internal/faultinject"
 	"fabp/internal/host"
 	"fabp/internal/isa"
 	"fabp/internal/sched"
@@ -342,11 +344,17 @@ func instrumentShard(tm *alignerMetrics, scan func(lo, hi int) []core.Hit) func(
 // aligner's pool and returns the concatenated, position-ordered hits.
 // Cancellation is checked between shards (see sched.GatherCtx): on a
 // canceled or deadlined context the call returns ctx.Err() after at most
-// the shards already executing finish.
+// the shards already executing finish. With a RetryPolicy, partial mode
+// or active fault injection, shards route through the resilient path
+// (retries, hedging, the dispatch fault hook, *PartialError); otherwise
+// the historical zero-overhead gather runs unchanged.
 func (a *Aligner) scanShardsCtx(ctx context.Context, starts int, scan func(lo, hi int) []core.Hit) ([]core.Hit, error) {
 	shards := sched.Plan(starts, a.shardLen)
 	a.tm.shardsPlanned.Add(uint64(len(shards)))
 	scan = instrumentShard(&a.tm, scan)
+	if a.resilientScans() {
+		return a.gatherResilient(ctx, shards, scan)
+	}
 	return sched.GatherCtx(ctx, a.pool, len(shards), func(i int) []core.Hit {
 		return scan(shards[i].Lo, shards[i].Hi)
 	})
@@ -379,17 +387,22 @@ func (a *Aligner) AlignDatabaseContext(ctx context.Context, d *Database) ([]Reco
 	}
 	scan, starts := a.databaseScan(d)
 	var raw []core.Hit
+	var perr error
 	if scan != nil {
 		var err error
 		raw, err = a.scanShardsCtx(ctx, starts, scan)
 		if err != nil {
-			a.tm.recordCtxErr(err)
-			return nil, err
+			var pe *PartialError
+			if !errors.As(err, &pe) {
+				a.tm.recordCtxErr(err)
+				return nil, err
+			}
+			perr = err // degraded completion: surviving hits + *PartialError
 		}
 	}
 	hits := toRecordHits(d.d.Attribute(raw, a.query.Elements()))
 	a.tm.hits.Add(uint64(len(hits)))
-	return hits, nil
+	return hits, perr
 }
 
 // AlignDatabaseStream scans the database shard by shard and delivers
@@ -426,10 +439,15 @@ func (a *Aligner) AlignDatabaseStreamContext(ctx context.Context, d *Database, e
 	a.tm.shardsPlanned.Add(uint64(len(shards)))
 	scan = instrumentShard(&a.tm, scan)
 	m := a.query.Elements()
-	err := sched.StreamOrderedCtx(ctx, a.pool, len(shards),
-		func(i int) ([]db.RecordHit, error) {
-			return d.d.Attribute(scan(shards[i].Lo, shards[i].Hi), m), nil
-		},
+	produce := func(i int) ([]db.RecordHit, error) {
+		return d.d.Attribute(scan(shards[i].Lo, shards[i].Hi), m), nil
+	}
+	var fc *failureCollector
+	if a.resilientScans() {
+		fc = &failureCollector{}
+		produce = resilientStreamProduce(ctx, a.pool, newResilience(a.retryPolicy, &a.tm), a.partial, fc, shards, produce)
+	}
+	err := sched.StreamOrderedCtx(ctx, a.pool, len(shards), produce,
 		func(h db.RecordHit) error {
 			a.tm.hits.Inc()
 			return emit(RecordHit{
@@ -441,8 +459,15 @@ func (a *Aligner) AlignDatabaseStreamContext(ctx context.Context, d *Database, e
 		})
 	if err != nil {
 		a.tm.recordCtxErr(err)
+		return err
 	}
-	return err
+	if fc != nil && len(fc.failed) > 0 {
+		// Every surviving shard's hits were emitted in order; report the
+		// uncovered ranges the same way the gather path does.
+		a.tm.partial.Inc()
+		return fc.partialError()
+	}
+	return nil
 }
 
 func toRecordHits(attributed []db.RecordHit) []RecordHit {
@@ -522,9 +547,15 @@ func (s *Session) scan(ctx context.Context, prog isa.Program, threshold int) ([]
 		}
 	}
 	scan = instrumentShard(tm, scan)
-	hits, err := sched.GatherCtx(ctx, sched.Shared(), len(shards), func(i int) []core.Hit {
-		return scan(shards[i].Lo, shards[i].Hi)
-	})
+	var hits []core.Hit
+	var err error
+	if rp := currentBatchRetryPolicy(); rp.enabled() || faultinject.Enabled() {
+		hits, err = gatherShardsResilient(ctx, sched.Shared(), rp, false, tm, shards, scan)
+	} else {
+		hits, err = sched.GatherCtx(ctx, sched.Shared(), len(shards), func(i int) []core.Hit {
+			return scan(shards[i].Lo, shards[i].Hi)
+		})
+	}
 	if err != nil {
 		tm.recordCtxErr(err)
 		return nil, err
@@ -710,15 +741,21 @@ func alignBatchFused(ctx context.Context, progs []isa.Program, thresholds []int,
 	}
 	shards := sched.Plan(starts, shardLen)
 	tm.shardsPlanned.Add(uint64(len(shards)))
+	scanShard := func(i int) [][]bitpar.Hit {
+		ts := time.Now()
+		dst := bk.AlignPlanesRange(planes, shards[i].Lo, shards[i].Hi, nil)
+		observeSince(tm.shardLatency, ts)
+		tm.shardsRun.Inc()
+		return dst
+	}
 	t0 := time.Now()
-	perQuery, err := sched.GatherBatchCtx(ctx, sched.Shared(), len(shards), len(progs),
-		func(i int) [][]bitpar.Hit {
-			ts := time.Now()
-			dst := bk.AlignPlanesRange(planes, shards[i].Lo, shards[i].Hi, nil)
-			observeSince(tm.shardLatency, ts)
-			tm.shardsRun.Inc()
-			return dst
-		})
+	var perQuery [][]bitpar.Hit
+	if rp := currentBatchRetryPolicy(); rp.enabled() || faultinject.Enabled() {
+		perQuery, err = gatherBatchResilient(ctx, rp, tm, shards, len(progs), scanShard)
+	} else {
+		perQuery, err = sched.GatherBatchCtx(ctx, sched.Shared(), len(shards), len(progs),
+			func(i int) [][]bitpar.Hit { return scanShard(i) })
+	}
 	if err != nil {
 		tm.recordCtxErr(err)
 		return nil, err

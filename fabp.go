@@ -27,6 +27,7 @@ package fabp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -245,6 +246,11 @@ type Aligner struct {
 	// per-metric handles the scan paths write through.
 	metrics *Metrics
 	tm      alignerMetrics
+	// retryPolicy bounds automatic re-execution of failed/straggling
+	// shards (zero = single attempt); partial opts database scans into
+	// degraded completion with a *PartialError. See resilience.go.
+	retryPolicy RetryPolicy
+	partial     bool
 }
 
 // AlignerOption customizes NewAligner.
@@ -258,6 +264,8 @@ type alignerConfig struct {
 	kernel      Kernel
 	shardLen    int
 	metrics     *Metrics
+	retryPolicy RetryPolicy
+	partial     bool
 	err         error
 }
 
@@ -390,6 +398,7 @@ func NewAligner(q *Query, opts ...AlignerOption) (*Aligner, error) {
 		query: q, engine: engine, kernel: kernel, mode: cfg.kernel,
 		pool: pool, shardLen: cfg.shardLen,
 		metrics: cfg.metrics, tm: newAlignerMetrics(cfg.metrics.reg),
+		retryPolicy: cfg.retryPolicy, partial: cfg.partial,
 	}, nil
 }
 
@@ -456,16 +465,24 @@ func (a *Aligner) AlignContext(ctx context.Context, ref *Reference) ([]Hit, erro
 		return nil, err
 	}
 	var raw []core.Hit
-	if ctx.Done() == nil {
+	var perr error
+	if ctx.Done() == nil && !a.resilientScans() {
 		raw = a.alignSeq(ref.seq)
 	} else {
+		// Cancelable contexts — and any scan under a retry policy, partial
+		// mode or fault injection — go through the shard scheduler so the
+		// checkpoints and resilience hooks apply.
 		scan, starts := a.referenceScan(ref)
 		if scan != nil {
 			var err error
 			raw, err = a.scanShardsCtx(ctx, starts, scan)
 			if err != nil {
-				a.tm.recordCtxErr(err)
-				return nil, err
+				var pe *PartialError
+				if !errors.As(err, &pe) {
+					a.tm.recordCtxErr(err)
+					return nil, err
+				}
+				perr = err // degraded completion: surviving hits + *PartialError
 			}
 		}
 	}
@@ -474,7 +491,7 @@ func (a *Aligner) AlignContext(ctx context.Context, ref *Reference) ([]Hit, erro
 		hits[i] = Hit{Pos: h.Pos, Score: h.Score}
 	}
 	a.tm.hits.Add(uint64(len(hits)))
-	return hits, nil
+	return hits, perr
 }
 
 // AlignStream scans a nucleotide stream of arbitrary size (raw letters,
@@ -511,7 +528,7 @@ func (a *Aligner) AlignStreamContext(ctx context.Context, r io.Reader, emit func
 		})
 	} else {
 		a.tm.kernelChosen(true)
-		err = scanChunks(ctx, r, a.query.Elements(), &a.tm, func(seq bio.NucSeq, lo, hi, base int) error {
+		err = scanChunks(ctx, r, a.query.Elements(), &a.tm, a.retryPolicy, func(seq bio.NucSeq, lo, hi, base int) error {
 			for _, h := range a.kernel.AlignRange(seq, lo, hi) {
 				a.tm.hits.Inc()
 				if err := emit(Hit{Pos: base + h.Pos, Score: h.Score}); err != nil {

@@ -1,8 +1,11 @@
 package bitpar
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"fabp/internal/faultinject"
 )
 
 // PlaneCache memoizes packed bit-plane references so a database or
@@ -56,6 +59,18 @@ func (c *PlaneCache) Cap() int { return c.cap }
 // (or after eviction). pack runs outside the cache lock; concurrent
 // callers of the same key block until the one packing finishes.
 func (c *PlaneCache) Get(key any, pack func() *Planes) *Planes {
+	// The eviction-storm fault hook: a firing rule drops the requested
+	// entry before the lookup, so this Get must repack — the
+	// deterministic model of cache pressure evicting a hot database.
+	// Results are unchanged (the repack is bit-exact), only slower.
+	if faultinject.Check(context.Background(), faultinject.SiteCacheEvict, 0) != nil {
+		c.mu.Lock()
+		if _, ok := c.entries[key]; ok {
+			delete(c.entries, key)
+			c.evictions++
+		}
+		c.mu.Unlock()
+	}
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {

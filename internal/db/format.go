@@ -18,6 +18,7 @@ package db
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -28,6 +29,7 @@ import (
 
 	"fabp/internal/bio"
 	"fabp/internal/bitpar"
+	"fabp/internal/faultinject"
 )
 
 // File magics; the trailing digits are the format version.
@@ -317,6 +319,13 @@ func Inspect(r io.Reader) (FileInfo, error) {
 }
 
 func readFile(r io.Reader) (*Database, FileInfo, error) {
+	// The database-load fault hook: an injected failure surfaces as a
+	// *CorruptError wrapping the transient cause, the same shape a real
+	// torn read produces, so callers exercise their degrade/retry paths
+	// (retry.Retryable sees through the wrap to the transient error).
+	if err := faultinject.Check(context.Background(), faultinject.SiteDBSection, 0); err != nil {
+		return nil, FileInfo{}, &CorruptError{Section: "injected", Err: err}
+	}
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {

@@ -1,0 +1,216 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// withPlan installs a plan for the test and guarantees the registry is
+// clean afterwards (fault injection is process state).
+func withPlan(t *testing.T, seed uint64, plan Plan) {
+	t.Helper()
+	Enable(seed, plan)
+	t.Cleanup(Disable)
+}
+
+// TestChaosCheckDisabledIsFree: with no plan the hook returns nil and
+// records nothing — the production fast path.
+func TestChaosCheckDisabledIsFree(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() true with no plan")
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := Check(context.Background(), SiteShardDispatch, i); err != nil {
+			t.Fatalf("disabled Check returned %v", err)
+		}
+	}
+	if Fired(SiteShardDispatch) != 0 || Calls(SiteShardDispatch) != 0 {
+		t.Fatal("disabled hooks recorded state")
+	}
+}
+
+// TestChaosDeterministicReplay: the same seed and plan fire on exactly
+// the same (key, call) schedule across two full replays — the property
+// every chaos test in the repo leans on.
+func TestChaosDeterministicReplay(t *testing.T) {
+	run := func() (fired uint64, keys []uint64) {
+		withPlan(t, 99, Plan{SiteShardDispatch: {Prob: 0.2, Fail: true}})
+		for call := 0; call < 50; call++ {
+			for key := uint64(0); key < 20; key++ {
+				_ = Check(context.Background(), SiteShardDispatch, key)
+			}
+		}
+		return Fired(SiteShardDispatch), FiredKeys(SiteShardDispatch)
+	}
+	f1, k1 := run()
+	f2, k2 := run()
+	if f1 == 0 {
+		t.Fatal("p=0.2 over 1000 calls fired zero times; hash is broken")
+	}
+	if f1 != f2 || !reflect.DeepEqual(k1, k2) {
+		t.Fatalf("replay diverged: %d fires %v vs %d fires %v", f1, k1, f2, k2)
+	}
+}
+
+// TestChaosStickyKeysFailEveryCall: a sticky rule's selected keys fire on
+// every call (the permanent-failure model), and unselected keys never do.
+func TestChaosStickyKeysFailEveryCall(t *testing.T) {
+	withPlan(t, 7, Plan{SiteShardDispatch: {Prob: 0.3, Sticky: true, Fail: true}})
+	const keys, calls = 30, 5
+	outcome := make(map[uint64]int)
+	for c := 0; c < calls; c++ {
+		for k := uint64(0); k < keys; k++ {
+			if Check(context.Background(), SiteShardDispatch, k) != nil {
+				outcome[k]++
+			}
+		}
+	}
+	if len(outcome) == 0 || len(outcome) == keys {
+		t.Fatalf("sticky p=0.3 selected %d/%d keys; want a proper subset", len(outcome), keys)
+	}
+	for k, n := range outcome {
+		if n != calls {
+			t.Fatalf("sticky key %d fired %d/%d calls; sticky must fire every call", k, n, calls)
+		}
+	}
+	if got := FiredKeys(SiteShardDispatch); len(got) != len(outcome) {
+		t.Fatalf("FiredKeys reports %d keys, observed %d", len(got), len(outcome))
+	}
+}
+
+// TestChaosNthAndEvery: ordinal triggers fire exactly where they say.
+func TestChaosNthAndEvery(t *testing.T) {
+	withPlan(t, 1, Plan{SiteStreamRead: {Nth: 3, Fail: true}, SiteDBSection: {Every: 4, Fail: true}})
+	for call := 1; call <= 12; call++ {
+		gotNth := Check(context.Background(), SiteStreamRead, 0) != nil
+		if wantNth := call == 3; gotNth != wantNth {
+			t.Fatalf("nth=3: call %d fired=%v", call, gotNth)
+		}
+		gotEvery := Check(context.Background(), SiteDBSection, 0) != nil
+		if wantEvery := call%4 == 0; gotEvery != wantEvery {
+			t.Fatalf("every=4: call %d fired=%v", call, gotEvery)
+		}
+	}
+}
+
+// TestChaosKeyLimitBudgetsPerKey: keylimit caps fires per key — the
+// transient-failure model where KeyLimit <= the retry budget guarantees
+// the shard eventually succeeds.
+func TestChaosKeyLimitBudgetsPerKey(t *testing.T) {
+	withPlan(t, 1, Plan{SiteShardDispatch: {Every: 1, KeyLimit: 2, Fail: true}})
+	for k := uint64(0); k < 3; k++ {
+		for call := 1; call <= 5; call++ {
+			fired := Check(context.Background(), SiteShardDispatch, k) != nil
+			if want := call <= 2; fired != want {
+				t.Fatalf("key %d call %d fired=%v, want %v", k, call, fired, want)
+			}
+		}
+	}
+	withPlan(t, 1, Plan{SiteShardDispatch: {Every: 1, Limit: 3, Fail: true}})
+	total := 0
+	for call := 0; call < 10; call++ {
+		if Check(context.Background(), SiteShardDispatch, uint64(call)) != nil {
+			total++
+		}
+	}
+	if total != 3 {
+		t.Fatalf("limit=3 fired %d times", total)
+	}
+}
+
+// TestChaosInjectedErrorShape: injected errors match ErrInjected, carry
+// the site/key, and are transient for the retry layer.
+func TestChaosInjectedErrorShape(t *testing.T) {
+	withPlan(t, 1, Plan{SiteStreamRead: {Every: 1, Fail: true}})
+	err := Check(context.Background(), SiteStreamRead, 42)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not match ErrInjected", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != SiteStreamRead || ie.Key != 42 {
+		t.Fatalf("injected error %#v lacks site/key", err)
+	}
+	if !ie.Temporary() {
+		t.Fatal("injected error is not Temporary")
+	}
+
+	custom := errors.New("my own fault")
+	withPlan(t, 1, Plan{SiteStreamRead: {Every: 1, Err: custom}})
+	if err := Check(context.Background(), SiteStreamRead, 0); !errors.Is(err, custom) {
+		t.Fatalf("rule.Err not honored: %v", err)
+	}
+}
+
+// TestChaosDelayHonorsContext: an injected stall aborts when the hook's
+// context is canceled — injected lag cannot pin a canceled scan.
+func TestChaosDelayHonorsContext(t *testing.T) {
+	withPlan(t, 1, Plan{SiteShardDispatch: {Every: 1, Delay: 10 * time.Second}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	err := Check(ctx, SiteShardDispatch, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stalled Check under canceled ctx = %v", err)
+	}
+	if el := time.Since(t0); el > time.Second {
+		t.Fatalf("canceled stall took %v", el)
+	}
+
+	// A stall-only rule (no Fail, no Err) delays but does not error.
+	withPlan(t, 1, Plan{SiteShardDispatch: {Every: 1, Delay: time.Millisecond}})
+	if err := Check(context.Background(), SiteShardDispatch, 0); err != nil {
+		t.Fatalf("stall-only rule returned %v", err)
+	}
+}
+
+// TestChaosParsePlan: the FABP_FAULTS spec round-trips every field, and
+// malformed specs are rejected with the offending entry named.
+func TestChaosParsePlan(t *testing.T) {
+	plan, err := ParsePlan("sched.shard.dispatch:p=0.02,delay=5ms; stream.read:nth=3,fail ;db.section.load:sticky,p=0.5,limit=7,keylimit=2,every=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := plan[SiteShardDispatch]; r.Prob != 0.02 || r.Delay != 5*time.Millisecond || r.Fail {
+		t.Fatalf("dispatch rule %+v", r)
+	}
+	if r := plan[SiteStreamRead]; r.Nth != 3 || !r.Fail {
+		t.Fatalf("stream rule %+v", r)
+	}
+	if r := plan[SiteDBSection]; !r.Sticky || r.Prob != 0.5 || r.Limit != 7 || r.KeyLimit != 2 || r.Every != 10 || !r.Fail {
+		t.Fatalf("db rule %+v (no explicit action must default to fail)", r)
+	}
+	for _, bad := range []string{"", "no-colon-here", "site:p=notafloat", "site:frobnicate=1", "site:delay=5parsecs"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// TestChaosEnableFromEnv: the env knobs arm the registry; an unset env is
+// a silent no-op; a bad seed is an error.
+func TestChaosEnableFromEnv(t *testing.T) {
+	t.Setenv("FABP_FAULTS", "")
+	if on, err := EnableFromEnv(); on || err != nil {
+		t.Fatalf("empty FABP_FAULTS: on=%v err=%v", on, err)
+	}
+
+	t.Setenv("FABP_FAULTS", "stream.read:nth=1,fail")
+	t.Setenv("FABP_FAULT_SEED", "42")
+	on, err := EnableFromEnv()
+	if !on || err != nil {
+		t.Fatalf("EnableFromEnv: on=%v err=%v", on, err)
+	}
+	t.Cleanup(Disable)
+	if err := Check(context.Background(), SiteStreamRead, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed-from-env hook returned %v", err)
+	}
+
+	t.Setenv("FABP_FAULT_SEED", "not-a-number")
+	if _, err := EnableFromEnv(); err == nil {
+		t.Fatal("bad FABP_FAULT_SEED accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Package retry is the backoff arithmetic under the scan pipeline's
+// resilience layer: a bounded exponential schedule with deterministic,
+// seed-driven jitter, a context-aware sleep that never leaks a timer,
+// and the transient-error classification the shard scheduler and stream
+// reader share.
+package retry
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// DefaultBase and DefaultCap bound a zero-valued Backoff's delays.
+const (
+	DefaultBase = 1 * time.Millisecond
+	DefaultCap  = 100 * time.Millisecond
+)
+
+// Backoff is a bounded exponential backoff schedule. The n-th retry's
+// delay is deterministic in (Seed, key, n): jitter drawn from
+// [Base, min(Cap, Base<<(n-1))], so every delay lies in [Base, Cap] and
+// the schedule replays exactly from its seed. Max bounds the retries
+// AFTER the first attempt (0 = no retries).
+type Backoff struct {
+	Base time.Duration
+	Cap  time.Duration
+	Max  int
+	Seed uint64
+}
+
+// normalized fills defaults: Base at least DefaultBase, Cap at least
+// Base (a cap below the base would make the interval empty).
+func (b Backoff) normalized() Backoff {
+	if b.Base <= 0 {
+		b.Base = DefaultBase
+	}
+	if b.Cap <= 0 {
+		b.Cap = DefaultCap
+	}
+	if b.Cap < b.Base {
+		b.Cap = b.Base
+	}
+	return b
+}
+
+// Delay returns the jittered delay before retry n (1-based). key
+// decorrelates concurrent retriers (shards) so they do not thunder in
+// lockstep; the result always lies in [Base, Cap].
+func (b Backoff) Delay(n int, key uint64) time.Duration {
+	b = b.normalized()
+	if n < 1 {
+		n = 1
+	}
+	// Exponential ceiling Base<<(n-1), saturating at Cap (shifts past 62
+	// bits or overflowing straight to the cap).
+	hi := b.Cap
+	if n-1 < 62 {
+		if e := b.Base << (n - 1); e > 0 && e < b.Cap {
+			hi = e
+		}
+	}
+	if hi < b.Base {
+		hi = b.Base
+	}
+	span := int64(hi - b.Base)
+	if span <= 0 {
+		return b.Base
+	}
+	j := mix(mix(b.Seed^key) ^ uint64(n))
+	return b.Base + time.Duration(int64(j%uint64(span+1)))
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Sleep waits d or until ctx is done, whichever comes first, returning
+// ctx.Err() on an aborted wait. The timer is always stopped, so a
+// canceled sleep leaves nothing running — the property the backoff
+// schedule's no-timer-leak test pins.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// temporary is the classification interface transient errors expose
+// (faultinject's injected errors, net.Error-style failures).
+type temporary interface{ Temporary() bool }
+
+// Transient wraps err so Retryable reports it retryable.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Temporary() bool { return true }
+
+// Retryable reports whether err is worth retrying: any error in the
+// chain exposing Temporary() == true. Context cancellation and deadline
+// expiry are never retryable — the caller's clock has spoken.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if t, ok := e.(temporary); ok && t.Temporary() {
+			return true
+		}
+	}
+	return false
+}
+
+// Do runs op, retrying retryable failures up to b.Max times with the
+// schedule's delays. It returns the attempt count alongside the terminal
+// result; a context canceled mid-sleep aborts immediately.
+func Do(ctx context.Context, b Backoff, key uint64, op func(ctx context.Context) error) (attempts int, err error) {
+	for n := 0; ; n++ {
+		attempts++
+		err = op(ctx)
+		if err == nil || n >= b.Max || !Retryable(err) {
+			return attempts, err
+		}
+		if serr := Sleep(ctx, b.Delay(n+1, key)); serr != nil {
+			return attempts, serr
+		}
+	}
+}

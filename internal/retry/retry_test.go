@@ -1,0 +1,188 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBounds is the schedule's core property, swept across
+// random seeds, keys and retry ordinals: every delay lies in [Base, Cap],
+// never below the base (no zero-sleep hot retry loops) and never above
+// the cap (no unbounded exponential), and the exponential ceiling
+// Base<<(n-1) holds while it is below the cap.
+func TestBackoffDelayBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		b := Backoff{
+			Base: time.Duration(1+rng.Intn(10)) * time.Millisecond,
+			Cap:  time.Duration(20+rng.Intn(200)) * time.Millisecond,
+			Seed: rng.Uint64(),
+		}
+		key := rng.Uint64()
+		n := 1 + rng.Intn(70) // past the 62-bit shift guard on purpose
+		d := b.Delay(n, key)
+		if d < b.Base || d > b.Cap {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v] (seed %d key %d)",
+				n, d, b.Base, b.Cap, b.Seed, key)
+		}
+		if ceil := b.Base << (n - 1); n-1 < 62 && ceil > 0 && ceil < b.Cap && d > ceil {
+			t.Fatalf("Delay(%d) = %v above exponential ceiling %v", n, d, ceil)
+		}
+	}
+}
+
+// TestBackoffDelayDeterministic: the schedule replays exactly from its
+// seed — same (Seed, key, n) always yields the same delay, and distinct
+// keys decorrelate (not all identical across a window of retries).
+func TestBackoffDelayDeterministic(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 100 * time.Millisecond, Seed: 7}
+	distinct := false
+	for n := 1; n <= 10; n++ {
+		for key := uint64(0); key < 8; key++ {
+			d1, d2 := b.Delay(n, key), b.Delay(n, key)
+			if d1 != d2 {
+				t.Fatalf("Delay(%d, %d) not deterministic: %v then %v", n, key, d1, d2)
+			}
+			if d1 != b.Delay(n, 0) {
+				distinct = true
+			}
+		}
+	}
+	if !distinct {
+		t.Fatal("all keys produced identical schedules; jitter is not key-decorrelated")
+	}
+}
+
+// TestBackoffZeroValueDefaults: the zero Backoff still yields sane
+// delays ([DefaultBase, DefaultCap]), and a cap below the base clamps
+// rather than producing an empty interval.
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(3, 1); d < DefaultBase || d > DefaultCap {
+		t.Fatalf("zero-value Delay = %v outside [%v, %v]", d, DefaultBase, DefaultCap)
+	}
+	inverted := Backoff{Base: 50 * time.Millisecond, Cap: time.Millisecond}
+	if d := inverted.Delay(1, 0); d != 50*time.Millisecond {
+		t.Fatalf("cap<base Delay = %v, want clamped to base", d)
+	}
+}
+
+// TestDoRetryBudgetNeverExceeded: an op that always fails transiently is
+// attempted exactly Max+1 times — the budget is a hard bound, swept over
+// budgets.
+func TestDoRetryBudgetNeverExceeded(t *testing.T) {
+	for _, max := range []int{0, 1, 3, 7} {
+		calls := 0
+		attempts, err := Do(context.Background(),
+			Backoff{Base: time.Microsecond, Cap: 10 * time.Microsecond, Max: max}, 0,
+			func(context.Context) error {
+				calls++
+				return Transient(errors.New("flaky"))
+			})
+		if calls != max+1 || attempts != max+1 {
+			t.Fatalf("Max=%d: op ran %d times (reported %d), want %d", max, calls, attempts, max+1)
+		}
+		if !Retryable(err) {
+			t.Fatalf("Max=%d: terminal error %v lost its transient classification", max, err)
+		}
+	}
+}
+
+// TestDoNonRetryableStopsImmediately: a permanent failure consumes no
+// retry budget, and a success stops the loop.
+func TestDoNonRetryableStopsImmediately(t *testing.T) {
+	perm := errors.New("permanent")
+	attempts, err := Do(context.Background(), Backoff{Max: 5}, 0,
+		func(context.Context) error { return perm })
+	if attempts != 1 || !errors.Is(err, perm) {
+		t.Fatalf("permanent failure: %d attempts, err %v; want 1 attempt", attempts, err)
+	}
+	n := 0
+	attempts, err = Do(context.Background(), Backoff{Base: time.Microsecond, Max: 5}, 0,
+		func(context.Context) error {
+			if n++; n < 3 {
+				return Transient(errors.New("flaky"))
+			}
+			return nil
+		})
+	if attempts != 3 || err != nil {
+		t.Fatalf("eventual success: %d attempts, err %v; want 3, nil", attempts, err)
+	}
+}
+
+// TestSleepCanceledAbortsImmediately: a canceled context aborts the
+// sleep right away — a 10-second sleep must return in well under that —
+// and repeated canceled sleeps leave no goroutine behind (the timer is
+// stopped, not leaked).
+func TestSleepCanceledAbortsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	if err := Sleep(ctx, 10*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under canceled ctx = %v, want context.Canceled", err)
+	}
+	if el := time.Since(t0); el > time.Second {
+		t.Fatalf("canceled Sleep took %v; the abort is not immediate", el)
+	}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		c, stop := context.WithCancel(context.Background())
+		stop()
+		_ = Sleep(c, time.Hour)
+	}
+	runtime.GC() // settle any timer bookkeeping before counting
+	time.Sleep(10 * time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines %d -> %d after 200 canceled sleeps; timers leaked", before, after)
+	}
+}
+
+// TestSleepCancelMidWait: cancellation arriving during the wait (not
+// before it) also aborts promptly.
+func TestSleepCancelMidWait(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if el := time.Since(t0); el > time.Second {
+		t.Fatalf("mid-wait cancel took %v to abort", el)
+	}
+}
+
+// TestRetryableClassification pins the classification table: transient
+// wrappers and Temporary() errors anywhere in the chain retry; nil,
+// context errors and plain errors do not.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("wrap: %w", context.Canceled), false},
+		{Transient(errors.New("flaky")), true},
+		{fmt.Errorf("shard 3: %w", Transient(errors.New("flaky"))), true},
+		// A transient wrapper around a context error is still not
+		// retryable: the caller's clock has spoken.
+		{Transient(context.DeadlineExceeded), false},
+	}
+	for i, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("case %d: Retryable(%v) = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fabp/internal/faultinject"
 	"fabp/internal/telemetry"
 )
 
@@ -287,7 +288,12 @@ func GatherCtx[T any](ctx context.Context, p *Pool, n int, produce func(i int) [
 		return nil, nil
 	}
 	out := make([]T, 0, total)
-	for _, part := range parts {
+	for i, part := range parts {
+		// The shard-merge fault hook: one atomic load when injection is
+		// off, an injected failure aborts the concatenation.
+		if err := faultinject.Check(ctx, faultinject.SiteShardMerge, uint64(i)); err != nil {
+			return nil, err
+		}
 		out = append(out, part...)
 	}
 	return out, nil
@@ -444,6 +450,11 @@ func StreamOrderedCtx[T any](ctx context.Context, p *Pool, n int, produce func(i
 		<-tickets
 		if r.err != nil {
 			return r.err
+		}
+		// The shard-merge fault hook, mirroring GatherCtx's: an injected
+		// failure stops the ordered merge exactly like an emit error.
+		if err := faultinject.Check(ctx, faultinject.SiteShardMerge, uint64(i)); err != nil {
+			return err
 		}
 		for _, item := range r.items {
 			if err := emit(item); err != nil {

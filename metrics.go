@@ -34,6 +34,10 @@ import (
 //	batch.plane_bytes_saved  plane bytes NOT re-read thanks to fusion: (K−1)×planes
 //	db.load.planes_reused    LoadDatabase calls resolved warm (persisted or resident planes)
 //	db.load.planes_packed    LoadDatabase calls whose scans must pack in-process
+//	scan.retries             shard/chunk attempts re-run under a RetryPolicy
+//	scan.hedged              hedged duplicate shards launched for stragglers
+//	scan.partial             scans that completed degraded (WithPartialResults)
+//	faultinject.fired        fault-injection rules that fired (process-wide)
 //	pool.tasks.*             worker-pool counters/gauges (process-wide pool)
 //	cache.*                  plane-cache stats, merged from the shared cache
 //	                         (cache.installs counts entries seeded from files)
@@ -165,6 +169,8 @@ type alignerMetrics struct {
 	batchQueries, batchFusedPasses *telemetry.Counter
 	batchPlaneBytesSaved           *telemetry.Counter
 	batchKernelLatency             *telemetry.Histogram
+
+	retries, hedged, partial *telemetry.Counter
 }
 
 func newAlignerMetrics(reg *telemetry.Registry) alignerMetrics {
@@ -187,6 +193,10 @@ func newAlignerMetrics(reg *telemetry.Registry) alignerMetrics {
 		batchFusedPasses:     reg.Counter("batch.fused_passes"),
 		batchPlaneBytesSaved: reg.Counter("batch.plane_bytes_saved"),
 		batchKernelLatency:   reg.Histogram("batch.kernel.latency"),
+
+		retries: reg.Counter("scan.retries"),
+		hedged:  reg.Counter("scan.hedged"),
+		partial: reg.Counter("scan.partial"),
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"io"
 
 	"fabp/internal/bio"
+	"fabp/internal/faultinject"
+	"fabp/internal/retry"
 )
 
 // streamChunkLetters is the chunk size of the bounded-memory stream scan;
@@ -25,7 +27,15 @@ var streamChunkLetters = 1 << 20
 // cancellation checkpoint — so a canceled or deadlined scan stops without
 // waiting for the rest of the stream (a Read already blocked in the
 // reader is not interrupted).
-func scanChunks(ctx context.Context, r io.Reader, m int, tm *alignerMetrics, scan func(seq bio.NucSeq, lo, hi, base int) error) error {
+//
+// Each read passes the stream.read fault-injection hook (keyed by chunk
+// ordinal), and transient read failures — injected faults or reader
+// errors exposing Temporary() — retry under rp's backoff schedule, up to
+// rp.MaxRetries per chunk, counted on scan.retries. Only reads that
+// returned no data retry (a short read with an error delivers its bytes
+// first, exactly as io.Reader semantics require); exhausted or
+// non-retryable errors surface through the flush-before-error path below.
+func scanChunks(ctx context.Context, r io.Reader, m int, tm *alignerMetrics, rp RetryPolicy, scan func(seq bio.NucSeq, lo, hi, base int) error) error {
 	chunkLetters := streamChunkLetters
 	if chunkLetters < m+2 {
 		chunkLetters = m + 2
@@ -36,6 +46,28 @@ func scanChunks(ctx context.Context, r io.Reader, m int, tm *alignerMetrics, sca
 	seq := make(bio.NucSeq, 0, chunkLetters+m+2)
 	base := 0 // global position of seq[0]
 	skip := 0 // window starts below this are re-carried context, already scanned
+
+	backoff := rp.backoff()
+	chunk := uint64(0) // read ordinal: the fault-hook key and jitter decorrelator
+	readChunk := func() (int, error) {
+		for n := 0; ; n++ {
+			nRead := 0
+			err := faultinject.Check(ctx, faultinject.SiteStreamRead, chunk)
+			if err == nil {
+				nRead, err = r.Read(buf)
+			}
+			if err == nil || err == io.EOF || nRead > 0 {
+				return nRead, err
+			}
+			if n >= rp.MaxRetries || !retry.Retryable(err) || ctx.Err() != nil {
+				return 0, err
+			}
+			tm.retries.Inc()
+			if serr := retry.Sleep(ctx, backoff.Delay(n+1, chunk)); serr != nil {
+				return 0, serr
+			}
+		}
+	}
 
 	flush := func(final bool) error {
 		n := len(seq) - m + 1
@@ -55,7 +87,13 @@ func scanChunks(ctx context.Context, r io.Reader, m int, tm *alignerMetrics, sca
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		nRead, readErr := r.Read(buf)
+		nRead, readErr := readChunk()
+		chunk++
+		if nRead == 0 && readErr != nil && readErr != io.EOF {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr // cancellation keeps its bare, unwrapped error
+			}
+		}
 		for _, b := range buf[:nRead] {
 			switch b {
 			case ' ', '\t', '\n', '\r':

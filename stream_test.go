@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
+
+	"fabp/internal/faultinject"
 )
 
 // faultReader yields its payload and then errSentinel — on the same Read
@@ -80,6 +83,102 @@ func TestAlignStreamReaderErrorFlushesCompleteWindows(t *testing.T) {
 				t.Fatalf("kernel %s: hit %d = %+v, want %+v", kernel, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+// TestChaosStreamInjectedErrorFlushesCompleteWindows extends the
+// flush-before-error contract to injected faults: a stream.read fault
+// fired mid-stream (without retries) must behave exactly like a real
+// reader failure — every window complete before the fault is emitted,
+// then the error surfaces wrapped with the global stream position.
+func TestChaosStreamInjectedErrorFlushesCompleteWindows(t *testing.T) {
+	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
+	streamChunkLetters = 4096
+
+	ref, genes := SyntheticReference(21, 30_000, 3, 40)
+	q, err := NewQuery(genes[0].Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 5th read faults, so exactly 4 full chunks (16384 letters) are
+	// delivered — past gene 0's slot [0, 10k), keeping its hit in the
+	// prefix. The injection hooks live on the chunked (bitparallel) path.
+	const cut = 4 * 4096
+	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel("bitparallel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := NewReference(ref.String()[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Align(prefix)
+	if len(want) == 0 {
+		t.Fatal("no hits in prefix; test is vacuous")
+	}
+
+	faultinject.Enable(1, faultinject.Plan{faultinject.SiteStreamRead: {Nth: 5, Fail: true}})
+	defer faultinject.Disable()
+	var got []Hit
+	streamErr := a.AlignStream(strings.NewReader(ref.String()),
+		func(h Hit) error { got = append(got, h); return nil })
+	if !errors.Is(streamErr, faultinject.ErrInjected) {
+		t.Fatalf("error %v does not wrap the injected fault", streamErr)
+	}
+	if wantPos := fmt.Sprintf("position %d", cut); !strings.Contains(streamErr.Error(), wantPos) {
+		t.Errorf("error %q does not carry %q", streamErr, wantPos)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d hits before the fault, want %d (flush lost windows)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChaosStreamReadRetryRecoversFullScan: the same injected fault under
+// a retry budget is absorbed — the re-read delivers the chunk and the
+// stream completes byte-identical to a fault-free scan, with the retry
+// counted.
+func TestChaosStreamReadRetryRecoversFullScan(t *testing.T) {
+	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
+	streamChunkLetters = 4096
+
+	ref, genes := SyntheticReference(21, 30_000, 3, 40)
+	q, err := NewQuery(genes[0].Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel("bitparallel"),
+		WithRetryPolicy(RetryPolicy{MaxRetries: 2, Base: 10 * time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Align(ref)
+	if len(want) == 0 {
+		t.Fatal("no hits; test is vacuous")
+	}
+
+	before := DefaultMetrics().Snapshot().Counters["scan.retries"]
+	faultinject.Enable(1, faultinject.Plan{faultinject.SiteStreamRead: {Nth: 5, Fail: true}})
+	defer faultinject.Disable()
+	var got []Hit
+	if err := a.AlignStream(strings.NewReader(ref.String()),
+		func(h Hit) error { got = append(got, h); return nil }); err != nil {
+		t.Fatalf("retried stream failed: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d hits after retry, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if after := DefaultMetrics().Snapshot().Counters["scan.retries"]; after != before+1 {
+		t.Fatalf("scan.retries %d -> %d, want exactly one retry", before, after)
 	}
 }
 
