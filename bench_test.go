@@ -172,7 +172,7 @@ func BenchmarkBitParallelKernel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	a, err := NewAligner(q, WithThresholdFraction(0.9), WithKernel("bitparallel"))
+	a, err := NewAligner(q, WithThresholdFraction(0.9), WithKernelType(KernelBitParallel))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -387,7 +387,7 @@ func TestChaosPlaneCacheEvictionStorm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := mustConformAligner(t, q, WithThresholdFraction(0.7), WithKernel("bitparallel"))
+	a := mustConformAligner(t, q, WithThresholdFraction(0.7), WithKernelType(KernelBitParallel))
 	want := a.Align(ref)
 
 	before := DefaultMetrics().Snapshot().Counters["cache.evictions"]

@@ -371,9 +371,16 @@ func TestCLIServeSmoke(t *testing.T) {
 		t.Fatalf("align status %d, hits %d (%v)", resp.StatusCode, len(res.Hits), err)
 	}
 
-	// Graceful shutdown: SIGTERM drains and exits 0.
+	// Graceful shutdown: SIGTERM drains and exits 0. Drain stderr to EOF
+	// before reaping: Wait closes the pipe, and closing it mid-read can
+	// drop the final log lines the assertions below depend on.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	select {
+	case <-logDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("stderr never reached EOF after SIGTERM:\n%s", logTail.String())
 	}
 	done := make(chan error, 1)
 	go func() { done <- cmd.Wait() }()
@@ -384,11 +391,6 @@ func TestCLIServeSmoke(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatalf("fabp-serve did not exit after SIGTERM:\n%s", logTail.String())
-	}
-	select {
-	case <-logDone:
-	case <-time.After(5 * time.Second):
-		t.Fatal("stderr scanner never finished after process exit")
 	}
 	if !strings.Contains(logTail.String(), "drained; bye") {
 		t.Errorf("missing drain farewell in log:\n%s", logTail.String())

@@ -162,7 +162,12 @@ func alignOne(id, prot string, ref *fabp.Reference, dbase *fabp.Database, opts a
 		log.Printf("query %s: %v", id, err)
 		return
 	}
-	aOpts := []fabp.AlignerOption{fabp.WithKernel(opts.kernel)}
+	kernel, err := fabp.ParseKernel(opts.kernel)
+	if err != nil {
+		log.Printf("query %s: %v", id, err)
+		return
+	}
+	aOpts := []fabp.AlignerOption{fabp.WithKernelType(kernel)}
 	if opts.workers > 0 {
 		aOpts = append(aOpts, fabp.WithParallelism(opts.workers))
 	}

@@ -8,6 +8,7 @@
 //	fabp-bench -list      # list experiment ids
 //	fabp-bench -perf      # measured throughput point, written to BENCH_<date>.json
 //	fabp-bench -perf -batch 16        # add fused vs per-query batch runs
+//	fabp-bench -perf -cache           # add cold vs cached-hit Scan runs
 //	fabp-bench -compare old.json new.json  # warn-only regression check
 package main
 
@@ -32,6 +33,7 @@ func main() {
 	perfOut := flag.String("perf-out", ".", "directory for the -perf JSON report")
 	perfScale := flag.Int("perf-scale", 1, "reference size multiplier for -perf (1 = 100 kb)")
 	batch := flag.Int("batch", 0, "with -perf: also bench an N-query batch, fused vs per-query")
+	cache := flag.Bool("cache", false, "with -perf: also bench Scan cold vs cached-hit through the result cache")
 	compare := flag.Bool("compare", false, "compare two -perf reports (old.json new.json), warn-only")
 	metrics := flag.Bool("metrics", false, "dump a telemetry snapshot as JSON after running")
 	flag.Parse()
@@ -54,7 +56,7 @@ func main() {
 		}()
 	}
 	if *perf {
-		runPerf(*perfOut, *perfScale, *batch)
+		runPerf(*perfOut, *perfScale, *batch, *cache)
 		return
 	}
 	if *list {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -34,9 +35,18 @@ type perfReport struct {
 	// planes: cold from a v1 file (packs in-process), warm from a v2 file
 	// (persisted planes, zero packing). LoadWarmSpeedup is their ratio —
 	// the measured value of the v2 plane section.
-	LoadColdNs      float64           `json:"load_cold_ns,omitempty"`
-	LoadWarmNs      float64           `json:"load_warm_ns,omitempty"`
-	LoadWarmSpeedup float64           `json:"load_warm_speedup,omitempty"`
+	LoadColdNs      float64 `json:"load_cold_ns,omitempty"`
+	LoadWarmNs      float64 `json:"load_warm_ns,omitempty"`
+	LoadWarmSpeedup float64 `json:"load_warm_speedup,omitempty"`
+	// CacheColdNs/CacheHitNs time one Scan through the unified API with
+	// the result cache armed: cold flushes the cache first so the scan
+	// runs and seeds an entry, hit re-issues the identical request and is
+	// served without scanning. CacheHitSpeedup is their ratio — the
+	// measured value of the content-addressed result cache (the serving
+	// acceptance bar is ≥10×).
+	CacheColdNs     float64           `json:"cache_cold_ns,omitempty"`
+	CacheHitNs      float64           `json:"cache_hit_ns,omitempty"`
+	CacheHitSpeedup float64           `json:"cache_hit_speedup,omitempty"`
 	CacheHitRate    float64           `json:"cache_hit_rate"`
 	Counters        map[string]uint64 `json:"counters"`
 }
@@ -55,8 +65,9 @@ type perfRun struct {
 // reference; scale 1 keeps the run CI-cheap (a few seconds). batchN > 0
 // adds the batch_fused / batch_per_query pair: the same batchN queries
 // scanned through the fused batch kernel versus the per-query loop, with
-// the speedup recorded in the report.
-func runPerf(outDir string, scale, batchN int) {
+// the speedup recorded in the report. cacheOn adds the scan_cache_cold /
+// scan_cache_hit pair through the unified Scan API.
+func runPerf(outDir string, scale, batchN int, cacheOn bool) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -155,6 +166,45 @@ func runPerf(outDir string, scale, batchN int) {
 		)
 	}
 
+	// Cold vs hit through the result cache: the same Scan request issued
+	// with the cache flushed (the scan runs and seeds) versus already
+	// seeded (served from the cache, no scan). Hits are microseconds, so
+	// they get extra inner iterations to stay measurable.
+	if cacheOn {
+		const cacheCap = 64 << 20
+		fabp.SetScanCacheCapacity(cacheCap)
+		defer fabp.SetScanCacheCapacity(0)
+		cq, err := fabp.NewQuery(genes[0].Protein)
+		if err != nil {
+			log.Fatal(err)
+		}
+		creq := fabp.ScanRequest{Query: cq, Database: dbase, ThresholdFrac: 0.85}
+		scanOnce := func() int {
+			res, err := fabp.Scan(context.Background(), creq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return len(res.RecordHits)
+		}
+		const hitIters = 200
+		configs = append(configs,
+			benchCfg{"scan_cache_cold", reps, func() int {
+				// Dropping the capacity to zero empties the cache, so the
+				// scan below is a genuine miss that reseeds it.
+				fabp.SetScanCacheCapacity(0)
+				fabp.SetScanCacheCapacity(cacheCap)
+				return scanOnce()
+			}},
+			benchCfg{"scan_cache_hit", reps * hitIters, func() int {
+				hits := 0
+				for i := 0; i < hitIters; i++ {
+					hits += scanOnce()
+				}
+				return hits
+			}},
+		)
+	}
+
 	// Cold vs warm load: identical content through the legacy (v1) format,
 	// which forces in-process packing, versus the v2 format whose
 	// persisted plane section loads straight into the cache. Each rep
@@ -206,6 +256,11 @@ func runPerf(outDir string, scale, batchN int) {
 	if batchN > 0 && nsPerOp["batch_fused"] > 0 {
 		report.BatchSpeedup = nsPerOp["batch_per_query"] / nsPerOp["batch_fused"]
 		fmt.Printf("batch %d fused speedup ×%.2f over per-query\n", batchN, report.BatchSpeedup)
+	}
+	if c, h := nsPerOp["scan_cache_cold"], nsPerOp["scan_cache_hit"]; c > 0 && h > 0 {
+		report.CacheColdNs, report.CacheHitNs = c, h
+		report.CacheHitSpeedup = c / h
+		fmt.Printf("cached-hit scan speedup ×%.2f over cold scan\n", report.CacheHitSpeedup)
 	}
 	if c, w := nsPerOp["load_cold_v1"], nsPerOp["load_warm_v2"]; c > 0 && w > 0 {
 		report.LoadColdNs, report.LoadWarmNs = c, w
@@ -272,6 +327,9 @@ func comparePerf(oldPath, newPath string) {
 	}
 	if oldR.BatchSpeedup > 0 && newR.BatchSpeedup > 0 {
 		fmt.Printf("batch speedup: ×%.2f → ×%.2f\n", oldR.BatchSpeedup, newR.BatchSpeedup)
+	}
+	if oldR.CacheHitSpeedup > 0 && newR.CacheHitSpeedup > 0 {
+		fmt.Printf("cache hit speedup: ×%.2f → ×%.2f\n", oldR.CacheHitSpeedup, newR.CacheHitSpeedup)
 	}
 	if warns == 0 {
 		fmt.Println("no regressions past the warn threshold")

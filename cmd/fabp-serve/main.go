@@ -1,12 +1,14 @@
 // Command fabp-serve is the FabP alignment query service: it preloads a
 // nucleotide database (the software analogue of the paper's card-resident
 // DRAM image), then serves protein align queries over HTTP JSON with
-// per-request deadlines, bounded in-flight admission control, and a
-// graceful drain on shutdown.
+// per-request deadlines, a deadline-aware weighted admission queue, a
+// content-addressed scan-result cache (repeat queries answer without
+// scanning or queueing), and a graceful drain on shutdown.
 //
 // Usage:
 //
 //	fabp-serve -ref db.fasta [-addr :8080] [-max-inflight 64] [-timeout 10s]
+//	           [-max-queue 0] [-cache-bytes 67108864]
 //	fabp-serve -db db.fdb                  # a database saved by fabp-db build
 //
 // Endpoints:
@@ -48,7 +50,9 @@ func main() {
 	refPath := flag.String("ref", "", "nucleotide FASTA file to preload")
 	dbPath := flag.String("db", "", "packed database file (fabp-db build) to preload")
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-	maxInflight := flag.Int("max-inflight", 64, "concurrently executing align requests before 429")
+	maxInflight := flag.Int("max-inflight", 64, "concurrently executing align requests before queueing or 429")
+	maxQueue := flag.Int("max-queue", 0, "align requests that may wait for a slot before 429 (0 = shed immediately)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "scan-result cache capacity in bytes (0 disables caching)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request scan deadline")
 	maxTimeout := flag.Duration("max-timeout", time.Minute, "ceiling on client-requested timeouts")
 	maxHits := flag.Int("max-hits", 1000, "ceiling on hits returned per request")
@@ -98,6 +102,8 @@ func main() {
 	s := newServer(serverConfig{
 		db:             db,
 		maxInflight:    *maxInflight,
+		maxQueue:       *maxQueue,
+		cacheBytes:     *cacheBytes,
 		defaultTimeout: *timeout,
 		maxTimeout:     *maxTimeout,
 		maxHits:        *maxHits,

@@ -1,7 +1,8 @@
 // server.go holds the fabp-serve HTTP layer, separated from main so the
 // handler stack is testable with httptest: a preloaded database, an align
-// endpoint with per-request deadlines, bounded in-flight admission
-// control, and the observability endpoints.
+// endpoint riding the facade's unified Scan spine (content-addressed
+// result cache included), a deadline-aware weighted admission queue, and
+// the observability endpoints.
 package main
 
 import (
@@ -10,12 +11,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"context"
 
 	"fabp"
+	"fabp/internal/sched"
 	"fabp/internal/telemetry"
 )
 
@@ -23,10 +26,17 @@ import (
 type serverConfig struct {
 	// db is the preloaded database every query scans.
 	db *fabp.Database
-	// maxInflight bounds concurrently executing align requests; requests
-	// beyond it are rejected with 429 immediately (admission control, not
-	// queueing — shedding beats buffering under overload).
+	// maxInflight bounds concurrently executing align requests (the
+	// admission queue's capacity, weighted in scan units: a K-query batch
+	// weighs K).
 	maxInflight int
+	// maxQueue bounds how many requests may wait for a slot before the
+	// server sheds with 429; 0 (the default) keeps the historical
+	// immediate-shed behavior — capacity full means 429 now.
+	maxQueue int
+	// cacheBytes bounds the process-wide scan-result cache; 0 (the
+	// default) leaves it disabled, the library default.
+	cacheBytes int64
 	// defaultTimeout applies when a request names no timeout_ms;
 	// maxTimeout caps what a request may ask for.
 	defaultTimeout, maxTimeout time.Duration
@@ -58,12 +68,17 @@ const (
 
 // server is the fabp-serve handler state.
 type server struct {
-	cfg      serverConfig
-	inflight chan struct{}
-	// scan executes one prepared query against the database under the
-	// request context, streaming attributed hits to emit. Overridable in
-	// tests to model slow or stuck scans deterministically.
-	scan func(ctx context.Context, a *fabp.Aligner, d *fabp.Database, emit func(fabp.RecordHit) error) error
+	cfg serverConfig
+	// adm is the weighted, deadline-aware admission queue every scan
+	// passes through — except cache hits, which bypass it entirely.
+	adm *sched.Admission
+	// scan executes one prepared request against the unified Scan spine
+	// under the request context. Overridable in tests to model slow or
+	// stuck scans deterministically.
+	scan func(ctx context.Context, req fabp.ScanRequest) (*fabp.ScanResult, error)
+	// lookup probes the scan-result cache without scanning or queueing;
+	// a hit answers the request before admission. Overridable in tests.
+	lookup func(req fabp.ScanRequest) (*fabp.ScanResult, bool)
 	// scanBatch executes a whole batch in one fused pass under the request
 	// context, returning per-query attributed hits. Overridable in tests.
 	scanBatch func(ctx context.Context, d *fabp.Database, queries []*fabp.Query, thresholdFrac float64) ([][]fabp.RecordHit, error)
@@ -76,7 +91,7 @@ type server struct {
 type serveMetrics struct {
 	requests, rejected, timeouts, clientGone, failed *telemetry.Counter
 	batchRequests, batchQueries                      *telemetry.Counter
-	degraded                                         *telemetry.Counter
+	degraded, cacheHits                              *telemetry.Counter
 	inflight                                         *telemetry.Gauge
 	latency                                          *telemetry.Histogram
 }
@@ -100,13 +115,17 @@ func newServer(cfg serverConfig) *server {
 	if cfg.planeSource == "" {
 		cfg.planeSource = "packed"
 	}
+	if cfg.cacheBytes > 0 {
+		fabp.SetScanCacheCapacity(cfg.cacheBytes)
+	}
 	reg := telemetry.Default()
 	return &server{
-		cfg:      cfg,
-		inflight: make(chan struct{}, cfg.maxInflight),
-		scan: func(ctx context.Context, a *fabp.Aligner, d *fabp.Database, emit func(fabp.RecordHit) error) error {
-			return a.AlignDatabaseStreamContext(ctx, d, emit)
+		cfg: cfg,
+		adm: sched.NewAdmission(cfg.maxInflight, cfg.maxQueue),
+		scan: func(ctx context.Context, req fabp.ScanRequest) (*fabp.ScanResult, error) {
+			return fabp.Scan(ctx, req)
 		},
+		lookup: fabp.CachedScan,
 		scanBatch: func(ctx context.Context, d *fabp.Database, queries []*fabp.Query, thresholdFrac float64) ([][]fabp.RecordHit, error) {
 			return fabp.AlignDatabaseBatchContext(ctx, d, queries, thresholdFrac)
 		},
@@ -119,6 +138,7 @@ func newServer(cfg serverConfig) *server {
 			batchRequests: reg.Counter("serve.batch.requests"),
 			batchQueries:  reg.Counter("serve.batch.queries"),
 			degraded:      reg.Counter("serve.degraded"),
+			cacheHits:     reg.Counter("serve.cache.hits"),
 			inflight:      reg.Gauge("serve.inflight"),
 			latency:       reg.Histogram("serve.latency"),
 		},
@@ -140,25 +160,28 @@ type alignRequest struct {
 	// Query is the protein in one-letter codes (required).
 	Query string `json:"query"`
 	// ThresholdFrac is the hit threshold as a fraction of the maximum
-	// score (default 0.8). Threshold, when set, overrides it with an
-	// absolute score.
+	// score (default 0.8). Threshold is an absolute score instead;
+	// setting both is a client error.
 	ThresholdFrac *float64 `json:"threshold_frac,omitempty"`
 	Threshold     *int     `json:"threshold,omitempty"`
 	// Kernel names the alignment implementation: auto (default), scalar
 	// or bitparallel.
 	Kernel string `json:"kernel,omitempty"`
 	// MaxHits caps the hits returned (default and ceiling: the server's
-	// -max-hits). The scan stops early once the cap is reached.
+	// -max-hits).
 	MaxHits int `json:"max_hits,omitempty"`
 	// TimeoutMs bounds this request's scan (default: the server's
-	// -timeout, capped at -max-timeout).
+	// -timeout, capped at -max-timeout). The deadline is also what the
+	// admission queue sheds against: a request that cannot finish within
+	// it is answered 429 instead of burning a slot on a guaranteed 504.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 	// RetryBudget overrides the server's per-shard retry count for this
 	// request (clamped to [0, 10]); nil inherits the server's -retries.
 	RetryBudget *int `json:"retry_budget,omitempty"`
 	// Partial opts this request into degraded completion: if shards still
 	// fail after retries, respond 200 with the surviving hits,
-	// degraded=true and the uncovered ranges, instead of a 5xx.
+	// degraded=true and the uncovered ranges, instead of a 5xx. Partial
+	// responses are never served from or stored in the result cache.
 	Partial bool `json:"partial,omitempty"`
 }
 
@@ -186,6 +209,11 @@ type alignResponse struct {
 	Hits      []alignHit `json:"hits"`
 	Truncated bool       `json:"truncated"`
 	ElapsedMs float64    `json:"elapsed_ms"`
+	// Cache is the result's provenance: "hit" (served resident, no scan,
+	// no admission slot), "shared" (joined an in-flight identical scan),
+	// "miss" (this request scanned and seeded the cache), "bypass"
+	// (cache disabled or ineligible). Empty when the scan hook is stubbed.
+	Cache string `json:"cache,omitempty"`
 	// Degraded marks a partial-mode response whose scan lost shards after
 	// retries: Hits covers everything outside FailedRanges.
 	Degraded     bool          `json:"degraded"`
@@ -206,119 +234,45 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// errHitCap stops a scan early once the hit cap is reached; it never
-// reaches the client.
-var errHitCap = errors.New("hit cap reached")
+// retryAfterSeconds rounds a shed hint up to whole seconds for the
+// Retry-After header (minimum 1 — a zero hint is not actionable).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
 
-func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
-	s.m.requests.Inc()
-	// Admission control: take an in-flight slot or shed the request now.
-	// Rejected requests cost no scan work and tell the client when to
-	// retry, which is what keeps tail latency bounded under overload.
-	select {
-	case s.inflight <- struct{}{}:
-	default:
-		s.m.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			"server at capacity (%d in-flight scans); retry later", cap(s.inflight))
-		return
-	}
-	defer func() { <-s.inflight }()
-	s.m.inflight.Add(1)
-	defer s.m.inflight.Add(-1)
-	t0 := time.Now()
-	defer func() { s.m.latency.Observe(time.Since(t0)) }()
-
-	var req alignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	if strings.TrimSpace(req.Query) == "" {
-		writeError(w, http.StatusBadRequest, "missing query")
-		return
-	}
-
-	q, err := fabp.NewQuery(req.Query)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
-		return
-	}
-	opts := []fabp.AlignerOption{}
-	if req.Kernel != "" {
-		k, err := fabp.ParseKernel(req.Kernel)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		opts = append(opts, fabp.WithKernelType(k))
-	}
+// writeAdmitError answers a request the admission queue did not grant:
+// ShedErrors become 429 + Retry-After, a deadline that expired while
+// queued becomes 504, and a vanished client gets nothing.
+func (s *server) writeAdmitError(w http.ResponseWriter, err error, timeout time.Duration) {
+	var shed *sched.ShedError
 	switch {
-	case req.Threshold != nil:
-		opts = append(opts, fabp.WithThreshold(*req.Threshold))
-	case req.ThresholdFrac != nil:
-		opts = append(opts, fabp.WithThresholdFraction(*req.ThresholdFrac))
+	case errors.As(err, &shed):
+		s.m.rejected.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "%v", shed)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout,
+			"request deadline expired before admission (%s)", timeout)
+	default:
+		// Client went away while queued; nobody is reading the response.
+		s.m.clientGone.Inc()
 	}
-	rp := s.cfg.retryPolicy
-	if req.RetryBudget != nil {
-		budget := *req.RetryBudget
-		if budget < 0 {
-			writeError(w, http.StatusBadRequest, "negative retry_budget %d", budget)
-			return
-		}
-		if budget > serverMaxRetryBudget {
-			budget = serverMaxRetryBudget
-		}
-		rp.MaxRetries = budget
-	}
-	opts = append(opts, fabp.WithRetryPolicy(rp))
-	if req.Partial {
-		opts = append(opts, fabp.WithPartialResults())
-	}
-	a, err := fabp.NewAligner(q, opts...)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
+}
 
-	maxHits := s.cfg.maxHits
-	if req.MaxHits > 0 && req.MaxHits < maxHits {
-		maxHits = req.MaxHits
-	}
-	timeout := s.cfg.defaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
-	}
-	if timeout > s.cfg.maxTimeout {
-		timeout = s.cfg.maxTimeout
-	}
-	// The request context roots the scan: a client disconnect cancels it,
-	// the per-request deadline bounds it, and a server drain (see main)
-	// lets it finish before the listener closes.
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
-	var hits []alignHit
-	truncated := false
-	err = s.scan(ctx, a, s.cfg.db, func(h fabp.RecordHit) error {
-		if len(hits) >= maxHits {
-			truncated = true
-			return errHitCap
-		}
-		hits = append(hits, alignHit{
-			Record:      h.RecordID,
-			RecordIndex: h.RecordIndex,
-			Offset:      h.Offset,
-			Score:       h.Score,
-		})
-		return nil
-	})
+// writeScanResult maps a Scan outcome onto the HTTP surface: clean and
+// degraded results are 200s, the error taxonomy picks the status for the
+// rest (ErrBadQuery/ErrBadOption → 400, deadline → 504, cancel → client
+// gone, anything else → 500).
+func (s *server) writeScanResult(w http.ResponseWriter, q *fabp.Query, res *fabp.ScanResult, err error, timeout time.Duration, t0 time.Time) {
 	var pe *fabp.PartialError
 	switch {
-	case err == nil || errors.Is(err, errHitCap):
-		// Full result, or the complete prefix up to the hit cap.
-	case errors.As(err, &pe):
+	case err == nil:
+	case errors.As(err, &pe) && res != nil:
 		// Degraded completion under partial mode: the hits are real, the
 		// uncovered ranges are declared below. A 200, not a 5xx — the
 		// client asked for exactly this contract.
@@ -332,29 +286,141 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		// Client went away; nobody is reading the response.
 		s.m.clientGone.Inc()
 		return
+	case errors.Is(err, fabp.ErrBadQuery), errors.Is(err, fabp.ErrBadOption):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	default:
 		s.m.failed.Inc()
 		writeError(w, http.StatusInternalServerError, "scan failed: %v", err)
 		return
 	}
 
+	hits := make([]alignHit, 0, len(res.RecordHits))
+	for _, h := range res.RecordHits {
+		hits = append(hits, alignHit{
+			Record:      h.RecordID,
+			RecordIndex: h.RecordIndex,
+			Offset:      h.Offset,
+			Score:       h.Score,
+		})
+	}
 	resp := alignResponse{
 		Residues:  q.Residues(),
 		Elements:  q.Elements(),
-		Threshold: a.Threshold(),
+		Threshold: res.Threshold,
 		MaxScore:  q.MaxScore(),
 		Hits:      hits,
-		Truncated: truncated,
+		Truncated: res.Truncated,
+		Cache:     string(res.Cache),
 		ElapsedMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
 	}
-	if pe != nil {
+	if res.Degraded {
 		resp.Degraded = true
-		resp.FailedRanges = make([]failedRange, len(pe.Failed))
-		for i, fr := range pe.Failed {
+		resp.FailedRanges = make([]failedRange, len(res.FailedRanges))
+		for i, fr := range res.FailedRanges {
 			resp.FailedRanges[i] = failedRange{Lo: fr.Lo, Hi: fr.Hi, Error: fr.Err.Error()}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	t0 := time.Now()
+	defer func() { s.m.latency.Observe(time.Since(t0)) }()
+
+	var req alignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "missing query")
+		return
+	}
+	q, err := fabp.NewQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
+		return
+	}
+	kernel := fabp.KernelAuto
+	if req.Kernel != "" {
+		kernel, err = fabp.ParseKernel(req.Kernel)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	rp := s.cfg.retryPolicy
+	if req.RetryBudget != nil {
+		budget := *req.RetryBudget
+		if budget < 0 {
+			writeError(w, http.StatusBadRequest, "negative retry_budget %d", budget)
+			return
+		}
+		if budget > serverMaxRetryBudget {
+			budget = serverMaxRetryBudget
+		}
+		rp.MaxRetries = budget
+	}
+	maxHits := s.cfg.maxHits
+	if req.MaxHits > 0 && req.MaxHits < maxHits {
+		maxHits = req.MaxHits
+	}
+	sreq := fabp.ScanRequest{
+		Query:       q,
+		Database:    s.cfg.db,
+		Kernel:      kernel,
+		MaxHits:     maxHits,
+		RetryPolicy: rp,
+		Partial:     req.Partial,
+	}
+	switch {
+	case req.Threshold != nil:
+		sreq.Threshold = req.Threshold
+	case req.ThresholdFrac != nil:
+		sreq.ThresholdFrac = *req.ThresholdFrac
+	}
+
+	timeout := s.cfg.defaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.maxTimeout {
+		timeout = s.cfg.maxTimeout
+	}
+
+	// Cache fast path: a resident result answers immediately, without an
+	// admission slot — repeats cost a map lookup, not queue position.
+	if res, ok := s.lookup(sreq); ok {
+		s.m.cacheHits.Inc()
+		s.writeScanResult(w, q, res, nil, timeout, t0)
+		return
+	}
+
+	// The request context roots the scan: a client disconnect cancels it,
+	// the per-request deadline bounds it, and a server drain (see main)
+	// lets it finish before the listener closes. The same deadline drives
+	// admission: infeasible requests are shed as 429, not queued into a
+	// guaranteed 504.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.adm.Admit(ctx, 1); err != nil {
+		s.writeAdmitError(w, err, timeout)
+		return
+	}
+	s.m.inflight.Add(1)
+	tScan := time.Now()
+	res, err := s.scan(ctx, sreq)
+	observed := time.Since(tScan)
+	if err != nil {
+		// Failed or aborted scans are not representative work; keep them
+		// out of the admission cost estimate.
+		observed = 0
+	}
+	s.adm.Release(1, observed)
+	s.m.inflight.Add(-1)
+	s.writeScanResult(w, q, res, err, timeout, t0)
 }
 
 // batchAlignRequest is the /align/batch request body: one fused scan of
@@ -394,12 +460,12 @@ type batchAlignResponse struct {
 // handleAlignBatch serves POST /align/batch: the whole batch scans the
 // resident database in one fused pass (each reference tile read once for
 // every query). The body is parsed before admission so the request's
-// weight is known up front: a K-query batch takes K in-flight slots
-// (capped at the server's full capacity) — the admission currency is scan
-// work, not request count, so a batch can't slip K queries' worth of load
-// past a limit tuned for single scans. All K slots must be free right
-// now; otherwise the batch is shed with 429 and every acquired slot is
-// released.
+// weight is known up front: a K-query batch asks the admission queue for
+// K units atomically — the admission currency is scan work, not request
+// count, so a batch can't slip K queries' worth of load past a limit
+// tuned for single scans. Batches that don't fit are shed with 429 (or
+// queued whole when -max-queue allows); fused results stay uncached —
+// the batch, not the query, is the unit of work here.
 func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
 	s.m.batchRequests.Inc()
@@ -437,39 +503,6 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.batchQueries.Add(uint64(len(queries)))
 
-	weight := len(queries)
-	if weight > cap(s.inflight) {
-		weight = cap(s.inflight)
-	}
-	for acquired := 0; acquired < weight; acquired++ {
-		select {
-		case s.inflight <- struct{}{}:
-		default:
-			for ; acquired > 0; acquired-- {
-				<-s.inflight
-			}
-			s.m.rejected.Inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests,
-				"server at capacity (batch needs %d of %d slots); retry later",
-				weight, cap(s.inflight))
-			return
-		}
-	}
-	defer func() {
-		for i := 0; i < weight; i++ {
-			<-s.inflight
-		}
-	}()
-	s.m.inflight.Add(int64(weight))
-	defer s.m.inflight.Add(-int64(weight))
-	t0 := time.Now()
-	defer func() { s.m.latency.Observe(time.Since(t0)) }()
-
-	maxHits := s.cfg.maxHits
-	if req.MaxHits > 0 && req.MaxHits < maxHits {
-		maxHits = req.MaxHits
-	}
 	timeout := s.cfg.defaultTimeout
 	if req.TimeoutMs > 0 {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
@@ -480,7 +513,29 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// All-or-nothing weighted admission: the queue clamps an over-wide
+	// batch to full capacity ("everything") and grants atomically.
+	weight := len(queries)
+	if err := s.adm.Admit(ctx, weight); err != nil {
+		s.writeAdmitError(w, err, timeout)
+		return
+	}
+	s.m.inflight.Add(int64(weight))
+	t0 := time.Now()
+	defer func() { s.m.latency.Observe(time.Since(t0)) }()
+
+	maxHits := s.cfg.maxHits
+	if req.MaxHits > 0 && req.MaxHits < maxHits {
+		maxHits = req.MaxHits
+	}
+
 	perQuery, err := s.scanBatch(ctx, s.cfg.db, queries, frac)
+	observed := time.Since(t0)
+	if err != nil {
+		observed = 0
+	}
+	s.adm.Release(weight, observed)
+	s.m.inflight.Add(-int64(weight))
 	switch {
 	case err == nil:
 	case errors.Is(err, context.DeadlineExceeded):
@@ -525,13 +580,21 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthzResponse is the /healthz body: liveness plus the shape of the
-// resident database and its warm-start state.
+// resident database, its warm-start state, and the admission/cache
+// posture.
 type healthzResponse struct {
 	Status   string `json:"status"`
 	Records  int    `json:"records"`
 	LengthNt int    `json:"length_nt"`
 	Inflight int    `json:"inflight"`
 	Capacity int    `json:"capacity"`
+	// QueueDepth is how many admitted-pending requests are waiting right
+	// now (0 when -max-queue is 0, the immediate-shed configuration).
+	QueueDepth int `json:"queue_depth"`
+	// CacheCapacityBytes is the scan-result cache bound (0 = disabled);
+	// CacheResidentBytes is its current footprint.
+	CacheCapacityBytes int64 `json:"cache_capacity_bytes"`
+	CacheResidentBytes int64 `json:"cache_resident_bytes"`
 	// Planes names where the bit-planes came from at startup ("persisted"
 	// from a v2 file, "packed" by this process); PlanesResident reports
 	// whether they are in the shared cache right now — the readiness
@@ -541,20 +604,24 @@ type healthzResponse struct {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cs := fabp.ScanCacheSnapshot()
 	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:         "ok",
-		Records:        s.cfg.db.NumRecords(),
-		LengthNt:       s.cfg.db.Len(),
-		Inflight:       len(s.inflight),
-		Capacity:       cap(s.inflight),
-		Planes:         s.cfg.planeSource,
-		PlanesResident: s.cfg.db.PlanesResident(),
+		Status:             "ok",
+		Records:            s.cfg.db.NumRecords(),
+		LengthNt:           s.cfg.db.Len(),
+		Inflight:           s.adm.Held(),
+		Capacity:           s.adm.Capacity(),
+		QueueDepth:         s.adm.QueueDepth(),
+		CacheCapacityBytes: cs.CapacityBytes,
+		CacheResidentBytes: cs.ResidentBytes,
+		Planes:             s.cfg.planeSource,
+		PlanesResident:     s.cfg.db.PlanesResident(),
 	})
 }
 
 // handleMetrics serves the process-wide telemetry snapshot as expvar-style
 // JSON: the alignment pipeline's counters (align.*, scan.*, pool.*,
-// cache.*) plus the serve.* layer registered here.
+// cache.*, rcache.*, admission.*) plus the serve.* layer registered here.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b, err := json.MarshalIndent(fabp.DefaultMetrics(), "", "  ")
 	if err != nil {

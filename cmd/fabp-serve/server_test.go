@@ -290,7 +290,7 @@ func TestAlignBatchAdmissionWeight(t *testing.T) {
 		first <- resp.StatusCode
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for len(s.inflight) < 2 {
+	for s.adm.Held() < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("batch never took its slots")
 		}
@@ -303,8 +303,8 @@ func TestAlignBatchAdmissionWeight(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overweight batch status %d, want 429: %s", resp.StatusCode, body)
 	}
-	if len(s.inflight) != 2 {
-		t.Errorf("shed batch leaked slots: %d in flight, want 2", len(s.inflight))
+	if s.adm.Held() != 2 {
+		t.Errorf("shed batch leaked slots: %d in flight, want 2", s.adm.Held())
 	}
 
 	close(blocked)
@@ -313,9 +313,9 @@ func TestAlignBatchAdmissionWeight(t *testing.T) {
 	}
 	// The handler releases its slots after the response is written; poll.
 	deadline = time.Now().Add(5 * time.Second)
-	for len(s.inflight) != 0 {
+	for s.adm.Held() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("slots not released after batch: %d", len(s.inflight))
+			t.Fatalf("slots not released after batch: %d", s.adm.Held())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -368,12 +368,12 @@ func TestConcurrentQueries(t *testing.T) {
 // (or the request context fires), making overload and drain deterministic.
 func blockScan(s *server) (release func()) {
 	ch := make(chan struct{})
-	s.scan = func(ctx context.Context, a *fabp.Aligner, d *fabp.Database, emit func(fabp.RecordHit) error) error {
+	s.scan = func(ctx context.Context, req fabp.ScanRequest) (*fabp.ScanResult, error) {
 		select {
 		case <-ch:
-			return nil
+			return &fabp.ScanResult{}, nil
 		case <-ctx.Done():
-			return ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
 	var once sync.Once
@@ -402,7 +402,7 @@ func TestAdmissionControl429(t *testing.T) {
 
 	// Wait until the first request holds its slot.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(s.inflight) == 0 {
+	for s.adm.Held() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("first request never took a slot")
 		}
@@ -478,7 +478,7 @@ func TestGracefulShutdownDrain(t *testing.T) {
 		inFlight <- resp.StatusCode
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for len(s.inflight) == 0 {
+	for s.adm.Held() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("request never started")
 		}
@@ -546,7 +546,7 @@ func TestBatchAdmissionShedStorm(t *testing.T) {
 		blocker <- resp.StatusCode
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for len(s.inflight) < 3 {
+	for s.adm.Held() < 3 {
 		if time.Now().After(deadline) {
 			t.Fatal("blocker batch never took its slots")
 		}
@@ -589,7 +589,7 @@ func TestBatchAdmissionShedStorm(t *testing.T) {
 	}
 	// No storm request may have leaked a probed slot: exactly the
 	// blocker's 3 remain held.
-	if got := len(s.inflight); got != 3 {
+	if got := s.adm.Held(); got != 3 {
 		t.Fatalf("after shed storm %d slots held, want the blocker's 3 (leak)", got)
 	}
 
@@ -599,9 +599,9 @@ func TestBatchAdmissionShedStorm(t *testing.T) {
 		t.Fatalf("blocker batch finished %d, want 200", code)
 	}
 	deadline = time.Now().Add(5 * time.Second)
-	for len(s.inflight) != 0 {
+	for s.adm.Held() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("slots not released after storm: %d", len(s.inflight))
+			t.Fatalf("slots not released after storm: %d", s.adm.Held())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -641,9 +641,9 @@ func TestBatchAdmissionShedStorm(t *testing.T) {
 		}
 	}
 	deadline = time.Now().Add(5 * time.Second)
-	for len(s.inflight) != 0 {
+	for s.adm.Held() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("slots leaked after aftershock: %d", len(s.inflight))
+			t.Fatalf("slots leaked after aftershock: %d", s.adm.Held())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -745,5 +745,247 @@ func TestPartialRetryBudgetAbsorbsTransients(t *testing.T) {
 	}
 	if faultinject.Fired(faultinject.SiteShardDispatch) == 0 {
 		t.Fatal("no faults fired; the retry test is vacuous")
+	}
+}
+
+// TestServeCacheHitBypassesAdmission pins the cache fast path's strongest
+// property: with the single admission slot parked under a blocked scan
+// and no queue, an uncached request is shed with 429 — but a request
+// whose result is resident answers 200 without touching admission at
+// all. The 200-vs-429 split is the proof; no timing is involved.
+func TestServeCacheHitBypassesAdmission(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 1, cacheBytes: 8 << 20})
+	t.Cleanup(func() { fabp.SetScanCacheCapacity(0) })
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Cold request: runs the real scan and seeds the cache.
+	resp, body := postAlign(t, ts.URL, alignRequest{Query: protein})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold align status %d: %s", resp.StatusCode, body)
+	}
+	var cold alignResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache != "miss" {
+		t.Fatalf("cold cache = %q, want miss", cold.Cache)
+	}
+	if len(cold.Hits) == 0 {
+		t.Fatal("cold scan found no hits")
+	}
+
+	// Park a different query on the only slot.
+	release := blockScan(s)
+	defer release()
+	blocked := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(alignRequest{Query: "MKWVTF"})
+		resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			blocked <- -1
+			return
+		}
+		defer resp.Body.Close()
+		blocked <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.Held() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never took the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Control: an uncached query cannot get in (queue 0, slot held).
+	resp, body = postAlign(t, ts.URL, alignRequest{Query: "MKWVTFISLL"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("uncached query at capacity: status %d (%s), want 429", resp.StatusCode, body)
+	}
+
+	// The cached query answers 200 regardless — it never asked admission.
+	before := s.m.cacheHits.Load()
+	resp, body = postAlign(t, ts.URL, alignRequest{Query: protein})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached align at capacity: status %d (%s), want 200", resp.StatusCode, body)
+	}
+	var hot alignResponse
+	if err := json.Unmarshal(body, &hot); err != nil {
+		t.Fatal(err)
+	}
+	if hot.Cache != "hit" {
+		t.Fatalf("hot cache = %q, want hit", hot.Cache)
+	}
+	if s.m.cacheHits.Load() != before+1 {
+		t.Error("serve.cache.hits not incremented")
+	}
+	// Byte-identical to the cold scan, and cheap: a resident lookup takes
+	// a map probe, not a scan (generous bound; the bench pins the ratio).
+	if len(hot.Hits) != len(cold.Hits) {
+		t.Fatalf("hot hits %d, cold %d", len(hot.Hits), len(cold.Hits))
+	}
+	for i := range cold.Hits {
+		if hot.Hits[i] != cold.Hits[i] {
+			t.Errorf("hit %d: hot %+v, cold %+v", i, hot.Hits[i], cold.Hits[i])
+		}
+	}
+	if hot.ElapsedMs > 50 {
+		t.Errorf("cache hit took %.2fms, want well under 50ms", hot.ElapsedMs)
+	}
+	if s.adm.Held() != 1 {
+		t.Errorf("held = %d after cache hit, want the blocker's 1", s.adm.Held())
+	}
+
+	release()
+	if code := <-blocked; code != http.StatusOK {
+		t.Errorf("blocker finished %d, want 200", code)
+	}
+}
+
+// TestServeQueueAdmitsWhenSlotFrees: with -max-queue > 0 a request at
+// capacity waits instead of shedding, is granted when the slot frees, and
+// requests beyond the queue bound still shed 429.
+func TestServeQueueAdmitsWhenSlotFrees(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 1, maxQueue: 1})
+	release := blockScan(s)
+	defer release()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	holder := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(alignRequest{Query: protein})
+		resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			holder <- -1
+			return
+		}
+		defer resp.Body.Close()
+		holder <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.Held() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never took the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second request queues rather than shedding.
+	queued := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(alignRequest{Query: protein})
+		resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			queued <- -1
+			return
+		}
+		defer resp.Body.Close()
+		queued <- resp.StatusCode
+	}()
+	deadline = time.Now().Add(5 * time.Second)
+	for s.adm.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request finds the queue full: immediate 429 with Retry-After.
+	resp, body := postAlign(t, ts.URL, alignRequest{Query: protein})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Freeing the slot grants the queued request; both finish 200.
+	release()
+	if code := <-holder; code != http.StatusOK {
+		t.Errorf("holder finished %d, want 200", code)
+	}
+	if code := <-queued; code != http.StatusOK {
+		t.Errorf("queued request finished %d, want 200", code)
+	}
+}
+
+// TestServeQueuedDeadlineShed: a queued request whose deadline cannot be
+// met given the observed cost estimate is shed with 429 + Retry-After —
+// before its deadline, while retrying elsewhere is still actionable —
+// instead of timing out into a 504.
+func TestServeQueuedDeadlineShed(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 1, maxQueue: 4})
+	release := blockScan(s)
+	defer release()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Teach the estimator: one scan that takes ~100ms of wall time.
+	warm := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(alignRequest{Query: protein})
+		resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			warm <- -1
+			return
+		}
+		defer resp.Body.Close()
+		warm <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.Held() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("warm request never took the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	release()
+	if code := <-warm; code != http.StatusOK {
+		t.Fatalf("warm request finished %d, want 200", code)
+	}
+	if s.adm.Estimate() <= 0 {
+		t.Fatal("admission estimate not seeded")
+	}
+
+	// Park the slot again, then queue a request with a deadline: the
+	// estimate-driven timer sheds it as 429 strictly before the deadline
+	// would have produced a 504.
+	release2 := blockScan(s)
+	defer release2()
+	blocked := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(alignRequest{Query: protein})
+		resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			blocked <- -1
+			return
+		}
+		defer resp.Body.Close()
+		blocked <- resp.StatusCode
+	}()
+	deadline = time.Now().Add(5 * time.Second)
+	for s.adm.Held() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never took the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postAlign(t, ts.URL, alignRequest{Query: protein, TimeoutMs: 200})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued deadline shed: status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("deadline shed without Retry-After")
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("shed body does not name the reason: %s", body)
+	}
+
+	release2()
+	if code := <-blocked; code != http.StatusOK {
+		t.Errorf("blocker finished %d, want 200", code)
 	}
 }

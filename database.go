@@ -377,7 +377,23 @@ func (a *Aligner) AlignDatabase(d *Database) []RecordHit {
 // align.deadline.exceeded. The shared plane cache is untouched by an
 // abort (packing is atomic within the cache), so a later retry scans the
 // same resident planes.
+//
+// When the scan-result cache is enabled (SetScanCacheCapacity), the call
+// shares the cache- and singleflight-aware spine with Scan: repeats are
+// answered from memory and concurrent identical scans collapse into one.
 func (a *Aligner) AlignDatabaseContext(ctx context.Context, d *Database) ([]RecordHit, error) {
+	res, _, err := a.cachedDatabaseScan(ctx, d)
+	if res == nil {
+		return nil, err
+	}
+	return res.RecordHits, err
+}
+
+// executeDatabaseScan is the uncached database scan — the historical
+// AlignDatabaseContext body, producing a *ScanResult. Every telemetry
+// update lives here, so cached and collapsed calls observably run zero
+// scans.
+func (a *Aligner) executeDatabaseScan(ctx context.Context, d *Database) (*ScanResult, error) {
 	a.tm.queries.Inc()
 	t0 := time.Now()
 	defer func() { observeSince(a.tm.alignLatency, t0) }()
@@ -402,7 +418,7 @@ func (a *Aligner) AlignDatabaseContext(ctx context.Context, d *Database) ([]Reco
 	}
 	hits := toRecordHits(d.d.Attribute(raw, a.query.Elements()))
 	a.tm.hits.Add(uint64(len(hits)))
-	return hits, perr
+	return a.newScanResult(nil, hits, perr), perr
 }
 
 // AlignDatabaseStream scans the database shard by shard and delivers

@@ -27,10 +27,12 @@ package fabp
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"fabp/internal/backtrans"
@@ -57,23 +59,27 @@ type Hit struct {
 type Query struct {
 	protein bio.ProtSeq
 	program isa.Program
+	// digest is the SHA-256 of the packed instruction program — the
+	// query's contribution to the scan-result cache key (see scan.go).
+	digest [sha256.Size]byte
 }
 
 // NewQuery parses a one-letter-code protein string (e.g. "MKWVTF"; '*'
-// allowed for stop) and prepares it for alignment.
+// allowed for stop) and prepares it for alignment. Unusable input
+// matches ErrBadQuery via errors.Is.
 func NewQuery(protein string) (*Query, error) {
 	p, err := bio.ParseProtSeq(protein)
 	if err != nil {
-		return nil, err
+		return nil, badQuery(err)
 	}
 	if len(p) == 0 {
-		return nil, fmt.Errorf("fabp: empty query")
+		return nil, badQueryf("fabp: empty query")
 	}
 	prog, err := isa.EncodeProtein(p)
 	if err != nil {
-		return nil, err
+		return nil, badQuery(err)
 	}
-	return &Query{protein: p, program: prog}, nil
+	return &Query{protein: p, program: prog, digest: sha256.Sum256(prog.Pack())}, nil
 }
 
 // Residues returns the query length in amino acids.
@@ -128,6 +134,32 @@ func (q *Query) NullMeanScore() float64 {
 // equivalent).
 type Reference struct {
 	seq bio.NucSeq
+	// digest memoizes the SHA-256 of the sequence, computed on first use
+	// by the scan-result cache (see scan.go). Large references pay the
+	// hash once per Reference object, and only when caching is on.
+	digestOnce sync.Once
+	digest     [sha256.Size]byte
+}
+
+// contentDigest returns the reference's SHA-256 content digest,
+// computing and memoizing it on first call.
+func (r *Reference) contentDigest() [sha256.Size]byte {
+	r.digestOnce.Do(func() {
+		h := sha256.New()
+		var buf [64 << 10]byte
+		for off := 0; off < len(r.seq); off += len(buf) {
+			n := len(r.seq) - off
+			if n > len(buf) {
+				n = len(buf)
+			}
+			for i := 0; i < n; i++ {
+				buf[i] = byte(r.seq[off+i])
+			}
+			h.Write(buf[:n])
+		}
+		copy(r.digest[:], h.Sum(nil))
+	})
+	return r.digest
 }
 
 // NewReference parses a nucleotide string.
@@ -281,7 +313,7 @@ func WithThreshold(t int) AlignerOption {
 func WithThresholdFraction(f float64) AlignerOption {
 	return func(c *alignerConfig) {
 		if f <= 0 || f > 1 || f != f {
-			c.err = fmt.Errorf("fabp: threshold fraction %v outside (0,1]", f)
+			c.err = badOptionf("fabp: threshold fraction %v outside (0,1]", f)
 			return
 		}
 		c.thresholdOK = false
@@ -296,7 +328,7 @@ func WithThresholdFraction(f float64) AlignerOption {
 func WithParallelism(p int) AlignerOption {
 	return func(c *alignerConfig) {
 		if p < 0 {
-			c.err = fmt.Errorf("fabp: negative parallelism %d (0 = all cores)", p)
+			c.err = badOptionf("fabp: negative parallelism %d (0 = all cores)", p)
 			return
 		}
 		c.parallelism = p
@@ -311,7 +343,7 @@ func WithParallelism(p int) AlignerOption {
 func WithTelemetry(m *Metrics) AlignerOption {
 	return func(c *alignerConfig) {
 		if m == nil {
-			c.err = fmt.Errorf("fabp: nil Metrics (use NewMetrics or DefaultMetrics)")
+			c.err = badOptionf("fabp: nil Metrics (use NewMetrics or DefaultMetrics)")
 			return
 		}
 		c.metrics = m
@@ -324,7 +356,7 @@ func WithTelemetry(m *Metrics) AlignerOption {
 func WithShardLen(n int) AlignerOption {
 	return func(c *alignerConfig) {
 		if n < 0 {
-			c.err = fmt.Errorf("fabp: negative shard length %d", n)
+			c.err = badOptionf("fabp: negative shard length %d", n)
 			return
 		}
 		c.shardLen = n
@@ -340,20 +372,24 @@ func WithKernelType(k Kernel) AlignerOption {
 		case KernelAuto, KernelScalar, KernelBitParallel:
 			c.kernel = k
 		default:
-			c.err = fmt.Errorf("fabp: unknown kernel %v", k)
+			c.err = badOptionf("fabp: unknown kernel %v", k)
 		}
 	}
 }
 
 // WithKernel selects the alignment implementation by name: "auto",
 // "scalar" or "bitparallel". It is the stringly wrapper kept for
-// compatibility; new code should prefer WithKernelType with the typed
-// Kernel enum (see ParseKernel for converting flag values).
+// compatibility and behaves exactly like ParseKernel + WithKernelType.
+//
+// Deprecated: use WithKernelType with the typed Kernel enum (ParseKernel
+// converts flag and config-file values). WithKernel defers name
+// validation to NewAligner and cannot distinguish a bad kernel name from
+// other option errors at the call site.
 func WithKernel(kernel string) AlignerOption {
 	return func(c *alignerConfig) {
 		k, err := ParseKernel(kernel)
 		if err != nil {
-			c.err = err
+			c.err = badOption(err)
 			return
 		}
 		c.kernel = k
@@ -375,17 +411,17 @@ func NewAligner(q *Query, opts ...AlignerOption) (*Aligner, error) {
 	if !cfg.thresholdOK {
 		t, err := core.ThresholdFromFraction(cfg.fraction, q.MaxScore())
 		if err != nil {
-			return nil, err
+			return nil, badOption(err)
 		}
 		threshold = t
 	}
 	engine, err := core.NewEngine(q.program, threshold)
 	if err != nil {
-		return nil, err
+		return nil, badOption(err)
 	}
 	kernel, err := bitpar.NewKernel(q.program, threshold)
 	if err != nil {
-		return nil, err
+		return nil, badOption(err)
 	}
 	pool := sched.Shared()
 	if cfg.parallelism > 0 {
@@ -456,7 +492,22 @@ func (a *Aligner) Align(ref *Reference) []Hit {
 // abort on align.canceled / align.deadline.exceeded. A context that can
 // never be canceled (context.Background, context.TODO) takes the
 // single-pass kernel, identical to the historical Align path.
+//
+// When the scan-result cache is enabled (SetScanCacheCapacity), the call
+// shares the cache- and singleflight-aware spine with Scan: repeats are
+// answered from memory and concurrent identical scans collapse into one.
 func (a *Aligner) AlignContext(ctx context.Context, ref *Reference) ([]Hit, error) {
+	res, _, err := a.cachedReferenceScan(ctx, ref)
+	if res == nil {
+		return nil, err
+	}
+	return res.Hits, err
+}
+
+// executeReferenceScan is the uncached reference scan — the historical
+// AlignContext body, producing a *ScanResult. Every telemetry update
+// lives here, so cached and collapsed calls observably run zero scans.
+func (a *Aligner) executeReferenceScan(ctx context.Context, ref *Reference) (*ScanResult, error) {
 	a.tm.queries.Inc()
 	t0 := time.Now()
 	defer func() { observeSince(a.tm.alignLatency, t0) }()
@@ -491,7 +542,7 @@ func (a *Aligner) AlignContext(ctx context.Context, ref *Reference) ([]Hit, erro
 		hits[i] = Hit{Pos: h.Pos, Score: h.Score}
 	}
 	a.tm.hits.Add(uint64(len(hits)))
-	return hits, perr
+	return a.newScanResult(hits, nil, perr), perr
 }
 
 // AlignStream scans a nucleotide stream of arbitrary size (raw letters,

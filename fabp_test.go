@@ -1,6 +1,7 @@
 package fabp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -177,8 +178,8 @@ func TestKernelSelectionEquivalence(t *testing.T) {
 	ref, genes := SyntheticReference(91, 100_000, 3, 40)
 	q, _ := NewQuery(genes[1].Protein)
 	var results [][]Hit
-	for _, kernel := range []string{"scalar", "bitparallel", "auto"} {
-		a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel(kernel))
+	for _, kernel := range []Kernel{KernelScalar, KernelBitParallel, KernelAuto} {
+		a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernelType(kernel))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,8 +195,42 @@ func TestKernelSelectionEquivalence(t *testing.T) {
 			}
 		}
 	}
-	if _, err := NewAligner(q, WithKernel("gpu")); err == nil {
-		t.Error("unknown kernel must fail")
+}
+
+// TestWithKernelDeprecatedWrapper pins the deprecated string option's
+// contract: it remains a working alias for WithKernelType (same scan
+// behavior) and still rejects unknown names. New code should use
+// WithKernelType; this is the one test that exercises the wrapper itself.
+func TestWithKernelDeprecatedWrapper(t *testing.T) {
+	ref, genes := SyntheticReference(91, 50_000, 2, 30)
+	q, err := NewQuery(genes[0].Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deprecated, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel("bitparallel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed, err := NewAligner(q, WithThresholdFraction(0.7), WithKernelType(KernelBitParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := typed.Align(ref)
+	got := deprecated.Align(ref)
+	if len(got) != len(want) {
+		t.Fatalf("deprecated wrapper: %d hits, typed %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: wrapper %+v, typed %+v", i, got[i], want[i])
+		}
+	}
+	_, err = NewAligner(q, WithKernel("gpu"))
+	if err == nil {
+		t.Fatal("unknown kernel must fail")
+	}
+	if !errors.Is(err, ErrBadOption) {
+		t.Errorf("unknown-kernel error %v does not match ErrBadOption", err)
 	}
 }
 

@@ -52,10 +52,10 @@ func checkAlignConformance(t *testing.T, protein, refStr string, thr int) {
 		t.Skip("reference shorter than query")
 	}
 
-	scalar := mustConformAligner(t, q, WithKernel("scalar"), WithThreshold(thr))
+	scalar := mustConformAligner(t, q, WithKernelType(KernelScalar), WithThreshold(thr))
 	want := scalar.Align(ref)
 
-	bitp := mustConformAligner(t, q, WithKernel("bitparallel"), WithThreshold(thr))
+	bitp := mustConformAligner(t, q, WithKernelType(KernelBitParallel), WithThreshold(thr))
 	assertHitsEqual(t, "bitparallel Align", want, bitp.Align(ref))
 
 	// Sharded database scans: small shards so even short references tile
@@ -64,15 +64,15 @@ func checkAlignConformance(t *testing.T, protein, refStr string, thr int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kernel := range []string{"scalar", "bitparallel"} {
-		a := mustConformAligner(t, q, WithKernel(kernel), WithThreshold(thr),
+	for _, kernel := range []Kernel{KernelScalar, KernelBitParallel} {
+		a := mustConformAligner(t, q, WithKernelType(kernel), WithThreshold(thr),
 			WithShardLen(64), WithParallelism(2))
 		rh := a.AlignDatabase(dbase)
 		got := make([]Hit, len(rh))
 		for i, h := range rh {
 			got[i] = Hit{Pos: h.Offset, Score: h.Score}
 		}
-		assertHitsEqual(t, "sharded AlignDatabase/"+kernel, want, got)
+		assertHitsEqual(t, "sharded AlignDatabase/"+kernel.String(), want, got)
 	}
 
 	// Chunked stream scans. scanChunks clamps the chunk to at least m+2
@@ -82,8 +82,8 @@ func checkAlignConformance(t *testing.T, protein, refStr string, thr int) {
 	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
 	for _, chunk := range []int{m + 2, m + 3, 2*m + 1, 5*m + 7, len(refStr) + 1} {
 		streamChunkLetters = chunk
-		for _, kernel := range []string{"scalar", "bitparallel"} {
-			a := mustConformAligner(t, q, WithKernel(kernel), WithThreshold(thr))
+		for _, kernel := range []Kernel{KernelScalar, KernelBitParallel} {
+			a := mustConformAligner(t, q, WithKernelType(kernel), WithThreshold(thr))
 			var got []Hit
 			err := a.AlignStream(strings.NewReader(refStr), func(h Hit) error {
 				got = append(got, h)
@@ -92,7 +92,7 @@ func checkAlignConformance(t *testing.T, protein, refStr string, thr int) {
 			if err != nil {
 				t.Fatalf("chunk %d AlignStream/%s: %v", chunk, kernel, err)
 			}
-			assertHitsEqual(t, "chunked AlignStream/"+kernel, want, got)
+			assertHitsEqual(t, "chunked AlignStream/"+kernel.String(), want, got)
 		}
 	}
 }

@@ -118,11 +118,11 @@ func TestIntegrationHardwareSoftwareAgreement(t *testing.T) {
 	}
 	threshold := q.MaxScore() * 2 / 3
 
-	scalar, err := NewAligner(q, WithThreshold(threshold), WithKernel("scalar"))
+	scalar, err := NewAligner(q, WithThreshold(threshold), WithKernelType(KernelScalar))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bitp, err := NewAligner(q, WithThreshold(threshold), WithKernel("bitparallel"))
+	bitp, err := NewAligner(q, WithThreshold(threshold), WithKernelType(KernelBitParallel))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,347 @@
+// Package resultcache is a content-addressed scan-result cache with
+// singleflight collapse: a byte-bounded LRU over immutable results keyed
+// by content digests, where N concurrent requests for one missing key
+// trigger exactly one computation.
+//
+// The cache exists because real protein-search traffic is repetitive —
+// the same query against the same reference database is a pure function
+// of (query program, database content, threshold, kernel, shard
+// geometry), all of which the caller folds into the key — so serving a
+// repeat from memory is always bit-exact with rescanning. The FPGA
+// deployments the paper's line of work describes win as much from this
+// kind of host-side reuse as from the kernel itself: the accelerator
+// scans once, the host answers everyone.
+//
+// Flight lifecycle: the first caller for a missing key becomes the
+// flight's creator and the computation runs on its own goroutine under a
+// context owned by the flight, NOT by the creator. Every caller —
+// creator and late joiners alike — waits under its own context, so a
+// joiner with a tight deadline abandons the wait without disturbing the
+// others, and a canceled creator hands the running flight off to the
+// surviving waiters instead of failing it. Only when the last waiter
+// leaves is the computation itself canceled. Results are cached only on
+// clean success (no error, flight context intact); errors — including
+// partial/degraded completions, which arrive as a result beside an
+// error — are delivered to every waiter present and never cached.
+package resultcache
+
+import (
+	"context"
+	"sync"
+)
+
+// Outcome classifies how a Do call was served.
+type Outcome int
+
+const (
+	// OutcomeMiss: this caller created the flight and its computation
+	// produced the result.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: the result was resident in the cache.
+	OutcomeHit
+	// OutcomeShared: this caller joined another caller's in-flight
+	// computation and shared its result.
+	OutcomeShared
+)
+
+// String renders the outcome for logs and response provenance fields.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeShared:
+		return "shared"
+	}
+	return "unknown"
+}
+
+// Stats is a point-in-time view of the cache: cumulative counters
+// (monotone between ResetStats calls) and the resident footprint.
+type Stats struct {
+	// Hits/Misses count Do and Get lookups against resident entries;
+	// a Do that joins an in-flight computation counts on Collapsed
+	// instead (the flight's creator already counted the miss).
+	Hits, Misses uint64
+	// Evictions counts entries dropped for capacity (SetCapacity
+	// shrinks included).
+	Evictions uint64
+	// Collapsed counts Do calls that joined an existing flight — scans
+	// that never ran because an identical one was already running.
+	Collapsed uint64
+	// Handoffs counts flights whose creator abandoned the wait while
+	// other waiters remained: the computation kept running and a waiter
+	// took delivery instead.
+	Handoffs uint64
+	// Entries and ResidentBytes are the current footprint;
+	// CapacityBytes is the configured bound (0 = disabled).
+	Entries       int
+	ResidentBytes int64
+	CapacityBytes int64
+}
+
+// entry is one resident result.
+type entry[V any] struct {
+	val     V
+	bytes   int64
+	lastUse uint64
+}
+
+// flight is one in-progress computation. done is closed after val/err
+// are set; cancel aborts the computation's context (called when the
+// last waiter leaves, and always after settlement to release the ctx).
+type flight[V any] struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	val     V
+	bytes   int64
+	err     error
+}
+
+// Cache is a byte-bounded LRU of immutable values with singleflight
+// collapse. All methods are safe for concurrent use. Values handed out
+// are shared across callers and MUST be treated as read-only.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capBytes int64
+	resident int64
+	tick     uint64
+	entries  map[K]*entry[V]
+	flights  map[K]*flight[V]
+	stats    Stats
+}
+
+// New builds a cache bounded to capBytes of cached-value bytes (as
+// reported by each computation's size). capBytes <= 0 disables caching:
+// Do still collapses concurrent identical calls, but nothing is retained.
+func New[K comparable, V any](capBytes int64) *Cache[K, V] {
+	c := &Cache[K, V]{
+		entries: make(map[K]*entry[V]),
+		flights: make(map[K]*flight[V]),
+	}
+	if capBytes > 0 {
+		c.capBytes = capBytes
+	}
+	return c
+}
+
+// Enabled reports whether the cache retains results (capacity > 0).
+func (c *Cache[K, V]) Enabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capBytes > 0
+}
+
+// SetCapacity rebounds the cache to capBytes, evicting LRU entries that
+// no longer fit. Zero or negative disables caching and drops every
+// resident entry (in-progress flights settle normally but are not
+// retained). Cumulative stats survive.
+func (c *Cache[K, V]) SetCapacity(capBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if capBytes <= 0 {
+		capBytes = 0
+	}
+	c.capBytes = capBytes
+	c.evictLocked(0)
+}
+
+// Capacity returns the configured byte bound (0 = disabled).
+func (c *Cache[K, V]) Capacity() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capBytes
+}
+
+// Get peeks for a resident entry without joining or starting a flight —
+// the fast-path probe for callers that only pay a lookup (e.g. a server
+// answering from cache before admission control). A present entry
+// counts as a hit and refreshes its recency; an absent one counts
+// nothing (the follow-up Do will count the miss).
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.stats.Hits++
+	c.tick++
+	e.lastUse = c.tick
+	return e.val, true
+}
+
+// Do returns the value for key, computing it at most once across
+// concurrent callers. compute receives the flight's own context, which
+// is canceled only when every waiting caller has abandoned the flight —
+// one caller's cancellation never aborts a scan other callers still
+// want. compute's size return is the value's cached footprint in bytes.
+//
+// The value is cached only when compute returns a nil error with the
+// flight context intact. A non-nil error — optionally alongside a
+// partial value — is delivered to every caller waiting at settlement
+// and nothing is retained, so degraded results never serve later
+// requests. A caller whose own ctx fires first returns ctx.Err() with a
+// zero value; the flight continues for the rest.
+func (c *Cache[K, V]) Do(ctx context.Context, key K, compute func(ctx context.Context) (V, int64, error)) (V, Outcome, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.tick++
+		e.lastUse = c.tick
+		v := e.val
+		c.mu.Unlock()
+		return v, OutcomeHit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		f.waiters++
+		c.stats.Collapsed++
+		c.mu.Unlock()
+		return c.wait(ctx, key, f, OutcomeShared)
+	}
+	c.stats.Misses++
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight[V]{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	c.flights[key] = f
+	c.mu.Unlock()
+	go c.run(key, f, fctx, compute)
+	return c.wait(ctx, key, f, OutcomeMiss)
+}
+
+// run executes one flight's computation and settles it.
+func (c *Cache[K, V]) run(key K, f *flight[V], fctx context.Context, compute func(ctx context.Context) (V, int64, error)) {
+	v, n, err := compute(fctx)
+	c.mu.Lock()
+	f.val, f.bytes, f.err = v, n, err
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	if err == nil && fctx.Err() == nil {
+		c.insertLocked(key, v, n)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}
+
+// wait blocks one caller on a flight under that caller's own context.
+func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[V], outcome Outcome) (V, Outcome, error) {
+	select {
+	case <-f.done:
+		c.mu.Lock()
+		f.waiters--
+		c.mu.Unlock()
+		return f.val, outcome, f.err
+	case <-ctx.Done():
+	}
+	// This caller abandons the flight. If others remain the computation
+	// keeps running for them — a departing creator is a handoff, not a
+	// failure. Only the last departure cancels the computation and
+	// unmaps the flight so the next caller starts fresh.
+	c.mu.Lock()
+	f.waiters--
+	select {
+	case <-f.done:
+		// Settled between the ctx firing and taking the lock: honor the
+		// caller's cancellation anyway (the result stays cached for the
+		// next request).
+	default:
+		if f.waiters == 0 {
+			if c.flights[key] == f {
+				delete(c.flights, key)
+			}
+			f.cancel()
+		} else if outcome == OutcomeMiss {
+			c.stats.Handoffs++
+		}
+	}
+	c.mu.Unlock()
+	var zero V
+	return zero, outcome, ctx.Err()
+}
+
+// insertLocked makes a value resident, evicting LRU entries to fit.
+// Values larger than the whole capacity are not retained.
+func (c *Cache[K, V]) insertLocked(key K, v V, n int64) {
+	if c.capBytes <= 0 || n > c.capBytes {
+		return
+	}
+	if old, ok := c.entries[key]; ok {
+		// A concurrent flight for an evicted key can re-insert while an
+		// older entry is resident again; replace, keeping bytes honest.
+		c.resident -= old.bytes
+		delete(c.entries, key)
+	}
+	c.evictLocked(n)
+	c.tick++
+	c.entries[key] = &entry[V]{val: v, bytes: n, lastUse: c.tick}
+	c.resident += n
+}
+
+// evictLocked drops least-recently-used entries until resident+incoming
+// fits the capacity.
+func (c *Cache[K, V]) evictLocked(incoming int64) {
+	for len(c.entries) > 0 && c.resident+incoming > c.capBytes {
+		var victim K
+		var oldest uint64
+		found := false
+		for k, e := range c.entries {
+			if !found || e.lastUse < oldest {
+				victim, oldest, found = k, e.lastUse, true
+			}
+		}
+		if !found {
+			return
+		}
+		c.resident -= c.entries[victim].bytes
+		delete(c.entries, victim)
+		c.stats.Evictions++
+	}
+}
+
+// Invalidate drops one key (no-op when absent). In-flight computations
+// for the key are unaffected; their result will re-insert on success.
+func (c *Cache[K, V]) Invalidate(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.resident -= e.bytes
+		delete(c.entries, key)
+	}
+}
+
+// Purge drops every resident entry (stats and capacity survive).
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[K]*entry[V])
+	c.resident = 0
+}
+
+// Len returns the resident entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the cache's cumulative counters and current footprint.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.ResidentBytes = c.resident
+	s.CapacityBytes = c.capBytes
+	return s
+}
+
+// ResetStats zeroes the cumulative counters (resident entries stay).
+func (c *Cache[K, V]) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}

@@ -1,0 +1,405 @@
+package resultcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// computeValue is a compute function returning v with a fixed byte size.
+func computeValue(v string, bytes int64) func(context.Context) (string, int64, error) {
+	return func(context.Context) (string, int64, error) { return v, bytes, nil }
+}
+
+func TestHitMissAndStats(t *testing.T) {
+	c := New[string, string](1 << 10)
+	ctx := context.Background()
+
+	v, out, err := c.Do(ctx, "k1", computeValue("v1", 100))
+	if err != nil || v != "v1" || out != OutcomeMiss {
+		t.Fatalf("first Do: v=%q out=%v err=%v", v, out, err)
+	}
+	v, out, err = c.Do(ctx, "k1", computeValue("WRONG", 100))
+	if err != nil || v != "v1" || out != OutcomeHit {
+		t.Fatalf("second Do: v=%q out=%v err=%v", v, out, err)
+	}
+	if v, ok := c.Get("k1"); !ok || v != "v1" {
+		t.Fatalf("Get: v=%q ok=%v", v, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("Get(absent) reported a hit")
+	}
+
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 || s.ResidentBytes != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[string, string](300)
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, err := c.Do(ctx, k, computeValue(k, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is now least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted prematurely")
+	}
+	if _, _, err := c.Do(ctx, "d", computeValue("d", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after eviction", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.ResidentBytes != 300 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOversizedValueNotCached(t *testing.T) {
+	c := New[string, string](100)
+	if _, _, err := c.Do(context.Background(), "big", computeValue("big", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversized value was cached")
+	}
+}
+
+func TestSetCapacityShrinkAndDisable(t *testing.T) {
+	c := New[string, string](400)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(ctx, k, computeValue(k, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetCapacity(150)
+	if s := c.Stats(); s.Entries != 1 || s.ResidentBytes != 100 {
+		t.Fatalf("after shrink: %+v", s)
+	}
+	c.SetCapacity(0)
+	if c.Enabled() || c.Len() != 0 {
+		t.Fatalf("disable did not drop entries: enabled=%v len=%d", c.Enabled(), c.Len())
+	}
+	// Disabled cache computes every time, retains nothing.
+	var runs atomic.Int32
+	for i := 0; i < 2; i++ {
+		_, out, err := c.Do(ctx, "k", func(context.Context) (string, int64, error) {
+			runs.Add(1)
+			return "v", 10, nil
+		})
+		if err != nil || out != OutcomeMiss {
+			t.Fatalf("disabled Do: out=%v err=%v", out, err)
+		}
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("disabled cache ran compute %d times, want 2", runs.Load())
+	}
+}
+
+func TestSingleflightCollapse(t *testing.T) {
+	c := New[string, string](1 << 10)
+	var runs atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 50
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	vals := make([]string, n)
+	errs := make([]error, n)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals[0], outcomes[0], errs[0] = c.Do(context.Background(), "k", func(context.Context) (string, int64, error) {
+			runs.Add(1)
+			close(started)
+			<-release
+			return "v", 10, nil
+		})
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], outcomes[i], errs[i] = c.Do(context.Background(), "k", func(context.Context) (string, int64, error) {
+				runs.Add(1)
+				return "v", 10, nil
+			})
+		}(i)
+	}
+	// Let the joiners enqueue before releasing the flight.
+	for c.Stats().Collapsed < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i := range vals {
+		if errs[i] != nil || vals[i] != "v" {
+			t.Fatalf("caller %d: v=%q err=%v", i, vals[i], errs[i])
+		}
+	}
+	if outcomes[0] != OutcomeMiss {
+		t.Fatalf("creator outcome = %v, want miss", outcomes[0])
+	}
+	for i := 1; i < n; i++ {
+		if outcomes[i] != OutcomeShared {
+			t.Fatalf("joiner %d outcome = %v, want shared", i, outcomes[i])
+		}
+	}
+	if s := c.Stats(); s.Collapsed != n-1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestLeaderCancelHandsOffToWaiter is the tentpole's handoff contract: a
+// canceled flight creator must not abort the computation while a joiner
+// still wants it — the joiner takes delivery instead.
+func TestLeaderCancelHandsOffToWaiter(t *testing.T) {
+	c := New[string, string](1 << 10)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computeCtxErr error
+	var mu sync.Mutex
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(leaderCtx, "k", func(fctx context.Context) (string, int64, error) {
+			close(started)
+			<-release
+			mu.Lock()
+			computeCtxErr = fctx.Err()
+			mu.Unlock()
+			return "v", 10, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	var waiterVal string
+	var waiterOut Outcome
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterVal, waiterOut, waiterErr = c.Do(context.Background(), "k", computeValue("WRONG", 10))
+	}()
+	for c.Stats().Collapsed == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Cancel the leader while the flight is mid-compute with one waiter.
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	for c.Stats().Handoffs == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	<-waiterDone
+	if waiterErr != nil || waiterVal != "v" || waiterOut != OutcomeShared {
+		t.Fatalf("waiter: v=%q out=%v err=%v", waiterVal, waiterOut, waiterErr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if computeCtxErr != nil {
+		t.Fatalf("flight context was canceled (%v) despite a live waiter", computeCtxErr)
+	}
+	// The handed-off result is a clean success and must be cached.
+	if v, ok := c.Get("k"); !ok || v != "v" {
+		t.Fatalf("handed-off result not cached: v=%q ok=%v", v, ok)
+	}
+}
+
+// TestAllCallersCancelAbortsFlight: when every caller leaves, the flight
+// context is canceled, nothing is cached, and the next Do recomputes.
+func TestAllCallersCancelAbortsFlight(t *testing.T) {
+	c := New[string, string](1 << 10)
+	started := make(chan struct{})
+	aborted := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func(fctx context.Context) (string, int64, error) {
+			close(started)
+			<-fctx.Done()
+			close(aborted)
+			return "partial", 10, fctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller err = %v", err)
+	}
+	select {
+	case <-aborted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("flight context never canceled after last caller left")
+	}
+	if c.Len() != 0 {
+		t.Fatal("aborted flight's value was cached")
+	}
+	// Fresh flight afterwards.
+	v, out, err := c.Do(context.Background(), "k", computeValue("v2", 10))
+	if err != nil || v != "v2" || out != OutcomeMiss {
+		t.Fatalf("post-abort Do: v=%q out=%v err=%v", v, out, err)
+	}
+}
+
+func TestErrorDeliveredNotCached(t *testing.T) {
+	c := New[string, string](1 << 10)
+	boom := errors.New("boom")
+	var runs atomic.Int32
+
+	v, out, err := c.Do(context.Background(), "k", func(context.Context) (string, int64, error) {
+		runs.Add(1)
+		return "partial", 0, boom
+	})
+	if !errors.Is(err, boom) || out != OutcomeMiss {
+		t.Fatalf("Do: v=%q out=%v err=%v", v, out, err)
+	}
+	if v != "partial" {
+		t.Fatalf("partial value not delivered alongside error: %q", v)
+	}
+	if c.Len() != 0 {
+		t.Fatal("errored result was cached")
+	}
+	if _, _, err := c.Do(context.Background(), "k", func(context.Context) (string, int64, error) {
+		runs.Add(1)
+		return "v", 10, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("compute ran %d times, want 2 (error must not stick)", runs.Load())
+	}
+}
+
+// TestNoGoroutineLeak drives flights through every exit path — success,
+// error, leader handoff, full abandonment — and checks the goroutine
+// count returns to baseline.
+func TestNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	c := New[string, string](1 << 10)
+
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%d", i)
+		switch i % 4 {
+		case 0:
+			c.Do(context.Background(), key, computeValue("v", 10))
+		case 1:
+			c.Do(context.Background(), key, func(context.Context) (string, int64, error) {
+				return "", 0, errors.New("x")
+			})
+		case 2: // leader cancels, waiter finishes
+			started := make(chan struct{})
+			release := make(chan struct{})
+			lctx, lcancel := context.WithCancel(context.Background())
+			ldone := make(chan struct{})
+			go func() {
+				defer close(ldone)
+				c.Do(lctx, key, func(context.Context) (string, int64, error) {
+					close(started)
+					<-release
+					return "v", 10, nil
+				})
+			}()
+			<-started
+			wdone := make(chan struct{})
+			go func() {
+				defer close(wdone)
+				c.Do(context.Background(), key, computeValue("v", 10))
+			}()
+			for c.Stats().Collapsed == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			c.ResetStats()
+			lcancel()
+			<-ldone
+			close(release)
+			<-wdone
+		case 3: // everyone abandons
+			started := make(chan struct{})
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				c.Do(ctx, key, func(fctx context.Context) (string, int64, error) {
+					close(started)
+					<-fctx.Done()
+					return "", 0, fctx.Err()
+				})
+			}()
+			<-started
+			cancel()
+			<-done
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestConcurrentMixedKeys hammers the cache under -race with a small
+// capacity so hits, misses, flights, and evictions all interleave.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[int, string](250) // holds ~2 of 8 keys
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := (g + i) % 8
+				want := fmt.Sprintf("v%d", key)
+				v, _, err := c.Do(context.Background(), key, computeValue(want, 100))
+				if err != nil {
+					t.Errorf("Do(%d): %v", key, err)
+					return
+				}
+				if v != want {
+					t.Errorf("Do(%d) = %q, want %q", key, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.ResidentBytes > 250 {
+		t.Fatalf("resident bytes %d exceed capacity", s.ResidentBytes)
+	}
+}

@@ -1,0 +1,301 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabp/internal/telemetry"
+)
+
+// ShedError reports a request turned away by an Admission queue without
+// running. Reason distinguishes capacity shedding (queue full) from
+// deadline shedding (the request could not have finished in time even if
+// admitted). RetryAfter is the server's estimate of when retrying is
+// worthwhile.
+type ShedError struct {
+	Reason     string // "capacity" or "deadline"
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("sched: admission shed (%s); retry in ~%s", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// admWaiter is one queued request; grant is closed when its weight has
+// been debited from the capacity.
+type admWaiter struct {
+	weight int
+	grant  chan struct{}
+}
+
+// admissionMetrics holds the queue's telemetry handles, resolved once at
+// construction (nil-safe, like poolMetrics).
+type admissionMetrics struct {
+	// admitted counts grants (immediate or after queueing); shedCapacity
+	// and shedDeadline count turn-aways by reason.
+	admitted, shedCapacity, shedDeadline *telemetry.Counter
+	// wait is queue-entry-to-grant latency for requests that queued.
+	wait *telemetry.Histogram
+	// held is the debited weight; depth is the queued request count;
+	// estimate is the EWMA cost estimate in nanoseconds.
+	held, depth, estimate *telemetry.Gauge
+}
+
+func newAdmissionMetrics(reg *telemetry.Registry) admissionMetrics {
+	return admissionMetrics{
+		admitted:     reg.Counter("admission.admitted"),
+		shedCapacity: reg.Counter("admission.shed.capacity"),
+		shedDeadline: reg.Counter("admission.shed.deadline"),
+		wait:         reg.Histogram("admission.wait"),
+		held:         reg.Gauge("admission.held"),
+		depth:        reg.Gauge("admission.queue.depth"),
+		estimate:     reg.Gauge("admission.estimate.ns"),
+	}
+}
+
+// Admission is a weighted, deadline-aware admission queue: a semaphore of
+// `capacity` units fronted by a bounded FIFO wait queue. A request asks
+// for `weight` units (a batch of K queries weighs K) and either gets all
+// of them atomically, waits its turn, or is shed with a ShedError.
+//
+// What makes it deadline-aware: Release feeds observed work durations
+// into an EWMA cost estimate, and Admit sheds any request whose context
+// deadline leaves less time than that estimate — immediately on arrival,
+// or mid-queue the moment its remaining time dips below the estimate.
+// Shedding a doomed request costs a rejection the client can retry
+// against another replica; admitting it burns a slot to produce a 504.
+//
+// queueLimit bounds how many requests may wait; 0 keeps the historical
+// immediate-shed behavior (no queue: capacity full → ShedError).
+type Admission struct {
+	mu       sync.Mutex
+	capacity int
+	held     int
+	queue    []*admWaiter
+	limit    int
+	// estNs is the EWMA (α=1/4) of observed work durations, the unit
+	// cost used for deadline feasibility and Retry-After.
+	estNs int64
+	m     admissionMetrics
+}
+
+// NewAdmission builds a queue of `capacity` weight units (min 1) with at
+// most `queueLimit` waiting requests (min 0), reporting to the default
+// telemetry registry.
+func NewAdmission(capacity, queueLimit int) *Admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if queueLimit < 0 {
+		queueLimit = 0
+	}
+	return &Admission{
+		capacity: capacity,
+		limit:    queueLimit,
+		m:        newAdmissionMetrics(telemetry.Default()),
+	}
+}
+
+// SetMetrics redirects the queue's telemetry to reg (nil disables it).
+// Call before admitting work; it is not synchronized with in-flight
+// requests.
+func (q *Admission) SetMetrics(reg *telemetry.Registry) { q.m = newAdmissionMetrics(reg) }
+
+// Capacity returns the total weight units.
+func (q *Admission) Capacity() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.capacity
+}
+
+// Held returns the weight units currently debited.
+func (q *Admission) Held() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.held
+}
+
+// QueueDepth returns the number of requests currently waiting.
+func (q *Admission) QueueDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
+}
+
+// Estimate returns the current EWMA cost estimate for one admitted unit
+// of work (zero until the first Release observation).
+func (q *Admission) Estimate() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return time.Duration(q.estNs)
+}
+
+// clampWeight normalizes a request's weight into [1, capacity]; callers
+// cap batch sizes themselves, so an over-capacity ask means "everything".
+func (q *Admission) clampWeightLocked(weight int) int {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > q.capacity {
+		weight = q.capacity
+	}
+	return weight
+}
+
+// retryAfterLocked estimates when a shed request is worth retrying: the
+// backlog ahead of it times the unit cost, clamped to [1s, 60s] so
+// clients always get a sane, non-zero hint even before any observations.
+func (q *Admission) retryAfterLocked() time.Duration {
+	est := time.Duration(q.estNs)
+	ra := est * time.Duration(len(q.queue)+1)
+	if ra < time.Second {
+		ra = time.Second
+	}
+	if ra > time.Minute {
+		ra = time.Minute
+	}
+	return ra
+}
+
+// Admit blocks until `weight` units are granted atomically (all or
+// nothing — a partially admitted batch would deadlock against another),
+// or sheds the request with a *ShedError (queue full, or the ctx
+// deadline cannot be met), or returns ctx.Err() if the context fires for
+// a reason other than deadline infeasibility while queued. On nil error
+// the caller owns the units and must Release them.
+func (q *Admission) Admit(ctx context.Context, weight int) error {
+	q.mu.Lock()
+	weight = q.clampWeightLocked(weight)
+	est := time.Duration(q.estNs)
+
+	// Deadline feasibility first: a request that cannot finish before
+	// its deadline is shed even when slots are free — running it would
+	// spend a slot manufacturing a timeout.
+	remaining := time.Duration(-1)
+	if dl, ok := ctx.Deadline(); ok {
+		remaining = time.Until(dl)
+		if remaining <= est {
+			q.m.shedDeadline.Inc()
+			ra := q.retryAfterLocked()
+			q.mu.Unlock()
+			return &ShedError{Reason: "deadline", RetryAfter: ra}
+		}
+	}
+
+	// Immediate grant only from an empty queue: arrivals never jump
+	// ahead of queued waiters (FIFO fairness).
+	if len(q.queue) == 0 && q.held+weight <= q.capacity {
+		q.held += weight
+		q.m.admitted.Inc()
+		q.m.held.Set(int64(q.held))
+		q.mu.Unlock()
+		return nil
+	}
+
+	if len(q.queue) >= q.limit {
+		q.m.shedCapacity.Inc()
+		ra := q.retryAfterLocked()
+		q.mu.Unlock()
+		return &ShedError{Reason: "capacity", RetryAfter: ra}
+	}
+
+	w := &admWaiter{weight: weight, grant: make(chan struct{})}
+	q.queue = append(q.queue, w)
+	q.m.depth.Set(int64(len(q.queue)))
+	q.mu.Unlock()
+
+	// A queued request with a deadline is shed the moment its remaining
+	// time dips to the cost estimate — before the deadline itself, while
+	// a 429 + Retry-After is still actionable.
+	var infeasible <-chan time.Time
+	if remaining >= 0 {
+		t := time.NewTimer(remaining - est)
+		defer t.Stop()
+		infeasible = t.C
+	}
+
+	t0 := time.Now()
+	select {
+	case <-w.grant:
+		q.m.wait.Observe(time.Since(t0))
+		return nil
+	case <-infeasible:
+		if q.leave(w) {
+			q.mu.Lock()
+			q.m.shedDeadline.Inc()
+			ra := q.retryAfterLocked()
+			q.mu.Unlock()
+			return &ShedError{Reason: "deadline", RetryAfter: ra}
+		}
+		// The grant raced the timer and won; the units are ours.
+		q.m.wait.Observe(time.Since(t0))
+		return nil
+	case <-ctx.Done():
+		if q.leave(w) {
+			return ctx.Err()
+		}
+		return nil
+	}
+}
+
+// leave removes a waiter from the queue, reporting false when the waiter
+// had already been granted (in which case the caller keeps the units).
+func (q *Admission) leave(w *admWaiter) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, cand := range q.queue {
+		if cand == w {
+			q.queue = append(q.queue[:i], q.queue[i+1:]...)
+			q.m.depth.Set(int64(len(q.queue)))
+			// Removing a wide waiter from the head can unblock narrower
+			// ones behind it.
+			q.grantLocked()
+			return true
+		}
+	}
+	select {
+	case <-w.grant:
+		return false
+	default:
+		// Not queued and not granted cannot happen: grantLocked closes
+		// grant before releasing the lock.
+		return false
+	}
+}
+
+// Release returns `weight` units and folds the observed work duration
+// into the cost estimate (observed <= 0 skips the estimate update, for
+// work that failed before doing anything representative).
+func (q *Admission) Release(weight int, observed time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	weight = q.clampWeightLocked(weight)
+	q.held -= weight
+	if q.held < 0 {
+		q.held = 0
+	}
+	if observed > 0 {
+		q.estNs += (observed.Nanoseconds() - q.estNs) / 4
+		q.m.estimate.Set(q.estNs)
+	}
+	q.grantLocked()
+	q.m.held.Set(int64(q.held))
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit.
+func (q *Admission) grantLocked() {
+	for len(q.queue) > 0 {
+		w := q.queue[0]
+		if q.held+w.weight > q.capacity {
+			break
+		}
+		q.queue = q.queue[1:]
+		q.held += w.weight
+		close(w.grant)
+		q.m.admitted.Inc()
+	}
+	q.m.depth.Set(int64(len(q.queue)))
+	q.m.held.Set(int64(q.held))
+}

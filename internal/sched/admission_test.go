@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateGrantAndRelease(t *testing.T) {
+	q := NewAdmission(2, 0)
+	ctx := context.Background()
+	if err := q.Admit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Held(); got != 2 {
+		t.Fatalf("held = %d, want 2", got)
+	}
+	// Queue limit 0: a full semaphore sheds immediately with a sane hint.
+	err := q.Admit(ctx, 1)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "capacity" {
+		t.Fatalf("err = %v, want capacity ShedError", err)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", shed.RetryAfter)
+	}
+	q.Release(1, 10*time.Millisecond)
+	if err := q.Admit(ctx, 1); err != nil {
+		t.Fatalf("post-release admit: %v", err)
+	}
+	q.Release(2, 0)
+	if got := q.Held(); got != 0 {
+		t.Fatalf("held = %d, want 0", got)
+	}
+}
+
+func TestAdmissionWeightClamped(t *testing.T) {
+	q := NewAdmission(4, 0)
+	// A weight wider than capacity means "everything", not deadlock.
+	if err := q.Admit(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Held(); got != 4 {
+		t.Fatalf("held = %d, want 4", got)
+	}
+	q.Release(100, 0)
+}
+
+func TestAdmissionQueueGrantFIFO(t *testing.T) {
+	q := NewAdmission(1, 4)
+	ctx := context.Background()
+	if err := q.Admit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan int, 2)
+	for i := 1; i <= 2; i++ {
+		i := i
+		ready := make(chan struct{})
+		go func() {
+			close(ready)
+			if err := q.Admit(ctx, 1); err != nil {
+				t.Errorf("queued admit %d: %v", i, err)
+				return
+			}
+			order <- i
+			q.Release(1, 0)
+		}()
+		<-ready
+		// Wait for this waiter to be enqueued before starting the next,
+		// so FIFO order is deterministic.
+		for q.QueueDepth() < i {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	q.Release(1, 0)
+	if first := <-order; first != 1 {
+		t.Fatalf("first grant went to waiter %d, want 1", first)
+	}
+	if second := <-order; second != 2 {
+		t.Fatalf("second grant went to waiter %d, want 2", second)
+	}
+}
+
+func TestAdmissionDeadlineShedOnArrival(t *testing.T) {
+	q := NewAdmission(4, 4)
+	// Teach the estimator that work takes ~100ms.
+	if err := q.Admit(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	q.Release(1, 400*time.Millisecond) // EWMA from 0: 400/4 = 100ms
+	if est := q.Estimate(); est != 100*time.Millisecond {
+		t.Fatalf("estimate = %v, want 100ms", est)
+	}
+
+	// 10ms of budget cannot cover a 100ms scan: shed despite free slots.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := q.Admit(ctx, 1)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "deadline" {
+		t.Fatalf("err = %v, want deadline ShedError", err)
+	}
+	if q.Held() != 0 {
+		t.Fatalf("held = %d after deadline shed, want 0", q.Held())
+	}
+
+	// An ample deadline admits normally.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := q.Admit(ctx2, 1); err != nil {
+		t.Fatalf("ample-deadline admit: %v", err)
+	}
+	q.Release(1, 0)
+}
+
+func TestAdmissionQueuedDeadlineShed(t *testing.T) {
+	q := NewAdmission(1, 4)
+	if err := q.Admit(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Estimate stays 0, so the queued request sheds at its deadline
+	// rather than earlier — still as a ShedError, not a bare ctx error.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	err := q.Admit(ctx, 1)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "deadline" {
+		t.Fatalf("err = %v, want deadline ShedError", err)
+	}
+	if waited := time.Since(t0); waited > 2*time.Second {
+		t.Fatalf("queued shed took %v", waited)
+	}
+	if q.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %d after shed, want 0", q.QueueDepth())
+	}
+	q.Release(1, 0)
+}
+
+func TestAdmissionQueuedCancelLeavesQueue(t *testing.T) {
+	q := NewAdmission(1, 4)
+	if err := q.Admit(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.Admit(ctx, 1) }()
+	for q.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if q.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %d, want 0", q.QueueDepth())
+	}
+	// The canceled waiter must not have consumed the unit.
+	q.Release(1, 0)
+	if err := q.Admit(context.Background(), 1); err != nil {
+		t.Fatalf("post-cancel admit: %v", err)
+	}
+	q.Release(1, 0)
+}
+
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	q := NewAdmission(1, 1)
+	ctx := context.Background()
+	if err := q.Admit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	go q.Admit(context.Background(), 1) // fills the single queue slot
+	for q.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	err := q.Admit(ctx, 1)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "capacity" {
+		t.Fatalf("err = %v, want capacity ShedError", err)
+	}
+	q.Release(1, 0) // grants the queued waiter
+}
+
+// TestAdmissionWideWaiterLeaveUnblocksNarrow: a wide waiter at the head
+// abandoning the queue must let narrower waiters behind it through.
+func TestAdmissionWideWaiterLeaveUnblocksNarrow(t *testing.T) {
+	q := NewAdmission(2, 4)
+	if err := q.Admit(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	wideCtx, cancelWide := context.WithCancel(context.Background())
+	wideErr := make(chan error, 1)
+	go func() { wideErr <- q.Admit(wideCtx, 2) }() // needs both units
+	for q.QueueDepth() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	narrowErr := make(chan error, 1)
+	go func() { narrowErr <- q.Admit(context.Background(), 1) }()
+	for q.QueueDepth() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelWide()
+	if err := <-wideErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("wide err = %v", err)
+	}
+	select {
+	case err := <-narrowErr:
+		if err != nil {
+			t.Fatalf("narrow err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("narrow waiter stuck behind a departed wide waiter")
+	}
+	q.Release(2, 0)
+}

@@ -41,6 +41,14 @@ import (
 //	pool.tasks.*             worker-pool counters/gauges (process-wide pool)
 //	cache.*                  plane-cache stats, merged from the shared cache
 //	                         (cache.installs counts entries seeded from files)
+//	rcache.*                 scan-result cache stats, merged from the shared
+//	                         cache (rcache.collapsed counts requests that
+//	                         joined an in-flight identical scan;
+//	                         rcache.handoffs counts flights a canceled
+//	                         initiator handed off to surviving waiters)
+//	admission.*              fabp-serve admission queue: admitted,
+//	                         shed.capacity, shed.deadline counters, wait
+//	                         histogram, held/queue.depth/estimate.ns gauges
 //
 // Latency histograms: align.latency (whole calls), scan.shard.latency
 // (per shard), batch.kernel.latency (whole fused batch scans — its SumNs
@@ -130,15 +138,26 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	out.Counters["cache.installs"] = cs.Installs
 	out.Gauges["cache.entries"] = int64(cs.Entries)
 	out.Gauges["cache.resident.bytes"] = cs.ResidentBytes
+	rs := scanResults.Stats()
+	out.Counters["rcache.hits"] = rs.Hits
+	out.Counters["rcache.misses"] = rs.Misses
+	out.Counters["rcache.evictions"] = rs.Evictions
+	out.Counters["rcache.collapsed"] = rs.Collapsed
+	out.Counters["rcache.handoffs"] = rs.Handoffs
+	out.Gauges["rcache.entries"] = int64(rs.Entries)
+	out.Gauges["rcache.resident.bytes"] = rs.ResidentBytes
+	out.Gauges["rcache.capacity.bytes"] = rs.CapacityBytes
 	return out
 }
 
-// Reset zeroes the collector's metrics and the shared plane cache's
-// cumulative counters (resident cache entries stay resident). Metric
-// identities survive, so concurrent scans keep reporting.
+// Reset zeroes the collector's metrics and the shared plane and
+// scan-result caches' cumulative counters (resident cache entries stay
+// resident). Metric identities survive, so concurrent scans keep
+// reporting.
 func (m *Metrics) Reset() {
 	m.reg.Reset()
 	bitpar.SharedPlanes().ResetStats()
+	scanResults.ResetStats()
 }
 
 // String renders the snapshot as JSON — the expvar.Var contract, so a

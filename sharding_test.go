@@ -48,11 +48,11 @@ func TestShardedAlignDatabaseGolden(t *testing.T) {
 	for _, tc := range []struct {
 		name   string
 		size   int
-		kernel string
+		kernel Kernel
 	}{
-		{"bitparallel-large", 90_000, "bitparallel"},
-		{"scalar-small", 20_000, "scalar"},
-		{"auto-large", 70_000, "auto"},
+		{"bitparallel-large", 90_000, KernelBitParallel},
+		{"scalar-small", 20_000, KernelScalar},
+		{"auto-large", 70_000, KernelAuto},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			d, genes := buildShardDB(t, 400+int64(tc.size), tc.size)
@@ -60,7 +60,7 @@ func TestShardedAlignDatabaseGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			a, err := NewAligner(q, WithThresholdFraction(0.8), WithKernel(tc.kernel),
+			a, err := NewAligner(q, WithThresholdFraction(0.8), WithKernelType(tc.kernel),
 				WithShardLen(4096))
 			if err != nil {
 				t.Fatal(err)
@@ -136,8 +136,8 @@ func TestAlignStreamHonorsKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kernel := range []string{"scalar", "bitparallel", "auto"} {
-		a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel(kernel))
+	for _, kernel := range []Kernel{KernelScalar, KernelBitParallel, KernelAuto} {
+		a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernelType(kernel))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func TestAlignBatchShardedGolden(t *testing.T) {
 		}
 	}
 	// And against a single-query aligner.
-	a, err := NewAligner(queries[0], WithThresholdFraction(0.8), WithKernel("bitparallel"))
+	a, err := NewAligner(queries[0], WithThresholdFraction(0.8), WithKernelType(KernelBitParallel))
 	if err != nil {
 		t.Fatal(err)
 	}

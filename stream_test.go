@@ -47,8 +47,8 @@ func TestAlignStreamReaderErrorFlushesCompleteWindows(t *testing.T) {
 	}
 	sentinel := errors.New("disk on fire")
 
-	for _, kernel := range []string{"scalar", "bitparallel"} {
-		a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel(kernel))
+	for _, kernel := range []Kernel{KernelScalar, KernelBitParallel} {
+		a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernelType(kernel))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestChaosStreamInjectedErrorFlushesCompleteWindows(t *testing.T) {
 	// delivered — past gene 0's slot [0, 10k), keeping its hit in the
 	// prefix. The injection hooks live on the chunked (bitparallel) path.
 	const cut = 4 * 4096
-	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel("bitparallel"))
+	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernelType(KernelBitParallel))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestChaosStreamReadRetryRecoversFullScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel("bitparallel"),
+	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernelType(KernelBitParallel),
 		WithRetryPolicy(RetryPolicy{MaxRetries: 2, Base: 10 * time.Microsecond}))
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +191,7 @@ func TestAlignStreamReaderErrorEmitErrorWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernel("bitparallel"))
+	a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernelType(KernelBitParallel))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,7 +52,7 @@ func TestWithTelemetryPrivateCollector(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewMetrics()
-	a, err := NewAligner(q, WithTelemetry(m), WithKernel("bitparallel"),
+	a, err := NewAligner(q, WithTelemetry(m), WithKernelType(KernelBitParallel),
 		WithShardLen(64), WithParallelism(2), WithThresholdFraction(0.8))
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +138,7 @@ func TestStreamChunkCarryCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewMetrics()
-	a, err := NewAligner(q, WithTelemetry(m), WithKernel("bitparallel"))
+	a, err := NewAligner(q, WithTelemetry(m), WithKernelType(KernelBitParallel))
 	if err != nil {
 		t.Fatal(err)
 	}
