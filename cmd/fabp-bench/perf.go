@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"fabp"
@@ -31,6 +32,10 @@ type perfReport struct {
 	// for the whole batch.
 	Batch        int     `json:"batch,omitempty"`
 	BatchSpeedup float64 `json:"batch_speedup,omitempty"`
+	// StreamSpeedup is stream_batch_per_query ns/op over stream_batch_fused
+	// ns/op — the fused streaming path's measured gain from reading and
+	// packing each chunk once for the whole batch instead of once per query.
+	StreamSpeedup float64 `json:"stream_speedup,omitempty"`
 	// LoadColdNs/LoadWarmNs time one full database load to scan-ready
 	// planes: cold from a v1 file (packs in-process), warm from a v2 file
 	// (persisted planes, zero packing). LoadWarmSpeedup is their ratio —
@@ -79,6 +84,7 @@ func runPerf(outDir string, scale, batchN int, cacheOn bool) {
 		nGenes = batchN
 	}
 	ref, genes := fabp.SyntheticReference(42, refLen, nGenes, 60)
+	refStr := ref.String() // the letter stream the chunked-reader rows scan
 	dbase, err := fabp.DatabaseFromReference("perf", ref)
 	if err != nil {
 		log.Fatal(err)
@@ -133,6 +139,22 @@ func runPerf(outDir string, scale, batchN int, cacheOn bool) {
 			}
 			return hits
 		}},
+		// The chunked-reader path: the stream is decoded and packed chunk by
+		// chunk through the pooled plane builder — the row that moves when
+		// the streaming data path changes (and the one that populates the
+		// stream.* counters below).
+		{"align_stream", nQueries * reps, func() int {
+			hits := 0
+			for _, a := range aligners {
+				if err := a.AlignStream(strings.NewReader(refStr), func(fabp.Hit) error {
+					hits++
+					return nil
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return hits
+		}},
 	}
 	if batchN > 0 {
 		batchQs := make([]*fabp.Query, batchN)
@@ -156,12 +178,45 @@ func runPerf(outDir string, scale, batchN int, cacheOn bool) {
 		// Warm the reference's plane-cache entry outside the clock (the
 		// database warm-up above keyed on the database, not the reference).
 		countBatch(fabp.AlignBatch(batchQs, ref, 0.85))
+		batchAligners := make([]*fabp.Aligner, batchN)
+		for i, q := range batchQs {
+			batchAligners[i], err = fabp.NewAligner(q, fabp.WithThresholdFraction(0.85))
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
 		configs = append(configs,
 			benchCfg{"batch_per_query", batchN * reps, func() int {
 				return countBatch(fabp.AlignBatchPerQuery(batchQs, ref, 0.85))
 			}},
 			benchCfg{"batch_fused", batchN * reps, func() int {
 				return countBatch(fabp.AlignBatch(batchQs, ref, 0.85))
+			}},
+			// Streaming batch pair: K independent streams (each query reads,
+			// decodes and packs the whole stream itself) versus one fused
+			// stream whose chunks are packed once and scanned for all K.
+			benchCfg{"stream_batch_per_query", batchN * reps, func() int {
+				hits := 0
+				for _, a := range batchAligners {
+					if err := a.AlignStream(strings.NewReader(refStr), func(fabp.Hit) error {
+						hits++
+						return nil
+					}); err != nil {
+						log.Fatal(err)
+					}
+				}
+				return hits
+			}},
+			benchCfg{"stream_batch_fused", batchN * reps, func() int {
+				hits := 0
+				if err := fabp.AlignBatchStream(batchQs, strings.NewReader(refStr), 0.85,
+					func(int, fabp.Hit) error {
+						hits++
+						return nil
+					}); err != nil {
+					log.Fatal(err)
+				}
+				return hits
 			}},
 		)
 	}
@@ -171,8 +226,10 @@ func runPerf(outDir string, scale, batchN int, cacheOn bool) {
 	// seeded (served from the cache, no scan). Hits are microseconds, so
 	// they get extra inner iterations to stay measurable.
 	if cacheOn {
+		// The cache is armed only inside scan_cache_cold's closure (below),
+		// never at setup time — arming it here would let the rows above be
+		// served from the result cache and measure map lookups, not scans.
 		const cacheCap = 64 << 20
-		fabp.SetScanCacheCapacity(cacheCap)
 		defer fabp.SetScanCacheCapacity(0)
 		cq, err := fabp.NewQuery(genes[0].Protein)
 		if err != nil {
@@ -257,6 +314,10 @@ func runPerf(outDir string, scale, batchN int, cacheOn bool) {
 		report.BatchSpeedup = nsPerOp["batch_per_query"] / nsPerOp["batch_fused"]
 		fmt.Printf("batch %d fused speedup ×%.2f over per-query\n", batchN, report.BatchSpeedup)
 	}
+	if batchN > 0 && nsPerOp["stream_batch_fused"] > 0 {
+		report.StreamSpeedup = nsPerOp["stream_batch_per_query"] / nsPerOp["stream_batch_fused"]
+		fmt.Printf("stream batch %d fused speedup ×%.2f over per-query streams\n", batchN, report.StreamSpeedup)
+	}
 	if c, h := nsPerOp["scan_cache_cold"], nsPerOp["scan_cache_hit"]; c > 0 && h > 0 {
 		report.CacheColdNs, report.CacheHitNs = c, h
 		report.CacheHitSpeedup = c / h
@@ -327,6 +388,9 @@ func comparePerf(oldPath, newPath string) {
 	}
 	if oldR.BatchSpeedup > 0 && newR.BatchSpeedup > 0 {
 		fmt.Printf("batch speedup: ×%.2f → ×%.2f\n", oldR.BatchSpeedup, newR.BatchSpeedup)
+	}
+	if oldR.StreamSpeedup > 0 && newR.StreamSpeedup > 0 {
+		fmt.Printf("stream speedup: ×%.2f → ×%.2f\n", oldR.StreamSpeedup, newR.StreamSpeedup)
 	}
 	if oldR.CacheHitSpeedup > 0 && newR.CacheHitSpeedup > 0 {
 		fmt.Printf("cache hit speedup: ×%.2f → ×%.2f\n", oldR.CacheHitSpeedup, newR.CacheHitSpeedup)

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -82,6 +83,10 @@ type server struct {
 	// scanBatch executes a whole batch in one fused pass under the request
 	// context, returning per-query attributed hits. Overridable in tests.
 	scanBatch func(ctx context.Context, d *fabp.Database, queries []*fabp.Query, thresholdFrac float64) ([][]fabp.RecordHit, error)
+	// streamBatch scans a client-supplied nucleotide stream with every
+	// query of a batch fused over each packed chunk, emitting hits as they
+	// complete. Overridable in tests.
+	streamBatch func(ctx context.Context, queries []*fabp.Query, body io.Reader, thresholdFrac float64, emit func(query int, h fabp.Hit) error) error
 	// m holds the serve-layer counters, registered beside the alignment
 	// pipeline's metrics in the process-wide registry so /metrics is one
 	// coherent snapshot.
@@ -91,6 +96,7 @@ type server struct {
 type serveMetrics struct {
 	requests, rejected, timeouts, clientGone, failed *telemetry.Counter
 	batchRequests, batchQueries                      *telemetry.Counter
+	streamRequests                                   *telemetry.Counter
 	degraded, cacheHits                              *telemetry.Counter
 	inflight                                         *telemetry.Gauge
 	latency                                          *telemetry.Histogram
@@ -129,14 +135,16 @@ func newServer(cfg serverConfig) *server {
 		scanBatch: func(ctx context.Context, d *fabp.Database, queries []*fabp.Query, thresholdFrac float64) ([][]fabp.RecordHit, error) {
 			return fabp.AlignDatabaseBatchContext(ctx, d, queries, thresholdFrac)
 		},
+		streamBatch: fabp.AlignBatchStreamContext,
 		m: serveMetrics{
 			requests:      reg.Counter("serve.requests"),
 			rejected:      reg.Counter("serve.rejected.overload"),
 			timeouts:      reg.Counter("serve.timeouts"),
 			clientGone:    reg.Counter("serve.client.gone"),
 			failed:        reg.Counter("serve.failed"),
-			batchRequests: reg.Counter("serve.batch.requests"),
-			batchQueries:  reg.Counter("serve.batch.queries"),
+			batchRequests:  reg.Counter("serve.batch.requests"),
+			batchQueries:   reg.Counter("serve.batch.queries"),
+			streamRequests: reg.Counter("serve.stream.requests"),
 			degraded:      reg.Counter("serve.degraded"),
 			cacheHits:     reg.Counter("serve.cache.hits"),
 			inflight:      reg.Gauge("serve.inflight"),
@@ -150,6 +158,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /align", s.handleAlign)
 	mux.HandleFunc("POST /align/batch", s.handleAlignBatch)
+	mux.HandleFunc("POST /align/stream", s.handleAlignStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -577,6 +586,182 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMs = float64(time.Since(t0).Nanoseconds()) / 1e6
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamHit is one NDJSON hit line of the /align/stream response: the
+// query's index in the request, the hit's global position in the streamed
+// reference, and its score.
+type streamHit struct {
+	Query int `json:"query"`
+	Pos   int `json:"pos"`
+	Score int `json:"score"`
+}
+
+// streamTrailer is the final NDJSON line of the /align/stream response.
+// Done is false when the scan ended early; Error then says why, and every
+// hit line already written remains valid (they cover the stream prefix).
+type streamTrailer struct {
+	Done      bool    `json:"done"`
+	Hits      int     `json:"hits"`
+	Truncated bool    `json:"truncated"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// handleAlignStream serves POST /align/stream: the request body is a raw
+// nucleotide stream (letters, whitespace tolerated, unbounded length) and
+// the query parameters name K proteins; the server packs each chunk of the
+// body into bit-planes once and the fused batch kernel scores all K
+// queries from those shared plane words — K queries cost one read+pack per
+// chunk. Hits stream back as NDJSON lines as each chunk completes,
+// followed by one trailer line. Like /align/batch, the request weighs K
+// admission units; unlike it, hits carry stream positions, not record
+// attributions — the reference is the client's stream, not the resident
+// database. Errors after the first hit line surface in the trailer (the
+// status line is already committed); earlier errors use the normal JSON
+// error surface.
+func (s *server) handleAlignStream(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	s.m.streamRequests.Inc()
+
+	params := r.URL.Query()
+	protStrs := params["query"]
+	if len(protStrs) == 0 {
+		writeError(w, http.StatusBadRequest, "missing query parameters")
+		return
+	}
+	if len(protStrs) > s.cfg.maxBatch {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d queries exceeds the server's limit of %d", len(protStrs), s.cfg.maxBatch)
+		return
+	}
+	queries := make([]*fabp.Query, len(protStrs))
+	for i, qs := range protStrs {
+		if strings.TrimSpace(qs) == "" {
+			writeError(w, http.StatusBadRequest, "query %d is empty", i)
+			return
+		}
+		q, err := fabp.NewQuery(qs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid query %d: %v", i, err)
+			return
+		}
+		queries[i] = q
+	}
+	frac := 0.8
+	if v := params.Get("threshold_frac"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad threshold_frac: %v", err)
+			return
+		}
+		frac = f
+	}
+	maxHits := s.cfg.maxHits
+	if v := params.Get("max_hits"); v != "" {
+		mh, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad max_hits: %v", err)
+			return
+		}
+		if mh > 0 && mh < maxHits {
+			maxHits = mh
+		}
+	}
+	timeout := s.cfg.defaultTimeout
+	if v := params.Get("timeout_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad timeout_ms: %v", err)
+			return
+		}
+		if ms > 0 {
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if timeout > s.cfg.maxTimeout {
+		timeout = s.cfg.maxTimeout
+	}
+	s.m.batchQueries.Add(uint64(len(queries)))
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	weight := len(queries)
+	if err := s.adm.Admit(ctx, weight); err != nil {
+		s.writeAdmitError(w, err, timeout)
+		return
+	}
+	s.m.inflight.Add(int64(weight))
+	t0 := time.Now()
+	defer func() { s.m.latency.Observe(time.Since(t0)) }()
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	counts := make([]int, len(queries))
+	total, wrote, truncated := 0, false, false
+	err := s.streamBatch(ctx, queries, r.Body, frac, func(qi int, h fabp.Hit) error {
+		if counts[qi] >= maxHits {
+			truncated = true
+			return nil
+		}
+		counts[qi]++
+		total++
+		if !wrote {
+			// First hit commits the streaming response.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			wrote = true
+		}
+		if eerr := enc.Encode(streamHit{Query: qi, Pos: h.Pos, Score: h.Score}); eerr != nil {
+			return eerr
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	observed := time.Since(t0)
+	if err != nil {
+		observed = 0
+	}
+	s.adm.Release(weight, observed)
+	s.m.inflight.Add(-int64(weight))
+
+	if err != nil && !wrote {
+		// Nothing streamed yet: the full JSON error surface is still open.
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.m.timeouts.Inc()
+			writeError(w, http.StatusGatewayTimeout, "stream scan exceeded its %s deadline", timeout)
+		case errors.Is(err, context.Canceled):
+			s.m.clientGone.Inc()
+		default:
+			// Stream scans fail on what the client sent — a bad byte in the
+			// stream, a bad fraction — so the error is the client's to fix.
+			s.m.failed.Inc()
+			writeError(w, http.StatusBadRequest, "stream scan failed: %v", err)
+		}
+		return
+	}
+	trailer := streamTrailer{
+		Done:      err == nil,
+		Hits:      total,
+		Truncated: truncated,
+		ElapsedMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.m.clientGone.Inc()
+			return // nobody is reading; skip the trailer
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.m.timeouts.Inc()
+		} else {
+			s.m.failed.Inc()
+		}
+		trailer.Error = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = enc.Encode(trailer)
 }
 
 // healthzResponse is the /healthz body: liveness plus the shape of the

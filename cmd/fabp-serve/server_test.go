@@ -989,3 +989,131 @@ func TestServeQueuedDeadlineShed(t *testing.T) {
 		t.Errorf("blocker finished %d, want 200", code)
 	}
 }
+
+// TestAlignStreamEndpoint drives the fused streaming endpoint with a real
+// nucleotide body: every query's NDJSON hits must match AlignBatch over
+// the same letters, and the trailer must account for them.
+func TestAlignStreamEndpoint(t *testing.T) {
+	s, _ := testServer(t, serverConfig{maxInflight: 4})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	ref, genes := fabp.SyntheticReference(9, 30_000, 3, 30)
+	queries := make([]*fabp.Query, len(genes))
+	vals := make([]string, len(genes))
+	for i, g := range genes {
+		q, err := fabp.NewQuery(g.Protein)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+		vals[i] = "query=" + g.Protein
+	}
+	want, err := fabp.AlignBatch(queries, ref, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	url := ts.URL + "/align/stream?" + strings.Join(vals, "&") + "&threshold_frac=0.7"
+	resp, err := http.Post(url, "application/octet-stream", strings.NewReader(ref.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+
+	got := make([][]fabp.Hit, len(queries))
+	var trailer streamTrailer
+	sawTrailer := false
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		if sawTrailer {
+			t.Fatal("lines after the trailer")
+		}
+		var raw map[string]json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			t.Fatal(err)
+		}
+		if _, isTrailer := raw["done"]; isTrailer {
+			b, _ := json.Marshal(raw)
+			if err := json.Unmarshal(b, &trailer); err != nil {
+				t.Fatal(err)
+			}
+			sawTrailer = true
+			continue
+		}
+		var h streamHit
+		b, _ := json.Marshal(raw)
+		if err := json.Unmarshal(b, &h); err != nil {
+			t.Fatal(err)
+		}
+		got[h.Query] = append(got[h.Query], fabp.Hit{Pos: h.Pos, Score: h.Score})
+	}
+	if !sawTrailer || !trailer.Done || trailer.Error != "" {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	totalWant := 0
+	for qi := range want {
+		totalWant += len(want[qi])
+		if len(got[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d hits, want %d", qi, len(got[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			if got[qi][i] != want[qi][i] {
+				t.Fatalf("query %d hit %d = %+v, want %+v", qi, i, got[qi][i], want[qi][i])
+			}
+		}
+	}
+	if totalWant == 0 {
+		t.Fatal("no hits; test is vacuous")
+	}
+	if trailer.Hits != totalWant || trailer.Truncated {
+		t.Fatalf("trailer %+v, want %d hits untruncated", trailer, totalWant)
+	}
+}
+
+// TestAlignStreamValidation pins the stream route's pre-stream error
+// surface: bad inputs are plain JSON 400s, and a bad byte mid-stream that
+// precedes any hit is as well.
+func TestAlignStreamValidation(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 2, maxBatch: 2})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	post := func(params, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/align/stream?"+params, "application/octet-stream", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	qp := "query=" + protein
+	for name, params := range map[string]string{
+		"no queries":    "",
+		"empty query":   "query=",
+		"bad residues":  "query=MK123",
+		"over maxBatch": qp + "&" + qp + "&" + qp,
+		"bad frac":      qp + "&threshold_frac=nope",
+		"bad timeout":   qp + "&timeout_ms=soon",
+	} {
+		resp, body := post(params, "ACGU")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, resp.StatusCode, body)
+		}
+	}
+
+	// An invalid nucleotide before any hit: 400 with the stream position.
+	resp, body := post(qp, "ACGUX")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "position 4") {
+		t.Errorf("bad byte: status %d body %s, want 400 naming position 4", resp.StatusCode, body)
+	}
+}

@@ -579,8 +579,13 @@ func (a *Aligner) AlignStreamContext(ctx context.Context, r io.Reader, emit func
 		})
 	} else {
 		a.tm.kernelChosen(true)
-		err = scanChunks(ctx, r, a.query.Elements(), &a.tm, a.retryPolicy, func(seq bio.NucSeq, lo, hi, base int) error {
-			for _, h := range a.kernel.AlignRange(seq, lo, hi) {
+		m := a.query.Elements()
+		err = scanChunks(ctx, r, m, m, &a.tm, a.retryPolicy, func(pp *bitpar.Planes, lo, hi, base int) error {
+			hits, herr := a.streamChunkHits(ctx, pp, lo, hi)
+			if herr != nil {
+				return herr
+			}
+			for _, h := range hits {
 				a.tm.hits.Inc()
 				if err := emit(Hit{Pos: base + h.Pos, Score: h.Score}); err != nil {
 					return err

@@ -176,6 +176,24 @@ func checkBatchConformance(t *testing.T, proteins []string, refStr string, frac 
 		}
 		assertBatch(fmt.Sprintf("fused shardLen=%d", shardLen), bitparBatchToHits(raw))
 	}
+
+	// The fused batch STREAMING path: one pooled pack per chunk shared by
+	// every query, across chunk sizes straddling the longest query's carry
+	// (maxElems+2 is the clamp floor, the last runs carry-free) — streamed
+	// hits must be byte-identical to the scalar truth per query.
+	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
+	for _, chunk := range []int{maxElems + 2, 2*maxElems + 1, len(refStr) + 1} {
+		streamChunkLetters = chunk
+		got := make([][]Hit, len(queries))
+		err := AlignBatchStream(queries, strings.NewReader(refStr), frac, func(qi int, h Hit) error {
+			got[qi] = append(got[qi], h)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chunk %d AlignBatchStream: %v", chunk, err)
+		}
+		assertBatch(fmt.Sprintf("batch stream chunk=%d", chunk), got)
+	}
 }
 
 // conformanceCase derives a bounded random workload from fuzz inputs.

@@ -52,20 +52,13 @@ func (n Nucleotide) Complement() Nucleotide { return 3 - (n & 3) }
 func (n Nucleotide) Bit(i uint) uint8 { return uint8(n>>i) & 1 }
 
 // ParseNucleotide converts an ASCII base letter (DNA or RNA, either case)
-// into a Nucleotide.
+// into a Nucleotide. Whitespace is invalid here; the sequence decoders
+// (ParseNucSeq, AppendNucASCII) are the whitespace-tolerant layer.
 func ParseNucleotide(b byte) (Nucleotide, error) {
-	switch b {
-	case 'A', 'a':
-		return A, nil
-	case 'C', 'c':
-		return C, nil
-	case 'G', 'g':
-		return G, nil
-	case 'U', 'u', 'T', 't':
-		return U, nil
-	default:
-		return 0, fmt.Errorf("bio: invalid nucleotide letter %q", b)
+	if c := nucCodes[b]; c < NumNucleotides {
+		return Nucleotide(c), nil
 	}
+	return 0, fmt.Errorf("bio: invalid nucleotide letter %q", b)
 }
 
 // AminoAcid identifies one of the 20 proteinogenic amino acids or the Stop

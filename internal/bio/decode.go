@@ -1,0 +1,56 @@
+package bio
+
+import "fmt"
+
+// Table-driven ASCII→nucleotide decoding. One 256-entry table classifies
+// every byte in a single load — the 2-bit code for a base letter, a
+// whitespace marker, or an invalid marker — replacing the per-letter
+// switch on the streaming and database-build hot paths.
+const (
+	nucSpace   = 0xFE // whitespace: skipped by the sequence decoders
+	nucInvalid = 0xFF // anything that is neither a base letter nor whitespace
+)
+
+// nucCodes maps ASCII bytes to 2-bit nucleotide codes (A=00, C=01, G=10,
+// U/T=11, either case), nucSpace for whitespace, nucInvalid otherwise.
+var nucCodes [256]uint8
+
+func init() {
+	for i := range nucCodes {
+		nucCodes[i] = nucInvalid
+	}
+	for _, e := range []struct {
+		letters string
+		code    Nucleotide
+	}{
+		{"Aa", A}, {"Cc", C}, {"Gg", G}, {"UuTt", U},
+	} {
+		for i := 0; i < len(e.letters); i++ {
+			nucCodes[e.letters[i]] = uint8(e.code)
+		}
+	}
+	for _, ws := range []byte{' ', '\t', '\n', '\r'} {
+		nucCodes[ws] = nucSpace
+	}
+}
+
+// AppendNucASCII decodes the ASCII base letters in src (DNA or RNA, either
+// case, whitespace skipped) and appends them to dst. On an invalid byte it
+// returns dst extended with everything decoded before it, the byte's index
+// in src, and an error; otherwise the index is len(src) and the error nil.
+// The shared decode step of the chunked stream scan and the database
+// builder.
+func AppendNucASCII[S ~[]byte | ~string](dst NucSeq, src S) (NucSeq, int, error) {
+	for i := 0; i < len(src); i++ {
+		c := nucCodes[src[i]]
+		if c < NumNucleotides {
+			dst = append(dst, Nucleotide(c))
+			continue
+		}
+		if c == nucSpace {
+			continue
+		}
+		return dst, i, fmt.Errorf("bio: invalid nucleotide letter %q", src[i])
+	}
+	return dst, len(src), nil
+}

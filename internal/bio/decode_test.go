@@ -1,0 +1,127 @@
+package bio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAppendNucASCIIMatchesPerLetterParse proves the table decoder is the
+// per-letter parser: every byte value either decodes identically or fails
+// in both (whitespace excepted — the decoder skips it, the letter parser
+// rejects it).
+func TestAppendNucASCIIMatchesPerLetterParse(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		in := []byte{byte(b)}
+		got, idx, err := AppendNucASCII(nil, in)
+		want, perr := ParseNucleotide(byte(b))
+		switch byte(b) {
+		case ' ', '\t', '\n', '\r':
+			if err != nil || len(got) != 0 {
+				t.Fatalf("byte %q: whitespace not skipped (got %v, err %v)", b, got, err)
+			}
+		default:
+			if perr == nil {
+				if err != nil || len(got) != 1 || got[0] != want {
+					t.Fatalf("byte %q: got %v/%v, want [%v]", b, got, err, want)
+				}
+			} else {
+				if err == nil || idx != 0 {
+					t.Fatalf("byte %q: expected decode error at 0, got idx %d err %v", b, idx, err)
+				}
+				if err.Error() != perr.Error() {
+					t.Fatalf("byte %q: error %q, want %q", b, err, perr)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendNucASCIISequences(t *testing.T) {
+	got, idx, err := AppendNucASCII(nil, "AC\n gu\tT")
+	if err != nil || idx != 8 {
+		t.Fatalf("idx %d err %v", idx, err)
+	}
+	if got.String() != "ACGUU" {
+		t.Fatalf("decoded %q, want ACGUU", got.String())
+	}
+
+	// An invalid byte stops the decode with the valid prefix and its index.
+	got, idx, err = AppendNucASCII(got[:0], []byte("ACGX TT"))
+	if err == nil || idx != 3 {
+		t.Fatalf("expected error at index 3, got idx %d err %v", idx, err)
+	}
+	if got.String() != "ACG" {
+		t.Fatalf("prefix %q, want ACG", got.String())
+	}
+
+	// Appending extends, never restarts.
+	got, _, err = AppendNucASCII(NucSeq{A, C}, "gu")
+	if err != nil || got.String() != "ACGU" {
+		t.Fatalf("append got %q err %v", got.String(), err)
+	}
+}
+
+// TestParseNucSeqErrorPositionIsByteIndex pins the historical contract:
+// the position in ParseNucSeq's error is the byte index in the input
+// string, whitespace included.
+func TestParseNucSeqErrorPositionIsByteIndex(t *testing.T) {
+	_, err := ParseNucSeq("AC GX")
+	if err == nil || !strings.Contains(err.Error(), "position 4") {
+		t.Fatalf("err %v, want position 4", err)
+	}
+}
+
+// randomLetters builds a decoder workload: base letters of both cases with
+// whitespace sprinkled in, the shape of real FASTA payload lines.
+func randomLetters(rng *rand.Rand, n int) []byte {
+	const letters = "ACGUTacgut"
+	out := make([]byte, 0, n+n/60)
+	for i := 0; i < n; i++ {
+		out = append(out, letters[rng.Intn(len(letters))])
+		if i%60 == 59 {
+			out = append(out, '\n')
+		}
+	}
+	return out
+}
+
+func BenchmarkAppendNucASCII(b *testing.B) {
+	src := randomLetters(rand.New(rand.NewSource(1)), 1<<16)
+	dst := make(NucSeq, 0, 1<<16)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, _, err = AppendNucASCII(dst[:0], src)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseNucleotideLoop is the pre-table baseline shape: one call
+// per letter with a separate whitespace check, the loop AppendNucASCII
+// replaced.
+func BenchmarkParseNucleotideLoop(b *testing.B) {
+	src := randomLetters(rand.New(rand.NewSource(1)), 1<<16)
+	dst := make(NucSeq, 0, 1<<16)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = dst[:0]
+		for _, c := range src {
+			switch c {
+			case ' ', '\t', '\n', '\r':
+				continue
+			}
+			nt, err := ParseNucleotide(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = append(dst, nt)
+		}
+	}
+}

@@ -10,17 +10,9 @@ type NucSeq []Nucleotide
 
 // ParseNucSeq parses a DNA/RNA string into a NucSeq, ignoring whitespace.
 func ParseNucSeq(s string) (NucSeq, error) {
-	seq := make(NucSeq, 0, len(s))
-	for i := 0; i < len(s); i++ {
-		b := s[i]
-		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
-			continue
-		}
-		n, err := ParseNucleotide(b)
-		if err != nil {
-			return nil, fmt.Errorf("bio: position %d: %w", i, err)
-		}
-		seq = append(seq, n)
+	seq, i, err := AppendNucASCII(make(NucSeq, 0, len(s)), s)
+	if err != nil {
+		return nil, fmt.Errorf("bio: position %d: %w", i, err)
 	}
 	return seq, nil
 }

@@ -38,7 +38,8 @@ type planes struct {
 	n      int
 }
 
-// packPlanes converts a reference into bit-planes.
+// packPlanes converts a reference into bit-planes (bulk table-driven
+// packing; see packSpan in planebuilder.go).
 func packPlanes(ref bio.NucSeq) *planes {
 	words := (len(ref) + 63) / 64
 	p := &planes{
@@ -46,11 +47,7 @@ func packPlanes(ref bio.NucSeq) *planes {
 		b1: make([]uint64, words+2),
 		n:  len(ref),
 	}
-	for j, nt := range ref {
-		w, b := 1+j/64, uint(j%64)
-		p.b0[w] |= uint64(nt&1) << b
-		p.b1[w] |= uint64(nt>>1&1) << b
-	}
+	packSpan(p.b0, p.b1, 0, ref)
 	return p
 }
 

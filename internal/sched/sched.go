@@ -34,17 +34,30 @@ type Shard struct {
 	// Index is the shard's position in the plan (shards are emitted in
 	// ascending position order).
 	Index int
-	// Lo and Hi bound the window starts, Lo inclusive, Hi exclusive. Lo is
-	// 64-aligned so bit-parallel kernels scan whole blocks.
+	// Lo and Hi bound the window starts, Lo inclusive, Hi exclusive. Every
+	// boundary after the first is 64-aligned so bit-parallel kernels scan
+	// whole blocks; the plan's own Lo may be unaligned (AlignPlanesRange
+	// rounds down and trims), as in a streamed chunk whose fresh windows
+	// begin mid-block.
 	Lo, Hi int
 }
 
 // Plan tiles `starts` window starts into shards of at most shardLen starts
-// each (0 or negative = DefaultShardLen). Shard boundaries are 64-aligned
-// for the bit-parallel kernel's block layout; the scalar engine is
-// indifferent to alignment.
+// each. It is PlanRange over [0, starts).
 func Plan(starts, shardLen int) []Shard {
-	if starts <= 0 {
+	return PlanRange(0, starts, shardLen)
+}
+
+// PlanRange tiles the window starts [lo, hi) into shards of at most
+// shardLen starts each (0 or negative = DefaultShardLen). Interior shard
+// boundaries land on 64-aligned positions for the bit-parallel kernel's
+// block layout: the first shard runs from lo to the aligned grid, later
+// shards are whole tiles. The scalar engine is indifferent to alignment.
+func PlanRange(lo, hi, shardLen int) []Shard {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
 		return nil
 	}
 	if shardLen <= 0 {
@@ -52,13 +65,16 @@ func Plan(starts, shardLen int) []Shard {
 	}
 	// Round up to the 64-position block granularity.
 	shardLen = (shardLen + 63) &^ 63
-	shards := make([]Shard, 0, (starts+shardLen-1)/shardLen)
-	for lo := 0; lo < starts; lo += shardLen {
-		hi := lo + shardLen
-		if hi > starts {
-			hi = starts
+	shards := make([]Shard, 0, (hi-lo+shardLen-1)/shardLen+1)
+	for lo < hi {
+		// Snap the shard end to the aligned tile grid so every boundary
+		// after lo itself is 64-aligned (shardLen is a multiple of 64).
+		end := lo&^63 + shardLen
+		if end > hi {
+			end = hi
 		}
-		shards = append(shards, Shard{Index: len(shards), Lo: lo, Hi: hi})
+		shards = append(shards, Shard{Index: len(shards), Lo: lo, Hi: end})
+		lo = end
 	}
 	return shards
 }

@@ -40,6 +40,44 @@ func TestPlanCoversEveryStartOnce(t *testing.T) {
 	}
 }
 
+func TestPlanRangeCoversRangeOnce(t *testing.T) {
+	for _, tc := range []struct{ lo, hi, shardLen int }{
+		{0, 0, 0}, {5, 5, 64}, {10, 3, 64}, {-7, 100, 64},
+		{0, 1000, 128}, {1, 1000, 128}, {63, 64, 64}, {63, 1000, 64},
+		{64, 1000, 64}, {65, 1000, 64}, {200, 201, 0}, {100, 12345, 100},
+	} {
+		shards := PlanRange(tc.lo, tc.hi, tc.shardLen)
+		lo := tc.lo
+		if lo < 0 {
+			lo = 0
+		}
+		if tc.hi <= lo {
+			if shards != nil {
+				t.Errorf("PlanRange(%d,%d,%d) = %v, want nil", tc.lo, tc.hi, tc.shardLen, shards)
+			}
+			continue
+		}
+		pos := lo
+		for i, s := range shards {
+			if s.Index != i {
+				t.Fatalf("shard %d has Index %d", i, s.Index)
+			}
+			if s.Lo != pos || s.Hi <= s.Lo {
+				t.Fatalf("PlanRange(%d,%d,%d): shard %d = [%d,%d), want Lo=%d",
+					tc.lo, tc.hi, tc.shardLen, i, s.Lo, s.Hi, pos)
+			}
+			// Every boundary after the plan's own lo must be 64-aligned.
+			if i > 0 && s.Lo%64 != 0 {
+				t.Fatalf("shard %d Lo %d not 64-aligned", i, s.Lo)
+			}
+			pos = s.Hi
+		}
+		if pos != tc.hi {
+			t.Errorf("PlanRange(%d,%d,%d) covers to %d, want %d", tc.lo, tc.hi, tc.shardLen, pos, tc.hi)
+		}
+	}
+}
+
 func TestPoolBoundsConcurrency(t *testing.T) {
 	p := NewPool(3)
 	if p.Workers() != 3 {

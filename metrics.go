@@ -27,8 +27,9 @@ import (
 //	scan.shards.planned      shards the scheduler tiled
 //	scan.shards.run          shards that executed (== planned when quiet)
 //	scan.plane.lookups       packed-plane cache lookups issued by scans
-//	stream.chunks.processed  chunks (beats) scanned by AlignStream
+//	stream.chunks.processed  chunks (beats) scanned by AlignStream / AlignBatchStream
 //	stream.carry.restarts    chunk-boundary carries of the streaming scan
+//	stream.planes.packed_words plane words packed by the streaming packer
 //	batch.queries            queries scanned through the fused batch path
 //	batch.fused_passes       fused tile passes (each replacing K per-query passes)
 //	batch.plane_bytes_saved  plane bytes NOT re-read thanks to fusion: (K−1)×planes
@@ -52,8 +53,9 @@ import (
 //
 // Latency histograms: align.latency (whole calls), scan.shard.latency
 // (per shard), batch.kernel.latency (whole fused batch scans — its SumNs
-// is the batch path's kernel-seconds attribution), pool.task.wait and
-// pool.task.run (scheduler).
+// is the batch path's kernel-seconds attribution), stream.pack.latency
+// (per-chunk bit-plane packing, the streaming pack tax), pool.task.wait
+// and pool.task.run (scheduler).
 //
 // All hot-path updates are single atomic operations; see DESIGN.md for
 // the atomicity/overhead contract.
@@ -182,8 +184,10 @@ type alignerMetrics struct {
 	shardsPlanned, shardsRun   *telemetry.Counter
 	planeLookups               *telemetry.Counter
 	chunks, carries            *telemetry.Counter
+	packWords                  *telemetry.Counter
 	canceled, deadline         *telemetry.Counter
 	alignLatency, shardLatency *telemetry.Histogram
+	packLatency                *telemetry.Histogram
 
 	batchQueries, batchFusedPasses *telemetry.Counter
 	batchPlaneBytesSaved           *telemetry.Counter
@@ -203,10 +207,12 @@ func newAlignerMetrics(reg *telemetry.Registry) alignerMetrics {
 		planeLookups:  reg.Counter("scan.plane.lookups"),
 		chunks:        reg.Counter("stream.chunks.processed"),
 		carries:       reg.Counter("stream.carry.restarts"),
+		packWords:     reg.Counter("stream.planes.packed_words"),
 		canceled:      reg.Counter("align.canceled"),
 		deadline:      reg.Counter("align.deadline.exceeded"),
 		alignLatency:  reg.Histogram("align.latency"),
 		shardLatency:  reg.Histogram("scan.shard.latency"),
+		packLatency:   reg.Histogram("stream.pack.latency"),
 
 		batchQueries:         reg.Counter("batch.queries"),
 		batchFusedPasses:     reg.Counter("batch.fused_passes"),

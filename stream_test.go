@@ -1,9 +1,11 @@
 package fabp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -179,6 +181,206 @@ func TestChaosStreamReadRetryRecoversFullScan(t *testing.T) {
 	}
 	if after := DefaultMetrics().Snapshot().Counters["scan.retries"]; after != before+1 {
 		t.Fatalf("scan.retries %d -> %d, want exactly one retry", before, after)
+	}
+}
+
+// TestAlignStreamPooledPlanesNoAliasing: concurrent streams draw builders
+// from one shared pool and reuse plane buffers across chunks; every
+// stream's emitted hits must still match its own in-memory oracle exactly
+// — reuse may never leak one chunk's (or one stream's) plane words into
+// another's results. Run under -race this also proves no shard goroutine
+// reads a builder being mutated.
+func TestAlignStreamPooledPlanesNoAliasing(t *testing.T) {
+	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
+	streamChunkLetters = 2048 // many carries per stream, heavy pool churn
+
+	const streams = 8
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			// Distinct reference and query per stream: cross-contamination
+			// between pooled buffers would show up as oracle mismatches.
+			ref, genes := SyntheticReference(int64(100+s), 20_000, 2, 30)
+			q, err := NewQuery(genes[s%2].Protein)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			a, err := NewAligner(q, WithThresholdFraction(0.7), WithKernelType(KernelBitParallel))
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			want := a.Align(ref)
+			if len(want) == 0 {
+				errs[s] = fmt.Errorf("stream %d: no hits; test is vacuous", s)
+				return
+			}
+			for round := 0; round < 4; round++ {
+				var got []Hit
+				if err := a.AlignStream(strings.NewReader(ref.String()),
+					func(h Hit) error { got = append(got, h); return nil }); err != nil {
+					errs[s] = err
+					return
+				}
+				if len(got) != len(want) {
+					errs[s] = fmt.Errorf("stream %d round %d: %d hits, want %d", s, round, len(got), len(want))
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						errs[s] = fmt.Errorf("stream %d round %d: hit %d = %+v, want %+v",
+							s, round, i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAlignStreamSteadyStateZeroChunkAllocs is the pooled-packing
+// contract at the stream level: once the builder pool is warm, scanning
+// more chunks must not allocate more — the per-run allocation count of a
+// 64-chunk stream equals that of a 4-chunk stream over the same letters
+// (both pay the same per-call fixed costs: read buffer, decode buffer,
+// reader).
+func TestAlignStreamSteadyStateZeroChunkAllocs(t *testing.T) {
+	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
+
+	ref, _ := SyntheticReference(31, 64_000, 1, 30)
+	refStr := ref.String()
+	// A full-score threshold over random sequence: zero hits, so the only
+	// allocations are the stream's own.
+	q, err := NewQuery("MWKHQTEDLVRSNAGYFCIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAligner(q, WithThresholdFraction(1.0), WithKernelType(KernelBitParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanWith := func(chunk int) float64 {
+		streamChunkLetters = chunk
+		run := func() {
+			if err := a.AlignStream(strings.NewReader(refStr), func(h Hit) error {
+				t.Errorf("unexpected hit %+v", h)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the builder pool to this high-water mark
+		return testing.AllocsPerRun(20, run)
+	}
+	few := scanWith(16384) // 4 chunks
+	many := scanWith(1024) // 63 chunks
+	if many > few+1 {
+		t.Fatalf("63-chunk stream allocates %.1f/op vs 4-chunk %.1f/op: chunks are not allocation-free", many, few)
+	}
+}
+
+// TestAlignBatchStreamMatchesAlignBatch: the fused streaming batch over a
+// chunked reader must reproduce the in-memory fused batch hit for hit,
+// per query, including mixed query lengths (per-query window clamping at
+// the final flush).
+func TestAlignBatchStreamMatchesAlignBatch(t *testing.T) {
+	defer func(old int) { streamChunkLetters = old }(streamChunkLetters)
+	streamChunkLetters = 4096
+
+	ref, genes := SyntheticReference(33, 50_000, 3, 40)
+	queries := make([]*Query, 0, 4)
+	for _, g := range genes {
+		q, err := NewQuery(g.Protein)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	// A shorter query so MaxElems != MinElems exercises the tail flush.
+	qs, err := NewQuery(genes[0].Protein[:12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries = append(queries, qs)
+
+	want, err := AlignBatch(queries, ref, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, hits := range want {
+		if len(hits) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatal("batch oracle too sparse; test is vacuous")
+	}
+
+	got := make([][]Hit, len(queries))
+	if err := AlignBatchStream(queries, strings.NewReader(ref.String()), 0.7,
+		func(qi int, h Hit) error { got[qi] = append(got[qi], h); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for qi := range want {
+		if len(got[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d hits, want %d", qi, len(got[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			if got[qi][i] != want[qi][i] {
+				t.Fatalf("query %d hit %d = %+v, want %+v", qi, i, got[qi][i], want[qi][i])
+			}
+		}
+	}
+
+	// Streaming telemetry must see the batch: chunks processed and plane
+	// words packed.
+	snap := DefaultMetrics().Snapshot()
+	if snap.Counters["stream.chunks.processed"] == 0 {
+		t.Error("stream.chunks.processed is 0 after AlignBatchStream")
+	}
+	if snap.Counters["stream.planes.packed_words"] == 0 {
+		t.Error("stream.planes.packed_words is 0 after AlignBatchStream")
+	}
+}
+
+// TestAlignBatchStreamValidation pins the edge contracts: an empty batch
+// fails up front, an emit error stops the scan, and cancellation surfaces
+// ctx.Err().
+func TestAlignBatchStreamValidation(t *testing.T) {
+	if err := AlignBatchStream(nil, strings.NewReader("ACGU"), 0.8,
+		func(int, Hit) error { return nil }); err == nil || !strings.Contains(err.Error(), "empty batch") {
+		t.Fatalf("empty batch: err %v", err)
+	}
+
+	ref, genes := SyntheticReference(35, 20_000, 2, 30)
+	q, err := NewQuery(genes[0].Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := errors.New("stop")
+	err = AlignBatchStream([]*Query{q}, strings.NewReader(ref.String()), 0.7,
+		func(int, Hit) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Fatalf("emit error: got %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = AlignBatchStreamContext(ctx, []*Query{q}, strings.NewReader(ref.String()), 0.7,
+		func(int, Hit) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: got %v", err)
 	}
 }
 
