@@ -5,7 +5,6 @@ import (
 
 	"fabp/internal/bio"
 	"fabp/internal/swalign"
-	"fabp/internal/tblastn"
 )
 
 // TBLASTNOptions tunes the heuristic baseline search.
@@ -21,24 +20,32 @@ type TBLASTNOptions struct {
 	TwoHit bool
 }
 
-// HSP is a high-scoring segment pair from the TBLASTN baseline.
+// HSP is a high-scoring segment pair from a protein search.
 type HSP struct {
 	// Frame renders BLAST-style: "+1".."+3", "-1".."-3".
 	Frame string
 	// QStart/QEnd delimit the query residues (half-open).
 	QStart, QEnd int
+	// SStart/SEnd delimit the subject positions within the translated
+	// frame (half-open).
+	SStart, SEnd int
 	// NucPos is the forward-strand nucleotide offset of the subject
 	// segment.
 	NucPos int
 	// Score is the raw BLOSUM62 segment score.
 	Score int
+	// BitScore and EValue are Karlin-Altschul statistics over the
+	// translated search space.
+	BitScore float64
+	EValue   float64
 }
 
-// SearchTBLASTN runs the TBLASTN-style baseline: 6-frame translation,
+// SearchTBLASTN runs the TBLASTN-style search: 6-frame translation,
 // BLOSUM62 neighborhood seeding and X-drop extension. HSPs come back
-// best-first.
+// best-first. It is the legacy spelling of SearchProtein and routes
+// through the same Scan spine (cancellation, sharding, result cache).
 func SearchTBLASTN(query *Query, ref *Reference, opts TBLASTNOptions) ([]HSP, error) {
-	o := tblastn.Options{
+	o := ProteinSearchOptions{
 		Threads:  opts.Threads,
 		MinScore: opts.MinScore,
 		TwoHit:   opts.TwoHit,
@@ -46,20 +53,7 @@ func SearchTBLASTN(query *Query, ref *Reference, opts TBLASTNOptions) ([]HSP, er
 	if opts.ForwardOnly {
 		o.Frames = 3
 	}
-	hsps, _, err := tblastn.Search(query.protein, ref.seq, o)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]HSP, len(hsps))
-	for i, h := range hsps {
-		out[i] = HSP{
-			Frame:  h.Frame.String(),
-			QStart: h.QStart, QEnd: h.QEnd,
-			NucPos: h.NucPos,
-			Score:  h.Score,
-		}
-	}
-	return out, nil
+	return SearchProtein(query, ref, o)
 }
 
 // SWResult is a Smith-Waterman local alignment.

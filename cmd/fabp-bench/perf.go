@@ -43,6 +43,11 @@ type perfReport struct {
 	LoadColdNs      float64 `json:"load_cold_ns,omitempty"`
 	LoadWarmNs      float64 `json:"load_warm_ns,omitempty"`
 	LoadWarmSpeedup float64 `json:"load_warm_speedup,omitempty"`
+	// SearchSpeedup is search_serial ns/op over search_sharded ns/op —
+	// the sched-sharded protein scan's measured thread-scaling gain at
+	// GOMAXPROCS workers (results are byte-identical by construction, so
+	// this is pure wall-clock).
+	SearchSpeedup float64 `json:"search_speedup,omitempty"`
 	// CacheColdNs/CacheHitNs time one Scan through the unified API with
 	// the result cache armed: cold flushes the cache first so the scan
 	// runs and seeds an entry, hit re-issues the identical request and is
@@ -221,6 +226,37 @@ func runPerf(outDir string, scale, batchN int, cacheOn bool) {
 		)
 	}
 
+	// Protein-search pair: the TBLASTN-style pipeline over the same
+	// reference, serial versus sched-sharded at GOMAXPROCS workers. These
+	// run before the cache rows so the result cache is still disabled and
+	// every op is a real scan.
+	{
+		sq, err := fabp.NewQuery(genes[0].Protein)
+		if err != nil {
+			log.Fatal(err)
+		}
+		searchOnce := func(threads int) int {
+			hsps, err := fabp.SearchProtein(sq, ref, fabp.ProteinSearchOptions{
+				Threads: threads, TwoHit: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return len(hsps)
+		}
+		// Floor at 2 so the sharded row always exercises the
+		// speculate+replay path even on a single-CPU runner (there the
+		// ratio reads as sharding overhead rather than speedup).
+		threads := runtime.GOMAXPROCS(0)
+		if threads < 2 {
+			threads = 2
+		}
+		configs = append(configs,
+			benchCfg{"search_serial", reps, func() int { return searchOnce(1) }},
+			benchCfg{"search_sharded", reps, func() int { return searchOnce(threads) }},
+		)
+	}
+
 	// Cold vs hit through the result cache: the same Scan request issued
 	// with the cache flushed (the scan runs and seeds) versus already
 	// seeded (served from the cache, no scan). Hits are microseconds, so
@@ -318,6 +354,10 @@ func runPerf(outDir string, scale, batchN int, cacheOn bool) {
 		report.StreamSpeedup = nsPerOp["stream_batch_per_query"] / nsPerOp["stream_batch_fused"]
 		fmt.Printf("stream batch %d fused speedup ×%.2f over per-query streams\n", batchN, report.StreamSpeedup)
 	}
+	if s, p := nsPerOp["search_serial"], nsPerOp["search_sharded"]; s > 0 && p > 0 {
+		report.SearchSpeedup = s / p
+		fmt.Printf("sharded protein search speedup ×%.2f over serial\n", report.SearchSpeedup)
+	}
 	if c, h := nsPerOp["scan_cache_cold"], nsPerOp["scan_cache_hit"]; c > 0 && h > 0 {
 		report.CacheColdNs, report.CacheHitNs = c, h
 		report.CacheHitSpeedup = c / h
@@ -391,6 +431,9 @@ func comparePerf(oldPath, newPath string) {
 	}
 	if oldR.StreamSpeedup > 0 && newR.StreamSpeedup > 0 {
 		fmt.Printf("stream speedup: ×%.2f → ×%.2f\n", oldR.StreamSpeedup, newR.StreamSpeedup)
+	}
+	if oldR.SearchSpeedup > 0 && newR.SearchSpeedup > 0 {
+		fmt.Printf("protein search speedup: ×%.2f → ×%.2f\n", oldR.SearchSpeedup, newR.SearchSpeedup)
 	}
 	if oldR.CacheHitSpeedup > 0 && newR.CacheHitSpeedup > 0 {
 		fmt.Printf("cache hit speedup: ×%.2f → ×%.2f\n", oldR.CacheHitSpeedup, newR.CacheHitSpeedup)

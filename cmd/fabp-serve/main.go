@@ -19,6 +19,11 @@
 //	                    "max_hits":100, "timeout_ms":500} — one fused scan
 //	                    for the whole batch; a K-query batch takes K
 //	                    in-flight slots (admission weighs scan work)
+//	POST /search       {"query":"MKWVTF...", "two_hit":true, "frames":6,
+//	                    "min_score":35, "max_evalue":1e-3, "max_hits":100,
+//	                    "timeout_ms":500} — TBLASTN-style protein search
+//	                    of the database's translated frames (HSPs with
+//	                    E-values), same admission/cache/deadline spine
 //	GET  /healthz      liveness + resident-database shape
 //	GET  /metrics      telemetry snapshot (expvar-style JSON)
 //

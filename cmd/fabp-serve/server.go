@@ -12,6 +12,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -97,6 +98,7 @@ type serveMetrics struct {
 	requests, rejected, timeouts, clientGone, failed *telemetry.Counter
 	batchRequests, batchQueries                      *telemetry.Counter
 	streamRequests                                   *telemetry.Counter
+	searchRequests                                   *telemetry.Counter
 	degraded, cacheHits                              *telemetry.Counter
 	inflight                                         *telemetry.Gauge
 	latency                                          *telemetry.Histogram
@@ -137,18 +139,19 @@ func newServer(cfg serverConfig) *server {
 		},
 		streamBatch: fabp.AlignBatchStreamContext,
 		m: serveMetrics{
-			requests:      reg.Counter("serve.requests"),
-			rejected:      reg.Counter("serve.rejected.overload"),
-			timeouts:      reg.Counter("serve.timeouts"),
-			clientGone:    reg.Counter("serve.client.gone"),
-			failed:        reg.Counter("serve.failed"),
+			requests:       reg.Counter("serve.requests"),
+			rejected:       reg.Counter("serve.rejected.overload"),
+			timeouts:       reg.Counter("serve.timeouts"),
+			clientGone:     reg.Counter("serve.client.gone"),
+			failed:         reg.Counter("serve.failed"),
 			batchRequests:  reg.Counter("serve.batch.requests"),
 			batchQueries:   reg.Counter("serve.batch.queries"),
 			streamRequests: reg.Counter("serve.stream.requests"),
-			degraded:      reg.Counter("serve.degraded"),
-			cacheHits:     reg.Counter("serve.cache.hits"),
-			inflight:      reg.Gauge("serve.inflight"),
-			latency:       reg.Histogram("serve.latency"),
+			searchRequests: reg.Counter("serve.search.requests"),
+			degraded:       reg.Counter("serve.degraded"),
+			cacheHits:      reg.Counter("serve.cache.hits"),
+			inflight:       reg.Gauge("serve.inflight"),
+			latency:        reg.Histogram("serve.latency"),
 		},
 	}
 }
@@ -159,6 +162,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /align", s.handleAlign)
 	mux.HandleFunc("POST /align/batch", s.handleAlignBatch)
 	mux.HandleFunc("POST /align/stream", s.handleAlignStream)
+	mux.HandleFunc("POST /search", s.handleSearch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -430,6 +434,199 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	s.adm.Release(1, observed)
 	s.m.inflight.Add(-1)
 	s.writeScanResult(w, q, res, err, timeout, t0)
+}
+
+// searchRequest is the /search request body: a TBLASTN-style protein
+// search of the resident database through the Scan spine.
+type searchRequest struct {
+	// Query is the protein in one-letter codes (required).
+	Query string `json:"query"`
+	// MinScore is the raw BLOSUM62 HSP cutoff. Omitted selects the BLAST
+	// default (35); an explicit 0 or negative value keeps every HSP.
+	MinScore *int `json:"min_score,omitempty"`
+	// TwoHit enables BLAST's two-hit seeding (default one-hit).
+	TwoHit bool `json:"two_hit,omitempty"`
+	// Frames limits the search to the first N translated frames
+	// (3 = forward strand only; default 6 = full TBLASTN).
+	Frames int `json:"frames,omitempty"`
+	// MaxEValue, when positive, discards HSPs whose E-value exceeds it.
+	MaxEValue float64 `json:"max_evalue,omitempty"`
+	// MaxHits caps the HSPs returned (default and ceiling: the server's
+	// -max-hits).
+	MaxHits int `json:"max_hits,omitempty"`
+	// TimeoutMs bounds this request's search (default: the server's
+	// -timeout, capped at -max-timeout).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// searchHSP is one HSP in the /search response.
+type searchHSP struct {
+	Frame    string  `json:"frame"`
+	QStart   int     `json:"q_start"`
+	QEnd     int     `json:"q_end"`
+	SStart   int     `json:"s_start"`
+	SEnd     int     `json:"s_end"`
+	NucPos   int     `json:"nuc_pos"`
+	Score    int     `json:"score"`
+	BitScore float64 `json:"bit_score"`
+	EValue   float64 `json:"evalue"`
+}
+
+// searchStats profiles the pipeline run behind a /search response.
+type searchStats struct {
+	IndexEntries int `json:"index_entries"`
+	WordLookups  int `json:"word_lookups"`
+	WordHits     int `json:"word_hits"`
+	Extensions   int `json:"extensions"`
+}
+
+// searchResponse is the /search response body.
+type searchResponse struct {
+	Residues  int          `json:"residues"`
+	HSPs      []searchHSP  `json:"hsps"`
+	Truncated bool         `json:"truncated"`
+	Cache     string       `json:"cache,omitempty"`
+	ElapsedMs float64      `json:"elapsed_ms"`
+	Stats     *searchStats `json:"stats,omitempty"`
+}
+
+// handleSearch serves POST /search: a protein query against all (or the
+// forward) translated frames of the resident database, riding the same
+// spine as /align — cache fast path before admission, one weighted slot
+// while scanning, the per-request deadline shared between queue and scan.
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	s.m.searchRequests.Inc()
+	t0 := time.Now()
+	defer func() { s.m.latency.Observe(time.Since(t0)) }()
+
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "missing query")
+		return
+	}
+	q, err := fabp.NewQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
+		return
+	}
+	opts := fabp.ProteinSearchOptions{
+		Threads:   runtime.GOMAXPROCS(0),
+		Frames:    req.Frames,
+		TwoHit:    req.TwoHit,
+		MaxEValue: req.MaxEValue,
+	}
+	if req.MinScore != nil {
+		// The wire contract is simpler than the library's: any explicit
+		// non-positive min_score means "keep every HSP".
+		if *req.MinScore <= 0 {
+			opts.MinScore = fabp.MinScoreAll
+		} else {
+			opts.MinScore = *req.MinScore
+		}
+	}
+	maxHits := s.cfg.maxHits
+	if req.MaxHits > 0 && req.MaxHits < maxHits {
+		maxHits = req.MaxHits
+	}
+	sreq := fabp.ScanRequest{
+		Query:         q,
+		Database:      s.cfg.db,
+		MaxHits:       maxHits,
+		ProteinSearch: &opts,
+	}
+
+	timeout := s.cfg.defaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.maxTimeout {
+		timeout = s.cfg.maxTimeout
+	}
+
+	// Cache fast path: a resident result answers without an admission
+	// slot. Thread count is not part of the protein cache key, so any
+	// earlier identical search serves this one.
+	if res, ok := s.lookup(sreq); ok {
+		s.m.cacheHits.Inc()
+		s.writeSearchResult(w, q, res, nil, timeout, t0)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.adm.Admit(ctx, 1); err != nil {
+		s.writeAdmitError(w, err, timeout)
+		return
+	}
+	s.m.inflight.Add(1)
+	tScan := time.Now()
+	res, err := s.scan(ctx, sreq)
+	observed := time.Since(tScan)
+	if err != nil {
+		observed = 0
+	}
+	s.adm.Release(1, observed)
+	s.m.inflight.Add(-1)
+	s.writeSearchResult(w, q, res, err, timeout, t0)
+}
+
+// writeSearchResult maps a protein-search outcome onto the HTTP surface
+// with the same error taxonomy as /align (deadline → 504, cancel →
+// client gone, bad input → 400, the rest → 500).
+func (s *server) writeSearchResult(w http.ResponseWriter, q *fabp.Query, res *fabp.ScanResult, err error, timeout time.Duration, t0 time.Time) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout,
+			"search exceeded its %s deadline", timeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody is reading the response.
+		s.m.clientGone.Inc()
+		return
+	case errors.Is(err, fabp.ErrBadQuery), errors.Is(err, fabp.ErrBadOption):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	default:
+		s.m.failed.Inc()
+		writeError(w, http.StatusInternalServerError, "search failed: %v", err)
+		return
+	}
+
+	hsps := make([]searchHSP, len(res.HSPs))
+	for i, h := range res.HSPs {
+		hsps[i] = searchHSP{
+			Frame:  h.Frame,
+			QStart: h.QStart, QEnd: h.QEnd,
+			SStart: h.SStart, SEnd: h.SEnd,
+			NucPos:   h.NucPos,
+			Score:    h.Score,
+			BitScore: h.BitScore,
+			EValue:   h.EValue,
+		}
+	}
+	resp := searchResponse{
+		Residues:  q.Residues(),
+		HSPs:      hsps,
+		Truncated: res.Truncated,
+		Cache:     string(res.Cache),
+		ElapsedMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+	}
+	if st := res.ProteinStats; st != nil {
+		resp.Stats = &searchStats{
+			IndexEntries: st.IndexEntries,
+			WordLookups:  st.WordLookups,
+			WordHits:     st.WordHits,
+			Extensions:   st.Extensions,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // batchAlignRequest is the /align/batch request body: one fused scan of

@@ -1117,3 +1117,123 @@ func TestAlignStreamValidation(t *testing.T) {
 		t.Errorf("bad byte: status %d body %s, want 400 naming position 4", resp.StatusCode, body)
 	}
 }
+
+func postSearch(t *testing.T, url string, req searchRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 4})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, body := postSearch(t, ts.URL, searchRequest{Query: protein, TwoHit: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp.StatusCode, body)
+	}
+	var res searchResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HSPs) == 0 {
+		t.Fatal("planted gene produced no HSPs")
+	}
+	top := res.HSPs[0]
+	if top.Frame != "+1" && top.Frame != "+2" && top.Frame != "+3" {
+		t.Errorf("top HSP frame %q, want forward (gene planted on forward strand)", top.Frame)
+	}
+	if top.Score <= 0 || top.EValue < 0 {
+		t.Errorf("implausible top HSP: %+v", top)
+	}
+	if res.Stats == nil || res.Stats.WordLookups == 0 {
+		t.Errorf("missing pipeline stats: %+v", res.Stats)
+	}
+	if res.Residues != len(protein) {
+		t.Errorf("residues %d, want %d", res.Residues, len(protein))
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 4})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  searchRequest
+	}{
+		{"missing query", searchRequest{}},
+		{"bad residues", searchRequest{Query: "MK123"}},
+		{"bad frames", searchRequest{Query: protein, Frames: 9}},
+	}
+	for _, tc := range cases {
+		resp, body := postSearch(t, ts.URL, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestSearchMinScoreZeroMeansAll(t *testing.T) {
+	s, protein := testServer(t, serverConfig{maxInflight: 4})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	_, defBody := postSearch(t, ts.URL, searchRequest{Query: protein})
+	var def searchResponse
+	if err := json.Unmarshal(defBody, &def); err != nil {
+		t.Fatal(err)
+	}
+	_, allBody := postSearch(t, ts.URL, searchRequest{Query: protein, MinScore: ptr(0)})
+	var all searchResponse
+	if err := json.Unmarshal(allBody, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.HSPs) < len(def.HSPs) {
+		t.Errorf("min_score=0 returned fewer HSPs (%d) than the default cutoff (%d)",
+			len(all.HSPs), len(def.HSPs))
+	}
+}
+
+func TestSearchCacheProvenance(t *testing.T) {
+	fabp.SetScanCacheCapacity(16 << 20)
+	defer fabp.SetScanCacheCapacity(0)
+	s, protein := testServer(t, serverConfig{maxInflight: 4, cacheBytes: 16 << 20})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	req := searchRequest{Query: protein, TwoHit: true}
+	_, firstBody := postSearch(t, ts.URL, req)
+	var first searchResponse
+	if err := json.Unmarshal(firstBody, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cache != "miss" {
+		t.Fatalf("first search provenance %q, want miss", first.Cache)
+	}
+	_, secondBody := postSearch(t, ts.URL, req)
+	var second searchResponse
+	if err := json.Unmarshal(secondBody, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("repeat search provenance %q, want hit", second.Cache)
+	}
+	if fmt.Sprintf("%+v", first.HSPs) != fmt.Sprintf("%+v", second.HSPs) {
+		t.Fatal("cached HSPs differ from the seeding search")
+	}
+}

@@ -2,6 +2,7 @@ package tblastn
 
 import (
 	"fmt"
+	"time"
 
 	"fabp/internal/bio"
 )
@@ -56,6 +57,7 @@ func BuildIndex(q bio.ProtSeq, t int) (*Index, error) {
 	if len(q) < WordSize {
 		return nil, fmt.Errorf("tblastn: query length %d below word size %d", len(q), WordSize)
 	}
+	defer func(start time.Time) { observeIndexBuild(time.Since(start)) }(time.Now())
 	idx := &Index{Query: q, NeighborThreshold: t, buckets: make([][]int32, numWords)}
 	// Enumerate neighbors per position, pruning by per-position best
 	// remaining score so most of the 8000-word space is skipped.

@@ -1,19 +1,40 @@
 package tblastn
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
+	"time"
 
 	"fabp/internal/bio"
+	"fabp/internal/faultinject"
+	"fabp/internal/sched"
 	kastats "fabp/internal/stats"
 	"fabp/internal/swalign"
 )
 
+// Sentinel option values. The zero Options selects BLAST-flavoured
+// defaults, so "no cutoff" needs an explicit spelling.
+const (
+	// MinScoreAll disables the raw-score cutoff: every HSP the extender
+	// produces is kept (extension itself requires a positive best score).
+	// The zero value cannot express this because a zero Options selects
+	// the BLAST default (35).
+	MinScoreAll = -1
+
+	// NeighborThresholdAll opens the neighborhood index to every word
+	// pair scoring at least -1 — effectively every seed a productive
+	// extension could start from. The zero value selects the BLAST
+	// default (11).
+	NeighborThresholdAll = -1
+)
+
 // Options tune the search pipeline; zero values take BLAST-like defaults
-// via Defaults.
+// via Resolve.
 type Options struct {
 	// NeighborThreshold is the word-pair score to enter the index (T).
+	// Zero selects the BLAST default (11); NeighborThresholdAll admits
+	// effectively every word pair.
 	NeighborThreshold int
 	// TwoHit requires two non-overlapping same-diagonal word hits within
 	// HitWindow residues before extending (BLAST's default strategy).
@@ -24,8 +45,12 @@ type Options struct {
 	// below the best seen.
 	XDrop int
 	// MinScore discards HSPs scoring lower (raw BLOSUM score cutoff).
+	// Zero selects the BLAST default (35); MinScoreAll keeps every HSP.
 	MinScore int
-	// Threads is the worker count (the paper measures 1 and 12).
+	// Threads is the worker count (the paper measures 1 and 12). The HSP
+	// set and Stats are invariant under Threads: shards record word hits
+	// in subject order and a serial replay merge runs the exact seeding
+	// state machine, so parallel output is byte-identical to serial.
 	Threads int
 	// Frames limits the search to the first N frames (3 = forward only,
 	// matching FabP's single-strand scan; 6 = full TBLASTN).
@@ -45,30 +70,69 @@ type Options struct {
 	RefineMargin int
 }
 
-// Defaults fills unset fields with BLAST-flavoured values.
-func (o Options) Defaults() Options {
-	if o.NeighborThreshold == 0 {
+// Resolve fills unset fields with BLAST-flavoured values and validates
+// the rest. It is idempotent: resolving a resolved Options is a no-op,
+// so callers may pass either raw or resolved options to Search*. The
+// *All sentinels (-1) pass through unchanged and are honoured by the
+// pipeline; other negative values are rejected.
+func (o Options) Resolve() (Options, error) {
+	switch {
+	case o.NeighborThreshold == 0:
 		o.NeighborThreshold = 11
+	case o.NeighborThreshold < NeighborThresholdAll:
+		return o, fmt.Errorf("tblastn: neighbor threshold %d invalid (use NeighborThresholdAll for maximal seeding)", o.NeighborThreshold)
 	}
-	if o.HitWindow == 0 {
-		o.HitWindow = 40
-	}
-	if o.XDrop == 0 {
-		o.XDrop = 16
-	}
-	if o.MinScore == 0 {
+	switch {
+	case o.MinScore == 0:
 		o.MinScore = 35
+	case o.MinScore < MinScoreAll:
+		return o, fmt.Errorf("tblastn: min score %d invalid (use MinScoreAll to keep every HSP)", o.MinScore)
 	}
-	if o.Threads == 0 {
+	switch {
+	case o.Threads == 0:
 		o.Threads = 1
+	case o.Threads < 0:
+		return o, fmt.Errorf("tblastn: threads must be non-negative, got %d", o.Threads)
 	}
-	if o.Frames == 0 {
+	switch {
+	case o.HitWindow == 0:
+		o.HitWindow = 40
+	case o.HitWindow < 0:
+		return o, fmt.Errorf("tblastn: hit window must be non-negative, got %d", o.HitWindow)
+	}
+	switch {
+	case o.XDrop == 0:
+		o.XDrop = 16
+	case o.XDrop < 0:
+		return o, fmt.Errorf("tblastn: x-drop must be non-negative, got %d", o.XDrop)
+	}
+	switch {
+	case o.Frames == 0:
 		o.Frames = NumFrames
+	case o.Frames < 1 || o.Frames > NumFrames:
+		return o, fmt.Errorf("tblastn: frames must be 1..6, got %d", o.Frames)
 	}
-	if o.RefineMargin == 0 {
+	switch {
+	case o.RefineMargin == 0:
 		o.RefineMargin = 20
+	case o.RefineMargin < 0:
+		return o, fmt.Errorf("tblastn: refine margin must be non-negative, got %d", o.RefineMargin)
 	}
-	return o
+	if o.MaxEValue < 0 || o.MaxEValue != o.MaxEValue {
+		return o, fmt.Errorf("tblastn: max E-value must be non-negative, got %v", o.MaxEValue)
+	}
+	return o, nil
+}
+
+// Defaults fills unset fields with BLAST-flavoured values. It is
+// Resolve without the validation: invalid fields pass through and fail
+// inside Search. Kept for callers that only want the default view.
+func (o Options) Defaults() Options {
+	r, err := o.Resolve()
+	if err != nil {
+		return o
+	}
+	return r
 }
 
 // HSP is a high-scoring segment pair: an ungapped local alignment between
@@ -94,7 +158,10 @@ type HSP struct {
 }
 
 // Stats profiles one search, exposing the pipeline costs the paper
-// discusses (hash build, lookups, extensions).
+// discusses (hash build, lookups, extensions). All fields are invariant
+// under Options.Threads; speculative extension work done by shards and
+// discarded at merge is reported only on the tblastn.extensions.speculative
+// telemetry counter.
 type Stats struct {
 	IndexEntries int
 	WordLookups  int
@@ -105,79 +172,69 @@ type Stats struct {
 
 // Search runs the TBLASTN pipeline for query q over reference ref.
 func Search(q bio.ProtSeq, ref bio.NucSeq, opts Options) ([]HSP, Stats, error) {
-	opts = opts.Defaults()
-	idx, err := BuildIndex(q, opts.NeighborThreshold)
+	return SearchContext(context.Background(), q, ref, opts)
+}
+
+// SearchContext is Search with cancellation: the scan observes ctx at
+// shard dispatch, shard merge, and periodically inside serial frame
+// scans, returning ctx.Err() once it fires.
+func SearchContext(ctx context.Context, q bio.ProtSeq, ref bio.NucSeq, opts Options) ([]HSP, Stats, error) {
+	o, err := opts.Resolve()
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return SearchWithIndex(idx, ref, opts)
+	idx, err := BuildIndex(q, o.NeighborThreshold)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return searchWithIndex(ctx, idx, ref, &o)
 }
 
 // SearchWithIndex runs the scan phase with a prebuilt query index
 // (amortizing index construction over many references).
 func SearchWithIndex(idx *Index, ref bio.NucSeq, opts Options) ([]HSP, Stats, error) {
-	opts = opts.Defaults()
-	if opts.Frames < 1 || opts.Frames > NumFrames {
-		return nil, Stats{}, fmt.Errorf("tblastn: frames must be 1..6, got %d", opts.Frames)
+	return SearchWithIndexContext(context.Background(), idx, ref, opts)
+}
+
+// SearchWithIndexContext is SearchWithIndex with cancellation.
+func SearchWithIndexContext(ctx context.Context, idx *Index, ref bio.NucSeq, opts Options) ([]HSP, Stats, error) {
+	o, err := opts.Resolve()
+	if err != nil {
+		return nil, Stats{}, err
 	}
+	return searchWithIndex(ctx, idx, ref, &o)
+}
+
+// searchWithIndex runs the pipeline on resolved options.
+func searchWithIndex(ctx context.Context, idx *Index, ref bio.NucSeq, o *Options) ([]HSP, Stats, error) {
+	tm.searches.Inc()
+	start := time.Now()
+	defer func() { tm.scanLatency.Observe(time.Since(start)) }()
+
+	if err := ctx.Err(); err != nil {
+		tm.canceled.Inc()
+		return nil, Stats{}, err
+	}
+
 	var frames []TranslatedFrame
-	if opts.Frames <= 3 {
-		frames = Translate3(ref)[:opts.Frames]
+	if o.Frames <= 3 {
+		frames = Translate3(ref)[:o.Frames]
 	} else {
-		frames = Translate6(ref)[:opts.Frames]
+		frames = Translate6(ref)[:o.Frames]
 	}
 
 	stats := Stats{IndexEntries: idx.Entries()}
-	var mu sync.Mutex
 	var all []HSP
-
-	type job struct {
-		frame  *TranslatedFrame
-		lo, hi int // protein-position range to scan
+	var err error
+	if o.Threads == 1 {
+		all, err = scanSerial(ctx, idx, frames, o, &stats)
+	} else {
+		all, err = scanSharded(ctx, idx, frames, o, &stats)
 	}
-	var jobs []job
-	// Split each frame into Threads chunks with WordSize-1 overlap so no
-	// word is lost at boundaries. HSP dedup handles the overlap region.
-	for fi := range frames {
-		tf := &frames[fi]
-		n := len(tf.Prot)
-		if n < WordSize {
-			continue
-		}
-		chunks := opts.Threads
-		if chunks > n/256+1 {
-			chunks = n/256 + 1
-		}
-		size := (n + chunks - 1) / chunks
-		for lo := 0; lo < n; lo += size {
-			hi := lo + size + WordSize - 1
-			if hi > n {
-				hi = n
-			}
-			jobs = append(jobs, job{frame: tf, lo: lo, hi: hi})
-		}
+	if err != nil {
+		tm.canceled.Inc()
+		return nil, Stats{}, err
 	}
-
-	sem := make(chan struct{}, opts.Threads)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			hsps, st := scanFrame(idx, j.frame, j.lo, j.hi, opts)
-			mu.Lock()
-			all = append(all, hsps...)
-			stats.WordLookups += st.WordLookups
-			stats.WordHits += st.WordHits
-			stats.Extensions += st.Extensions
-			mu.Unlock()
-		}(j)
-	}
-	wg.Wait()
-
-	all = dedupe(all)
 
 	// Karlin-Altschul statistics over the translated search space (every
 	// frame's residues), then the optional E-value filter and gapped
@@ -191,30 +248,316 @@ func SearchWithIndex(idx *Index, ref bio.NucSeq, opts Options) ([]HSP, Stats, er
 	for _, h := range all {
 		h.BitScore = params.BitScore(h.Score)
 		h.EValue = params.EValue(h.Score, len(idx.Query), dbResidues)
-		if opts.MaxEValue > 0 && h.EValue > opts.MaxEValue {
+		if o.MaxEValue > 0 && h.EValue > o.MaxEValue {
 			continue
 		}
-		if opts.GappedRefine {
-			h.GappedScore = refineGapped(idx.Query, &frames[int(h.Frame)], h, opts.RefineMargin)
+		if o.GappedRefine {
+			h.GappedScore = refineGapped(idx.Query, &frames[int(h.Frame)], h, o.RefineMargin)
 		}
 		kept = append(kept, h)
 	}
 	all = kept
 
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		if all[i].Frame != all[j].Frame {
-			return all[i].Frame < all[j].Frame
-		}
-		return all[i].SStart < all[j].SStart
-	})
-	if !opts.KeepContained {
+	sort.Slice(all, func(i, j int) bool { return lessHSP(&all[i], &all[j]) })
+	if !o.KeepContained {
 		all = cullContained(all)
 	}
 	stats.HSPs = len(all)
+
+	tm.wordLookups.Add(uint64(stats.WordLookups))
+	tm.wordHits.Add(uint64(stats.WordHits))
+	tm.extensions.Add(uint64(stats.Extensions))
+	tm.hsps.Add(uint64(stats.HSPs))
 	return all, stats, nil
+}
+
+// lessHSP is the result ordering: score-descending, then ascending on
+// every coordinate so equal-scoring HSPs have a total order and the
+// final sort (and the cullContained pass that walks it) is deterministic
+// regardless of arrival order.
+func lessHSP(a, b *HSP) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Frame != b.Frame {
+		return a.Frame < b.Frame
+	}
+	if a.SStart != b.SStart {
+		return a.SStart < b.SStart
+	}
+	if a.QStart != b.QStart {
+		return a.QStart < b.QStart
+	}
+	if a.QEnd != b.QEnd {
+		return a.QEnd < b.QEnd
+	}
+	return a.SEnd < b.SEnd
+}
+
+// diagState is the per-frame seeding state machine: two-hit pairing and
+// extension suppression per diagonal. The serial scan and the sharded
+// replay merge both drive this exact type, which is what makes the
+// parallel path byte-identical to the serial one.
+type diagState struct {
+	twoHit    bool
+	hitWindow int
+	// lastHit[diag] is the subject position of the most recent unpaired
+	// word hit on the diagonal; extended[diag] the subject end of the
+	// last HSP accepted there.
+	lastHit  map[int]int
+	extended map[int]int
+}
+
+func newDiagState(o *Options) diagState {
+	return diagState{
+		twoHit:    o.TwoHit,
+		hitWindow: o.HitWindow,
+		lastHit:   map[int]int{},
+		extended:  map[int]int{},
+	}
+}
+
+// step feeds the word hit (query position i, subject position j) into
+// the machine and reports whether it triggers an extension. Hits must
+// arrive in non-decreasing subject order.
+func (ds *diagState) step(i, j int) bool {
+	diag := j - i
+	if end, done := ds.extended[diag]; done && j < end {
+		return false // already inside an HSP on this diagonal
+	}
+	if !ds.twoHit {
+		return true
+	}
+	prev, ok := ds.lastHit[diag]
+	switch {
+	case !ok || j-prev > ds.hitWindow:
+		ds.lastHit[diag] = j // first hit, or stale: restart the pair
+	case j-prev < WordSize:
+		// Overlapping the remembered hit: keep the earlier one.
+	default:
+		delete(ds.lastHit, diag)
+		return true
+	}
+	return false
+}
+
+// accept records an accepted HSP's extent so later hits inside it are
+// suppressed.
+func (ds *diagState) accept(diag, sEnd int) { ds.extended[diag] = sEnd }
+
+// ctxCheckStride is how many subject positions a serial scan covers
+// between context checks.
+const ctxCheckStride = 4096
+
+// scanSerial is the canonical single-pass scan: the oracle every
+// parallel execution reproduces exactly.
+func scanSerial(ctx context.Context, idx *Index, frames []TranslatedFrame, o *Options, st *Stats) ([]HSP, error) {
+	var all []HSP
+	q := idx.Query
+	for fi := range frames {
+		tf := &frames[fi]
+		s := tf.Prot
+		ds := newDiagState(o)
+		for j := 0; j+WordSize <= len(s); j++ {
+			if j%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			st.WordLookups++
+			for _, qi := range idx.Lookup(s[j], s[j+1], s[j+2]) {
+				st.WordHits++
+				i := int(qi)
+				if !ds.step(i, j) {
+					continue
+				}
+				st.Extensions++
+				h, ok := extend(q, s, i, j, o.XDrop)
+				if ok && h.Score >= o.MinScore {
+					h.Frame = tf.Frame
+					h.NucPos = tf.NucStart(h.SStart)
+					all = append(all, h)
+					ds.accept(j-i, h.SEnd)
+				}
+			}
+		}
+	}
+	return all, nil
+}
+
+// seedHit is one recorded word hit (subject position j, query position i).
+type seedHit struct{ j, i int32 }
+
+// extKey addresses a speculative extension by its seed.
+type extKey struct{ i, j int32 }
+
+type extResult struct {
+	h  HSP
+	ok bool
+}
+
+// shardScan is one shard's output: every word hit over its subject range
+// in visit order, plus the extensions its locally-warmed state machine
+// predicted would trigger.
+type shardScan struct {
+	hits []seedHit
+	ext  map[extKey]extResult
+	st   Stats
+}
+
+// minShardStarts floors the shard size so tiny shards don't drown the
+// scan in scheduling overhead (PlanRange additionally rounds to 64).
+const minShardStarts = 512
+
+// searchShardLen picks the subject-range tile size: roughly four shards
+// per worker over the whole translated space, floored at minShardStarts.
+func searchShardLen(totalStarts, threads int) int {
+	n := totalStarts / (threads * 4)
+	if n < minShardStarts {
+		n = minShardStarts
+	}
+	return n
+}
+
+// scanSharded fans frame scans out over a sched pool and then replays
+// the recorded word hits serially. Shards cannot run the seeding state
+// machine exactly — two-hit pairs and HSP suppression cross shard
+// boundaries — so each shard records every hit in subject order and
+// *speculates* on extensions using a state machine warmed with a
+// HitWindow look-back. The merge replays all hits, in serial order,
+// through a fresh machine per frame: where the shard guessed right the
+// precomputed extension is reused; where it guessed wrong the extension
+// runs inline. extend() is a pure function of its seed, so speculation
+// can never change the result — the merge output is byte-identical to
+// scanSerial by construction.
+func scanSharded(ctx context.Context, idx *Index, frames []TranslatedFrame, o *Options, st *Stats) ([]HSP, error) {
+	type shardJob struct {
+		frame  int
+		lo, hi int // subject word-start range
+	}
+	totalStarts := 0
+	for fi := range frames {
+		if n := len(frames[fi].Prot) - WordSize + 1; n > 0 {
+			totalStarts += n
+		}
+	}
+	var jobs []shardJob
+	shardLen := searchShardLen(totalStarts, o.Threads)
+	for fi := range frames {
+		n := len(frames[fi].Prot) - WordSize + 1
+		for _, sh := range sched.PlanRange(0, n, shardLen) {
+			jobs = append(jobs, shardJob{frame: fi, lo: sh.Lo, hi: sh.Hi})
+		}
+	}
+
+	results := make([]*shardScan, len(jobs))
+	pool := sched.NewPool(o.Threads)
+	if err := pool.EachCtx(ctx, len(jobs), func(k int) {
+		if ctx.Err() != nil {
+			return // shed: the merge spots the missing shard below
+		}
+		j := jobs[k]
+		results[k] = speculateShard(idx, &frames[j.frame], j.lo, j.hi, o)
+	}); err != nil {
+		return nil, err
+	}
+
+	speculated := uint64(0)
+	for _, sc := range results {
+		if sc == nil {
+			// A shard was shed after the dispatch loop had already
+			// drained: surface the cancellation EachCtx missed.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.Canceled
+		}
+		speculated += uint64(len(sc.ext))
+	}
+	tm.speculative.Add(speculated)
+
+	// Serial replay merge, frame by frame, shard by shard in subject
+	// order — the exact hit sequence scanSerial sees.
+	var all []HSP
+	q := idx.Query
+	cursor := 0
+	for fi := range frames {
+		tf := &frames[fi]
+		s := tf.Prot
+		ds := newDiagState(o)
+		for ; cursor < len(jobs) && jobs[cursor].frame == fi; cursor++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := faultinject.Check(ctx, faultinject.SiteShardMerge, uint64(cursor)); err != nil {
+				return nil, err
+			}
+			sc := results[cursor]
+			st.WordLookups += sc.st.WordLookups
+			st.WordHits += sc.st.WordHits
+			for _, sh := range sc.hits {
+				i, j := int(sh.i), int(sh.j)
+				if !ds.step(i, j) {
+					continue
+				}
+				st.Extensions++
+				r, found := sc.ext[extKey{i: sh.i, j: sh.j}]
+				if !found {
+					r.h, r.ok = extend(q, s, i, j, o.XDrop)
+				}
+				if r.ok && r.h.Score >= o.MinScore {
+					h := r.h
+					h.Frame = tf.Frame
+					h.NucPos = tf.NucStart(h.SStart)
+					all = append(all, h)
+					ds.accept(j-i, h.SEnd)
+				}
+			}
+		}
+	}
+	return all, nil
+}
+
+// speculateShard scans subject word starts [lo, hi) of one frame,
+// recording every word hit in visit order and precomputing the X-drop
+// extension for each seed its boundary-warmed local state machine
+// predicts will trigger. The two-hit warm-up replays [lo-HitWindow, lo)
+// so pairs straddling the shard boundary trigger here as they do
+// serially; cross-boundary HSP suppression stays approximate, and the
+// replay merge corrects any misprediction either way.
+func speculateShard(idx *Index, tf *TranslatedFrame, lo, hi int, o *Options) *shardScan {
+	sc := &shardScan{ext: map[extKey]extResult{}}
+	q, s := idx.Query, tf.Prot
+	ds := newDiagState(o)
+	if o.TwoHit {
+		warm := lo - o.HitWindow
+		if warm < 0 {
+			warm = 0
+		}
+		for j := warm; j < lo; j++ {
+			for _, qi := range idx.Lookup(s[j], s[j+1], s[j+2]) {
+				ds.step(int(qi), j)
+			}
+		}
+	}
+	for j := lo; j < hi; j++ {
+		sc.st.WordLookups++
+		for _, qi := range idx.Lookup(s[j], s[j+1], s[j+2]) {
+			sc.st.WordHits++
+			i := int(qi)
+			sc.hits = append(sc.hits, seedHit{j: int32(j), i: int32(i)})
+			if !ds.step(i, j) {
+				continue
+			}
+			var r extResult
+			r.h, r.ok = extend(q, s, i, j, o.XDrop)
+			sc.ext[extKey{i: int32(i), j: int32(j)}] = r
+			if r.ok && r.h.Score >= o.MinScore {
+				ds.accept(j-i, r.h.SEnd)
+			}
+		}
+	}
+	return sc
 }
 
 // cullContained removes HSPs whose query and subject ranges both lie
@@ -238,58 +581,9 @@ func cullContained(hsps []HSP) []HSP {
 	return kept
 }
 
-// scanFrame runs seeding + extension over subject positions [lo, hi).
-func scanFrame(idx *Index, tf *TranslatedFrame, lo, hi int, opts Options) ([]HSP, Stats) {
-	var st Stats
-	var hsps []HSP
-	q := idx.Query
-	s := tf.Prot
-	// lastHit[diag] is the subject position of the most recent word hit on
-	// the diagonal; extended[diag] the subject end of the last HSP there.
-	lastHit := map[int]int{}
-	extended := map[int]int{}
-
-	for j := lo; j+WordSize <= hi; j++ {
-		st.WordLookups++
-		positions := idx.Lookup(s[j], s[j+1], s[j+2])
-		for _, qi := range positions {
-			i := int(qi)
-			st.WordHits++
-			diag := j - i
-			if end, done := extended[diag]; done && j < end {
-				continue // already inside an HSP on this diagonal
-			}
-			trigger := !opts.TwoHit
-			if opts.TwoHit {
-				prev, ok := lastHit[diag]
-				switch {
-				case !ok || j-prev > opts.HitWindow:
-					lastHit[diag] = j // first hit, or stale: restart the pair
-				case j-prev < WordSize:
-					// Overlapping the remembered hit: keep the earlier one.
-				default:
-					trigger = true
-					delete(lastHit, diag)
-				}
-			}
-			if !trigger {
-				continue
-			}
-			st.Extensions++
-			h, ok := extend(q, s, i, j, opts.XDrop)
-			if ok && h.Score >= opts.MinScore {
-				h.Frame = tf.Frame
-				h.NucPos = tf.NucStart(h.SStart)
-				hsps = append(hsps, h)
-				extended[diag] = h.SEnd
-			}
-		}
-	}
-	return hsps, st
-}
-
 // extend performs ungapped X-drop extension around the seed word at query
-// position i / subject position j.
+// position i / subject position j. It is a pure function of (q, s, i, j,
+// xdrop) — the speculation in scanSharded depends on this.
 func extend(q, s bio.ProtSeq, i, j, xdrop int) (HSP, bool) {
 	// Seed score.
 	score := 0
@@ -356,18 +650,4 @@ func refineGapped(q bio.ProtSeq, tf *TranslatedFrame, h HSP, margin int) int {
 	// within the window the alignment sits near diagonal (SStart-lo)-QStart.
 	diag := (h.SStart - lo) - h.QStart
 	return swalign.ScoreBanded(q, tf.Prot[lo:hi], swalign.DefaultScoring(), diag, margin)
-}
-
-// dedupe removes duplicate HSPs produced by chunk overlap (same frame,
-// coordinates and score).
-func dedupe(hsps []HSP) []HSP {
-	seen := map[HSP]bool{}
-	out := hsps[:0]
-	for _, h := range hsps {
-		if !seen[h] {
-			seen[h] = true
-			out = append(out, h)
-		}
-	}
-	return out
 }

@@ -1,0 +1,215 @@
+package tblastn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"fabp/internal/bio"
+)
+
+// TestTwoHitThreadInvariance pins the shard-boundary bugfix: with TwoHit
+// on, seed pairs straddling chunk boundaries used to be dropped at
+// Threads>1. The sharded scan must now reproduce the serial HSP set and
+// Stats exactly, across many layouts.
+func TestTwoHitThreadInvariance(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		q := bio.RandomProtSeq(rng, 50+rng.Intn(40))
+		ref := bio.RandomNucSeq(rng, 40000+rng.Intn(30000))
+		// A few planted copies so the scan has real seeds near arbitrary
+		// shard boundaries.
+		for c := 0; c < 4; c++ {
+			pos := rng.Intn(len(ref) - 3*len(q) - 3)
+			copy(ref[pos:], bio.EncodeGene(rng, q))
+		}
+		for _, twoHit := range []bool{true, false} {
+			base := Options{TwoHit: twoHit, MinScore: 40}
+			h1, st1, err := Search(q, ref, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threads := range []int{2, 4, 8} {
+				o := base
+				o.Threads = threads
+				hN, stN, err := Search(q, ref, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(h1, hN) {
+					t.Fatalf("seed %d twoHit=%v: Threads=%d changed HSPs: %d vs %d",
+						seed, twoHit, threads, len(h1), len(hN))
+				}
+				if st1 != stN {
+					t.Fatalf("seed %d twoHit=%v: Threads=%d changed stats: %+v vs %+v",
+						seed, twoHit, threads, st1, stN)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchDeterminism runs the same search 50 times and demands
+// byte-identical output — the old sort tie-broke only on (Score, Frame,
+// SStart), letting map-iteration order leak into results.
+func TestSearchDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := bio.RandomProtSeq(rng, 45)
+	ref := bio.RandomNucSeq(rng, 30000)
+	for c := 0; c < 3; c++ {
+		copy(ref[3000+c*9000:], bio.EncodeGene(rng, q))
+	}
+	opts := Options{Threads: 4, TwoHit: true, MinScore: 40}
+	var first string
+	for run := 0; run < 50; run++ {
+		hsps, _, err := Search(q, ref, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%+v", hsps)
+		if run == 0 {
+			first = got
+		} else if got != first {
+			t.Fatalf("run %d output differs from run 0", run)
+		}
+	}
+}
+
+// TestLessHSPTotalOrder checks the comparator is a strict weak ordering
+// that separates HSPs tying on (Score, Frame, SStart).
+func TestLessHSPTotalOrder(t *testing.T) {
+	hsps := []HSP{
+		{Score: 50, Frame: 1, SStart: 10, QStart: 3, QEnd: 20, SEnd: 27},
+		{Score: 50, Frame: 1, SStart: 10, QStart: 3, QEnd: 18, SEnd: 25},
+		{Score: 50, Frame: 1, SStart: 10, QStart: 1, QEnd: 20, SEnd: 27},
+		{Score: 50, Frame: 0, SStart: 10, QStart: 3, QEnd: 20, SEnd: 27},
+		{Score: 60, Frame: 1, SStart: 10, QStart: 3, QEnd: 20, SEnd: 27},
+		{Score: 50, Frame: 1, SStart: 10, QStart: 3, QEnd: 20, SEnd: 30},
+	}
+	for i := range hsps {
+		for j := range hsps {
+			li, lj := lessHSP(&hsps[i], &hsps[j]), lessHSP(&hsps[j], &hsps[i])
+			if i == j {
+				if li {
+					t.Fatalf("lessHSP(%d,%d) not irreflexive", i, j)
+				}
+				continue
+			}
+			if li == lj {
+				t.Fatalf("HSPs %d and %d not totally ordered: less=%v both ways", i, j, li)
+			}
+		}
+	}
+	// Sorting two different permutations must converge.
+	a := append([]HSP(nil), hsps...)
+	b := []HSP{hsps[5], hsps[3], hsps[1], hsps[4], hsps[0], hsps[2]}
+	sort.Slice(a, func(i, j int) bool { return lessHSP(&a[i], &a[j]) })
+	sort.Slice(b, func(i, j int) bool { return lessHSP(&b[i], &b[j]) })
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sort order depends on input permutation")
+	}
+}
+
+// TestOptionSentinels covers the unset-vs-explicit-zero fix: zero keeps
+// the BLAST default, the *All sentinels select maximal sensitivity, and
+// anything below them is rejected.
+func TestOptionSentinels(t *testing.T) {
+	r, err := Options{}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinScore != 35 || r.NeighborThreshold != 11 {
+		t.Fatalf("zero options resolved to MinScore=%d T=%d, want 35/11", r.MinScore, r.NeighborThreshold)
+	}
+	r2, err := Options{MinScore: MinScoreAll, NeighborThreshold: NeighborThresholdAll}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MinScore != MinScoreAll || r2.NeighborThreshold != NeighborThresholdAll {
+		t.Fatalf("sentinels rewritten: MinScore=%d T=%d", r2.MinScore, r2.NeighborThreshold)
+	}
+	// Resolve must be idempotent so resolved options can be passed back in.
+	r3, err := r2.Resolve()
+	if err != nil || r3 != r2 {
+		t.Fatalf("Resolve not idempotent: %+v vs %+v (err %v)", r3, r2, err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	q := bio.RandomProtSeq(rng, 40)
+	ref := bio.RandomNucSeq(rng, 10000)
+	copy(ref[4002:], bio.EncodeGene(rng, q))
+
+	def, _, err := Search(q, ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _, err := Search(q, ref, Options{MinScore: MinScoreAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < len(def) {
+		t.Fatalf("MinScoreAll returned fewer HSPs (%d) than default (%d)", len(all), len(def))
+	}
+	idxDef, err := BuildIndex(q, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxAll, err := BuildIndex(q, NeighborThresholdAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idxAll.Entries() <= idxDef.Entries() {
+		t.Fatalf("NeighborThresholdAll index (%d entries) not denser than default (%d)",
+			idxAll.Entries(), idxDef.Entries())
+	}
+}
+
+func TestResolveRejectsInvalid(t *testing.T) {
+	bad := []Options{
+		{MinScore: -2},
+		{NeighborThreshold: -5},
+		{Threads: -1},
+		{HitWindow: -3},
+		{XDrop: -1},
+		{Frames: 7},
+		{RefineMargin: -1},
+		{MaxEValue: -0.5},
+	}
+	for _, o := range bad {
+		if _, err := o.Resolve(); err == nil {
+			t.Errorf("Resolve(%+v) accepted invalid options", o)
+		}
+		if _, _, err := Search(bio.RandomProtSeq(rand.New(rand.NewSource(1)), 20),
+			bio.RandomNucSeq(rand.New(rand.NewSource(2)), 600), o); err == nil {
+			t.Errorf("Search(%+v) accepted invalid options", o)
+		}
+	}
+}
+
+// TestSearchContextCancel checks both scan paths honour cancellation:
+// a pre-canceled context returns immediately, and a mid-scan cancel
+// unwinds with ctx.Err().
+func TestSearchContextCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q := bio.RandomProtSeq(rng, 60)
+	ref := bio.RandomNucSeq(rng, 200000)
+
+	for _, threads := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, _, err := SearchContext(ctx, q, ref, Options{Threads: threads}); err != context.Canceled {
+			t.Fatalf("Threads=%d pre-canceled: err=%v, want context.Canceled", threads, err)
+		}
+
+		ctx, cancel = context.WithTimeout(context.Background(), 2*time.Millisecond)
+		_, _, err := SearchContext(ctx, q, ref, Options{Threads: threads, NeighborThreshold: NeighborThresholdAll, MinScore: MinScoreAll})
+		cancel()
+		if err != nil && err != context.DeadlineExceeded {
+			t.Fatalf("Threads=%d mid-scan: unexpected err %v", threads, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fabp/internal/core"
 	"fabp/internal/resultcache"
 	"fabp/internal/sched"
+	"fabp/internal/tblastn"
 )
 
 // This file is the unified scan spine: the one code path every
@@ -78,6 +79,13 @@ type ScanRequest struct {
 	// NoCache forces this request to scan even when the cache is
 	// enabled (it neither reads nor seeds entries).
 	NoCache bool
+	// ProteinSearch, when non-nil, runs the request as a TBLASTN-style
+	// protein search (six-frame translation + seeded ungapped extension)
+	// instead of a nucleotide scan: results land in ScanResult.HSPs and
+	// the nucleotide-only fields (Threshold/ThresholdFrac, Kernel,
+	// ShardLen, RetryPolicy, Partial) must stay unset. MaxHits and
+	// NoCache apply as usual.
+	ProteinSearch *ProteinSearchOptions
 }
 
 // ScanResult is the unified scan answer: hits plus everything the legacy
@@ -97,6 +105,11 @@ type ScanResult struct {
 	// only from Partial requests and are never cached.
 	Degraded     bool
 	FailedRanges []ShardRange
+	// HSPs holds protein-search results (ProteinSearch requests only),
+	// sorted best-first; ProteinStats profiles that pipeline run (shared
+	// with cached results on a hit — treat as read-only).
+	HSPs         []HSP
+	ProteinStats *ProteinSearchStats
 	// Cache is the result's provenance (hit/miss/shared/bypass).
 	Cache CacheOutcome
 	// Elapsed is this call's wall time — queue plus scan on a miss, the
@@ -133,6 +146,9 @@ func (r *ScanResult) sizeBytes() int64 {
 	for _, h := range r.RecordHits {
 		n += 56 + int64(len(h.RecordID))
 	}
+	for _, h := range r.HSPs {
+		n += 96 + int64(len(h.Frame))
+	}
 	return n
 }
 
@@ -150,6 +166,10 @@ func (r *ScanResult) clipped(maxHits int) *ScanResult {
 			out.RecordHits = out.RecordHits[:maxHits:maxHits]
 			out.Truncated = true
 		}
+		if len(out.HSPs) > maxHits {
+			out.HSPs = out.HSPs[:maxHits:maxHits]
+			out.Truncated = true
+		}
 	}
 	return &out
 }
@@ -162,6 +182,11 @@ type targetKind uint8
 const (
 	targetDatabase  targetKind = 1
 	targetReference targetKind = 2
+	// Protein searches get their own kinds: the digests are computed
+	// over different byte domains (database format vs raw sequence), so
+	// the kind keeps them from ever aliasing a nucleotide scan.
+	targetProteinDatabase  targetKind = 3
+	targetProteinReference targetKind = 4
 )
 
 // scanKey is the content-addressed cache key. Two requests with equal
@@ -176,6 +201,10 @@ type scanKey struct {
 	threshold int
 	kernel    Kernel
 	shardLen  int
+	// protein holds the resolved protein-search options for protein
+	// kinds (zero for nucleotide scans). Threads is excluded: the scan
+	// is thread-invariant, so worker counts share results.
+	protein proteinKey
 }
 
 // scanResults is the process-wide scan-result cache. Disabled (capacity
@@ -329,6 +358,9 @@ type scanPlan struct {
 	req       ScanRequest
 	threshold int
 	targetLen int
+	// protein is the resolved pipeline option set for ProteinSearch
+	// requests (nil for nucleotide scans).
+	protein *tblastn.Options
 }
 
 // plan validates the request field by field (errors name the field and
@@ -339,6 +371,9 @@ func (req ScanRequest) plan() (*scanPlan, error) {
 	}
 	if (req.Database == nil) == (req.Reference == nil) {
 		return nil, badOptionf("fabp: ScanRequest needs exactly one target: set Database or Reference")
+	}
+	if req.ProteinSearch != nil {
+		return req.planProtein()
 	}
 	switch req.Kernel {
 	case KernelAuto, KernelScalar, KernelBitParallel:
@@ -387,6 +422,43 @@ func (req ScanRequest) plan() (*scanPlan, error) {
 	return p, nil
 }
 
+// planProtein validates and normalizes a protein-search request: the
+// nucleotide-only knobs must stay unset (their semantics — window-score
+// thresholds, bit-parallel kernels, shard retries — do not transfer),
+// and the pipeline options resolve once, here, so the cache key and the
+// cold path agree on the exact option set.
+func (req ScanRequest) planProtein() (*scanPlan, error) {
+	if req.Threshold != nil || req.ThresholdFrac != 0 {
+		return nil, badOptionf("fabp: ScanRequest.Threshold/ThresholdFrac do not apply to protein search: use ProteinSearch.MinScore and MaxEValue")
+	}
+	if req.Kernel != KernelAuto {
+		return nil, badOptionf("fabp: ScanRequest.Kernel does not apply to protein search")
+	}
+	if req.ShardLen != 0 {
+		return nil, badOptionf("fabp: ScanRequest.ShardLen does not apply to protein search")
+	}
+	if req.RetryPolicy != (RetryPolicy{}) {
+		return nil, badOptionf("fabp: ScanRequest.RetryPolicy does not apply to protein search")
+	}
+	if req.Partial {
+		return nil, badOptionf("fabp: ScanRequest.Partial does not apply to protein search")
+	}
+	if req.MaxHits < 0 {
+		return nil, badOptionf("fabp: ScanRequest.MaxHits %d is negative", req.MaxHits)
+	}
+	resolved, err := req.ProteinSearch.tblastnOptions().Resolve()
+	if err != nil {
+		return nil, badOption(err)
+	}
+	p := &scanPlan{req: req, protein: &resolved}
+	if req.Database != nil {
+		p.targetLen = req.Database.Len()
+	} else {
+		p.targetLen = req.Reference.Len()
+	}
+	return p, nil
+}
+
 // newAligner builds the plan's aligner — only on the cold path; cache
 // hits never reach here.
 func (p *scanPlan) newAligner() (*Aligner, error) {
@@ -405,6 +477,17 @@ func (p *scanPlan) newAligner() (*Aligner, error) {
 
 // key builds the plan's cache key without an aligner.
 func (p *scanPlan) key() scanKey {
+	if p.protein != nil {
+		k := scanKey{query: p.req.Query.digest, protein: proteinKeyOf(p.protein)}
+		if p.req.Database != nil {
+			k.target = [sha256.Size]byte(p.req.Database.d.Digest())
+			k.kind = targetProteinDatabase
+		} else {
+			k.target = p.req.Reference.contentDigest()
+			k.kind = targetProteinReference
+		}
+		return k
+	}
 	k := scanKey{
 		query:     p.req.Query.digest,
 		threshold: p.threshold,
@@ -428,6 +511,9 @@ func (p *scanPlan) bypass() bool {
 
 // cold runs the plan's scan uncached under ctx.
 func (p *scanPlan) cold(ctx context.Context) (*ScanResult, error) {
+	if p.protein != nil {
+		return p.executeProteinSearch(ctx)
+	}
 	a, err := p.newAligner()
 	if err != nil {
 		return nil, err
